@@ -1,0 +1,57 @@
+// Ablation (§5): the choice of the bound value nb.
+//
+// The paper sets nb so the master's single-node LU time roughly equals the
+// MapReduce job-launch time: too small an nb means many jobs (launch
+// overhead dominates); too large means the serial master LU becomes the
+// bottleneck. The sweep exhibits the U-shape that reasoning predicts.
+#include "harness.hpp"
+
+using namespace mri;
+using namespace mri::bench;
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  const double scale = cli.get_double("scale", 32.0);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16));
+  print_header("Ablation: choice of the bound value nb (§5)", "§5");
+
+  const ScaledSetup base = scaled_setup(kM5, scale);
+  std::printf("matrix M5 scaled to order %lld on %d nodes; paper-scale nb "
+              "values shown\n\n",
+              static_cast<long long>(base.n), nodes);
+
+  const Index nb_values[] = {base.nb / 8, base.nb / 4, base.nb / 2, base.nb,
+                             base.nb * 2, base.nb * 4};
+  TextTable table({"nb (paper-scale)", "Jobs", "Total (min)", "Master (min)",
+                   "Launch share"});
+
+  double best_time = 1e300;
+  Index best_nb = 0;
+  for (Index nb : nb_values) {
+    if (nb < 2) continue;
+    ScaledSetup setup = base;
+    setup.nb = nb;
+    const MrRun run = run_mapreduce(setup, nodes, {}, 1, nullptr, false);
+    const double total_min = run.paper_seconds / 60.0;
+    const double master_min =
+        to_paper_seconds(run.result.report.master_seconds, scale) / 60.0;
+    const double launch_min =
+        to_paper_seconds(run.result.report.jobs *
+                             setup.model.job_launch_seconds,
+                         scale) /
+        60.0;
+    table.add_row({cell_int(nb * static_cast<Index>(scale)),
+                   cell_int(run.result.report.jobs), cell(total_min, 1),
+                   cell(master_min, 1), cell(launch_min / total_min, 2)});
+    if (run.paper_seconds < best_time) {
+      best_time = run.paper_seconds;
+      best_nb = nb;
+    }
+  }
+  table.print();
+
+  std::printf("\nbest nb (paper scale): %lld — the paper picked 3200 for the "
+              "same balance on EC2\n",
+              static_cast<long long>(best_nb * static_cast<Index>(scale)));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension ablation: Hadoop-style speculative execution vs node-speed
+// heterogeneity (§7.4 observes "the performance variance between different
+// large EC2 instances is high").
+//
+// A speculative backup re-runs the task from scratch on an idle node, so it
+// only beats the original when the straggler's node is more than ~2x slower
+// than the backup's — mild skew (the paper's ±30%) gains nothing, while a
+// thrashing/failing node regime gains a lot. The sweep shows both regimes.
+#include "harness.hpp"
+
+using namespace mri;
+using namespace mri::bench;
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  const double scale = cli.get_double("scale", 64.0);
+  const int workers = static_cast<int>(cli.get_int("nodes", 64));
+  print_header("Ablation: speculative execution vs node heterogeneity",
+               "§7.4 (extension)");
+
+  std::printf("matrix M4 scaled 1/%.0f on %d workers; per-node speeds drawn "
+              "from [1-v, 1+v]\n\n",
+              scale, workers);
+
+  TextTable table({"Speed variance v", "no speculation (h)",
+                   "speculation (h)", "speedup", "slowest/median"});
+  for (double v : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    CostModel base = CostModel::ec2_medium();
+    base.node_speed_variance = v;
+    ScaledSetup plain = scaled_setup(kM4, scale, base);
+    const MrRun without =
+        run_mapreduce(plain, workers, {}, 1, nullptr, false);
+
+    CostModel spec = base;
+    spec.speculative_execution = true;
+    ScaledSetup speculative = scaled_setup(kM4, scale, spec);
+    const MrRun with = run_mapreduce(speculative, workers, {}, 1, nullptr,
+                                     false);
+
+    // Indicative skew of this cluster draw.
+    Cluster probe(workers, base);
+    double slowest = 1.0;
+    for (int i = 0; i < workers; ++i)
+      slowest = std::min(slowest, probe.speed_factor(i));
+    table.add_row({cell(v, 1), cell(without.paper_seconds / 3600.0, 2),
+                   cell(with.paper_seconds / 3600.0, 2),
+                   cell(without.paper_seconds / with.paper_seconds, 3),
+                   cell(1.0 / slowest, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nAt the paper's measured +-30%% spread a from-scratch backup cannot "
+      "beat the original (speedup ~1.0) — consistent with Hadoop\nrarely "
+      "winning speculations on uniformly-skewed clusters; past ~2x node "
+      "slowdown (failing hardware) backups win and cap the damage.\n");
+  return 0;
+}

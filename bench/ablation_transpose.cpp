@@ -1,0 +1,67 @@
+// Ablation (§6.3): storing the upper-triangular factors transposed.
+//
+// Two measurements:
+//  1. real kernel timing on this machine — the column-striding multiply vs
+//     the transposed-B multiply (the paper reports a 2–3x end-to-end win);
+//  2. the modeled end-to-end effect in the pipeline (the cost model charges
+//     the column_stride_penalty to tasks running the untransposed layout).
+#include "harness.hpp"
+
+#include "common/stopwatch.hpp"
+
+using namespace mri;
+using namespace mri::bench;
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  const Index n = cli.get_int("n", 512);
+  print_header("Ablation: transposed-U storage (§6.3)", "§6.3");
+
+  // --- 1. real kernel measurement ------------------------------------------
+  const Matrix a = random_matrix(n, 1);
+  const Matrix b = random_matrix(n, 2);
+  const Matrix bt = transpose(b);
+
+  auto time_of = [&](auto&& fn) {
+    fn();  // warm-up
+    Stopwatch sw;
+    fn();
+    return sw.seconds();
+  };
+  const double t_naive = time_of([&] { multiply_naive_ijk(a, b); });
+  const double t_trans = time_of([&] { multiply_transposed_b(a, bt); });
+  const double t_ikj = time_of([&] { multiply(a, b); });
+
+  TextTable kernels({"Kernel (n=512)", "Seconds", "vs transposed"});
+  kernels.add_row({"naive ijk (column-strides B)", cell(t_naive, 3),
+                   cell(t_naive / t_trans, 2)});
+  kernels.add_row({"transposed-B (rows streamed)", cell(t_trans, 3), "1.00"});
+  kernels.add_row({"ikj row-streaming", cell(t_ikj, 3),
+                   cell(t_ikj / t_trans, 2)});
+  kernels.print();
+  std::printf("\nmeasured column-stride penalty: %.2fx (paper: 2-3x; depends "
+              "on cache/TLB of this machine and n)\n",
+              t_naive / t_trans);
+
+  // --- 2. modeled end-to-end effect ---------------------------------------
+  const double scale = cli.get_double("scale", 32.0);
+  const ScaledSetup setup = scaled_setup(kM5, scale);
+  const MrRun with_opt = run_mapreduce(setup, 16, {}, 1, nullptr, false);
+  core::InversionOptions no_t;
+  no_t.transposed_u = false;
+  const MrRun without_opt = run_mapreduce(setup, 16, no_t, 1, nullptr, false);
+
+  std::printf("\nend-to-end pipeline (M5-scaled, 16 nodes):\n");
+  std::printf("  transposed storage   : %.1f paper-min\n",
+              with_opt.paper_seconds / 60.0);
+  std::printf("  row-major U storage  : %.1f paper-min (%.2fx)\n",
+              without_opt.paper_seconds / 60.0,
+              without_opt.paper_seconds / with_opt.paper_seconds);
+  std::printf("  (model charges a %.1fx flop penalty on the affected "
+              "kernels; I/O volume is unchanged, so the end-to-end factor is "
+              "smaller — consistent with the paper's 'improves the "
+              "performance of our algorithm by a factor of 2-3' referring to "
+              "the kernels)\n",
+              setup.model.column_stride_penalty);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks of the kernels and substrates: the dense
+// multiply variants (§6.3), the single-node LU (Algorithm 1), triangular
+// inversion (Eq. 4), the substitution solves (Eq. 6) and the DFS data path.
+#include <benchmark/benchmark.h>
+
+#include "dfs/dfs.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/triangular.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri {
+namespace {
+
+void BM_MultiplyIkj(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = random_matrix(n, 1);
+  const Matrix b = random_matrix(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MultiplyIkj)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MultiplyNaiveIjk(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = random_matrix(n, 1);
+  const Matrix b = random_matrix(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply_naive_ijk(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MultiplyNaiveIjk)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MultiplyTransposedB(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = random_matrix(n, 1);
+  const Matrix bt = random_matrix(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply_transposed_b(a, bt));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MultiplyTransposedB)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LuDecompose(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = random_matrix(n, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(lu_decompose(a));
+  state.SetItemsProcessed(state.iterations() * n * n * n / 3);
+}
+BENCHMARK(BM_LuDecompose)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_InvertLower(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix l = random_unit_lower_triangular(n, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(invert_lower(l));
+  state.SetItemsProcessed(state.iterations() * n * n * n / 6);
+}
+BENCHMARK(BM_InvertLower)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SolveLower(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix l = random_unit_lower_triangular(n, 5);
+  const Matrix b = random_matrix(n, n / 2, 6, -1, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(solve_lower(l, b));
+  state.SetItemsProcessed(state.iterations() * n * n * (n / 2) / 2);
+}
+BENCHMARK(BM_SolveLower)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DfsWriteRead(benchmark::State& state) {
+  const std::size_t kb = static_cast<std::size_t>(state.range(0));
+  dfs::Dfs fs(4);
+  std::vector<double> payload(kb * 128);  // kb KiB of doubles
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/bench/f." + std::to_string(i++);
+    fs.write_doubles(path, payload);
+    benchmark::DoNotOptimize(fs.read_doubles(path));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size() * 8 * 2));
+}
+BENCHMARK(BM_DfsWriteRead)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace mri
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Extension (§8 future work): the conditions under which to use ScaLAPACK
+// vs MapReduce, and an adaptive chooser.
+//
+// Prints the predicted decision boundary over (matrix order, cluster size)
+// and validates the prediction against the simulator on a sample of cells.
+#include "harness.hpp"
+
+#include "core/adaptive.hpp"
+
+using namespace mri;
+using namespace mri::bench;
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  print_header("Extension: adaptive engine choice (MapReduce vs ScaLAPACK)",
+               "§8 (future work)");
+
+  const CostModel model = CostModel::ec2_medium();
+  const Index orders[] = {4096, 16384, 40960, 102400};
+  const int clusters[] = {2, 8, 32, 128, 512};
+
+  std::printf("predicted winner at nb = 3200 (M = MapReduce, S = "
+              "ScaLAPACK):\n\n");
+  TextTable grid({"Order \\ Nodes", "2", "8", "32", "128", "512"});
+  for (Index n : orders) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (int m0 : clusters) {
+      const core::PredictedCost c = core::predict_cost(n, 3200, m0, model);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%s (%.1fx)",
+                    c.winner() == core::Engine::kMapReduce ? "M" : "S",
+                    c.winner() == core::Engine::kMapReduce
+                        ? c.scalapack_seconds / c.mapreduce_seconds
+                        : c.mapreduce_seconds / c.scalapack_seconds);
+      row.push_back(buf);
+    }
+    grid.add_row(std::move(row));
+  }
+  grid.print();
+
+  // Validate the chooser against the simulator on scaled-down cells.
+  std::printf("\nvalidation against the simulator (M2 scaled 1/64):\n\n");
+  const ScaledSetup setup = scaled_setup(kM2, 64.0);
+  TextTable check({"Nodes", "predicted", "sim MapReduce (min)",
+                   "sim ScaLAPACK (min)", "simulated winner", "agree"});
+  int agreements = 0, cells = 0;
+  for (int m0 : {2, 8, 32, 128}) {
+    const core::PredictedCost c =
+        core::predict_cost(setup.n, setup.nb, m0, setup.model);
+    const MrRun ours = run_mapreduce(setup, m0, {}, 1, nullptr, false);
+    const ScalRun theirs = run_scalapack(setup, m0, 1);
+    const core::Engine simulated =
+        ours.paper_seconds <= theirs.paper_seconds ? core::Engine::kMapReduce
+                                                   : core::Engine::kScaLAPACK;
+    const bool agree = simulated == c.winner();
+    agreements += agree ? 1 : 0;
+    ++cells;
+    check.add_row({cell_int(m0), core::engine_name(c.winner()),
+                   cell(ours.paper_seconds / 60.0, 1),
+                   cell(theirs.paper_seconds / 60.0, 1),
+                   core::engine_name(simulated), agree ? "yes" : "NO"});
+  }
+  check.print();
+  std::printf("\npredictor/simulator agreement: %d / %d cells\n", agreements,
+              cells);
+  return 0;
+}

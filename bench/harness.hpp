@@ -1,0 +1,118 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// Scaling: the paper's experiments run at orders 16384–102400 with nb=3200
+// on up to 128 EC2 instances. We run the same pipelines on matrices shrunk
+// by a linear factor S (default 32) with nb shrunk identically, under
+// CostModel::scaled_down(S) — which makes the simulated time of the scaled
+// run *exactly* 1/S³ of a full-scale run under the unscaled model (see
+// sim/cost_model.hpp). Every bench therefore reports
+//     paper-scale time = simulated seconds × S³
+// and all curve shapes (scalability, ratios, crossovers) are preserved
+// exactly. Real computation still runs, so every bench also verifies the
+// §7.2 residual.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/inverter.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+#include "scalapack/invert.hpp"
+
+namespace mri::bench {
+
+/// The paper's five evaluation matrices (Table 3).
+struct PaperMatrix {
+  const char* name;
+  Index order;
+};
+inline constexpr PaperMatrix kM1{"M1", 20480};
+inline constexpr PaperMatrix kM2{"M2", 32768};
+inline constexpr PaperMatrix kM3{"M3", 40960};
+inline constexpr PaperMatrix kM4{"M4", 102400};
+inline constexpr PaperMatrix kM5{"M5", 16384};
+
+inline constexpr Index kPaperNb = 3200;
+
+struct ScaledSetup {
+  double scale = 32.0;      // linear shrink factor S
+  Index n = 0;              // scaled order
+  Index nb = 0;             // scaled nb
+  CostModel model;          // scaled cost model
+};
+
+inline ScaledSetup scaled_setup(const PaperMatrix& m, double scale,
+                                CostModel base = CostModel::ec2_medium()) {
+  ScaledSetup s;
+  s.scale = scale;
+  s.n = static_cast<Index>(static_cast<double>(m.order) / scale);
+  s.nb = static_cast<Index>(static_cast<double>(kPaperNb) / scale);
+  s.model = base.scaled_down(scale);
+  return s;
+}
+
+inline double to_paper_seconds(double sim_seconds, double scale) {
+  return sim_seconds * scale * scale * scale;
+}
+
+struct MrRun {
+  core::MapReduceInverter::Result result;
+  double residual = 0.0;
+  double paper_seconds = 0.0;
+};
+
+/// Runs the MapReduce pipeline on a fresh simulated cluster.
+inline MrRun run_mapreduce(const ScaledSetup& s, int nodes,
+                           core::InversionOptions opts = {},
+                           std::uint64_t seed = 1,
+                           FailureInjector* failures = nullptr,
+                           bool verify = true) {
+  MetricsRegistry metrics;
+  Cluster cluster(nodes, s.model);
+  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  ThreadPool pool(4);
+  core::MapReduceInverter inverter(&cluster, &fs, &pool, failures, &metrics);
+  opts.nb = s.nb;
+  const Matrix a = random_matrix(s.n, seed);
+  MrRun run;
+  run.result = inverter.invert(a, opts);
+  // The residual check is itself O(n³); sweep benches verify once per series.
+  run.residual = verify ? inversion_residual(a, run.result.inverse) : 0.0;
+  run.paper_seconds = to_paper_seconds(run.result.report.sim_seconds, s.scale);
+  return run;
+}
+
+struct ScalRun {
+  scalapack::InvertResult result;
+  double residual = 0.0;
+  double paper_seconds = 0.0;
+};
+
+/// Runs the ScaLAPACK-style baseline on a fresh simulated cluster. The
+/// paper's 128x128 block size scales with S like everything else.
+inline ScalRun run_scalapack(const ScaledSetup& s, int nodes,
+                             std::uint64_t seed = 1) {
+  Cluster cluster(nodes, s.model);
+  scalapack::Options opts;
+  opts.block_width = std::max<Index>(4, static_cast<Index>(128.0 / s.scale));
+  const Matrix a = random_matrix(s.n, seed);
+  ScalRun run;
+  run.result = scalapack::invert(a, cluster, opts);
+  run.residual = inversion_residual(a, run.result.inverse);
+  run.paper_seconds = to_paper_seconds(run.result.report.sim_seconds, s.scale);
+  return run;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproducing %s of 'Scalable Matrix Inversion Using "
+              "MapReduce', HPDC 2014)\n",
+              title, paper_ref);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace mri::bench

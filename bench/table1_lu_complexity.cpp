@@ -1,0 +1,92 @@
+// Table 1: time complexity of the LU-decomposition stage — measured element
+// traffic and flops of our MapReduce pipeline vs the paper's closed forms,
+// and the same for the ScaLAPACK baseline.
+//
+//   ours:      Write (3/2)n²   Read (l+3)n²   Transfer (l+3)n²   Mults n³/3
+//              with l = (m0 + 2 f1 + 2 f2) / 4
+//   ScaLAPACK: Write n²        Read n²        Transfer (2/3)m0n² Mults n³/3
+#include "harness.hpp"
+
+#include "matrix/layout.hpp"
+
+using namespace mri;
+using namespace mri::bench;
+
+namespace {
+
+std::string elems(double count, double n2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f n^2", count / n2);
+  return buf;
+}
+
+std::string flops(double count, double n3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f n^3", count / n3);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  const Index n = cli.get_int("n", 640);
+  const Index nb = cli.get_int("nb", 80);
+  const int m0 = static_cast<int>(cli.get_int("nodes", 16));
+  print_header("Table 1: LU decomposition cost (elements / flops)", "Table 1");
+
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  const double n3 = n2 * static_cast<double>(n);
+  const BlockWrapFactors f = block_wrap_factors(m0);
+  const double l = (m0 + 2.0 * f.f1 + 2.0 * f.f2) / 4.0;
+
+  std::printf("n = %lld, nb = %lld, m0 = %d (f1 = %d, f2 = %d, l = %.1f)\n\n",
+              static_cast<long long>(n), static_cast<long long>(nb), m0, f.f1,
+              f.f2, l);
+
+  // --- our pipeline, LU stage (partition + LU jobs + master leaves) --------
+  ScaledSetup setup;
+  setup.scale = 1.0;
+  setup.n = n;
+  setup.nb = nb;
+  setup.model = CostModel::ec2_medium();
+  const MrRun run = run_mapreduce(setup, m0);
+  MRI_CHECK_MSG(run.residual < 1e-5, "accuracy check failed");
+  const IoStats ours = run.result.lu_stage.io;
+
+  // --- ScaLAPACK baseline, PDGETRF stage -----------------------------------
+  const ScalRun scal = run_scalapack(setup, m0);
+  MRI_CHECK_MSG(scal.residual < 1e-5, "baseline accuracy check failed");
+  const IoStats theirs = scal.result.lu_stage.io;
+
+  TextTable table({"Algorithm", "Write", "Read", "Transfer", "Mults", "Adds"});
+  table.add_row({"ours (paper model)", elems(1.5 * n2, n2),
+                 elems((l + 3.0) * n2, n2), elems((l + 3.0) * n2, n2),
+                 flops(n3 / 3.0, n3), flops(n3 / 3.0, n3)});
+  table.add_row({"ours (measured)",
+                 elems(static_cast<double>(ours.bytes_written) / 8.0, n2),
+                 elems(static_cast<double>(ours.bytes_read) / 8.0, n2),
+                 elems(static_cast<double>(ours.bytes_transferred) / 8.0, n2),
+                 flops(static_cast<double>(ours.mults), n3),
+                 flops(static_cast<double>(ours.adds), n3)});
+  table.add_row({"ScaLAPACK (paper model)", elems(n2, n2), elems(n2, n2),
+                 elems(2.0 / 3.0 * m0 * n2, n2), flops(n3 / 3.0, n3),
+                 flops(n3 / 3.0, n3)});
+  table.add_row({"ScaLAPACK (measured)",
+                 elems(static_cast<double>(theirs.bytes_written) / 8.0, n2),
+                 elems(static_cast<double>(theirs.bytes_read) / 8.0, n2),
+                 elems(static_cast<double>(theirs.bytes_transferred) / 8.0, n2),
+                 flops(static_cast<double>(theirs.mults), n3),
+                 flops(static_cast<double>(theirs.adds), n3)});
+  table.print();
+
+  std::printf(
+      "\nNotes: our measured Write includes the partition job's one-time n² "
+      "copy of A, which the paper's table omits; measured Transfer also\n"
+      "counts HDFS replication-pipeline copies (writes x (replication-1)). "
+      "ScaLAPACK defers its factor write to the inversion stage (its Write\n"
+      "shows there). The structural point survives the bookkeeping: "
+      "ScaLAPACK transfer grows ~(2/3) m0 n², ours ~(m0/4) n² — the gap "
+      "behind Figure 8.\n");
+  return 0;
+}

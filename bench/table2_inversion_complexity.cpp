@@ -1,0 +1,90 @@
+// Table 2: time complexity of the triangular-inversion + final-product
+// stage — measured traffic/flops of our final MapReduce job vs the paper's
+// closed forms, and the same for the ScaLAPACK PDGETRI stage.
+//
+//   ours:      Write 2n²   Read l·n²   Transfer (l+2)n²   Mults (2/3)n³
+//              with l = (m0 + f1 + f2) / 2
+//   ScaLAPACK: Write n²    Read m0n²   Transfer m0n²      Mults (2/3)n³
+#include "harness.hpp"
+
+#include "matrix/layout.hpp"
+
+using namespace mri;
+using namespace mri::bench;
+
+namespace {
+
+std::string elems(double count, double n2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f n^2", count / n2);
+  return buf;
+}
+
+std::string flops(double count, double n3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f n^3", count / n3);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  const Index n = cli.get_int("n", 640);
+  const Index nb = cli.get_int("nb", 80);
+  const int m0 = static_cast<int>(cli.get_int("nodes", 16));
+  print_header(
+      "Table 2: triangular inversion + final product cost (elements / flops)",
+      "Table 2");
+
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  const double n3 = n2 * static_cast<double>(n);
+  const BlockWrapFactors f = block_wrap_factors(m0);
+  const double l = (m0 + f.f1 + f.f2) / 2.0;
+
+  std::printf("n = %lld, nb = %lld, m0 = %d (f1 = %d, f2 = %d, l = %.1f)\n\n",
+              static_cast<long long>(n), static_cast<long long>(nb), m0, f.f1,
+              f.f2, l);
+
+  ScaledSetup setup;
+  setup.scale = 1.0;
+  setup.n = n;
+  setup.nb = nb;
+  setup.model = CostModel::ec2_medium();
+  const MrRun run = run_mapreduce(setup, m0);
+  MRI_CHECK_MSG(run.residual < 1e-5, "accuracy check failed");
+  const IoStats ours = run.result.inversion_stage.io;
+
+  const ScalRun scal = run_scalapack(setup, m0);
+  MRI_CHECK_MSG(scal.residual < 1e-5, "baseline accuracy check failed");
+  const IoStats theirs = scal.result.inversion_stage.io;
+
+  TextTable table({"Algorithm", "Write", "Read", "Transfer", "Mults", "Adds"});
+  table.add_row({"ours (paper model)", elems(2.0 * n2, n2), elems(l * n2, n2),
+                 elems((l + 2.0) * n2, n2), flops(2.0 / 3.0 * n3, n3),
+                 flops(2.0 / 3.0 * n3, n3)});
+  table.add_row({"ours (measured)",
+                 elems(static_cast<double>(ours.bytes_written) / 8.0, n2),
+                 elems(static_cast<double>(ours.bytes_read) / 8.0, n2),
+                 elems(static_cast<double>(ours.bytes_transferred) / 8.0, n2),
+                 flops(static_cast<double>(ours.mults), n3),
+                 flops(static_cast<double>(ours.adds), n3)});
+  table.add_row({"ScaLAPACK (paper model)", elems(n2, n2), elems(m0 * n2, n2),
+                 elems(m0 * n2, n2), flops(2.0 / 3.0 * n3, n3),
+                 flops(2.0 / 3.0 * n3, n3)});
+  table.add_row({"ScaLAPACK (measured)",
+                 elems(static_cast<double>(theirs.bytes_written) / 8.0, n2),
+                 elems(static_cast<double>(theirs.bytes_read) / 8.0, n2),
+                 elems(static_cast<double>(theirs.bytes_transferred) / 8.0, n2),
+                 flops(static_cast<double>(theirs.mults), n3),
+                 flops(static_cast<double>(theirs.adds), n3)});
+  table.print();
+
+  std::printf(
+      "\nNotes: ScaLAPACK's PDGETRI stage allgathers the factors — Θ(m0 n²) "
+      "transfer that does not shrink per node as the cluster grows (the\n"
+      "paper books the allgather under both Read and Transfer; we count it "
+      "once, as Transfer). Our final job reads each factor once per mapper\n"
+      "(l·n²) and block-wraps the product (§6.2).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Application example (paper §1): eigenvector refinement by inverse
+// iteration,  v ← (A - μI)⁻¹ v / ||(A - μI)⁻¹ v||,  where the shifted
+// inverse is computed once with the MapReduce pipeline. The paper motivates
+// scalable inversion precisely for this kind of spectral computation.
+//
+//   ./inverse_iteration [--n 256] [--nodes 4] [--iters 40]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/inverter.hpp"
+#include "linalg/qr.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace {
+
+std::vector<double> matvec(const mri::Matrix& m, const std::vector<double>& v) {
+  std::vector<double> out(static_cast<std::size_t>(m.rows()), 0.0);
+  for (mri::Index i = 0; i < m.rows(); ++i) {
+    double sum = 0.0;
+    const double* row = m.row(i).data();
+    for (mri::Index j = 0; j < m.cols(); ++j)
+      sum += row[j] * v[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = sum;
+  }
+  return out;
+}
+
+double norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mri;
+  CliOptions cli(argc, argv);
+  const Index n = cli.get_int("n", 256);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+  const int iters = static_cast<int>(cli.get_int("iters", 40));
+  const double mu = cli.get_double("mu", 1.3);  // approximate eigenvalue
+
+  std::printf("Inverse iteration on a symmetric matrix of order %lld (shift "
+              "mu = %.2f) using a MapReduce-inverted operator\n",
+              static_cast<long long>(n), mu);
+
+  MetricsRegistry metrics;
+  Cluster cluster(nodes, CostModel::ec2_medium());
+  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  ThreadPool pool(4);
+
+  // A symmetric matrix with a known, well-separated spectrum (1, 2, ..., n):
+  // A = Q·diag(1..n)·Qᵀ with Q from a Householder QR of a random matrix.
+  // Inverse iteration with mu = 1.3 converges to the eigenvalue 1.
+  const QrResult qr = qr_decompose(random_matrix(n, /*seed=*/11));
+  Matrix d(n, n);
+  for (Index i = 0; i < n; ++i) d(i, i) = static_cast<double>(i + 1);
+  const Matrix a = multiply(multiply(qr.q, d), transpose(qr.q));
+  Matrix shifted = a;
+  for (Index i = 0; i < n; ++i) shifted(i, i) -= mu;
+
+  core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
+  core::InversionOptions options;
+  options.nb = std::max<Index>(32, n / 4);
+  const auto result = inverter.invert(shifted, options);
+  std::printf("inversion: %d jobs, %.1f simulated s\n", result.report.jobs,
+              result.report.sim_seconds);
+
+  // Iterate v <- normalize(inv * v).
+  std::vector<double> v(static_cast<std::size_t>(n), 1.0);
+  for (int k = 0; k < iters; ++k) {
+    v = matvec(result.inverse, v);
+    const double nv = norm(v);
+    for (double& x : v) x /= nv;
+  }
+
+  // Rayleigh quotient and eigen-residual.
+  const std::vector<double> av = matvec(a, v);
+  double lambda = 0.0;
+  for (Index i = 0; i < n; ++i)
+    lambda += v[static_cast<std::size_t>(i)] * av[static_cast<std::size_t>(i)];
+  std::vector<double> r = av;
+  for (Index i = 0; i < n; ++i)
+    r[static_cast<std::size_t>(i)] -= lambda * v[static_cast<std::size_t>(i)];
+
+  std::printf("converged eigenvalue lambda = %.6f\n", lambda);
+  std::printf("eigen-residual ||A v - lambda v|| = %.3g\n", norm(r));
+  const bool ok = norm(r) < 1e-6;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Application example (paper §1): solve a batch of linear systems A·x = b
+// by inverting A once with the MapReduce pipeline and reusing A⁻¹ for many
+// right-hand sides — the pattern that amortizes a distributed inversion.
+//
+//   ./linear_solver [--n 384] [--nodes 4] [--rhs 16]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/inverter.hpp"
+#include "linalg/solve.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mri;
+  CliOptions cli(argc, argv);
+  const Index n = cli.get_int("n", 384);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+  const Index num_rhs = cli.get_int("rhs", 16);
+
+  std::printf("Solving %lld systems of order %lld via one MapReduce "
+              "inversion on %d nodes\n",
+              static_cast<long long>(num_rhs), static_cast<long long>(n),
+              nodes);
+
+  MetricsRegistry metrics;
+  Cluster cluster(nodes, CostModel::ec2_medium());
+  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  ThreadPool pool(4);
+
+  // A diagonally dominant system (e.g. a discretized PDE operator).
+  const Matrix a = random_diagonally_dominant(n, /*seed=*/7);
+  const Matrix b = random_matrix(n, num_rhs, /*seed=*/8, -1.0, 1.0);
+
+  core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
+  core::InversionOptions options;
+  options.nb = std::max<Index>(32, n / 8);
+  const auto result = inverter.invert(a, options);
+
+  // x = A⁻¹ · B for all right-hand sides at once.
+  const Matrix x = multiply(result.inverse, b);
+
+  // Verify against direct LU solves and against the defining equation.
+  const Matrix direct = solve_matrix(a, b);
+  const double vs_direct = max_abs_diff(x, direct);
+  const double residual = max_abs_diff(multiply(a, x), b);
+
+  std::printf("simulated inversion time : %.1f s (%d jobs)\n",
+              result.report.sim_seconds, result.report.jobs);
+  std::printf("max |A·X - B|            : %.3g\n", residual);
+  std::printf("max |X - X_direct|       : %.3g\n", vs_direct);
+  const bool ok = residual < 1e-6 && vs_direct < 1e-6;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// Application example (paper §1, bioinformatics): protein-contact style
+// analysis via precision matrices. Correlated observations are generated
+// from a known sparse interaction structure; inverting the sample
+// covariance (the precision matrix) recovers direct interactions while the
+// covariance itself is dominated by indirect, transitive correlations —
+// the insight behind protein-structure prediction from sequence variation
+// (Marks et al., cited by the paper).
+//
+//   ./precision_matrix [--sites 48] [--samples 4000] [--nodes 4]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "core/inverter.hpp"
+#include "matrix/ops.hpp"
+
+namespace {
+
+using mri::Index;
+using mri::Matrix;
+
+struct Interaction {
+  Index a, b;
+};
+
+/// A sparse "contact map": a chain plus a few long-range contacts.
+std::vector<Interaction> make_contacts(Index sites, mri::Xoshiro256& rng) {
+  std::vector<Interaction> contacts;
+  for (Index i = 0; i + 1 < sites; ++i) contacts.push_back({i, i + 1});
+  for (int k = 0; k < static_cast<int>(sites) / 6; ++k) {
+    const Index a = static_cast<Index>(rng.next_below(
+        static_cast<std::uint64_t>(sites)));
+    const Index b = static_cast<Index>(rng.next_below(
+        static_cast<std::uint64_t>(sites)));
+    if (std::abs(a - b) > 2) contacts.push_back({std::min(a, b), std::max(a, b)});
+  }
+  return contacts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mri;
+  CliOptions cli(argc, argv);
+  const Index sites = cli.get_int("sites", 48);
+  const Index samples = cli.get_int("samples", 4000);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+
+  std::printf("Recovering %lld-site interaction structure from %lld "
+              "correlated samples via a MapReduce-inverted covariance\n",
+              static_cast<long long>(sites), static_cast<long long>(samples));
+
+  // Ground truth: a sparse precision matrix K (diagonally dominant => SPD).
+  Xoshiro256 rng(7);
+  const auto contacts = make_contacts(sites, rng);
+  Matrix k(sites, sites);
+  for (const auto& c : contacts) {
+    const double w = rng.uniform(0.3, 0.6);
+    k(c.a, c.b) -= w;
+    k(c.b, c.a) -= w;
+  }
+  for (Index i = 0; i < sites; ++i) {
+    double off = 0.0;
+    for (Index j = 0; j < sites; ++j)
+      if (j != i) off += std::abs(k(i, j));
+    k(i, i) = off + 1.0;
+  }
+
+  // Sample x ~ N(0, K^-1) via Gibbs-free trick: x = L^-T z with K = L L^T
+  // is overkill here; instead draw z and smooth through K⁻¹ numerically by
+  // solving K x = z (exact covariance K⁻¹ for Gaussian z).
+  // Empirical covariance C = (1/m) Σ x xᵀ.
+  const Matrix k_inv_true = [&] {
+    // direct solve for the sampler (small, serial)
+    MetricsRegistry m;
+    Cluster c1(1, CostModel::ec2_medium());
+    dfs::Dfs f1(1, dfs::DfsConfig{}, &m);
+    ThreadPool p1(2);
+    core::MapReduceInverter inv(&c1, &f1, &p1, nullptr, &m);
+    core::InversionOptions o;
+    o.nb = sites;
+    return inv.invert(k, o).inverse;
+  }();
+
+  Matrix c(sites, sites);
+  std::vector<double> z(static_cast<std::size_t>(sites));
+  std::vector<double> x(static_cast<std::size_t>(sites));
+  for (Index s = 0; s < samples; ++s) {
+    // Approximate Gaussian via sum of uniforms; x = K⁻¹ z has covariance
+    // K⁻¹·K⁻ᵀ — good enough for ranking direct couplings; to keep the
+    // estimator exact we accumulate C = K⁻¹ E[zzᵀ] K⁻ᵀ = σ² K⁻¹K⁻ᵀ and
+    // invert it, whose precision shares K's support pattern.
+    for (auto& v : z) {
+      double sum = 0.0;
+      for (int r = 0; r < 12; ++r) sum += rng.next_double();
+      v = sum - 6.0;
+    }
+    for (Index i = 0; i < sites; ++i) {
+      double dot = 0.0;
+      for (Index j = 0; j < sites; ++j)
+        dot += k_inv_true(i, j) * z[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = dot;
+    }
+    for (Index i = 0; i < sites; ++i)
+      for (Index j = 0; j < sites; ++j)
+        c(i, j) += x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(j)];
+  }
+  for (double& v : c.data()) v /= static_cast<double>(samples);
+  // Ridge for numerical safety with finite samples.
+  for (Index i = 0; i < sites; ++i) c(i, i) += 1e-3;
+
+  // The scalable part: invert the covariance with the MapReduce pipeline.
+  MetricsRegistry metrics;
+  Cluster cluster(nodes, CostModel::ec2_medium());
+  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  ThreadPool pool(4);
+  core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
+  core::InversionOptions opts;
+  opts.nb = std::max<Index>(16, sites / 4);
+  const auto result = inverter.invert(c, opts);
+  const Matrix& precision = result.inverse;
+  std::printf("inversion: %d jobs, residual %.2g\n", result.report.jobs,
+              inversion_residual(c, precision));
+
+  // Rank off-diagonal couplings by |precision| and score against the truth.
+  struct Edge {
+    double weight;
+    Index a, b;
+  };
+  std::vector<Edge> edges;
+  for (Index i = 0; i < sites; ++i)
+    for (Index j = i + 1; j < sites; ++j)
+      edges.push_back({std::abs(precision(i, j)), i, j});
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+
+  auto is_contact = [&](Index a, Index b) {
+    for (const auto& ct : contacts)
+      if ((ct.a == a && ct.b == b) || (ct.a == b && ct.b == a)) return true;
+    return false;
+  };
+  const std::size_t top_k = contacts.size();
+  std::size_t hits = 0;
+  for (std::size_t e = 0; e < top_k && e < edges.size(); ++e) {
+    if (is_contact(edges[e].a, edges[e].b)) ++hits;
+  }
+  const double precision_at_k =
+      static_cast<double>(hits) / static_cast<double>(top_k);
+  std::printf("top-%zu precision-matrix edges that are true contacts: %zu "
+              "(%.0f%%)\n",
+              top_k, hits, 100.0 * precision_at_k);
+
+  // Baseline: ranking by raw covariance is much worse (indirect couplings).
+  std::vector<Edge> cov_edges;
+  for (Index i = 0; i < sites; ++i)
+    for (Index j = i + 1; j < sites; ++j)
+      cov_edges.push_back({std::abs(c(i, j)), i, j});
+  std::sort(cov_edges.begin(), cov_edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+  std::size_t cov_hits = 0;
+  for (std::size_t e = 0; e < top_k && e < cov_edges.size(); ++e) {
+    if (is_contact(cov_edges[e].a, cov_edges[e].b)) ++cov_hits;
+  }
+  std::printf("same score using raw covariance (indirect couplings): %zu "
+              "(%.0f%%)\n",
+              cov_hits,
+              100.0 * static_cast<double>(cov_hits) /
+                  static_cast<double>(top_k));
+
+  const bool ok = precision_at_k >= 0.7 && hits > cov_hits;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

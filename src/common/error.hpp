@@ -1,0 +1,87 @@
+// Error handling primitives used across mrinverse.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw exceptions derived
+// from std::runtime_error for runtime failures, and use MRI_CHECK /
+// MRI_REQUIRE for precondition-style checks that must hold in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mri {
+
+/// Base class for all mrinverse errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine cannot proceed (e.g. singular matrix in LU).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// A distributed-filesystem operation failed (missing path, bad rename, ...).
+class DfsError : public Error {
+ public:
+  explicit DfsError(const std::string& what) : Error(what) {}
+};
+
+/// A MapReduce job failed permanently (all retries exhausted).
+class JobError : public Error {
+ public:
+  explicit JobError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(std::string_view kind,
+                                             std::string_view expr,
+                                             std::string_view file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mri
+
+/// Internal invariant; active in all build types.
+#define MRI_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mri::detail::throw_check_failure("MRI_CHECK", #cond, __FILE__,      \
+                                         __LINE__, "");                     \
+  } while (0)
+
+#define MRI_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream mri_os_;                                           \
+      mri_os_ << msg;                                                       \
+      ::mri::detail::throw_check_failure("MRI_CHECK", #cond, __FILE__,      \
+                                         __LINE__, mri_os_.str());          \
+    }                                                                       \
+  } while (0)
+
+/// Public-API precondition; throws InvalidArgument.
+#define MRI_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream mri_os_;                                           \
+      mri_os_ << msg;                                                       \
+      throw ::mri::InvalidArgument(mri_os_.str());                          \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,49 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mri {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(static_cast<int>(level) >=
+               static_cast<int>(Logger::instance().level())) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    os_ << (base ? base + 1 : file) << ":" << line << " ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) Logger::instance().write(level_, os_.str());
+}
+
+}  // namespace detail
+
+}  // namespace mri

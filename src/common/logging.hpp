@@ -1,0 +1,60 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Logging defaults to kWarn so tests and benches stay quiet; examples turn on
+// kInfo to narrate the pipeline. No global construction order issues: the
+// logger is a Meyers singleton.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mri {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace mri
+
+#define MRI_LOG(level) ::mri::detail::LogLine(level, __FILE__, __LINE__)
+#define MRI_DEBUG() MRI_LOG(::mri::LogLevel::kDebug)
+#define MRI_INFO() MRI_LOG(::mri::LogLevel::kInfo)
+#define MRI_WARN() MRI_LOG(::mri::LogLevel::kWarn)
+#define MRI_ERROR() MRI_LOG(::mri::LogLevel::kError)

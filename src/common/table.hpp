@@ -1,0 +1,31 @@
+// Plain-text table printer used by the benchmark harnesses to print the
+// paper's tables and figure series in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mri {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Convenience: prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string cell(double value, int precision = 2);
+std::string cell_int(long long value);
+
+}  // namespace mri

@@ -1,0 +1,69 @@
+// Fixed-size thread pool used by the MapReduce runtime and the MPI simulator
+// to execute tasks with real computation.
+//
+// The pool is deliberately simple: submit() returns a std::future, workers
+// pull from a single locked queue. Task granularity in mrinverse is coarse
+// (whole map/reduce tasks), so queue contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mri {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submits a callable; returns a future for its result. Exceptions thrown
+  /// by the callable propagate through the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MRI_CHECK_MSG(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs `fn(i)` for i in [0, count) across the pool and waits for all.
+  /// Rethrows the first exception encountered.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A process-wide pool sized to the hardware; used when callers do not care
+/// about pool identity.
+ThreadPool& global_pool();
+
+}  // namespace mri

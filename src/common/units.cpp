@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace mri {
+
+namespace {
+
+std::string format_with(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_billions(std::uint64_t count) {
+  return format_with(static_cast<double>(count) / 1e9, "billion");
+}
+
+std::string format_gb(std::uint64_t bytes) {
+  return format_with(static_cast<double>(bytes) / 1e9, "GB");
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e12) return format_with(b / 1e12, "TB");
+  if (b >= 1e9) return format_with(b / 1e9, "GB");
+  if (b >= 1e6) return format_with(b / 1e6, "MB");
+  if (b >= 1e3) return format_with(b / 1e3, "KB");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu B",
+                static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds >= 3600.0) return format_with(seconds / 3600.0, "h");
+  if (seconds >= 60.0) return format_with(seconds / 60.0, "min");
+  return format_with(seconds, "s");
+}
+
+}  // namespace mri

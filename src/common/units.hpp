@@ -1,0 +1,23 @@
+// Human-readable formatting of byte counts, element counts and durations,
+// used by the benchmark harnesses when printing the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mri {
+
+/// "1.07 billion", "0.42 billion", ... (Table 3 style).
+std::string format_billions(std::uint64_t count);
+
+/// "8 GB", "3.2 GB", "200 GB" ... (Table 3 style: 1 GB = 1e9 bytes).
+std::string format_gb(std::uint64_t bytes);
+
+/// "512 B", "14.2 KB", "3.1 MB", "2.4 GB", "20.1 TB" (binary-ish display,
+/// decimal units to match the paper's text).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "42 s", "3.5 min", "5.1 h".
+std::string format_duration(double seconds);
+
+}  // namespace mri

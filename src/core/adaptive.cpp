@@ -1,0 +1,121 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/layout.hpp"
+
+namespace mri::core {
+
+const char* engine_name(Engine engine) {
+  return engine == Engine::kMapReduce ? "mapreduce" : "scalapack";
+}
+
+PredictedCost predict_cost(Index n, Index nb, int m0, const CostModel& model,
+                           Index block_width) {
+  MRI_REQUIRE(n >= 1 && nb >= 1 && m0 >= 1 && block_width >= 1,
+              "bad predict_cost arguments");
+  PredictedCost cost;
+  const double dn = static_cast<double>(n);
+  const double n2 = dn * dn;
+  const double n3 = n2 * dn;
+  const double flops_sec = model.flops_per_second;
+  const double read_bw = std::min(model.disk_bandwidth, model.network_bandwidth);
+  // A mild tax for wave imbalance / stragglers under the node-speed spread.
+  const double imbalance = 1.0 + model.node_speed_variance / 2.0;
+
+  // ---- MapReduce pipeline --------------------------------------------------
+  {
+    const InversionPlan plan = InversionPlan::make(n, nb, m0);
+    const double launches =
+        static_cast<double>(plan.total_jobs) * model.job_launch_seconds;
+
+    // Master: 2^d leaf LUs of order ~n/2^d, (2/3)·leaf³ flops each, plus
+    // reading/writing each leaf once.
+    const double leaf = dn / static_cast<double>(plan.leaves);
+    const double master_flops =
+        static_cast<double>(plan.leaves) * (2.0 / 3.0) * leaf * leaf * leaf;
+    const double master_bytes =
+        2.0 * static_cast<double>(plan.leaves) * leaf * leaf * 8.0;
+    const double master = master_flops / flops_sec + master_bytes / read_bw;
+
+    // Distributed arithmetic: 2·(n³/3) for the decomposition stage plus
+    // 2·(2/3)n³ for the inversion stage, minus the master's share, spread
+    // over m0 nodes.
+    const double distributed_flops =
+        (2.0 / 3.0) * n3 + (4.0 / 3.0) * n3 - master_flops;
+    const double compute =
+        distributed_flops / (static_cast<double>(m0) * flops_sec) * imbalance;
+
+    // I/O per Tables 1 and 2 (+ the partition copy), spread over m0 nodes;
+    // writes are replicated (factor replication - 1 over the network).
+    const BlockWrapFactors f = block_wrap_factors(m0);
+    const double l1 = (m0 + 2.0 * f.f1 + 2.0 * f.f2) / 4.0;
+    const double l2 = (m0 + f.f1 + f.f2) / 2.0;
+    const double read_bytes = (l1 + 3.0 + l2) * n2 * 8.0;
+    const double write_bytes = (1.0 + 1.5 + 2.0) * n2 * 8.0;
+    const double io = (read_bytes / read_bw + write_bytes / model.disk_bandwidth +
+                       2.0 * write_bytes / model.network_bandwidth) /
+                      static_cast<double>(m0);
+
+    cost.mapreduce_seconds = launches + master + compute + io;
+  }
+
+  // ---- ScaLAPACK-style baseline -------------------------------------------
+  {
+    const double w = static_cast<double>(block_width);
+    const double p = static_cast<double>(m0);
+    // Parallel arithmetic (LU (2/3)n³ + inversion (4/3)n³ mults+adds).
+    const double compute = 2.0 * n3 / (p * flops_sec) * imbalance;
+    // Serial panel-factorization critical path: sum over panels of
+    // ~(n - k·w)·w² flops ≈ n²·w/2 (absent for one rank: then it is part of
+    // the parallel compute already counted).
+    const double panel = m0 > 1 ? (n2 * w) / (2.0 * flops_sec) : 0.0;
+    // Communication per rank: panel broadcasts ≈ (n²/2)·8 bytes received
+    // (plus up to log2(p) forwards of a panel), and the pdgetri ring
+    // allgather ≈ 2·n²·8 bytes on and off each rank.
+    double comm = 0.0;
+    if (m0 > 1) {
+      const double tree = 1.0 + std::log2(p) * w / dn;
+      comm = (0.5 * n2 * 8.0 * tree + 2.0 * n2 * 8.0) /
+             model.network_bandwidth;
+      // Per-panel latency of the broadcast tree.
+      comm += (dn / w) * std::ceil(std::log2(p)) *
+              model.message_latency_seconds;
+    }
+    // One read of A and one write of A⁻¹, split across ranks.
+    const double io = 2.0 * n2 * 8.0 / (p * model.disk_bandwidth);
+    cost.scalapack_seconds = compute + panel + comm + io;
+  }
+  return cost;
+}
+
+AdaptiveInverter::AdaptiveInverter(const Cluster* cluster, dfs::Dfs* fs,
+                                   ThreadPool* pool, MetricsRegistry* metrics)
+    : cluster_(cluster), fs_(fs), pool_(pool), metrics_(metrics) {
+  MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
+              "AdaptiveInverter needs a cluster, a DFS and a thread pool");
+}
+
+AdaptiveInverter::Result AdaptiveInverter::invert(
+    const Matrix& a, const InversionOptions& options) {
+  MRI_REQUIRE(a.square(), "invert expects a square matrix");
+  Result result;
+  result.prediction = predict_cost(a.rows(), options.nb, cluster_->size(),
+                                   cluster_->cost_model());
+  result.engine = result.prediction.winner();
+  if (result.engine == Engine::kMapReduce) {
+    MapReduceInverter inverter(cluster_, fs_, pool_, nullptr, metrics_);
+    auto mr = inverter.invert(a, options);
+    result.inverse = std::move(mr.inverse);
+    result.report = mr.report;
+  } else {
+    scalapack::Options opts;
+    auto sl = scalapack::invert(a, *cluster_, opts);
+    result.inverse = std::move(sl.inverse);
+    result.report = sl.report;
+  }
+  return result;
+}
+
+}  // namespace mri::core

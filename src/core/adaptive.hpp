@@ -1,0 +1,58 @@
+// Extension (§8 future work): "it would be interesting to investigate the
+// conditions under which to use ScaLAPACK or MapReduce for matrix
+// inversion, and to implement a system to adaptively choose the best matrix
+// inversion technique for an input matrix."
+//
+// The predictor evaluates both systems' closed-form cost models (the
+// paper's Tables 1 and 2 plus the pipeline-structure terms: job launches,
+// master leaf LUs, the baseline's serial panel path) under a given cluster;
+// AdaptiveInverter picks the cheaper engine and runs it.
+#pragma once
+
+#include "core/inverter.hpp"
+#include "scalapack/invert.hpp"
+
+namespace mri::core {
+
+enum class Engine { kMapReduce, kScaLAPACK };
+
+const char* engine_name(Engine engine);
+
+struct PredictedCost {
+  double mapreduce_seconds = 0.0;
+  double scalapack_seconds = 0.0;
+  Engine winner() const {
+    return mapreduce_seconds <= scalapack_seconds ? Engine::kMapReduce
+                                                  : Engine::kScaLAPACK;
+  }
+};
+
+/// Analytic runtime prediction for inverting an n x n matrix on m0 nodes of
+/// `model`, with master block bound nb (MapReduce) and ScaLAPACK block width
+/// `block_width`.
+PredictedCost predict_cost(Index n, Index nb, int m0, const CostModel& model,
+                           Index block_width = 128);
+
+class AdaptiveInverter {
+ public:
+  AdaptiveInverter(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
+                   MetricsRegistry* metrics = nullptr);
+
+  struct Result {
+    Matrix inverse;
+    SimReport report;
+    Engine engine = Engine::kMapReduce;
+    PredictedCost prediction;
+  };
+
+  /// Predicts both engines' cost and runs the cheaper one.
+  Result invert(const Matrix& a, const InversionOptions& options = {});
+
+ private:
+  const Cluster* cluster_;
+  dfs::Dfs* fs_;
+  ThreadPool* pool_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace mri::core

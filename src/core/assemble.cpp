@@ -1,0 +1,74 @@
+#include "core/assemble.hpp"
+
+#include "core/factor_io.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri::core {
+
+Matrix assemble_l(const dfs::Dfs& fs, const LuNode& node, IoStats* account) {
+  if (node.leaf) {
+    return read_lower_packed(fs, node.l_path, account);
+  }
+  MRI_CHECK(node.first && node.second);
+  Matrix l(node.n, node.n);
+  l.set_block(0, 0, assemble_l(fs, *node.first, account));
+  l.set_block(node.h, node.h, assemble_l(fs, *node.second, account));
+  // L2 = P2 · L2', constructed as it is read (§5.3).
+  const Matrix l2_raw = node.l2.read_all(fs, account);
+  l.set_block(node.h, 0, node.second->perm.apply_to_rows(l2_raw));
+  return l;
+}
+
+Matrix assemble_ut(const dfs::Dfs& fs, const LuNode& node, IoStats* account) {
+  if (node.leaf) {
+    return read_lower_packed(fs, node.ut_path, account);
+  }
+  MRI_CHECK(node.first && node.second);
+  Matrix ut(node.n, node.n);
+  ut.set_block(0, 0, assemble_ut(fs, *node.first, account));
+  ut.set_block(node.h, node.h, assemble_ut(fs, *node.second, account));
+  if (node.u2_transposed) {
+    ut.set_block(node.h, 0, node.u2.read_all(fs, account));
+  } else {
+    ut.set_block(node.h, 0, transpose(node.u2.read_all(fs, account)));
+  }
+  return ut;
+}
+
+namespace {
+
+/// Accumulates log|uᵢᵢ| and sign over the leaves (U's diagonal lives there).
+void accumulate_leaf_diagonals(const dfs::Dfs& fs, const LuNode& node,
+                               IoStats* account, Determinant* det) {
+  if (node.leaf) {
+    const Matrix ut = read_lower_packed(fs, node.ut_path, account);
+    for (Index i = 0; i < ut.rows(); ++i) {
+      const double u = ut(i, i);
+      MRI_CHECK_MSG(u != 0.0, "zero diagonal in factored U");
+      det->log_abs += std::log(std::abs(u));
+      if (u < 0.0) det->sign = -det->sign;
+    }
+    return;
+  }
+  accumulate_leaf_diagonals(fs, *node.first, account, det);
+  accumulate_leaf_diagonals(fs, *node.second, account, det);
+}
+
+}  // namespace
+
+Determinant factor_determinant(const dfs::Dfs& fs, const LuNode& node,
+                               IoStats* account) {
+  Determinant det;
+  // PA = LU with unit-diagonal L: det(A) = det(P)⁻¹ Π uᵢᵢ = ±Π uᵢᵢ.
+  det.sign = node.perm.parity();
+  accumulate_leaf_diagonals(fs, node, account, &det);
+  return det;
+}
+
+std::int64_t factor_file_count(const LuNode& node) {
+  if (node.leaf) return 1;
+  return factor_file_count(*node.first) + factor_file_count(*node.second) +
+         static_cast<std::int64_t>(node.l2.tiles().size());
+}
+
+}  // namespace mri::core

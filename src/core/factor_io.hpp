@@ -1,0 +1,51 @@
+// Compact DFS formats for the LU factors and permutations.
+//
+// A leaf's factors are stored the way Algorithm 1 leaves them: one packed
+// square file (U on/above the diagonal, L strictly below — exactly n² doubles,
+// no zero padding), plus a tiny permutation file. This keeps the pipeline's
+// total factor output at the paper's (3/2)n² write volume (Table 1).
+#pragma once
+
+#include <string>
+
+#include "dfs/dfs.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri::core {
+
+/// Writes the packed LU matrix (square, n² doubles).
+void write_packed_lu(dfs::Dfs& fs, const std::string& path, const Matrix& packed,
+                     IoStats* account = nullptr);
+Matrix read_packed_lu(const dfs::Dfs& fs, const std::string& path,
+                      IoStats* account = nullptr);
+
+/// Triangular-packed files — the paper's separate per-leaf l / u files.
+/// With `unit_diag` the diagonal is implicit (strictly-lower entries only,
+/// n(n-1)/2 doubles); otherwise the diagonal is stored (n(n+1)/2 doubles).
+/// Together an l file (unit) and a uᵀ file (non-unit) cost exactly n²
+/// doubles — the Table 1 write volume. `m` must be lower-triangular.
+void write_lower_packed(dfs::Dfs& fs, const std::string& path, const Matrix& m,
+                        bool unit_diag, IoStats* account = nullptr,
+                        dfs::StorageTier tier = dfs::StorageTier::kDisk);
+
+/// Reads back the full square lower-triangular matrix (implicit unit
+/// diagonal restored when the file was written with one).
+Matrix read_lower_packed(const dfs::Dfs& fs, const std::string& path,
+                         IoStats* account = nullptr);
+
+/// Unpacks the packed form into the unit-lower L or the upper U.
+Matrix unpack_unit_lower(const Matrix& packed);
+Matrix unpack_upper(const Matrix& packed);
+/// Uᵀ directly from the packed form (the §6.3 transposed layout).
+Matrix unpack_upper_transposed(const Matrix& packed);
+
+/// Permutation files: n entries of the paper's array S.
+void write_permutation(dfs::Dfs& fs, const std::string& path,
+                       const Permutation& perm, IoStats* account = nullptr,
+                       dfs::StorageTier tier = dfs::StorageTier::kDisk);
+Permutation read_permutation(const dfs::Dfs& fs, const std::string& path,
+                             IoStats* account = nullptr);
+
+}  // namespace mri::core

@@ -1,0 +1,57 @@
+// The final MapReduce job (§5.4): invert the triangular factors and multiply.
+//
+// Map: worker i < W_L assembles L and computes an interleaved set of columns
+// of L⁻¹ (columns k ≡ i mod W_L — the §5.4 load-balancing layout); worker
+// i >= W_L assembles Uᵀ and computes the matching interleaved rows of U⁻¹
+// (as columns of (Uᵀ)⁻¹). Each writes its slice as one INV/ file.
+//
+// Reduce: worker t owns one (U-file-group, L-file-group) cell of the block
+// wrap grid, multiplies its rows of U⁻¹ by its columns of L⁻¹, applies the
+// column permutation (A⁻¹ = U⁻¹L⁻¹P: product column k lands at column S[k])
+// and writes an indexed block of the final inverse.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lu_tree.hpp"
+#include "core/options.hpp"
+#include "mapreduce/job.hpp"
+#include "matrix/layout.hpp"
+
+namespace mri::core {
+
+struct InverseJobContext {
+  const LuNode* root = nullptr;
+  Index n = 0;
+  InversionOptions opts;
+  std::string dir;  // job writes INV/ and OUT/ under here
+  int m0 = 1;
+  int l_workers = 1;  // mappers inverting L
+  int u_workers = 1;  // mappers inverting U
+  int u_groups = 1;   // reducer grid: groups of U files ...
+  int l_groups = 1;   // ... x groups of L files
+  double layout_penalty = 1.0;
+};
+
+using InverseJobContextPtr = std::shared_ptr<const InverseJobContext>;
+
+/// Computes worker/group counts from (m0, opts).
+void plan_inverse_job(InverseJobContext* ctx);
+
+mr::JobSpec make_inverse_job(InverseJobContextPtr ctx,
+                             std::vector<std::string> control_files);
+
+/// Columns of L⁻¹ (or rows of U⁻¹) owned by worker s of `workers`:
+/// {k < n : k ≡ s (mod workers)}.
+std::vector<Index> interleaved_ids(Index n, int workers, int s);
+
+/// Contiguous file-index group g of `groups` over `count` files.
+RowRange file_group(int count, int groups, int g);
+
+/// Driver-side assembly of the final inverse from the reducers' indexed
+/// blocks (verification path; charges no task I/O).
+Matrix assemble_inverse(const dfs::Dfs& fs, const InverseJobContext& ctx);
+
+}  // namespace mri::core

@@ -1,0 +1,150 @@
+#include "core/inverter.hpp"
+
+#include "common/logging.hpp"
+#include "core/assemble.hpp"
+#include "core/inverse_job.hpp"
+#include "core/lu_pipeline.hpp"
+#include "core/multiply_job.hpp"
+#include "core/partition.hpp"
+#include "dfs/path.hpp"
+#include "matrix/dfs_io.hpp"
+
+namespace mri::core {
+
+MapReduceInverter::MapReduceInverter(const Cluster* cluster, dfs::Dfs* fs,
+                                     ThreadPool* pool,
+                                     FailureInjector* failures,
+                                     MetricsRegistry* metrics)
+    : cluster_(cluster), fs_(fs), pool_(pool), failures_(failures),
+      metrics_(metrics) {
+  MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
+              "MapReduceInverter needs a cluster, a DFS and a thread pool");
+}
+
+MapReduceInverter::Result MapReduceInverter::invert(
+    const Matrix& a, const InversionOptions& options) {
+  MRI_REQUIRE(a.square(), "invert expects a square matrix, got "
+                              << a.rows() << "x" << a.cols());
+  const std::string input_path = dfs::join(options.work_dir, "a.bin");
+  if (fs_->exists(input_path)) fs_->remove(input_path);
+  write_matrix(*fs_, input_path, a);
+  return invert_dfs(input_path, options);
+}
+
+MapReduceInverter::Result MapReduceInverter::invert_dfs(
+    const std::string& input_path, const InversionOptions& options) {
+  const MatrixShape shape = read_matrix_shape(*fs_, input_path);
+  MRI_REQUIRE(shape.rows == shape.cols, "input matrix is not square");
+  const Index n = shape.rows;
+  const int m0 = cluster_->size();
+
+  Result result;
+  result.plan = InversionPlan::make(n, options.nb, m0);
+  MRI_INFO() << "inverting order-" << n << " matrix on " << m0
+             << " nodes: depth " << result.plan.depth << ", "
+             << result.plan.total_jobs << " jobs";
+
+  // Step 1 (§5.1): the master writes the MapInput control files.
+  std::vector<std::string> control_files;
+  control_files.reserve(static_cast<std::size_t>(m0));
+  for (int j = 0; j < m0; ++j) {
+    const std::string path =
+        dfs::join(options.work_dir, "MapInput/A." + std::to_string(j));
+    if (!fs_->exists(path)) fs_->write_text(path, std::to_string(j));
+    control_files.push_back(path);
+  }
+
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+  mr::Pipeline pipeline(&runner);
+
+  // Step 2: the partition job (Algorithm 3).
+  PartitionGeometry geom =
+      make_partition_geometry(n, options.nb, m0, options.work_dir);
+  geom.intermediate_tier = options.intermediate_tier();
+  pipeline.run(make_partition_job(geom, input_path, control_files));
+
+  // Step 3: the LU pipeline (Algorithm 2).
+  const double penalty = cluster_->cost_model().column_stride_penalty;
+  LuPipeline lu(&pipeline, fs_, options, m0, penalty, control_files);
+  LuNodePtr root = lu.factor_partitioned(geom);
+
+  // The determinant falls out of the factors: the master reads the leaf U
+  // diagonals (charged) and the permutation parity is in memory.
+  {
+    IoStats det_io;
+    const Determinant det = factor_determinant(*fs_, *root, &det_io);
+    result.det_log_abs = det.log_abs;
+    result.det_sign = det.sign;
+    pipeline.add_master_work(det_io);
+  }
+
+  // Step 4: triangular inversion and final product (§5.4).
+  auto inv_ctx = std::make_shared<InverseJobContext>();
+  inv_ctx->root = root.get();
+  inv_ctx->n = n;
+  inv_ctx->opts = options;
+  inv_ctx->dir = options.work_dir;
+  inv_ctx->m0 = m0;
+  inv_ctx->layout_penalty = penalty;
+  plan_inverse_job(inv_ctx.get());
+  pipeline.run(make_inverse_job(inv_ctx, control_files));
+
+  result.inverse = assemble_inverse(*fs_, *inv_ctx);
+  result.report.sim_seconds = pipeline.total_sim_seconds();
+  result.report.master_seconds = pipeline.master_seconds();
+  result.report.io = pipeline.total_io();
+  result.report.jobs = pipeline.job_count();
+  result.report.failures_recovered = pipeline.failures_recovered();
+
+  // Stage split: the final job is the last in the pipeline; everything else
+  // (partition, LU jobs, master leaf LUs) is the decomposition stage.
+  const mr::JobResult& final_job = pipeline.jobs().back();
+  result.inversion_stage.sim_seconds = final_job.sim_seconds;
+  result.inversion_stage.io = final_job.io;
+  result.inversion_stage.jobs = 1;
+  result.lu_stage = result.report;
+  result.lu_stage.sim_seconds -= final_job.sim_seconds;
+  result.lu_stage.io = result.report.io - final_job.io;
+  result.lu_stage.jobs = result.report.jobs - 1;
+
+  MRI_CHECK_MSG(pipeline.job_count() == result.plan.total_jobs,
+                "pipeline ran " << pipeline.job_count() << " jobs, plan said "
+                                << result.plan.total_jobs);
+
+  if (!options.keep_intermediates) {
+    // Keep the input and control files (reusable); drop everything the
+    // pipeline wrote under the work dir.
+    for (const std::string& name : fs_->list(options.work_dir)) {
+      if (name == "MapInput" || dfs::join(options.work_dir, name) == input_path)
+        continue;
+      fs_->remove(dfs::join(options.work_dir, name), /*recursive=*/true);
+    }
+  }
+  return result;
+}
+
+MapReduceInverter::SolveResult MapReduceInverter::solve(
+    const Matrix& a, const Matrix& b, const InversionOptions& options) {
+  MRI_REQUIRE(a.rows() == b.rows(), "solve shape mismatch: A has "
+                                        << a.rows() << " rows, B has "
+                                        << b.rows());
+  Result inv = invert(a, options);
+
+  std::vector<std::string> control_files;
+  for (int j = 0; j < cluster_->size(); ++j) {
+    control_files.push_back(
+        dfs::join(options.work_dir, "MapInput/A." + std::to_string(j)));
+  }
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+  mr::Pipeline pipeline(&runner);
+  SolveResult result;
+  result.x = mapreduce_multiply(&pipeline, fs_, cluster_->size(), inv.inverse,
+                                b, options.work_dir, control_files);
+  result.report = inv.report;
+  result.report.sim_seconds += pipeline.total_sim_seconds();
+  result.report.io += pipeline.total_io();
+  result.report.jobs += pipeline.job_count();
+  return result;
+}
+
+}  // namespace mri::core

@@ -1,0 +1,79 @@
+// Public API: scalable matrix inversion as a pipeline of MapReduce jobs.
+//
+// Usage:
+//   Cluster cluster(16, CostModel::ec2_medium());
+//   dfs::Dfs fs(cluster.size());
+//   ThreadPool pool(8);
+//   core::MapReduceInverter inverter(&cluster, &fs, &pool);
+//   auto result = inverter.invert(a, options);
+//   // result.inverse, result.report.sim_seconds, result.report.io, ...
+//
+// The pipeline is exactly the paper's Figure 2: master writes the MapInput
+// control files; one partition job (Algorithm 3); 2^d - 1 LU jobs
+// (Algorithm 2) with the 2^d leaf decompositions on the master; one final
+// job inverting the triangular factors and multiplying (§5.4).
+#pragma once
+
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "core/options.hpp"
+#include "core/plan.hpp"
+#include "dfs/dfs.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+#include "sim/cluster.hpp"
+#include "sim/failure.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+
+namespace mri::core {
+
+class MapReduceInverter {
+ public:
+  /// All pointers are borrowed. `failures` and `metrics` may be null.
+  MapReduceInverter(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
+                    FailureInjector* failures = nullptr,
+                    MetricsRegistry* metrics = nullptr);
+
+  struct Result {
+    Matrix inverse;
+    SimReport report;
+    InversionPlan plan;
+    /// Partition + LU jobs + master leaf work (the Table 1 stage).
+    SimReport lu_stage;
+    /// The final triangular-inversion/product job (the Table 2 stage).
+    SimReport inversion_stage;
+    /// det(A), read off the LU factors (sign and log-magnitude).
+    double det_log_abs = 0.0;
+    int det_sign = 1;
+  };
+
+  /// Ingests `a` into the DFS and inverts it. Throws NumericalError if `a`
+  /// is numerically singular.
+  Result invert(const Matrix& a, const InversionOptions& options = {});
+
+  /// Inverts a binary matrix file already in the DFS.
+  Result invert_dfs(const std::string& input_path,
+                    const InversionOptions& options = {});
+
+  struct SolveResult {
+    Matrix x;
+    SimReport report;  // inversion pipeline + the multiply job
+  };
+
+  /// Solves A·X = B (the paper's §1 headline application) by inverting A
+  /// with the pipeline and multiplying X = A⁻¹·B with a block-wrapped
+  /// MapReduce multiply job.
+  SolveResult solve(const Matrix& a, const Matrix& b,
+                    const InversionOptions& options = {});
+
+ private:
+  const Cluster* cluster_;
+  dfs::Dfs* fs_;
+  ThreadPool* pool_;
+  FailureInjector* failures_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace mri::core

@@ -1,0 +1,62 @@
+// One internal node's MapReduce job (Algorithm 2 lines 7–9, Figure 5).
+//
+// Map: half the workers compute row stripes of L2' (solving L2'·U1 = A3),
+// the other half column stripes of U2 (solving L1·U2 = P1·A2); every mapper
+// reads the already-factored first child from the DFS and writes its stripe
+// as a separate file, emitting only the (j, j) control pair. Reduce: worker
+// t computes grid block t of B = A4 − L2'·U2 with the §6.2 block wrap and
+// writes it to OUT/A.t — which the master then "partitions" for the second
+// recursive call by metadata alone.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/lu_tree.hpp"
+#include "core/options.hpp"
+#include "core/tile_set.hpp"
+#include "mapreduce/job.hpp"
+#include "matrix/layout.hpp"
+
+namespace mri::core {
+
+struct LuJobContext {
+  Index n = 0;  // order of this node
+  Index h = 0;  // first child's order
+  const LuNode* first = nullptr;
+
+  TileSet a2;  // h x (n-h)
+  TileSet a3;  // (n-h) x h
+  TileSet a4;  // (n-h) x (n-h)
+
+  InversionOptions opts;
+  std::string dir;  // node directory; the job writes L2/, U2/, OUT/
+
+  int m0 = 1;
+  int l2_workers = 1;
+  int u2_workers = 1;
+  /// Reducer grid over B: block_wrap ? f1 x f2 : m0 x 1 row bands.
+  int grid_rows = 1;
+  int grid_cols = 1;
+
+  /// §6.3 flop multiplier charged when transposed_u is off.
+  double layout_penalty = 1.0;
+
+  // Output geometry (what the mappers will write), precomputed by the
+  // driver so the reducers and the recursive call agree on it.
+  TileSet l2_out;  // (n-h) x h
+  TileSet u2_out;  // transposed: (n-h) x h, else h x (n-h)
+  TileSet b_out;   // (n-h) x (n-h)
+};
+
+using LuJobContextPtr = std::shared_ptr<const LuJobContext>;
+
+/// Fills the output TileSets and grid of a context whose inputs are set.
+void plan_lu_job_outputs(LuJobContext* ctx);
+
+/// Builds the job spec (map tasks = control files, reduce tasks = grid).
+mr::JobSpec make_lu_job(LuJobContextPtr ctx,
+                        std::vector<std::string> control_files,
+                        std::string job_name);
+
+}  // namespace mri::core

@@ -1,0 +1,48 @@
+// The in-memory handle to the distributed LU factors: a binary tree that
+// mirrors the recursion of Algorithm 2. Leaves point at packed-LU files the
+// master wrote; internal nodes point at the L2' / U2 stripe files their
+// MapReduce job wrote. The driver keeps this tree (the paper's master keeps
+// the equivalent bookkeeping in its HDFS directory layout, Fig. 4); all
+// matrix payloads stay in the DFS and are read — with full I/O accounting —
+// by whoever assembles a factor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tile_set.hpp"
+#include "matrix/permutation.hpp"
+
+namespace mri::core {
+
+struct LuNode {
+  Index n = 0;   // order of this node's block
+  bool leaf = false;
+
+  // Leaf payload: Algorithm 1 output on the master, stored as the paper's
+  // separate per-factor files (triangular-packed; together n² doubles).
+  std::string l_path;    // unit-lower L, strictly-lower entries
+  std::string ut_path;   // Uᵀ (lower incl. diagonal)
+  std::string perm_path; // permutation file
+
+  // Internal payload: one MapReduce job's outputs.
+  Index h = 0;  // first child's order (split point)
+  std::unique_ptr<LuNode> first;   // LU of A1
+  std::unique_ptr<LuNode> second;  // LU of B = A4 - L2'·U2
+  /// L2' stripes: logical (n-h) x h, unpermuted (L2 = P2·L2' is constructed
+  /// only as it is read, per §5.3).
+  TileSet l2;
+  /// U2 stripes. With the §6.3 layout this holds U2ᵀ, logical (n-h) x h;
+  /// without it, U2 itself, logical h x (n-h).
+  TileSet u2;
+  bool u2_transposed = true;
+
+  /// Full permutation S of this node (leaf: from Algorithm 1; internal:
+  /// concat of the children's).
+  Permutation perm;
+};
+
+using LuNodePtr = std::unique_ptr<LuNode>;
+
+}  // namespace mri::core

@@ -1,0 +1,147 @@
+#include "core/multiply_job.hpp"
+
+#include "dfs/path.hpp"
+#include "matrix/dfs_io.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri::core {
+
+namespace {
+
+class MultiplyMapper : public mr::Mapper {
+ public:
+  void map(std::int64_t key, const std::string& value,
+           mr::TaskContext& task) override {
+    // Control fan-out only (the operands are already in the DFS).
+    task.emit(key, value);
+  }
+};
+
+class MultiplyReducer : public mr::Reducer {
+ public:
+  explicit MultiplyReducer(MultiplyJobContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+  void reduce(std::int64_t key, const std::vector<std::string>& /*values*/,
+              mr::TaskContext& task) override {
+    if (key != task.task_index()) return;
+    const MultiplyJobContext& c = *ctx_;
+    const int t = task.task_index();
+    const RowRange rows = stripe(c.a.rows(), c.grid_rows, t / c.grid_cols);
+    const RowRange cols = stripe(c.b.cols(), c.grid_cols, t % c.grid_cols);
+    if (rows.count() == 0 || cols.count() == 0) return;
+
+    const Matrix a_rows =
+        c.a.read_block(task.fs(), rows.begin, rows.end, 0, c.a.cols(),
+                       &task.io());
+    const Matrix b_cols =
+        c.b.read_block(task.fs(), 0, c.b.rows(), cols.begin, cols.end,
+                       &task.io());
+    const Matrix block = multiply(a_rows, b_cols);
+    task.add_flops(multiply_cost(rows.count(), c.a.cols(), cols.count()));
+    write_matrix(task.fs(), dfs::join(c.dir, "MUL/C." + std::to_string(t)),
+                 block, &task.io(), c.tier);
+  }
+
+ private:
+  MultiplyJobContextPtr ctx_;
+};
+
+}  // namespace
+
+void plan_multiply_job(MultiplyJobContext* ctx) {
+  MRI_REQUIRE(ctx != nullptr, "null multiply context");
+  MRI_REQUIRE(ctx->a.cols() == ctx->b.rows(),
+              "multiply shape mismatch: " << ctx->a.rows() << "x"
+                                          << ctx->a.cols() << " · "
+                                          << ctx->b.rows() << "x"
+                                          << ctx->b.cols());
+  const BlockWrapFactors f = block_wrap_factors(ctx->m0);
+  ctx->grid_rows = f.f1;
+  ctx->grid_cols = f.f2;
+
+  std::vector<Tile> tiles;
+  for (int t = 0; t < ctx->grid_rows * ctx->grid_cols; ++t) {
+    const RowRange rows =
+        stripe(ctx->a.rows(), ctx->grid_rows, t / ctx->grid_cols);
+    const RowRange cols =
+        stripe(ctx->b.cols(), ctx->grid_cols, t % ctx->grid_cols);
+    if (rows.count() == 0 || cols.count() == 0) continue;
+    Tile tile;
+    tile.path = dfs::join(ctx->dir, "MUL/C." + std::to_string(t));
+    tile.r0 = rows.begin;
+    tile.r1 = rows.end;
+    tile.c0 = cols.begin;
+    tile.c1 = cols.end;
+    tiles.push_back(std::move(tile));
+  }
+  ctx->c_out = TileSet(ctx->a.rows(), ctx->b.cols(), std::move(tiles));
+}
+
+mr::JobSpec make_multiply_job(MultiplyJobContextPtr ctx,
+                              std::vector<std::string> control_files,
+                              std::string job_name) {
+  MRI_REQUIRE(ctx != nullptr, "null multiply context");
+  mr::JobSpec spec;
+  spec.name = std::move(job_name);
+  spec.input_files = std::move(control_files);
+  spec.num_reduce_tasks = ctx->grid_rows * ctx->grid_cols;
+  spec.mapper_factory = [] { return std::make_unique<MultiplyMapper>(); };
+  spec.reducer_factory = [ctx] {
+    return std::make_unique<MultiplyReducer>(ctx);
+  };
+  return spec;
+}
+
+Matrix mapreduce_multiply(mr::Pipeline* pipeline, dfs::Dfs* fs, int m0,
+                          const Matrix& a, const Matrix& b,
+                          const std::string& work_dir,
+                          std::vector<std::string> control_files) {
+  MRI_REQUIRE(pipeline != nullptr && fs != nullptr, "null pipeline/fs");
+  // Ingest the operands pre-striped for the block wrap (the §5.2 storage
+  // discipline: a reducer's stripe lives in its own files, so nobody reads
+  // whole operands): A as f1 row stripes, B as f2 column stripes.
+  const BlockWrapFactors f = block_wrap_factors(m0);
+  const std::string mul_in = dfs::join(work_dir, "MULIN");
+  if (fs->exists(mul_in)) fs->remove(mul_in, /*recursive=*/true);
+
+  std::vector<Tile> a_tiles;
+  for (int s = 0; s < f.f1; ++s) {
+    const RowRange r = stripe(a.rows(), f.f1, s);
+    if (r.count() == 0) continue;
+    Tile t;
+    t.path = dfs::join(mul_in, "a." + std::to_string(s));
+    t.r0 = r.begin;
+    t.r1 = r.end;
+    t.c0 = 0;
+    t.c1 = a.cols();
+    write_matrix(*fs, t.path, a.block(r.begin, r.end, 0, a.cols()));
+    a_tiles.push_back(std::move(t));
+  }
+  std::vector<Tile> b_tiles;
+  for (int s = 0; s < f.f2; ++s) {
+    const RowRange c = stripe(b.cols(), f.f2, s);
+    if (c.count() == 0) continue;
+    Tile t;
+    t.path = dfs::join(mul_in, "b." + std::to_string(s));
+    t.r0 = 0;
+    t.r1 = b.rows();
+    t.c0 = c.begin;
+    t.c1 = c.end;
+    write_matrix(*fs, t.path, b.block(0, b.rows(), c.begin, c.end));
+    b_tiles.push_back(std::move(t));
+  }
+
+  auto ctx = std::make_shared<MultiplyJobContext>();
+  ctx->a = TileSet(a.rows(), a.cols(), std::move(a_tiles));
+  ctx->b = TileSet(b.rows(), b.cols(), std::move(b_tiles));
+  ctx->dir = work_dir;
+  ctx->m0 = m0;
+  plan_multiply_job(ctx.get());
+  if (fs->exists(dfs::join(work_dir, "MUL"))) {
+    fs->remove(dfs::join(work_dir, "MUL"), /*recursive=*/true);
+  }
+  pipeline->run(make_multiply_job(ctx, std::move(control_files), "multiply"));
+  return ctx->c_out.read_all(*fs);
+}
+
+}  // namespace mri::core

@@ -1,0 +1,51 @@
+// Distributed matrix multiplication as one MapReduce job.
+//
+// The paper's §6.2 block-wrap analysis is stated for matrix multiplication
+// in general; this job packages it as a standalone library operation (the
+// kind of composable building block SystemML offers, §3): the input
+// operands live in the DFS as TileSets, the reducers compute the f1 x f2
+// grid blocks of C = A·B reading (n/f1 + n/f2)-sized slabs each, and the
+// result is again a TileSet. Mappers only fan out the control records; the
+// operands were written by whoever produced them (no map-side data motion),
+// matching how B = A4 − L2'·U2 is computed inside the inversion pipeline.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/options.hpp"
+#include "core/tile_set.hpp"
+#include "mapreduce/pipeline.hpp"
+#include "matrix/layout.hpp"
+
+namespace mri::core {
+
+struct MultiplyJobContext {
+  TileSet a;  // r x k
+  TileSet b;  // k x c
+  std::string dir;  // writes MUL/C.<t>
+  int m0 = 1;
+  int grid_rows = 1, grid_cols = 1;
+  dfs::StorageTier tier = dfs::StorageTier::kDisk;
+  TileSet c_out;  // planned output geometry (r x c)
+};
+
+using MultiplyJobContextPtr = std::shared_ptr<const MultiplyJobContext>;
+
+/// Plans the reducer grid (block wrap over m0) and the output TileSet.
+void plan_multiply_job(MultiplyJobContext* ctx);
+
+mr::JobSpec make_multiply_job(MultiplyJobContextPtr ctx,
+                              std::vector<std::string> control_files,
+                              std::string job_name);
+
+/// Convenience facade: runs C = A·B as one job on the cluster behind
+/// `pipeline`, with `a` and `b` ingested from memory, and returns C.
+/// (Callers composing with existing DFS data should build the job spec
+/// directly from TileSets.)
+Matrix mapreduce_multiply(mr::Pipeline* pipeline, dfs::Dfs* fs, int m0,
+                          const Matrix& a, const Matrix& b,
+                          const std::string& work_dir,
+                          std::vector<std::string> control_files);
+
+}  // namespace mri::core

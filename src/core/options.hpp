@@ -1,0 +1,55 @@
+// Options for the MapReduce matrix inverter.
+#pragma once
+
+#include <string>
+
+#include "dfs/dfs.hpp"
+#include "matrix/matrix.hpp"
+
+namespace mri::core {
+
+struct InversionOptions {
+  /// Largest block order LU-decomposed on the master node (the paper's nb;
+  /// 3200 in its EC2 experiments, chosen so the master's LU time roughly
+  /// equals the MapReduce job launch time).
+  Index nb = 256;
+
+  /// §6.1: keep every intermediate result (L1, L2', U2, ...) in its own DFS
+  /// file. When false, the master serially combines the factor files after
+  /// each job, which costs serial read+write time (the paper measured ~1.3x
+  /// slowdowns at 64 nodes without the optimization).
+  bool separate_intermediate_files = true;
+
+  /// §6.2: block-wrap the two distributed multiplications (B = A4 - L2'·U2
+  /// and A⁻¹ = U⁻¹·L⁻¹) over an f1 x f2 grid, cutting total multiply reads
+  /// from (m0+1)n² to (f1+f2)n². When false, each reducer computes a row
+  /// band and reads one operand in full.
+  bool block_wrap = true;
+
+  /// §6.3: store every upper-triangular factor transposed so the multiply
+  /// kernels stream rows instead of striding columns. When false, files
+  /// hold U untransposed and kernels pay the column-access memory penalty.
+  bool transposed_u = true;
+
+  /// §8 future-work extension ("implement our technique on Spark"): keep
+  /// every intermediate result — partition pieces, L2'/U2 stripes, B tiles,
+  /// leaf factors, L⁻¹/U⁻¹ slices — in the unreplicated in-memory tier
+  /// instead of the replicated on-disk DFS. The input matrix and the final
+  /// inverse stay on disk. Fault tolerance then comes from lineage
+  /// (recompute), not replication, as in Spark's RDDs.
+  bool in_memory_intermediates = false;
+
+  /// Tier for intermediate files, derived from the flag above.
+  dfs::StorageTier intermediate_tier() const {
+    return in_memory_intermediates ? dfs::StorageTier::kMemory
+                                   : dfs::StorageTier::kDisk;
+  }
+
+  /// DFS working directory (the paper's "Root").
+  std::string work_dir = "/Root";
+
+  /// Keep intermediate files after the run (useful for tests/inspection).
+  bool keep_intermediates = false;
+};
+
+}  // namespace mri::core

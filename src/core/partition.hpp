@@ -1,0 +1,23 @@
+// The data-partitioning MapReduce job (Algorithm 3).
+//
+// Map-only: mapper j reads its band of consecutive input rows exactly once
+// (§5.2 — "the input matrix is read only once") and writes every piece of
+// every left-spine region that intersects its band. The reduce function
+// does nothing.
+#pragma once
+
+#include <string>
+
+#include "core/partition_layout.hpp"
+#include "mapreduce/job.hpp"
+
+namespace mri::core {
+
+/// Builds the partition job spec. `input_path` must be a binary matrix file
+/// of order geom.n; `control_files` are the MapInput/A.j files (one map task
+/// each).
+mr::JobSpec make_partition_job(const PartitionGeometry& geom,
+                               std::string input_path,
+                               std::vector<std::string> control_files);
+
+}  // namespace mri::core

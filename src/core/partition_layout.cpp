@@ -1,0 +1,165 @@
+#include "core/partition_layout.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dfs/path.hpp"
+
+namespace mri::core {
+
+PartitionGeometry make_partition_geometry(Index n, Index nb, int m0,
+                                          const std::string& work_dir) {
+  MRI_REQUIRE(n >= 1 && nb >= 1 && m0 >= 1, "bad partition geometry");
+  PartitionGeometry geom;
+  geom.n = n;
+  geom.m0 = m0;
+  geom.depth = recursion_depth(n, nb);
+  if (m0 == 1) {
+    geom.l2_workers = 1;
+    geom.u2_workers = 1;
+  } else {
+    geom.l2_workers = (m0 + 1) / 2;
+    geom.u2_workers = m0 - geom.l2_workers;
+  }
+  geom.wrap = block_wrap_factors(m0);
+
+  std::string dir = dfs::normalize(work_dir);
+  Index size = n;
+  for (int k = 1; k <= geom.depth; ++k) {
+    LevelGeometry level;
+    level.parent_n = size;
+    level.h = split_point(size);
+    level.dir = dir;
+    geom.levels.push_back(level);
+    size = level.h;
+    dir = dfs::join(dir, "A1");
+  }
+  geom.leaf_n = size;
+  geom.leaf_dir = dir;
+  return geom;
+}
+
+RegionFrame region_frame(const PartitionGeometry& geom, int level,
+                         Region region) {
+  RegionFrame f;
+  if (region == Region::kLeaf) {
+    MRI_REQUIRE(level == geom.depth, "leaf region lives at the deepest level");
+    f.rows = f.cols = geom.leaf_n;
+    return f;
+  }
+  MRI_REQUIRE(level >= 1 && level <= geom.depth, "level out of range");
+  const LevelGeometry& lv = geom.levels[static_cast<std::size_t>(level - 1)];
+  const Index h = lv.h;
+  const Index rest = lv.parent_n - h;
+  switch (region) {
+    case Region::kA2:
+      f = {0, h, h, rest};
+      break;
+    case Region::kA3:
+      f = {h, 0, rest, h};
+      break;
+    case Region::kA4:
+      f = {h, h, rest, rest};
+      break;
+    case Region::kLeaf:
+      break;  // handled above
+  }
+  return f;
+}
+
+namespace {
+
+std::string region_dir(const PartitionGeometry& geom, int level, Region region) {
+  switch (region) {
+    case Region::kA2:
+      return dfs::join(geom.levels[static_cast<std::size_t>(level - 1)].dir, "A2");
+    case Region::kA3:
+      return dfs::join(geom.levels[static_cast<std::size_t>(level - 1)].dir, "A3");
+    case Region::kA4:
+      return dfs::join(geom.levels[static_cast<std::size_t>(level - 1)].dir, "A4");
+    case Region::kLeaf:
+      return dfs::join(geom.leaf_dir, "A1");
+  }
+  MRI_CHECK(false);
+  return {};
+}
+
+/// The column-range "slots" a region is striped into (independent of the
+/// mappers' row bands): A2 -> u2_workers column stripes, A3 -> l2_workers
+/// row stripes, A4 -> f1 x f2 grid, leaf -> single slot.
+struct Slot {
+  Index r0, r1, c0, c1;  // region-local
+  int index;
+};
+
+std::vector<Slot> region_slots(const PartitionGeometry& geom, int level,
+                               Region region) {
+  const RegionFrame f = region_frame(geom, level, region);
+  std::vector<Slot> slots;
+  switch (region) {
+    case Region::kA2: {
+      for (int s = 0; s < geom.u2_workers; ++s) {
+        const RowRange c = stripe(f.cols, geom.u2_workers, s);
+        slots.push_back(Slot{0, f.rows, c.begin, c.end, s});
+      }
+      break;
+    }
+    case Region::kA3: {
+      for (int s = 0; s < geom.l2_workers; ++s) {
+        const RowRange r = stripe(f.rows, geom.l2_workers, s);
+        slots.push_back(Slot{r.begin, r.end, 0, f.cols, s});
+      }
+      break;
+    }
+    case Region::kA4: {
+      int t = 0;
+      for (int i = 0; i < geom.wrap.f1; ++i) {
+        const RowRange r = stripe(f.rows, geom.wrap.f1, i);
+        for (int j = 0; j < geom.wrap.f2; ++j) {
+          const RowRange c = stripe(f.cols, geom.wrap.f2, j);
+          slots.push_back(Slot{r.begin, r.end, c.begin, c.end, t++});
+        }
+      }
+      break;
+    }
+    case Region::kLeaf:
+      slots.push_back(Slot{0, f.rows, 0, f.cols, 0});
+      break;
+  }
+  return slots;
+}
+
+}  // namespace
+
+std::vector<Tile> region_pieces(const PartitionGeometry& geom, int level,
+                                Region region, int band) {
+  const RegionFrame frame = region_frame(geom, level, region);
+  const std::string dir = region_dir(geom, level, region);
+  std::vector<Tile> pieces;
+  for (const Slot& slot : region_slots(geom, level, region)) {
+    for (int b = 0; b < geom.m0; ++b) {
+      if (band >= 0 && b != band) continue;
+      const RowRange gband = stripe(geom.n, geom.m0, b);
+      // Intersect the mapper's global row band with the slot's global rows.
+      const Index gr0 = std::max(gband.begin, slot.r0 + frame.row_off);
+      const Index gr1 = std::min(gband.end, slot.r1 + frame.row_off);
+      if (gr0 >= gr1 || slot.c0 >= slot.c1) continue;
+      Tile t;
+      t.path = dfs::join(dir, "A." + std::to_string(slot.index) + "." +
+                                  std::to_string(b));
+      t.r0 = gr0 - frame.row_off;
+      t.r1 = gr1 - frame.row_off;
+      t.c0 = slot.c0;
+      t.c1 = slot.c1;
+      pieces.push_back(std::move(t));
+    }
+  }
+  return pieces;
+}
+
+TileSet region_tiles(const PartitionGeometry& geom, int level, Region region) {
+  const RegionFrame frame = region_frame(geom, level, region);
+  return TileSet(frame.rows, frame.cols, region_pieces(geom, level, region));
+}
+
+}  // namespace mri::core

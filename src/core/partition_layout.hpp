@@ -1,0 +1,68 @@
+// Geometry of the data-partitioning job (Algorithm 3, Figures 3 and 4).
+//
+// The partition job materializes, in one pass over the input, the region
+// files of every left-spine node (the A1-of-A1-of-... chain): at each level
+// k the node of order n_{k-1} is split at h_k = ceil(n_{k-1}/2) into
+//   A2 (rows [0,h) x cols [h,n))   — written as u2_workers column stripes,
+//   A3 (rows [h,n) x cols [0,h))   — written as l2_workers row stripes,
+//   A4 (rows [h,n) x cols [h,n))   — written as the f1 x f2 reducer grid,
+// each further cut into pieces along the mappers' row bands so that no two
+// tasks ever write — or later simultaneously read — the same file (§5.2).
+// The deepest level's A1 block is written as row-band leaf pieces.
+//
+// Both the mappers (to know what to write) and the driver (to build the
+// TileSets without touching data) enumerate the same piece lists from this
+// header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tile_set.hpp"
+#include "matrix/layout.hpp"
+
+namespace mri::core {
+
+enum class Region { kA2, kA3, kA4, kLeaf };
+
+struct LevelGeometry {
+  Index parent_n = 0;  // order of the node being split
+  Index h = 0;         // split point (first child's order)
+  std::string dir;     // DFS directory of this node
+};
+
+struct PartitionGeometry {
+  Index n = 0;
+  int m0 = 1;          // mapper bands over the global rows
+  int depth = 0;
+  /// Where the partition pieces are stored (kMemory in Spark mode).
+  dfs::StorageTier intermediate_tier = dfs::StorageTier::kDisk;
+  int l2_workers = 1;  // A3 row stripes
+  int u2_workers = 1;  // A2 column stripes
+  BlockWrapFactors wrap;  // A4 grid
+  std::vector<LevelGeometry> levels;  // levels[k-1] = split at level k
+  Index leaf_n = 0;
+  std::string leaf_dir;  // node directory of the deepest A1 block
+};
+
+PartitionGeometry make_partition_geometry(Index n, Index nb, int m0,
+                                          const std::string& work_dir);
+
+/// Global (row, col) offset of a region within the input matrix.
+struct RegionFrame {
+  Index row_off = 0, col_off = 0;  // global offset of region (0,0)
+  Index rows = 0, cols = 0;        // region extent
+};
+RegionFrame region_frame(const PartitionGeometry& geom, int level,
+                         Region region);
+
+/// The pieces (region-local tiles) of `region` at `level` (1-based; use
+/// level = depth with Region::kLeaf for the leaf block). Restricted to
+/// mapper band `band` when band >= 0; all pieces when band < 0.
+std::vector<Tile> region_pieces(const PartitionGeometry& geom, int level,
+                                Region region, int band = -1);
+
+/// Convenience: TileSet of a whole region.
+TileSet region_tiles(const PartitionGeometry& geom, int level, Region region);
+
+}  // namespace mri::core

@@ -1,0 +1,28 @@
+#include "core/plan.hpp"
+
+#include "common/error.hpp"
+
+namespace mri::core {
+
+InversionPlan InversionPlan::make(Index n, Index nb, int m0) {
+  MRI_REQUIRE(n >= 1 && nb >= 1 && m0 >= 1, "bad plan parameters");
+  InversionPlan plan;
+  plan.n = n;
+  plan.nb = nb;
+  plan.m0 = m0;
+  plan.depth = recursion_depth(n, nb);
+  plan.leaves = leaf_count(n, nb);
+  plan.lu_jobs = lu_job_count(n, nb);
+  plan.total_jobs = total_job_count(n, nb);
+  if (m0 == 1) {
+    plan.l2_workers = 1;
+    plan.u2_workers = 1;
+  } else {
+    plan.l2_workers = (m0 + 1) / 2;
+    plan.u2_workers = m0 - plan.l2_workers;
+  }
+  plan.wrap = block_wrap_factors(m0);
+  return plan;
+}
+
+}  // namespace mri::core

@@ -1,0 +1,28 @@
+// The precomputed pipeline plan (§5): everything about the job DAG that is
+// known before any data moves — recursion depth, job counts, stripe and grid
+// geometry. Table 3's "Number of Jobs" column is total_jobs here.
+#pragma once
+
+#include "matrix/layout.hpp"
+#include "matrix/matrix.hpp"
+
+namespace mri::core {
+
+struct InversionPlan {
+  Index n = 0;
+  Index nb = 0;
+  int m0 = 1;
+
+  int depth = 0;                 // d = ceil(log2(n / nb))
+  std::int64_t leaves = 1;       // 2^d single-node LU decompositions
+  std::int64_t lu_jobs = 0;      // 2^d - 1
+  std::int64_t total_jobs = 2;   // partition + LU jobs + final inversion
+
+  int l2_workers = 1;            // mappers computing L2' per LU job
+  int u2_workers = 1;            // mappers computing U2 per LU job
+  BlockWrapFactors wrap;         // reducer grid f1 x f2 (= m0)
+
+  static InversionPlan make(Index n, Index nb, int m0);
+};
+
+}  // namespace mri::core

@@ -1,0 +1,26 @@
+// DFS data blocks.
+//
+// A file is a sequence of blocks; each block's payload is stored once and
+// shared (shared_ptr) between its replicas — replication is placement
+// metadata plus accounted network/disk cost, not a physical copy, which keeps
+// the simulator's memory footprint equal to the logical data size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mri::dfs {
+
+using BlockId = std::uint64_t;
+using BlockData = std::shared_ptr<const std::vector<std::byte>>;
+
+struct BlockLocation {
+  BlockId id = 0;
+  std::uint64_t length = 0;
+  /// Datanode indices holding a replica (first = primary).
+  std::vector<int> replicas;
+};
+
+}  // namespace mri::dfs

@@ -1,0 +1,280 @@
+#include "dfs/dfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "dfs/path.hpp"
+
+namespace mri::dfs {
+
+Dfs::Dfs(int num_datanodes, DfsConfig config, MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  MRI_REQUIRE(num_datanodes >= 1, "DFS needs at least one datanode");
+  MRI_REQUIRE(config.replication >= 1, "replication must be >= 1");
+  MRI_REQUIRE(config.block_size >= 1, "block size must be >= 1");
+  datanodes_.reserve(static_cast<std::size_t>(num_datanodes));
+  for (int i = 0; i < num_datanodes; ++i) {
+    datanodes_.push_back(std::make_unique<DataNode>(i));
+  }
+}
+
+void Dfs::remove(const std::string& path, bool recursive) {
+  for (const auto& block : namenode_.remove(path, recursive)) {
+    for (int node : block.replicas) {
+      datanodes_[static_cast<std::size_t>(node)]->evict(block.id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Dfs::Writer::Writer(Dfs* fs, std::string path, bool overwrite, IoStats* account,
+                    StorageTier tier)
+    : fs_(fs), path_(std::move(path)), overwrite_(overwrite),
+      account_(account), tier_(tier) {}
+
+Dfs::Writer::Writer(Writer&& other) noexcept
+    : fs_(other.fs_),
+      path_(std::move(other.path_)),
+      overwrite_(other.overwrite_),
+      account_(other.account_),
+      tier_(other.tier_),
+      buffer_(std::move(other.buffer_)),
+      closed_(other.closed_) {
+  other.closed_ = true;  // moved-from writer must not commit
+}
+
+Dfs::Writer::~Writer() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Swallow: destructor must not throw. Callers that care about commit
+      // failures should call close() explicitly.
+    }
+  }
+}
+
+void Dfs::Writer::write(std::span<const std::byte> data) {
+  MRI_CHECK_MSG(!closed_, "write() after close() on " << path_);
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Dfs::Writer::write_doubles(std::span<const double> values) {
+  write(std::as_bytes(values));
+}
+
+void Dfs::Writer::write_u64(std::uint64_t value) {
+  write(std::as_bytes(std::span<const std::uint64_t>(&value, 1)));
+}
+
+void Dfs::Writer::write_text(std::string_view text) {
+  write(std::as_bytes(std::span<const char>(text.data(), text.size())));
+}
+
+void Dfs::Writer::close() {
+  if (closed_) return;
+  closed_ = true;
+  fs_->commit(path_, std::move(buffer_), overwrite_, account_, tier_);
+}
+
+Dfs::Writer Dfs::create(const std::string& path, IoStats* account,
+                        bool overwrite, StorageTier tier) {
+  return Writer(this, normalize(path), overwrite, account, tier);
+}
+
+void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
+                 bool overwrite, IoStats* account, StorageTier tier) {
+  const std::uint64_t total = buffer.size();
+  // Memory-tier files keep a single unreplicated copy (Spark-style lineage
+  // fault tolerance instead of replication).
+  const int repl =
+      tier == StorageTier::kMemory
+          ? 1
+          : std::min(config_.replication, static_cast<int>(datanodes_.size()));
+
+  std::vector<BlockLocation> locations;
+  std::size_t offset = 0;
+  // Split into blocks; zero-length files get zero blocks.
+  while (offset < buffer.size()) {
+    const std::size_t len = std::min(config_.block_size, buffer.size() - offset);
+    auto payload = std::make_shared<std::vector<std::byte>>(
+        buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+        buffer.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    BlockLocation loc;
+    loc.id = next_block_id_.fetch_add(1);
+    loc.length = len;
+    const std::uint64_t base = next_placement_.fetch_add(1);
+    for (int r = 0; r < repl; ++r) {
+      loc.replicas.push_back(
+          static_cast<int>((base + static_cast<std::uint64_t>(r)) %
+                           datanodes_.size()));
+    }
+    BlockData shared = payload;
+    for (int node : loc.replicas) {
+      datanodes_[static_cast<std::size_t>(node)]->put(loc.id, shared);
+    }
+    locations.push_back(std::move(loc));
+    offset += len;
+  }
+
+  namenode_.commit_file(path, std::move(locations), overwrite);
+
+  IoStats io;
+  if (tier == StorageTier::kMemory) {
+    io.bytes_written_memory = total;
+  } else {
+    io.bytes_written = total;
+    io.bytes_replicated =
+        total * static_cast<std::uint64_t>(std::max(repl - 1, 0));
+    io.bytes_transferred = io.bytes_replicated;
+  }
+  if (account != nullptr) *account += io;
+  if (metrics_ != nullptr) metrics_->add_io(io);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Dfs::Reader::Reader(std::vector<BlockData> blocks, std::uint64_t size,
+                    IoStats* account, MetricsRegistry* metrics)
+    : blocks_(std::move(blocks)),
+      size_(size),
+      account_(account),
+      metrics_(metrics) {}
+
+void Dfs::Reader::account(std::uint64_t bytes) {
+  IoStats io;
+  io.bytes_read = bytes;
+  io.bytes_transferred = bytes;  // HDFS read = remote read in the paper model
+  if (account_ != nullptr) *account_ += io;
+  if (metrics_ != nullptr) metrics_->add_io(io);
+}
+
+std::size_t Dfs::Reader::read(std::span<std::byte> dst) {
+  std::size_t copied = 0;
+  while (copied < dst.size() && position_ < size_) {
+    const auto& block = *blocks_[block_index_];
+    const std::size_t in_block = block.size() - block_offset_;
+    const std::size_t want = std::min(dst.size() - copied, in_block);
+    std::memcpy(dst.data() + copied, block.data() + block_offset_, want);
+    copied += want;
+    block_offset_ += want;
+    position_ += want;
+    if (block_offset_ == block.size()) {
+      ++block_index_;
+      block_offset_ = 0;
+    }
+  }
+  if (copied > 0) account(copied);
+  return copied;
+}
+
+void Dfs::Reader::read_exact(std::span<std::byte> dst) {
+  const std::size_t got = read(dst);
+  if (got != dst.size()) {
+    throw DfsError("short read: wanted " + std::to_string(dst.size()) +
+                   " bytes, got " + std::to_string(got));
+  }
+}
+
+double Dfs::Reader::read_double() {
+  double v = 0.0;
+  read_exact(std::as_writable_bytes(std::span<double>(&v, 1)));
+  return v;
+}
+
+std::uint64_t Dfs::Reader::read_u64() {
+  std::uint64_t v = 0;
+  read_exact(std::as_writable_bytes(std::span<std::uint64_t>(&v, 1)));
+  return v;
+}
+
+void Dfs::Reader::read_doubles(std::span<double> dst) {
+  read_exact(std::as_writable_bytes(dst));
+}
+
+std::vector<double> Dfs::Reader::read_all_doubles() {
+  const std::uint64_t bytes = remaining();
+  if (bytes % sizeof(double) != 0) {
+    throw DfsError("file tail is not a whole number of doubles");
+  }
+  std::vector<double> values(bytes / sizeof(double));
+  read_doubles(values);
+  return values;
+}
+
+std::string Dfs::Reader::read_all_text() {
+  std::string text(remaining(), '\0');
+  read_exact(std::as_writable_bytes(std::span<char>(text.data(), text.size())));
+  return text;
+}
+
+void Dfs::Reader::seek(std::uint64_t offset) {
+  MRI_REQUIRE(offset <= size_, "seek past end of file");
+  position_ = 0;
+  block_index_ = 0;
+  block_offset_ = 0;
+  std::uint64_t left = offset;
+  while (left > 0) {
+    const std::uint64_t block_len = blocks_[block_index_]->size();
+    if (left >= block_len) {
+      left -= block_len;
+      ++block_index_;
+    } else {
+      block_offset_ = left;
+      left = 0;
+    }
+  }
+  position_ = offset;
+}
+
+Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
+  const auto blocks = namenode_.file_blocks(path);
+  std::vector<BlockData> data;
+  data.reserve(blocks.size());
+  std::uint64_t size = 0;
+  for (const auto& loc : blocks) {
+    MRI_CHECK(!loc.replicas.empty());
+    data.push_back(
+        datanodes_[static_cast<std::size_t>(loc.replicas.front())]->get(loc.id));
+    size += loc.length;
+  }
+  return Reader(std::move(data), size, account, metrics_);
+}
+
+// ---------------------------------------------------------------------------
+// Convenience
+
+void Dfs::write_doubles(const std::string& path, std::span<const double> values,
+                        IoStats* account) {
+  Writer w = create(path, account);
+  w.write_doubles(values);
+  w.close();
+}
+
+std::vector<double> Dfs::read_doubles(const std::string& path,
+                                      IoStats* account) const {
+  return open(path, account).read_all_doubles();
+}
+
+void Dfs::write_text(const std::string& path, std::string_view text,
+                     IoStats* account) {
+  Writer w = create(path, account);
+  w.write_text(text);
+  w.close();
+}
+
+std::string Dfs::read_text(const std::string& path, IoStats* account) const {
+  return open(path, account).read_all_text();
+}
+
+std::uint64_t Dfs::physical_bytes_stored() const {
+  std::uint64_t total = 0;
+  for (const auto& node : datanodes_) total += node->bytes_stored();
+  return total;
+}
+
+}  // namespace mri::dfs

@@ -1,0 +1,162 @@
+// The distributed-filesystem facade used by every MapReduce task.
+//
+// Semantics follow HDFS as the paper uses it:
+//  * files are write-once (a writer buffers and commits atomically on close);
+//  * every read is accounted as a remote read (bytes_read and
+//    bytes_transferred), matching the paper's observation that "the amount of
+//    data read from HDFS is the same as the amount of data transferred
+//    between compute nodes";
+//  * every write is accounted as a local write plus (replication-1) pipelined
+//    network copies (bytes_replicated / bytes_transferred).
+//
+// Per-task accounting: pass an IoStats* when opening/creating; the facade
+// adds the same amounts to the global MetricsRegistry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dfs/block.hpp"
+#include "dfs/datanode.hpp"
+#include "dfs/namenode.hpp"
+#include "sim/metrics.hpp"
+
+namespace mri::dfs {
+
+struct DfsConfig {
+  std::size_t block_size = 64ull << 20;  // 64 MB, the Hadoop 1.x default
+  int replication = 3;                   // the paper uses the HDFS default
+};
+
+/// Where a file's payload lives. kMemory models the §8 Spark-style
+/// extension: a single unreplicated in-memory copy (lineage, not
+/// replication, provides fault tolerance), charged at memory bandwidth on
+/// write; reads are still remote fetches.
+enum class StorageTier { kDisk, kMemory };
+
+class Dfs {
+ public:
+  Dfs(int num_datanodes, DfsConfig config = {},
+      MetricsRegistry* metrics = nullptr);
+
+  const DfsConfig& config() const { return config_; }
+  int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+
+  // -- namespace ----------------------------------------------------------
+  void mkdirs(const std::string& path) { namenode_.mkdirs(path); }
+  bool exists(const std::string& path) const { return namenode_.exists(path); }
+  bool is_directory(const std::string& path) const {
+    return namenode_.is_directory(path);
+  }
+  bool is_file(const std::string& path) const { return namenode_.is_file(path); }
+  std::vector<std::string> list(const std::string& dir) const {
+    return namenode_.list(dir);
+  }
+  std::uint64_t file_size(const std::string& path) const {
+    return namenode_.file_size(path);
+  }
+  void remove(const std::string& path, bool recursive = false);
+  void rename(const std::string& from, const std::string& to) {
+    namenode_.rename(from, to);
+  }
+  std::size_t file_count() const { return namenode_.file_count(); }
+
+  // -- data ---------------------------------------------------------------
+
+  /// Write-once streaming writer; the file appears in the namespace when
+  /// close() (or the destructor) runs.
+  class Writer {
+   public:
+    ~Writer();
+    Writer(Writer&&) noexcept;
+    Writer& operator=(Writer&&) = delete;
+    Writer(const Writer&) = delete;
+
+    void write(std::span<const std::byte> data);
+    void write_doubles(std::span<const double> values);
+    void write_u64(std::uint64_t value);
+    void write_text(std::string_view text);
+    void close();
+
+   private:
+    friend class Dfs;
+    Writer(Dfs* fs, std::string path, bool overwrite, IoStats* account,
+           StorageTier tier);
+    Dfs* fs_;
+    std::string path_;
+    bool overwrite_;
+    IoStats* account_;
+    StorageTier tier_;
+    std::vector<std::byte> buffer_;
+    bool closed_ = false;
+  };
+
+  /// Sequential reader over a committed file.
+  class Reader {
+   public:
+    std::uint64_t size() const { return size_; }
+    std::uint64_t remaining() const { return size_ - position_; }
+
+    /// Reads up to dst.size() bytes; returns the number read (0 at EOF).
+    std::size_t read(std::span<std::byte> dst);
+    void read_exact(std::span<std::byte> dst);
+    double read_double();
+    std::uint64_t read_u64();
+    void read_doubles(std::span<double> dst);
+    std::vector<double> read_all_doubles();
+    std::string read_all_text();
+
+    /// Skips forward without charging read bytes (seek, not I/O).
+    void seek(std::uint64_t offset);
+
+   private:
+    friend class Dfs;
+    Reader(std::vector<BlockData> blocks, std::uint64_t size, IoStats* account,
+           MetricsRegistry* metrics);
+    void account(std::uint64_t bytes);
+
+    std::vector<BlockData> blocks_;
+    std::uint64_t size_;
+    std::uint64_t position_ = 0;
+    std::size_t block_index_ = 0;
+    std::uint64_t block_offset_ = 0;
+    IoStats* account_;
+    MetricsRegistry* metrics_;
+  };
+
+  Writer create(const std::string& path, IoStats* account = nullptr,
+                bool overwrite = false, StorageTier tier = StorageTier::kDisk);
+  Reader open(const std::string& path, IoStats* account = nullptr) const;
+
+  // -- convenience --------------------------------------------------------
+  void write_doubles(const std::string& path, std::span<const double> values,
+                     IoStats* account = nullptr);
+  std::vector<double> read_doubles(const std::string& path,
+                                   IoStats* account = nullptr) const;
+  void write_text(const std::string& path, std::string_view text,
+                  IoStats* account = nullptr);
+  std::string read_text(const std::string& path,
+                        IoStats* account = nullptr) const;
+
+  /// Physical bytes resident across all datanodes (includes replication —
+  /// replicas share payload in memory but are accounted at full size here).
+  std::uint64_t physical_bytes_stored() const;
+
+ private:
+  void commit(const std::string& path, std::vector<std::byte> buffer,
+              bool overwrite, IoStats* account, StorageTier tier);
+
+  DfsConfig config_;
+  MetricsRegistry* metrics_;
+  NameNode namenode_;
+  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::atomic<BlockId> next_block_id_{1};
+  std::atomic<std::uint64_t> next_placement_{0};
+};
+
+}  // namespace mri::dfs

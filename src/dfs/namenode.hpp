@@ -1,0 +1,69 @@
+// The DFS namespace: a tree of directories and files, where a file is a
+// list of block locations. All operations are atomic under one mutex (the
+// real HDFS namenode is likewise a single serialized namespace).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfs/block.hpp"
+
+namespace mri::dfs {
+
+class NameNode {
+ public:
+  NameNode();
+
+  /// Creates a directory and any missing ancestors. Idempotent.
+  void mkdirs(const std::string& path);
+
+  /// Registers a file with its committed blocks. Parent directories are
+  /// created implicitly (matching HDFS create semantics). Overwrite of an
+  /// existing file is an error unless `overwrite`.
+  void commit_file(const std::string& path, std::vector<BlockLocation> blocks,
+                   bool overwrite = false);
+
+  bool exists(const std::string& path) const;
+  bool is_directory(const std::string& path) const;
+  bool is_file(const std::string& path) const;
+
+  std::uint64_t file_size(const std::string& path) const;
+  std::vector<BlockLocation> file_blocks(const std::string& path) const;
+
+  /// Sorted child names of a directory.
+  std::vector<std::string> list(const std::string& dir) const;
+
+  /// Removes a file, or a directory (recursively when `recursive`).
+  /// Returns the block locations of every removed file so the caller can
+  /// evict them from datanodes.
+  std::vector<BlockLocation> remove(const std::string& path,
+                                    bool recursive = false);
+
+  /// Atomic rename of a file or directory.
+  void rename(const std::string& from, const std::string& to);
+
+  /// Number of files in the whole namespace (used by §6.1 tests).
+  std::size_t file_count() const;
+
+ private:
+  struct Inode {
+    bool is_dir = true;
+    std::map<std::string, std::unique_ptr<Inode>> children;  // dirs only
+    std::vector<BlockLocation> blocks;                       // files only
+    std::uint64_t size = 0;
+  };
+
+  Inode* find(const std::string& path) const;
+  Inode* find_or_create_dir(const std::string& path);
+  static void collect_blocks(const Inode& node, std::vector<BlockLocation>* out);
+  static std::size_t count_files(const Inode& node);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Inode> root_;
+};
+
+}  // namespace mri::dfs

@@ -1,0 +1,59 @@
+#include "dfs/path.hpp"
+
+#include "common/error.hpp"
+
+namespace mri::dfs {
+
+std::string normalize(std::string_view path) {
+  std::vector<std::string> parts = components(path);
+  std::string out = "/";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out += parts[i];
+    if (i + 1 < parts.size()) out += '/';
+  }
+  return out;
+}
+
+std::string join(std::string_view base, std::string_view rest) {
+  std::string combined(base);
+  combined += '/';
+  combined += rest;
+  return normalize(combined);
+}
+
+std::string parent(std::string_view path) {
+  auto parts = components(path);
+  if (parts.empty()) return "/";
+  parts.pop_back();
+  std::string out = "/";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out += parts[i];
+    if (i + 1 < parts.size()) out += '/';
+  }
+  return out;
+}
+
+std::string basename(std::string_view path) {
+  auto parts = components(path);
+  return parts.empty() ? std::string() : parts.back();
+}
+
+std::vector<std::string> components(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') ++pos;
+    std::size_t end = pos;
+    while (end < path.size() && path[end] != '/') ++end;
+    if (end > pos) {
+      std::string_view part = path.substr(pos, end - pos);
+      MRI_REQUIRE(part != "." && part != "..",
+                  "relative path components are not supported: " << path);
+      parts.emplace_back(part);
+    }
+    pos = end;
+  }
+  return parts;
+}
+
+}  // namespace mri::dfs

@@ -1,0 +1,30 @@
+// DFS path utilities.
+//
+// Paths are absolute, '/'-separated strings ("/Root/A1/A.0"). All public
+// DFS entry points normalize their inputs, so "Root//A1/" and "/Root/A1"
+// name the same directory.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mri::dfs {
+
+/// Normalizes to "/a/b/c" form: leading slash, no repeated or trailing
+/// slashes. The root is "/". "." and ".." components are rejected.
+std::string normalize(std::string_view path);
+
+/// Joins two fragments and normalizes ("/Root" + "A1/A.0" -> "/Root/A1/A.0").
+std::string join(std::string_view base, std::string_view rest);
+
+/// Parent directory ("/Root/A1" -> "/Root"; "/" -> "/").
+std::string parent(std::string_view path);
+
+/// Final component ("/Root/A1/A.0" -> "A.0"; "/" -> "").
+std::string basename(std::string_view path);
+
+/// Splits a normalized path into components ("/Root/A1" -> {"Root","A1"}).
+std::vector<std::string> components(std::string_view path);
+
+}  // namespace mri::dfs

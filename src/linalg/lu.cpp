@@ -1,0 +1,77 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mri {
+
+Matrix LuResult::unit_lower() const {
+  const Index n = packed.rows();
+  Matrix l(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < i; ++j) l(i, j) = packed(i, j);
+    l(i, i) = 1.0;
+  }
+  return l;
+}
+
+Matrix LuResult::upper() const {
+  const Index n = packed.rows();
+  Matrix u(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i; j < n; ++j) u(i, j) = packed(i, j);
+  return u;
+}
+
+LuResult lu_decompose(Matrix a) {
+  MRI_REQUIRE(a.square(), "lu_decompose expects a square matrix, got "
+                              << a.rows() << "x" << a.cols());
+  const Index n = a.rows();
+  Permutation perm(n);
+
+  for (Index i = 0; i < n; ++i) {
+    // Partial pivoting: pick the row with the largest |entry| in column i.
+    Index pivot = i;
+    double best = std::abs(a(i, i));
+    for (Index j = i + 1; j < n; ++j) {
+      const double v = std::abs(a(j, i));
+      if (v > best) {
+        best = v;
+        pivot = j;
+      }
+    }
+    if (best == 0.0) {
+      throw NumericalError("singular matrix: no usable pivot in column " +
+                           std::to_string(i));
+    }
+    if (pivot != i) {
+      std::swap_ranges(a.row(i).begin(), a.row(i).end(), a.row(pivot).begin());
+      perm.swap(i, pivot);
+    }
+
+    const double inv_pivot = 1.0 / a(i, i);
+    for (Index j = i + 1; j < n; ++j) a(j, i) *= inv_pivot;
+
+    for (Index j = i + 1; j < n; ++j) {
+      const double lji = a(j, i);
+      if (lji == 0.0) continue;
+      const double* ui = a.row(i).data();
+      double* uj = a.row(j).data();
+      for (Index k = i + 1; k < n; ++k) uj[k] -= lji * ui[k];
+    }
+  }
+
+  return LuResult{std::move(a), std::move(perm)};
+}
+
+IoStats lu_cost(Index n) {
+  IoStats io;
+  const auto cube = static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n);
+  io.mults = cube / 3;
+  io.adds = cube / 3;
+  return io;
+}
+
+}  // namespace mri

@@ -1,0 +1,31 @@
+// Single-node LU decomposition with partial pivoting — Algorithm 1 of the
+// paper. This is the kernel the MapReduce pipeline runs on the master node
+// for every leaf block (order <= nb).
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri {
+
+struct LuResult {
+  /// Packed factors: U on and above the diagonal, L strictly below (L's unit
+  /// diagonal is implicit) — the in-place layout of Algorithm 1.
+  Matrix packed;
+  /// Row permutation S: row i of P·A is row S[i] of A, and P·A = L·U.
+  Permutation perm;
+
+  Matrix unit_lower() const;
+  Matrix upper() const;
+};
+
+/// LU-decomposes a square matrix with partial pivoting. Throws
+/// NumericalError if the matrix is (numerically) singular.
+LuResult lu_decompose(Matrix a);
+
+/// Flop cost of an n-order LU (n³/3 mults + n³/3 adds, the paper's Table 1
+/// leading term).
+IoStats lu_cost(Index n);
+
+}  // namespace mri

@@ -1,0 +1,164 @@
+#include "linalg/triangular.hpp"
+
+#include "matrix/ops.hpp"
+
+namespace mri {
+
+namespace {
+
+void check_lower(const Matrix& l) {
+  MRI_REQUIRE(l.square(), "expected a square lower-triangular matrix");
+  for (Index i = 0; i < l.rows(); ++i) {
+    MRI_REQUIRE(l(i, i) != 0.0,
+                "triangular matrix is singular at diagonal " << i);
+  }
+}
+
+void check_upper(const Matrix& u) {
+  MRI_REQUIRE(u.square(), "expected a square upper-triangular matrix");
+  for (Index i = 0; i < u.rows(); ++i) {
+    MRI_REQUIRE(u(i, i) != 0.0,
+                "triangular matrix is singular at diagonal " << i);
+  }
+}
+
+}  // namespace
+
+Matrix invert_lower(const Matrix& l) {
+  check_lower(l);
+  const Index n = l.rows();
+  Matrix inv(n, n);
+  // Eq. 4, column by column.
+  for (Index j = 0; j < n; ++j) {
+    inv(j, j) = 1.0 / l(j, j);
+    for (Index i = j + 1; i < n; ++i) {
+      double sum = 0.0;
+      const double* li = l.row(i).data();
+      for (Index k = j; k < i; ++k) sum += li[k] * inv(k, j);
+      inv(i, j) = -sum / l(i, i);
+    }
+  }
+  return inv;
+}
+
+Matrix invert_upper_via_transpose(const Matrix& u) {
+  return transpose(invert_lower(transpose(u)));
+}
+
+Matrix invert_upper_direct(const Matrix& u) {
+  check_upper(u);
+  const Index n = u.rows();
+  Matrix inv(n, n);
+  for (Index j = 0; j < n; ++j) {
+    inv(j, j) = 1.0 / u(j, j);
+    for (Index i = j - 1; i >= 0; --i) {
+      double sum = 0.0;
+      const double* ui = u.row(i).data();
+      for (Index k = i + 1; k <= j; ++k) sum += ui[k] * inv(k, j);
+      inv(i, j) = -sum / u(i, i);
+    }
+  }
+  return inv;
+}
+
+Matrix invert_lower_columns(const Matrix& l, const std::vector<Index>& columns) {
+  check_lower(l);
+  const Index n = l.rows();
+  Matrix out(n, static_cast<Index>(columns.size()));
+  std::vector<double> col(static_cast<std::size_t>(n));
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const Index j = columns[c];
+    MRI_REQUIRE(j >= 0 && j < n, "column index " << j << " out of order " << n);
+    std::fill(col.begin(), col.end(), 0.0);
+    col[static_cast<std::size_t>(j)] = 1.0 / l(j, j);
+    for (Index i = j + 1; i < n; ++i) {
+      double sum = 0.0;
+      const double* li = l.row(i).data();
+      for (Index k = j; k < i; ++k) sum += li[k] * col[static_cast<std::size_t>(k)];
+      col[static_cast<std::size_t>(i)] = -sum / l(i, i);
+    }
+    for (Index i = 0; i < n; ++i) out(i, static_cast<Index>(c)) = col[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+Matrix solve_lower(const Matrix& l, const Matrix& b) {
+  check_lower(l);
+  MRI_REQUIRE(l.rows() == b.rows(), "solve_lower shape mismatch: "
+                                        << l.rows() << " vs " << b.rows());
+  const Index n = l.rows(), m = b.cols();
+  Matrix x = b;
+  for (Index i = 0; i < n; ++i) {
+    double* xi = x.row(i).data();
+    const double* li = l.row(i).data();
+    for (Index k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* xk = x.row(k).data();
+      for (Index j = 0; j < m; ++j) xi[j] -= lik * xk[j];
+    }
+    const double inv_d = 1.0 / li[i];
+    for (Index j = 0; j < m; ++j) xi[j] *= inv_d;
+  }
+  return x;
+}
+
+Matrix solve_upper_right(const Matrix& u, const Matrix& b) {
+  check_upper(u);
+  MRI_REQUIRE(u.rows() == b.cols(), "solve_upper_right shape mismatch: "
+                                        << u.rows() << " vs " << b.cols());
+  const Index n = u.rows(), rows = b.rows();
+  Matrix x = b;
+  // Row i of X solves x_i · U = b_i: left-to-right substitution.
+  for (Index i = 0; i < rows; ++i) {
+    double* xi = x.row(i).data();
+    for (Index j = 0; j < n; ++j) {
+      double sum = xi[j];
+      for (Index k = 0; k < j; ++k) sum -= xi[k] * u(k, j);
+      xi[j] = sum / u(j, j);
+    }
+  }
+  return x;
+}
+
+Matrix solve_upper_right_from_transpose(const Matrix& ut, const Matrix& b) {
+  check_lower(ut);
+  MRI_REQUIRE(ut.rows() == b.cols(),
+              "solve_upper_right_from_transpose shape mismatch: " << ut.rows()
+                                                                  << " vs "
+                                                                  << b.cols());
+  const Index n = ut.rows(), rows = b.rows();
+  Matrix x = b;
+  for (Index i = 0; i < rows; ++i) {
+    double* xi = x.row(i).data();
+    for (Index j = 0; j < n; ++j) {
+      const double* utj = ut.row(j).data();  // row j of Uᵀ = column j of U
+      double sum = xi[j];
+      for (Index k = 0; k < j; ++k) sum -= xi[k] * utj[k];
+      xi[j] = sum / utj[j];
+    }
+  }
+  return x;
+}
+
+IoStats triangular_inverse_cost(Index n) {
+  IoStats io;
+  const auto cube = static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n);
+  io.mults = cube / 6;
+  io.adds = cube / 6;
+  return io;
+}
+
+IoStats triangular_solve_cost(Index n, Index rhs) {
+  IoStats io;
+  const auto work = static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(rhs) / 2;
+  io.mults = work;
+  io.adds = work;
+  return io;
+}
+
+}  // namespace mri

@@ -1,0 +1,72 @@
+// Per-task execution context handed to map() and reduce().
+//
+// The context is the task's only window on the world: DFS access with
+// per-task I/O accounting, flop accounting for the cost model, emit() into
+// the shuffle, and the task's coordinates (index, node, phase sizes) that
+// the paper's workers use to decide their role.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.hpp"
+#include "mapreduce/types.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri::mr {
+
+class TaskContext {
+ public:
+  TaskContext(dfs::Dfs* fs, int task_index, int node, int num_map_tasks,
+              int num_reduce_tasks, int cluster_size)
+      : fs_(fs),
+        task_index_(task_index),
+        node_(node),
+        num_map_tasks_(num_map_tasks),
+        num_reduce_tasks_(num_reduce_tasks),
+        cluster_size_(cluster_size) {}
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
+
+  dfs::Dfs& fs() { return *fs_; }
+  const dfs::Dfs& fs() const { return *fs_; }
+
+  /// Per-task accounting; pass &io() to DFS open/create calls.
+  IoStats& io() { return io_; }
+  const IoStats& io() const { return io_; }
+
+  /// Records compute work (mults/adds) done by the task.
+  void add_flops(const IoStats& flops) {
+    io_.mults += flops.mults;
+    io_.adds += flops.adds;
+  }
+
+  /// Emits a key/value pair into the shuffle (map phase only; the runtime
+  /// ignores reduce-phase emissions into job output instead).
+  void emit(std::int64_t key, std::string value) {
+    emitted_.push_back(KeyValue{key, std::move(value)});
+  }
+
+  int task_index() const { return task_index_; }
+  int node() const { return node_; }
+  int num_map_tasks() const { return num_map_tasks_; }
+  int num_reduce_tasks() const { return num_reduce_tasks_; }
+  int cluster_size() const { return cluster_size_; }
+
+  const std::vector<KeyValue>& emitted() const { return emitted_; }
+  std::vector<KeyValue> take_emitted() { return std::move(emitted_); }
+
+ private:
+  dfs::Dfs* fs_;
+  int task_index_;
+  int node_;
+  int num_map_tasks_;
+  int num_reduce_tasks_;
+  int cluster_size_;
+  IoStats io_;
+  std::vector<KeyValue> emitted_;
+};
+
+}  // namespace mri::mr

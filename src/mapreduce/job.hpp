@@ -1,0 +1,65 @@
+// Job specification and result types.
+//
+// A job mirrors Hadoop 1.x structure as the paper uses it:
+//  * one map task per input file — the paper's control files
+//    "Root/MapInput/A.j", each holding the integer j that tells the mapper
+//    its role (§5.1);
+//  * an optional reduce phase of num_reduce_tasks tasks fed by the shuffle;
+//  * tasks read and write their real payload directly in the DFS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/context.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri::mr {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// `key` is the task index; `value` is the raw content of the input file.
+  virtual void map(std::int64_t key, const std::string& value,
+                   TaskContext& ctx) = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  /// Called once per key owned by this reduce task, keys in ascending order.
+  virtual void reduce(std::int64_t key, const std::vector<std::string>& values,
+                      TaskContext& ctx) = 0;
+};
+
+struct JobSpec {
+  std::string name = "job";
+  /// One map task per input file.
+  std::vector<std::string> input_files;
+  std::function<std::unique_ptr<Mapper>()> mapper_factory;
+  /// Null factory or num_reduce_tasks == 0 makes this a map-only job.
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  int num_reduce_tasks = 0;
+  /// Maps a key to a reduce task index; default is key mod num_reduce_tasks.
+  std::function<int(std::int64_t, int)> partitioner;
+};
+
+struct JobResult {
+  std::string name;
+  /// Simulated seconds including the job launch overhead.
+  double sim_seconds = 0.0;
+  double map_phase_seconds = 0.0;
+  double reduce_phase_seconds = 0.0;
+  IoStats io;
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+  /// Injected task failures that were recovered by re-execution.
+  int failures_recovered = 0;
+  /// Shuffle traffic in bytes (part of io.bytes_transferred).
+  std::uint64_t shuffle_bytes = 0;
+};
+
+}  // namespace mri::mr

@@ -1,0 +1,21 @@
+#include "mapreduce/pipeline.hpp"
+
+namespace mri::mr {
+
+const JobResult& Pipeline::run(const JobSpec& spec) {
+  jobs_.push_back(runner_->run(spec));
+  const JobResult& r = jobs_.back();
+  sim_seconds_ += r.sim_seconds;
+  io_ += r.io;
+  failures_ += r.failures_recovered;
+  return r;
+}
+
+void Pipeline::add_master_work(const IoStats& io) {
+  const double t = runner_->cluster().cost_model().compute_seconds(io);
+  master_seconds_ += t;
+  sim_seconds_ += t;
+  io_ += io;
+}
+
+}  // namespace mri::mr

@@ -1,0 +1,41 @@
+// A pipeline of MapReduce jobs (Figure 2 of the paper) with accumulated
+// simulated time and I/O. The master node's own compute (leaf LU
+// decompositions, metadata partitioning) is charged via add_master_work().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/runtime.hpp"
+
+namespace mri::mr {
+
+class Pipeline {
+ public:
+  explicit Pipeline(JobRunner* runner) : runner_(runner) {
+    MRI_REQUIRE(runner != nullptr, "Pipeline needs a JobRunner");
+  }
+
+  /// Runs a job and folds its result into the totals.
+  const JobResult& run(const JobSpec& spec);
+
+  /// Charges serial work done on the master node between jobs.
+  void add_master_work(const IoStats& io);
+
+  double total_sim_seconds() const { return sim_seconds_; }
+  double master_seconds() const { return master_seconds_; }
+  const IoStats& total_io() const { return io_; }
+  int job_count() const { return static_cast<int>(jobs_.size()); }
+  int failures_recovered() const { return failures_; }
+  const std::vector<JobResult>& jobs() const { return jobs_; }
+
+ private:
+  JobRunner* runner_;
+  std::vector<JobResult> jobs_;
+  double sim_seconds_ = 0.0;
+  double master_seconds_ = 0.0;
+  IoStats io_;
+  int failures_ = 0;
+};
+
+}  // namespace mri::mr

@@ -1,0 +1,158 @@
+#include "mapreduce/runtime.hpp"
+
+#include <atomic>
+
+#include "common/logging.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "mapreduce/shuffle.hpp"
+
+namespace mri::mr {
+
+JobRunner::JobRunner(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
+                     FailureInjector* failures, MetricsRegistry* metrics)
+    : cluster_(cluster), fs_(fs), pool_(pool), failures_(failures),
+      metrics_(metrics) {
+  MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
+              "JobRunner needs a cluster, a DFS and a thread pool");
+}
+
+namespace {
+
+/// Ghost attempts for every injected failure of (job, task): the attempt's
+/// node dies near task completion (the §7.4 worst case), so charge the full
+/// compute/read footprint but none of the (discarded) output writes.
+std::vector<Attempt> attempts_for(FailureInjector* failures,
+                                  const std::string& job, int task,
+                                  bool map_task, const IoStats& success_io) {
+  std::vector<Attempt> attempts;
+  int a = 0;
+  while (failures != nullptr && failures->should_fail(job, task, a, map_task)) {
+    Attempt ghost;
+    ghost.io.bytes_read = success_io.bytes_read;
+    ghost.io.mults = success_io.mults;
+    ghost.io.adds = success_io.adds;
+    ghost.failed = true;
+    attempts.push_back(ghost);
+    ++a;
+  }
+  attempts.push_back(Attempt{success_io, false});
+  return attempts;
+}
+
+}  // namespace
+
+JobResult JobRunner::run(const JobSpec& spec) {
+  MRI_REQUIRE(!spec.input_files.empty(), "job '" << spec.name
+                                                 << "' has no input files");
+  MRI_REQUIRE(spec.mapper_factory != nullptr,
+              "job '" << spec.name << "' has no mapper factory");
+  const bool has_reduce =
+      spec.reducer_factory != nullptr && spec.num_reduce_tasks > 0;
+
+  JobResult result;
+  result.name = spec.name;
+  result.map_tasks = static_cast<int>(spec.input_files.size());
+  result.reduce_tasks = has_reduce ? spec.num_reduce_tasks : 0;
+
+  MRI_DEBUG() << "job " << spec.name << ": " << result.map_tasks << " maps, "
+              << result.reduce_tasks << " reduces";
+
+  // ---- map phase (real execution) ----------------------------------------
+  const int num_maps = result.map_tasks;
+  std::vector<IoStats> map_io(static_cast<std::size_t>(num_maps));
+  std::vector<std::vector<KeyValue>> map_outputs(
+      static_cast<std::size_t>(num_maps));
+
+  try {
+    pool_->parallel_for(static_cast<std::size_t>(num_maps), [&](std::size_t t) {
+      const int task = static_cast<int>(t);
+      TaskContext ctx(fs_, task, task % cluster_->size(), num_maps,
+                      result.reduce_tasks, cluster_->size());
+      const std::string input =
+          fs_->read_text(spec.input_files[t], &ctx.io());
+      auto mapper = spec.mapper_factory();
+      MRI_CHECK_MSG(mapper != nullptr, "mapper factory returned null");
+      mapper->map(task, input, ctx);
+      map_io[t] = ctx.io();
+      map_outputs[t] = ctx.take_emitted();
+    });
+  } catch (const Error& e) {
+    throw JobError("map phase of job '" + spec.name + "' failed: " + e.what());
+  }
+
+  std::vector<std::vector<Attempt>> map_attempts;
+  map_attempts.reserve(static_cast<std::size_t>(num_maps));
+  for (int t = 0; t < num_maps; ++t) {
+    map_attempts.push_back(attempts_for(failures_, spec.name, t, true,
+                                        map_io[static_cast<std::size_t>(t)]));
+  }
+  const PhaseSchedule map_phase = schedule_phase(*cluster_, map_attempts);
+  result.map_phase_seconds = map_phase.duration;
+  for (const auto& task_attempts : map_attempts) {
+    for (const auto& attempt : task_attempts) {
+      result.io += attempt.io;
+      if (attempt.failed) ++result.failures_recovered;
+    }
+  }
+
+  // ---- shuffle + reduce phase ---------------------------------------------
+  if (has_reduce) {
+    ShuffleResult shuffled = shuffle(std::move(map_outputs),
+                                     spec.num_reduce_tasks, spec.partitioner);
+    result.shuffle_bytes = shuffled.total_bytes;
+    result.io.bytes_transferred += shuffled.total_bytes;
+
+    const int num_reduces = spec.num_reduce_tasks;
+    std::vector<IoStats> reduce_io(static_cast<std::size_t>(num_reduces));
+    try {
+      pool_->parallel_for(
+          static_cast<std::size_t>(num_reduces), [&](std::size_t r) {
+            const int task = static_cast<int>(r);
+            TaskContext ctx(fs_, task, task % cluster_->size(), num_maps,
+                            num_reduces, cluster_->size());
+            auto reducer = spec.reducer_factory();
+            MRI_CHECK_MSG(reducer != nullptr, "reducer factory returned null");
+            for (const auto& [key, values] : shuffled.partitions[r]) {
+              reducer->reduce(key, values, ctx);
+            }
+            reduce_io[r] = ctx.io();
+          });
+    } catch (const Error& e) {
+      throw JobError("reduce phase of job '" + spec.name +
+                     "' failed: " + e.what());
+    }
+
+    std::vector<std::vector<Attempt>> reduce_attempts;
+    reduce_attempts.reserve(static_cast<std::size_t>(num_reduces));
+    for (int r = 0; r < num_reduces; ++r) {
+      reduce_attempts.push_back(
+          attempts_for(failures_, spec.name, r, false,
+                       reduce_io[static_cast<std::size_t>(r)]));
+    }
+    const PhaseSchedule reduce_phase =
+        schedule_phase(*cluster_, reduce_attempts);
+    result.reduce_phase_seconds = reduce_phase.duration;
+    for (const auto& task_attempts : reduce_attempts) {
+      for (const auto& attempt : task_attempts) {
+        result.io += attempt.io;
+        if (attempt.failed) ++result.failures_recovered;
+      }
+    }
+  }
+
+  result.sim_seconds = cluster_->cost_model().job_launch_seconds +
+                       result.map_phase_seconds + result.reduce_phase_seconds;
+
+  if (metrics_ != nullptr) {
+    metrics_->increment("jobs");
+    metrics_->increment("map_tasks", static_cast<std::uint64_t>(num_maps));
+    metrics_->increment("reduce_tasks",
+                        static_cast<std::uint64_t>(result.reduce_tasks));
+    metrics_->increment(
+        "task_failures",
+        static_cast<std::uint64_t>(result.failures_recovered));
+  }
+  return result;
+}
+
+}  // namespace mri::mr

@@ -1,0 +1,49 @@
+// JobRunner: executes one MapReduce job for real (thread pool) and charges
+// simulated time (scheduler + cost model).
+//
+// Execution order per job:
+//   1. map tasks run in parallel — each reads its input file, runs the user
+//      Mapper, accounts its own IoStats, and may write DFS output directly;
+//   2. injected failures are turned into "ghost" attempts (half the work of
+//      the successful attempt — the task died midway) that cost simulated
+//      time and a node, but never touch the DFS, matching Hadoop's task
+//      commit protocol where failed attempts' output is discarded;
+//   3. the shuffle partitions/groups/sorts emitted pairs;
+//   4. reduce tasks run in parallel the same way;
+//   5. job simulated time = launch overhead + map phase + reduce phase.
+#pragma once
+
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "dfs/dfs.hpp"
+#include "mapreduce/job.hpp"
+#include "sim/cluster.hpp"
+#include "sim/failure.hpp"
+#include "sim/metrics.hpp"
+
+namespace mri::mr {
+
+class JobRunner {
+ public:
+  /// All pointers are borrowed and must outlive the runner. `failures` and
+  /// `metrics` may be null.
+  JobRunner(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
+            FailureInjector* failures = nullptr,
+            MetricsRegistry* metrics = nullptr);
+
+  /// Runs the job to completion. Throws JobError if a task throws.
+  JobResult run(const JobSpec& spec);
+
+  const Cluster& cluster() const { return *cluster_; }
+  dfs::Dfs& fs() { return *fs_; }
+
+ private:
+  const Cluster* cluster_;
+  dfs::Dfs* fs_;
+  ThreadPool* pool_;
+  FailureInjector* failures_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace mri::mr

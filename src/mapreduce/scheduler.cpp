@@ -1,0 +1,157 @@
+#include "mapreduce/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace mri::mr {
+
+namespace {
+
+struct TaskRecord {
+  double end = 0.0;
+  const IoStats* io = nullptr;  // the successful attempt's footprint
+};
+
+/// Hadoop-style speculation, applied after the primary schedule: straggler
+/// tasks (projected past threshold x median completion) get backups on idle
+/// slots; the earlier finisher wins.
+void speculate(const Cluster& cluster, std::vector<TaskRecord>* tasks,
+               std::vector<std::pair<double, int>> idle_slots,  // (free, node)
+               PhaseSchedule* out) {
+  const CostModel& model = cluster.cost_model();
+  if (tasks->size() < 2 || idle_slots.empty()) return;
+
+  std::vector<double> ends;
+  ends.reserve(tasks->size());
+  double min_end = tasks->front().end;
+  for (const TaskRecord& t : *tasks) {
+    ends.push_back(t.end);
+    min_end = std::min(min_end, t.end);
+  }
+  std::nth_element(ends.begin(), ends.begin() + ends.size() / 2, ends.end());
+  const double median = ends[ends.size() / 2];
+  // A task is a straggler when its projected completion exceeds
+  // threshold x median; backups can launch once the first task has finished
+  // (Hadoop speculates laggards as soon as a slot has nothing else to do).
+  const double eligible = model.speculative_threshold * median;
+  const double earliest_launch = min_end;
+
+  // Worst stragglers first; earliest-free idle slots first.
+  std::vector<TaskRecord*> stragglers;
+  for (TaskRecord& t : *tasks) {
+    if (t.end > eligible) stragglers.push_back(&t);
+  }
+  std::sort(stragglers.begin(), stragglers.end(),
+            [](const TaskRecord* a, const TaskRecord* b) {
+              return a->end > b->end;
+            });
+  std::sort(idle_slots.begin(), idle_slots.end());
+
+  std::size_t slot = 0;
+  for (TaskRecord* t : stragglers) {
+    if (slot >= idle_slots.size()) break;
+    auto& [free_time, node] = idle_slots[slot];
+    const double start = std::max(earliest_launch, free_time);
+    if (start >= t->end) continue;  // backup could not beat the original
+    const double backup_end =
+        start + model.task_seconds(*t->io, cluster.speed_factor(node));
+    ++out->backups_run;
+    free_time = backup_end;
+    ++slot;
+    t->end = std::min(t->end, backup_end);
+  }
+
+  // A finished phase does not wait for losing backups (they are killed), so
+  // the new duration is the max of the per-task effective completions.
+  out->duration = 0.0;
+  for (const TaskRecord& t : *tasks) {
+    out->duration = std::max(out->duration, t.end);
+  }
+}
+
+}  // namespace
+
+PhaseSchedule schedule_phase(
+    const Cluster& cluster,
+    const std::vector<std::vector<Attempt>>& attempts_per_task) {
+  PhaseSchedule out;
+  if (attempts_per_task.empty()) return out;
+
+  struct Slot {
+    double free_time;
+    int node;
+    bool operator>(const Slot& other) const {
+      return std::tie(free_time, node) > std::tie(other.free_time, other.node);
+    }
+  };
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
+  for (int node = 0; node < cluster.size(); ++node) {
+    for (int s = 0; s < cluster.cost_model().slots_per_node; ++s) {
+      slots.push(Slot{0.0, node});
+    }
+  }
+
+  struct Pending {
+    int task;
+    int attempt;
+    double ready_time;  // failure-detection time for retries, 0 for fresh
+  };
+  std::deque<Pending> queue;
+  for (std::size_t t = 0; t < attempts_per_task.size(); ++t) {
+    MRI_REQUIRE(!attempts_per_task[t].empty(),
+                "task " << t << " has no attempts");
+    queue.push_back(Pending{static_cast<int>(t), 0, 0.0});
+  }
+
+  std::vector<TaskRecord> records(attempts_per_task.size());
+
+  while (!queue.empty()) {
+    Pending p = queue.front();
+    queue.pop_front();
+    MRI_CHECK_MSG(!slots.empty(),
+                  "all slots lost to failures; phase cannot finish");
+    Slot slot = slots.top();
+    slots.pop();
+
+    const auto& attempt =
+        attempts_per_task[static_cast<std::size_t>(p.task)]
+                         [static_cast<std::size_t>(p.attempt)];
+    const double start = std::max(slot.free_time, p.ready_time);
+    const double duration = cluster.cost_model().task_seconds(
+        attempt.io, cluster.speed_factor(slot.node));
+    const double end = start + duration;
+    out.duration = std::max(out.duration, end);
+    ++out.attempts_run;
+
+    if (attempt.failed) {
+      // The node goes down with the attempt: do not return the slot. The
+      // jobtracker only notices after the task timeout elapses (§7.4: the
+      // failed mapper "did not restart until one of the other mappers
+      // finished").
+      ++out.nodes_lost;
+      queue.push_back(Pending{
+          p.task, p.attempt + 1,
+          end + cluster.cost_model().failure_detection_seconds});
+    } else {
+      slots.push(Slot{end, slot.node});
+      records[static_cast<std::size_t>(p.task)] =
+          TaskRecord{end, &attempt.io};
+    }
+  }
+
+  if (cluster.cost_model().speculative_execution) {
+    std::vector<std::pair<double, int>> idle;
+    while (!slots.empty()) {
+      idle.emplace_back(slots.top().free_time, slots.top().node);
+      slots.pop();
+    }
+    speculate(cluster, &records, std::move(idle), &out);
+  }
+  return out;
+}
+
+}  // namespace mri::mr

@@ -1,0 +1,42 @@
+// Simulated-time scheduling of one task phase (map or reduce).
+//
+// The model reproduces Hadoop 1.x behaviour as the paper experienced it
+// (§7.4): tasks are placed FIFO onto free slots; when a task attempt fails,
+// its node is lost for the remainder of the phase (the paper's failed mapper
+// took its slot down with it) and the re-execution is queued, starting only
+// when the failure is detected AND a slot frees up — "this mapper did not
+// restart until one of the other mappers finished".
+//
+// Real computation happens elsewhere (JobRunner executes tasks on a thread
+// pool); the scheduler only turns per-attempt IoStats into a phase duration.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri::mr {
+
+struct Attempt {
+  IoStats io;
+  bool failed = false;  // injected failure: attempt dies, retry follows
+};
+
+struct PhaseSchedule {
+  double duration = 0.0;
+  int attempts_run = 0;
+  int nodes_lost = 0;
+  /// Speculative backup attempts launched (0 unless the cost model enables
+  /// speculative_execution).
+  int backups_run = 0;
+};
+
+/// Schedules `attempts_per_task[t]` = the ordered attempts of task t (zero or
+/// more failed attempts followed by exactly one successful one). `node_hint`
+/// pins fresh attempts of task t near node (t % cluster size), matching the
+/// paper's worker-j-reads-file-A.j placement; retries go wherever a slot is.
+PhaseSchedule schedule_phase(const Cluster& cluster,
+                             const std::vector<std::vector<Attempt>>& attempts_per_task);
+
+}  // namespace mri::mr

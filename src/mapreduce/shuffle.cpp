@@ -1,0 +1,32 @@
+#include "mapreduce/shuffle.hpp"
+
+#include "common/error.hpp"
+
+namespace mri::mr {
+
+ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
+                      int num_partitions,
+                      const std::function<int(std::int64_t, int)>& partitioner) {
+  MRI_REQUIRE(num_partitions >= 1, "shuffle needs >= 1 partition");
+  ShuffleResult result;
+  result.partitions.resize(static_cast<std::size_t>(num_partitions));
+  for (auto& task_output : map_outputs) {
+    for (auto& kv : task_output) {
+      int p;
+      if (partitioner) {
+        p = partitioner(kv.key, num_partitions);
+      } else {
+        p = static_cast<int>(((kv.key % num_partitions) + num_partitions) %
+                             num_partitions);
+      }
+      MRI_CHECK_MSG(p >= 0 && p < num_partitions,
+                    "partitioner returned " << p << " for key " << kv.key);
+      result.total_bytes += sizeof(std::int64_t) + kv.value.size();
+      result.partitions[static_cast<std::size_t>(p)][kv.key].push_back(
+          std::move(kv.value));
+    }
+  }
+  return result;
+}
+
+}  // namespace mri::mr

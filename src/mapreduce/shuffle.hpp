@@ -1,0 +1,29 @@
+// The shuffle: partition map output by key, group by key, sort keys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mapreduce/types.hpp"
+
+namespace mri::mr {
+
+/// Key -> values (ascending key order) for one reduce partition.
+using ReduceInput = std::map<std::int64_t, std::vector<std::string>>;
+
+struct ShuffleResult {
+  std::vector<ReduceInput> partitions;
+  /// Serialized size of all shuffled pairs (8-byte key + value bytes).
+  std::uint64_t total_bytes = 0;
+};
+
+/// Partitions and groups map output. `partitioner` may be null (key mod
+/// num_partitions, non-negative). Values for equal keys keep map-task order
+/// (stable within a task; tasks concatenated in task-index order).
+ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
+                      int num_partitions,
+                      const std::function<int(std::int64_t, int)>& partitioner);
+
+}  // namespace mri::mr

@@ -1,0 +1,22 @@
+// Key/value pairs flowing through the shuffle.
+//
+// In the paper's implementation the shuffled pairs are tiny control records
+// ((j, j) integers steering which reducer computes which block); the bulk
+// matrix data moves through HDFS files written and read directly by tasks.
+// The runtime nevertheless implements a general string-valued shuffle so
+// ordinary MapReduce programs (see tests/mapreduce) also run on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mri::mr {
+
+struct KeyValue {
+  std::int64_t key = 0;
+  std::string value;
+
+  bool operator==(const KeyValue&) const = default;
+};
+
+}  // namespace mri::mr

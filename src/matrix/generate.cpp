@@ -1,0 +1,78 @@
+#include "matrix/generate.hpp"
+
+#include <cmath>
+
+#include "common/random.hpp"
+
+namespace mri {
+
+Matrix random_matrix(Index n, std::uint64_t seed) {
+  return random_matrix(n, n, seed, -1.0, 1.0);
+}
+
+Matrix random_matrix(Index rows, Index cols, std::uint64_t seed, double lo,
+                     double hi) {
+  Matrix m(rows, cols);
+  Xoshiro256 rng(seed);
+  for (double& v : m.data()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix random_diagonally_dominant(Index n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed, -1.0, 1.0);
+  for (Index i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (Index j = 0; j < n; ++j)
+      if (j != i) row_sum += std::abs(m(i, j));
+    m(i, i) = row_sum + 1.0;
+  }
+  return m;
+}
+
+Matrix random_spd(Index n, std::uint64_t seed) {
+  Matrix b = random_matrix(n, n, seed, -1.0, 1.0);
+  Matrix m(n, n);
+  // m = b^T b + n I, accumulated directly to stay O(n^2) memory.
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (Index k = 0; k < n; ++k) sum += b(k, i) * b(k, j);
+      m(i, j) = sum;
+    }
+    m(i, i) += static_cast<double>(n);
+  }
+  return m;
+}
+
+Matrix random_pivot_hostile(Index n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed, -1.0, 1.0);
+  Xoshiro256 rng(seed ^ 0x9E3779B97F4A7C15ull);
+  // Shrink the diagonal so the max-|entry| pivot is almost never already on
+  // the diagonal; every elimination step then performs a row swap.
+  for (Index i = 0; i < n; ++i) m(i, i) *= 1e-8 * rng.next_double();
+  return m;
+}
+
+Matrix random_unit_lower_triangular(Index n, std::uint64_t seed) {
+  Matrix m(n, n);
+  Xoshiro256 rng(seed);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < i; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix random_upper_triangular(Index n, std::uint64_t seed) {
+  Matrix m(n, n);
+  Xoshiro256 rng(seed);
+  for (Index i = 0; i < n; ++i) {
+    // Diagonal in ±[0.5, 1.5]: invertible and numerically tame.
+    const double sign = rng.next_double() < 0.5 ? -1.0 : 1.0;
+    m(i, i) = sign * rng.uniform(0.5, 1.5);
+    for (Index j = i + 1; j < n; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+}  // namespace mri

@@ -1,0 +1,39 @@
+// Test/benchmark matrix generators.
+//
+// The paper's evaluation matrices are uniformly random (java.util.Random);
+// such matrices are well-conditioned with overwhelming probability, which is
+// why the double type passes the §7.2 residual check. We also provide
+// diagonally dominant and SPD generators for tests, and a generator that
+// forces pivoting so the permutation path is always exercised.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+
+namespace mri {
+
+/// n x n with entries uniform in [-1, 1) — the paper's workload.
+Matrix random_matrix(Index n, std::uint64_t seed);
+
+/// rows x cols with entries uniform in [lo, hi).
+Matrix random_matrix(Index rows, Index cols, std::uint64_t seed, double lo,
+                     double hi);
+
+/// Strictly diagonally dominant (hence invertible, no pivoting needed).
+Matrix random_diagonally_dominant(Index n, std::uint64_t seed);
+
+/// Symmetric positive definite: Bᵀ·B + n·I.
+Matrix random_spd(Index n, std::uint64_t seed);
+
+/// A matrix whose leading entries force row swaps in every LU step:
+/// random but with tiny magnitudes pushed onto the diagonal.
+Matrix random_pivot_hostile(Index n, std::uint64_t seed);
+
+/// Unit lower-triangular with random sub-diagonal entries in [-1, 1).
+Matrix random_unit_lower_triangular(Index n, std::uint64_t seed);
+
+/// Upper-triangular with diagonal entries bounded away from zero.
+Matrix random_upper_triangular(Index n, std::uint64_t seed);
+
+}  // namespace mri

@@ -1,0 +1,82 @@
+#include "matrix/layout.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mri {
+
+int recursion_depth(Index n, Index nb) {
+  MRI_REQUIRE(n >= 1 && nb >= 1, "recursion_depth needs n, nb >= 1");
+  int d = 0;
+  Index size = n;
+  while (size > nb) {
+    size = (size + 1) / 2;  // ceil(size / 2): the upper-left block
+    ++d;
+    MRI_CHECK(d < 63);
+  }
+  return d;
+}
+
+std::int64_t leaf_count(Index n, Index nb) {
+  return std::int64_t{1} << recursion_depth(n, nb);
+}
+
+std::int64_t lu_job_count(Index n, Index nb) { return leaf_count(n, nb) - 1; }
+
+std::int64_t total_job_count(Index n, Index nb) {
+  return leaf_count(n, nb) + 1;  // partition + (2^d - 1) LU + final inversion
+}
+
+std::int64_t intermediate_file_count(int depth, int m0) {
+  MRI_REQUIRE(depth >= 0 && m0 >= 1, "bad intermediate_file_count arguments");
+  const std::int64_t leaves = std::int64_t{1} << depth;
+  return leaves + (static_cast<std::int64_t>(m0) / 2) * (leaves - 1);
+}
+
+BlockWrapFactors block_wrapFactors_impl(int m0) {
+  BlockWrapFactors f;
+  const int root = static_cast<int>(std::sqrt(static_cast<double>(m0)));
+  for (int candidate = root; candidate >= 1; --candidate) {
+    if (m0 % candidate == 0) {
+      f.f2 = candidate;
+      f.f1 = m0 / candidate;
+      break;
+    }
+  }
+  return f;
+}
+
+BlockWrapFactors block_wrap_factors(int m0) {
+  MRI_REQUIRE(m0 >= 1, "block_wrap_factors needs m0 >= 1");
+  return block_wrapFactors_impl(m0);
+}
+
+std::uint64_t naive_multiply_read_elements(Index n, int m0) {
+  return static_cast<std::uint64_t>(m0 + 1) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t wrapped_multiply_read_elements(Index n, int m0) {
+  const auto f = block_wrap_factors(m0);
+  return static_cast<std::uint64_t>(f.f1 + f.f2) *
+         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+}
+
+Index split_point(Index n) {
+  MRI_REQUIRE(n >= 2, "cannot split a matrix of order " << n);
+  return (n + 1) / 2;
+}
+
+RowRange stripe(Index rows, int num_workers, int worker) {
+  MRI_REQUIRE(num_workers >= 1 && worker >= 0 && worker < num_workers,
+              "bad stripe worker " << worker << "/" << num_workers);
+  const Index base = rows / num_workers;
+  const Index extra = rows % num_workers;
+  RowRange r;
+  r.begin = worker * base + std::min<Index>(worker, extra);
+  r.end = r.begin + base + (worker < extra ? 1 : 0);
+  return r;
+}
+
+}  // namespace mri

@@ -1,0 +1,64 @@
+// Partition geometry for the recursive block LU pipeline (paper §4.2–§6.2).
+//
+// Everything here is closed-form in (n, nb, m0) and is what lets the paper
+// precompute its MapReduce pipeline before any data moves:
+//  * recursion_depth d  = ceil(log2(n / nb)) — the number of times the
+//    matrix is halved until the leading block fits a single node;
+//  * job counts        — 1 partition job + (2^d - 1) LU jobs + 1 inversion
+//    job = 2^d + 1 total (Table 3: 9 / 17 / 17 / 33 / 9 for M1..M5);
+//  * block-wrap factors f1 × f2 = m0 with f2 the largest divisor ≤ √m0,
+//    minimizing (f1 + f2)·n² total multiply reads (§6.2);
+//  * intermediate file count N(d) = 2^d + (m0/2)(2^d - 1) (§6.1).
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+
+namespace mri {
+
+/// Smallest d >= 0 such that ceil(n / 2^d) <= nb.
+int recursion_depth(Index n, Index nb);
+
+/// Number of MapReduce jobs in the LU stage: 2^d - 1 (the internal nodes of
+/// the recursion tree; the 2^d leaves run on the master).
+std::int64_t lu_job_count(Index n, Index nb);
+
+/// Total pipeline length: partition + LU jobs + final inversion job.
+std::int64_t total_job_count(Index n, Index nb);
+
+/// Number of single-node LU leaves (= 2^d).
+std::int64_t leaf_count(Index n, Index nb);
+
+/// §6.1: files holding the final L (or U) factor when intermediate results
+/// are kept separate: N(d) = 2^d + (m0/2)(2^d - 1).
+std::int64_t intermediate_file_count(int depth, int m0);
+
+struct BlockWrapFactors {
+  int f1 = 1;  // row blocks (f1 >= f2)
+  int f2 = 1;  // column blocks
+};
+
+/// f2 = largest divisor of m0 with f2 <= sqrt(m0); f1 = m0 / f2.
+BlockWrapFactors block_wrap_factors(int m0);
+
+/// Total bytes read by an n x n multiply across m0 nodes, naive vs wrapped
+/// (§6.2: (m0+1)·n² vs (f1+f2)·n², in elements).
+std::uint64_t naive_multiply_read_elements(Index n, int m0);
+std::uint64_t wrapped_multiply_read_elements(Index n, int m0);
+
+/// Split point for the recursive halving: the upper-left block has
+/// ceil(n/2) rows/columns so leaves never exceed nb.
+Index split_point(Index n);
+
+/// Row range [begin, end) of stripe `worker` out of `num_workers` over
+/// `rows` rows, balanced to within one row (paper §5.2: each mapper reads an
+/// equal number of consecutive rows).
+struct RowRange {
+  Index begin = 0;
+  Index end = 0;
+  Index count() const { return end - begin; }
+};
+RowRange stripe(Index rows, int num_workers, int worker);
+
+}  // namespace mri

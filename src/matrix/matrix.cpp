@@ -1,0 +1,61 @@
+#include "matrix/matrix.hpp"
+
+#include <cstring>
+
+namespace mri {
+
+Matrix::Matrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0.0) {
+  MRI_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+}
+
+Matrix::Matrix(Index rows, Index cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  MRI_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  MRI_REQUIRE(static_cast<std::size_t>(rows * cols) == data_.size(),
+              "data size " << data_.size() << " != " << rows << "x" << cols);
+}
+
+Matrix Matrix::identity(Index n) {
+  Matrix m(n, n);
+  for (Index i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(Index i, Index j) {
+  MRI_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+              "index (" << i << "," << j << ") out of " << rows_ << "x" << cols_);
+  return (*this)(i, j);
+}
+
+double Matrix::at(Index i, Index j) const {
+  MRI_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+              "index (" << i << "," << j << ") out of " << rows_ << "x" << cols_);
+  return (*this)(i, j);
+}
+
+Matrix Matrix::block(Index r0, Index r1, Index c0, Index c1) const {
+  MRI_REQUIRE(0 <= r0 && r0 <= r1 && r1 <= rows_ && 0 <= c0 && c0 <= c1 &&
+                  c1 <= cols_,
+              "block [" << r0 << "," << r1 << ")x[" << c0 << "," << c1
+                        << ") out of " << rows_ << "x" << cols_);
+  Matrix out(r1 - r0, c1 - c0);
+  for (Index i = r0; i < r1; ++i) {
+    std::memcpy(out.row(i - r0).data(), row(i).data() + c0,
+                static_cast<std::size_t>(c1 - c0) * sizeof(double));
+  }
+  return out;
+}
+
+void Matrix::set_block(Index r0, Index c0, const Matrix& src) {
+  MRI_REQUIRE(r0 >= 0 && c0 >= 0 && r0 + src.rows() <= rows_ &&
+                  c0 + src.cols() <= cols_,
+              "set_block target out of range");
+  for (Index i = 0; i < src.rows(); ++i) {
+    std::memcpy(row(r0 + i).data() + c0, src.row(i).data(),
+                static_cast<std::size_t>(src.cols()) * sizeof(double));
+  }
+}
+
+}  // namespace mri

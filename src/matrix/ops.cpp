@@ -1,0 +1,132 @@
+#include "matrix/ops.hpp"
+
+#include <cmath>
+
+namespace mri {
+
+namespace {
+
+void check_multiply_shapes(const Matrix& a, const Matrix& b) {
+  MRI_REQUIRE(a.cols() == b.rows(), "multiply shape mismatch: "
+                                        << a.rows() << "x" << a.cols() << " · "
+                                        << b.rows() << "x" << b.cols());
+}
+
+}  // namespace
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  check_multiply_shapes(a, b);
+  Matrix c(a.rows(), b.cols());
+  multiply_accumulate(a, b, &c);
+  return c;
+}
+
+void multiply_accumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  check_multiply_shapes(a, b);
+  MRI_REQUIRE(c->rows() == a.rows() && c->cols() == b.cols(),
+              "accumulator shape mismatch");
+  const Index n = a.rows(), k_max = a.cols(), m = b.cols();
+  for (Index i = 0; i < n; ++i) {
+    double* ci = c->row(i).data();
+    const double* ai = a.row(i).data();
+    for (Index k = 0; k < k_max; ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;  // triangular operands are half zeros
+      const double* bk = b.row(k).data();
+      for (Index j = 0; j < m; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+Matrix multiply_naive_ijk(const Matrix& a, const Matrix& b) {
+  check_multiply_shapes(a, b);
+  const Index n = a.rows(), k_max = a.cols(), m = b.cols();
+  Matrix c(n, m);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < m; ++j) {
+      double sum = 0.0;
+      for (Index k = 0; k < k_max; ++k) sum += a(i, k) * b(k, j);
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix multiply_transposed_b(const Matrix& a, const Matrix& bt) {
+  MRI_REQUIRE(a.cols() == bt.cols(), "multiply_transposed_b shape mismatch: "
+                                         << a.rows() << "x" << a.cols()
+                                         << " · (" << bt.rows() << "x"
+                                         << bt.cols() << ")^T");
+  const Index n = a.rows(), k_max = a.cols(), m = bt.rows();
+  Matrix c(n, m);
+  for (Index i = 0; i < n; ++i) {
+    const double* ai = a.row(i).data();
+    double* ci = c.row(i).data();
+    for (Index j = 0; j < m; ++j) {
+      const double* btj = bt.row(j).data();
+      double sum = 0.0;
+      for (Index k = 0; k < k_max; ++k) sum += ai[k] * btj[k];
+      ci[j] = sum;
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  MRI_REQUIRE(a.same_shape(b), "add shape mismatch");
+  Matrix c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  subtract_in_place(&c, b);
+  return c;
+}
+
+void subtract_in_place(Matrix* a, const Matrix& b) {
+  MRI_REQUIRE(a->same_shape(b), "subtract shape mismatch");
+  auto ad = a->data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) ad[i] -= bd[i];
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+double max_abs(const Matrix& a) {
+  double m = 0.0;
+  for (double v : a.data()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  MRI_REQUIRE(a.same_shape(b), "max_abs_diff shape mismatch");
+  double m = 0.0;
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i)
+    m = std::max(m, std::abs(ad[i] - bd[i]));
+  return m;
+}
+
+double inversion_residual(const Matrix& a, const Matrix& a_inv) {
+  MRI_REQUIRE(a.square() && a.same_shape(a_inv),
+              "inversion_residual expects square same-shape matrices");
+  return max_abs_diff(Matrix::identity(a.rows()), multiply(a, a_inv));
+}
+
+double frobenius_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (double v : a.data()) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace mri

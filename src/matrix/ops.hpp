@@ -1,0 +1,61 @@
+// Dense matrix kernels.
+//
+// Three multiplication variants exist deliberately:
+//  * multiply()              — cache-friendly i-k-j loop order (the default);
+//  * multiply_naive_ijk()    — textbook dot-product order that walks columns
+//                              of B; used by the §6.3 ablation to show the
+//                              page/TLB-miss penalty the paper describes;
+//  * multiply_transposed_b() — A · Bᵀrow-major, i.e. B is stored transposed,
+//                              the paper's "storing transposed U" layout.
+// All variants produce bit-identical results for the same operand values is
+// NOT guaranteed (summation order differs); tests compare with tolerances.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri {
+
+/// C = A · B (ikj order, row-streaming).
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// C = A · B with the naive ijk dot-product order (column walks over B).
+Matrix multiply_naive_ijk(const Matrix& a, const Matrix& b);
+
+/// C = A · Bᵀ where bt holds Bᵀ row-major (so rows of bt are columns of B).
+Matrix multiply_transposed_b(const Matrix& a, const Matrix& bt);
+
+/// C += A · B into an existing accumulator (shapes must match).
+void multiply_accumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Returns A + B / A - B.
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix subtract(const Matrix& a, const Matrix& b);
+
+/// In-place A -= B.
+void subtract_in_place(Matrix* a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+
+/// max_ij |A_ij|.
+double max_abs(const Matrix& a);
+
+/// max_ij |A_ij - B_ij| (shapes must match).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// The paper's §7.2 correctness metric: max element of |I - A·A⁻¹|.
+double inversion_residual(const Matrix& a, const Matrix& a_inv);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+/// Flop cost of a dense (r x k) · (k x c) multiply, for IoStats accounting.
+inline IoStats multiply_cost(Index r, Index k, Index c) {
+  IoStats io;
+  io.mults = static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(k) *
+             static_cast<std::uint64_t>(c);
+  io.adds = io.mults;
+  return io;
+}
+
+}  // namespace mri

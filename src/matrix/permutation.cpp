@@ -1,0 +1,110 @@
+#include "matrix/permutation.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace mri {
+
+Permutation::Permutation(Index n) : map_(static_cast<std::size_t>(n)) {
+  MRI_REQUIRE(n >= 0, "permutation size must be >= 0");
+  std::iota(map_.begin(), map_.end(), Index{0});
+}
+
+Permutation::Permutation(std::vector<Index> map) : map_(std::move(map)) {
+  validate();
+}
+
+void Permutation::validate() const {
+  std::vector<bool> seen(map_.size(), false);
+  for (Index v : map_) {
+    MRI_REQUIRE(v >= 0 && v < size() && !seen[static_cast<std::size_t>(v)],
+                "not a permutation");
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+void Permutation::swap(Index i, Index j) {
+  MRI_REQUIRE(i >= 0 && i < size() && j >= 0 && j < size(),
+              "swap index out of range");
+  std::swap(map_[static_cast<std::size_t>(i)],
+            map_[static_cast<std::size_t>(j)]);
+}
+
+Matrix Permutation::apply_to_rows(const Matrix& a) const {
+  MRI_REQUIRE(a.rows() == size(), "permutation size " << size()
+                                                      << " != rows " << a.rows());
+  Matrix out(a.rows(), a.cols());
+  for (Index i = 0; i < size(); ++i) {
+    std::memcpy(out.row(i).data(), a.row((*this)[i]).data(),
+                static_cast<std::size_t>(a.cols()) * sizeof(double));
+  }
+  return out;
+}
+
+Matrix Permutation::apply_to_columns(const Matrix& x) const {
+  MRI_REQUIRE(x.cols() == size(),
+              "permutation size " << size() << " != cols " << x.cols());
+  Matrix out(x.rows(), x.cols());
+  for (Index i = 0; i < x.rows(); ++i) {
+    const double* src = x.row(i).data();
+    double* dst = out.row(i).data();
+    for (Index k = 0; k < size(); ++k) dst[(*this)[k]] = src[k];
+  }
+  return out;
+}
+
+Matrix Permutation::apply_inverse_to_rows(const Matrix& a) const {
+  MRI_REQUIRE(a.rows() == size(), "permutation size " << size()
+                                                      << " != rows " << a.rows());
+  Matrix out(a.rows(), a.cols());
+  for (Index i = 0; i < size(); ++i) {
+    std::memcpy(out.row((*this)[i]).data(), a.row(i).data(),
+                static_cast<std::size_t>(a.cols()) * sizeof(double));
+  }
+  return out;
+}
+
+Permutation Permutation::concat(const Permutation& s1, const Permutation& s2) {
+  std::vector<Index> map;
+  map.reserve(static_cast<std::size_t>(s1.size() + s2.size()));
+  for (Index i = 0; i < s1.size(); ++i) map.push_back(s1[i]);
+  for (Index i = 0; i < s2.size(); ++i) map.push_back(s1.size() + s2[i]);
+  return Permutation(std::move(map));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Index> inv(map_.size());
+  for (Index i = 0; i < size(); ++i) inv[static_cast<std::size_t>((*this)[i])] = i;
+  return Permutation(std::move(inv));
+}
+
+int Permutation::parity() const {
+  // sign = (-1)^(n - #cycles), via cycle decomposition.
+  std::vector<bool> seen(map_.size(), false);
+  Index cycles = 0;
+  for (Index i = 0; i < size(); ++i) {
+    if (seen[static_cast<std::size_t>(i)]) continue;
+    ++cycles;
+    Index j = i;
+    while (!seen[static_cast<std::size_t>(j)]) {
+      seen[static_cast<std::size_t>(j)] = true;
+      j = (*this)[j];
+    }
+  }
+  return (size() - cycles) % 2 == 0 ? 1 : -1;
+}
+
+Matrix Permutation::to_matrix() const {
+  Matrix p(size(), size());
+  for (Index i = 0; i < size(); ++i) p(i, (*this)[i]) = 1.0;
+  return p;
+}
+
+bool Permutation::is_identity() const {
+  for (Index i = 0; i < size(); ++i)
+    if ((*this)[i] != i) return false;
+  return true;
+}
+
+}  // namespace mri

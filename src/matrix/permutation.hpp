@@ -1,0 +1,67 @@
+// Row permutations, stored compactly as the paper's array S: row i of the
+// pivoted matrix P·A is row S[i] of A (so the permutation matrix is
+// P[i][l] = 1 iff l = S[i]).
+//
+// Two application directions matter for the inversion pipeline:
+//  * apply_to_rows(A)    → P·A    (used when pivoting during decomposition)
+//  * apply_to_columns(X) → X·P    (used at the very end: A⁻¹ = U⁻¹L⁻¹·P,
+//                                  which places column k of X at column S[k])
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace mri {
+
+class Permutation {
+ public:
+  /// Identity permutation of size n.
+  explicit Permutation(Index n = 0);
+
+  /// Adopts an explicit mapping (validated: must be a bijection).
+  explicit Permutation(std::vector<Index> map);
+
+  Index size() const { return static_cast<Index>(map_.size()); }
+
+  Index operator[](Index i) const {
+    return map_[static_cast<std::size_t>(i)];
+  }
+
+  /// Swaps the images of rows i and j (what a pivot swap does to S).
+  void swap(Index i, Index j);
+
+  /// P·A: row i of the result is row S[i] of A.
+  Matrix apply_to_rows(const Matrix& a) const;
+
+  /// X·P: column S[k] of the result is column k of X.
+  Matrix apply_to_columns(const Matrix& x) const;
+
+  /// Pᵀ·A (undoes apply_to_rows).
+  Matrix apply_inverse_to_rows(const Matrix& a) const;
+
+  /// Block-diagonal combination used by the recursive LU (Fig. 1):
+  /// S = [S1, h + S2] where h = |S1|.
+  static Permutation concat(const Permutation& s1, const Permutation& s2);
+
+  Permutation inverse() const;
+
+  /// +1 for even permutations, -1 for odd (the determinant of P).
+  int parity() const;
+
+  /// Dense 0/1 matrix P (tests only; O(n²) memory).
+  Matrix to_matrix() const;
+
+  const std::vector<Index>& map() const { return map_; }
+
+  bool is_identity() const;
+
+  bool operator==(const Permutation&) const = default;
+
+ private:
+  void validate() const;
+  std::vector<Index> map_;
+};
+
+}  // namespace mri

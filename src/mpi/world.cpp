@@ -1,0 +1,221 @@
+#include "mpi/world.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace mri::mpi {
+
+namespace {
+
+/// Thrown into ranks blocked on a peer that died; filtered out in run() in
+/// favour of the original error.
+class AbortedError : public Error {
+ public:
+  AbortedError() : Error("MPI world aborted: a peer rank failed") {}
+};
+
+}  // namespace
+
+World::World(const Cluster& cluster) : cluster_(&cluster) {
+  clocks_.assign(static_cast<std::size_t>(cluster.size()), 0.0);
+  rank_io_.assign(static_cast<std::size_t>(cluster.size()), IoStats{});
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  std::fill(rank_io_.begin(), rank_io_.end(), IoStats{});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels_.clear();
+    barrier_waiting_ = 0;
+    barrier_max_clock_ = 0.0;
+    aborted_ = false;
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size()));
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        Comm comm(this, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        abort();  // wake peers blocked in recv/barrier
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Prefer the original failure over secondary AbortedErrors.
+  std::exception_ptr aborted;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortedError&) {
+      aborted = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (aborted) std::rethrow_exception(aborted);
+}
+
+void World::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+double World::sim_seconds() const {
+  double m = 0.0;
+  for (double c : clocks_) m = std::max(m, c);
+  return m;
+}
+
+IoStats World::total_io() const {
+  IoStats total;
+  for (const auto& io : rank_io_) total += io;
+  return total;
+}
+
+void World::post(int src, int dst, int tag, Message msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_[ChannelKey{src, dst, tag}].push_back(std::move(msg));
+  cv_.notify_all();
+}
+
+World::Message World::take(int src, int dst, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const ChannelKey key{src, dst, tag};
+  cv_.wait(lock, [&] {
+    if (aborted_) return true;
+    auto it = channels_.find(key);
+    return it != channels_.end() && !it->second.empty();
+  });
+  if (aborted_) {
+    auto it = channels_.find(key);
+    if (it == channels_.end() || it->second.empty()) throw AbortedError();
+  }
+  auto& queue = channels_[key];
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+void World::barrier_wait(std::vector<double>* clocks, int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  barrier_max_clock_ =
+      std::max(barrier_max_clock_, (*clocks)[static_cast<std::size_t>(rank)]);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == size()) {
+    // Last arrival releases everyone; all clocks jump to the max.
+    for (double& c : *clocks) c = std::max(c, barrier_max_clock_);
+    barrier_waiting_ = 0;
+    barrier_max_clock_ = 0.0;
+    ++barrier_generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock,
+             [&] { return aborted_ || barrier_generation_ != my_generation; });
+    if (aborted_ && barrier_generation_ == my_generation) throw AbortedError();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+
+double Comm::transfer_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) /
+         world_->cluster_->cost_model().network_bandwidth;
+}
+
+void Comm::compute(const IoStats& io) {
+  world_->clocks_[static_cast<std::size_t>(rank_)] +=
+      world_->cluster_->cost_model().compute_seconds(
+          io, world_->cluster_->speed_factor(rank_));
+  world_->rank_io_[static_cast<std::size_t>(rank_)] += io;
+}
+
+void Comm::read_local(std::uint64_t bytes) {
+  IoStats io;
+  io.bytes_read = bytes;
+  world_->clocks_[static_cast<std::size_t>(rank_)] +=
+      static_cast<double>(bytes) /
+      world_->cluster_->cost_model().disk_bandwidth;
+  world_->rank_io_[static_cast<std::size_t>(rank_)] += io;
+}
+
+void Comm::write_local(std::uint64_t bytes) {
+  IoStats io;
+  io.bytes_written = bytes;
+  world_->clocks_[static_cast<std::size_t>(rank_)] +=
+      static_cast<double>(bytes) /
+      world_->cluster_->cost_model().disk_bandwidth;
+  world_->rank_io_[static_cast<std::size_t>(rank_)] += io;
+}
+
+void Comm::send(int dst, std::vector<double> payload, int tag) {
+  MRI_REQUIRE(dst >= 0 && dst < size() && dst != rank_,
+              "bad send destination " << dst);
+  const std::uint64_t bytes = payload.size() * sizeof(double);
+  double& clock = world_->clocks_[static_cast<std::size_t>(rank_)];
+  clock += transfer_seconds(bytes);
+  IoStats io;
+  io.bytes_transferred = bytes;
+  world_->rank_io_[static_cast<std::size_t>(rank_)] += io;
+
+  World::Message msg;
+  msg.arrival_time =
+      clock + world_->cluster_->cost_model().message_latency_seconds;
+  msg.payload = std::move(payload);
+  world_->post(rank_, dst, tag, std::move(msg));
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  MRI_REQUIRE(src >= 0 && src < size() && src != rank_,
+              "bad recv source " << src);
+  World::Message msg = world_->take(src, rank_, tag);
+  double& clock = world_->clocks_[static_cast<std::size_t>(rank_)];
+  const std::uint64_t bytes = msg.payload.size() * sizeof(double);
+  clock = std::max(clock, msg.arrival_time) + transfer_seconds(bytes);
+  return std::move(msg.payload);
+}
+
+void Comm::bcast(std::vector<double>* payload, int root, int tag) {
+  MRI_REQUIRE(payload != nullptr, "bcast payload must not be null");
+  // Binomial tree rooted at `root`: rank r's virtual id is (r - root) mod p.
+  const int p = size();
+  const int vid = ((rank_ - root) % p + p) % p;
+  // Receive from parent (unless root).
+  if (vid != 0) {
+    // Parent: clear the lowest set bit of vid.
+    const int parent_vid = vid & (vid - 1);
+    const int parent = (parent_vid + root) % p;
+    *payload = recv(parent, tag);
+  }
+  // Forward to children (vid + 2^k for 2^k below vid's lowest set bit),
+  // largest subtree first so deep chains start as early as possible.
+  const int low = vid == 0 ? p : (vid & -vid);
+  int top = 1;
+  while ((top << 1) < p) top <<= 1;
+  for (int bit = top; bit >= 1; bit >>= 1) {
+    if (bit >= low) continue;  // not this node's subtree
+    const int child_vid = vid | bit;
+    if (child_vid >= p) continue;
+    const int child = (child_vid + root) % p;
+    send(child, *payload, tag);
+  }
+}
+
+void Comm::barrier() { world_->barrier_wait(&world_->clocks_, rank_); }
+
+double Comm::clock() const {
+  return world_->clocks_[static_cast<std::size_t>(rank_)];
+}
+
+}  // namespace mri::mpi

@@ -1,0 +1,122 @@
+// A simulated message-passing world (the substrate for the ScaLAPACK-style
+// baseline the paper compares against).
+//
+// Each rank runs as a real thread executing real computation; a per-rank
+// Lamport-style clock tracks simulated time:
+//   * compute(io)  advances the rank's clock by the cost model's time;
+//   * send         advances the sender by bytes/bw and stamps the message
+//                  with its arrival time (send completion + latency);
+//   * recv         blocks for the message, then advances the receiver to
+//                  max(own clock, arrival) + bytes/bw;
+//   * barrier      synchronizes all clocks to the maximum.
+// The simulated makespan is the maximum rank clock at the end — this is
+// what surfaces the 1-D LU panel-factorization critical path and the
+// constant-per-rank communication volume that limit the baseline's
+// scalability at high node counts (paper §7.5).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/io_stats.hpp"
+
+namespace mri::mpi {
+
+class Comm;
+
+class World {
+ public:
+  /// `cluster` provides per-rank speed factors and the cost model.
+  explicit World(const Cluster& cluster);
+
+  int size() const { return cluster_->size(); }
+
+  /// Runs `fn(comm)` on every rank concurrently; returns when all finish.
+  /// Rethrows the first rank exception.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Maximum rank clock after run() — the simulated makespan.
+  double sim_seconds() const;
+
+  /// Aggregate traffic / compute across all ranks.
+  IoStats total_io() const;
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    std::vector<double> payload;
+    double arrival_time = 0.0;
+  };
+
+  using ChannelKey = std::tuple<int, int, int>;  // (src, dst, tag)
+
+  void post(int src, int dst, int tag, Message msg);
+  Message take(int src, int dst, int tag);
+  void barrier_wait(std::vector<double>* clocks_snapshot, int rank);
+  void abort();
+
+  const Cluster* cluster_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<ChannelKey, std::deque<Message>> channels_;
+
+  // Set when a rank threw: wakes peers blocked in recv/barrier so the whole
+  // world unwinds instead of deadlocking.
+  bool aborted_ = false;
+
+  // Barrier state.
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  double barrier_max_clock_ = 0.0;
+
+  std::vector<double> clocks_;
+  std::vector<IoStats> rank_io_;
+};
+
+/// Per-rank handle passed to the rank function.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  /// Advances this rank's simulated clock by the compute/IO cost and
+  /// accounts the flops.
+  void compute(const IoStats& io);
+
+  /// Charges a local disk read/write (matrix load / result store).
+  void read_local(std::uint64_t bytes);
+  void write_local(std::uint64_t bytes);
+
+  /// Buffered (non-blocking) send of a double payload.
+  void send(int dst, std::vector<double> payload, int tag = 0);
+
+  /// Blocking receive from `src` with `tag`.
+  std::vector<double> recv(int src, int tag = 0);
+
+  /// Binomial-tree broadcast; on non-root ranks `payload` is replaced.
+  void bcast(std::vector<double>* payload, int root, int tag = 0);
+
+  /// Synchronizes all ranks (clocks jump to the global maximum).
+  void barrier();
+
+  double clock() const;
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  double transfer_seconds(std::uint64_t bytes) const;
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace mri::mpi

@@ -1,0 +1,31 @@
+// Facade for the ScaLAPACK-style baseline: distributed LU + inversion over
+// the simulated MPI world, with the same SimReport the MapReduce pipeline
+// produces, so §7.5 / Figure 8 can compare them directly.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "sim/cluster.hpp"
+#include "sim/report.hpp"
+
+namespace mri::scalapack {
+
+struct Options {
+  /// ScaLAPACK block size; the paper found 128 x 128 best on EC2.
+  Index block_width = 128;
+};
+
+struct InvertResult {
+  Matrix inverse;
+  SimReport report;
+  /// PDGETRF stage (Table 1 comparison row).
+  SimReport lu_stage;
+  /// PDGETRI stage (Table 2 comparison row).
+  SimReport inversion_stage;
+};
+
+/// Inverts `a` on the simulated `cluster` (one MPI rank per node).
+/// Throws NumericalError for singular inputs.
+InvertResult invert(const Matrix& a, const Cluster& cluster,
+                    const Options& options = {});
+
+}  // namespace mri::scalapack

@@ -1,0 +1,33 @@
+#include "sim/cluster.hpp"
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace mri {
+
+Cluster::Cluster(int num_nodes, CostModel model, std::uint64_t seed)
+    : model_(model) {
+  MRI_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
+  MRI_REQUIRE(model.node_speed_variance >= 0.0 &&
+                  model.node_speed_variance < 1.0,
+              "node_speed_variance must be in [0, 1)");
+  speed_factors_.reserve(static_cast<std::size_t>(num_nodes));
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < num_nodes; ++i) {
+    // Uniform spread in [1 - v, 1 + v]; node 0 pinned to nominal speed so the
+    // master's single-node LU cost is stable across cluster sizes.
+    double f = 1.0;
+    if (i > 0 && model.node_speed_variance > 0.0) {
+      f = rng.uniform(1.0 - model.node_speed_variance,
+                      1.0 + model.node_speed_variance);
+    }
+    speed_factors_.push_back(f);
+  }
+}
+
+double Cluster::speed_factor(int node) const {
+  MRI_REQUIRE(node >= 0 && node < size(), "node index out of range");
+  return speed_factors_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace mri

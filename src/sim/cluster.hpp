@@ -1,0 +1,35 @@
+// Simulated compute cluster: a set of nodes with per-node speed factors and
+// task slots, plus the cost model they share.
+//
+// The per-node speed factors are drawn deterministically from the seed so a
+// given (size, variance, seed) triple always describes the same "cluster" —
+// important for reproducing the paper's observation that nominally identical
+// EC2 large instances have noticeably different performance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace mri {
+
+class Cluster {
+ public:
+  Cluster(int num_nodes, CostModel model, std::uint64_t seed = 42);
+
+  int size() const { return static_cast<int>(speed_factors_.size()); }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Relative speed of node i (1.0 = nominal; spread by node_speed_variance).
+  double speed_factor(int node) const;
+
+  /// Total concurrent task slots across the cluster.
+  int total_slots() const { return size() * model_.slots_per_node; }
+
+ private:
+  CostModel model_;
+  std::vector<double> speed_factors_;
+};
+
+}  // namespace mri

@@ -1,0 +1,62 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mri {
+
+CostModel CostModel::ec2_medium() {
+  CostModel m;
+  m.flops_per_second = 1.0e9;
+  m.disk_bandwidth = 60.0e6;
+  m.network_bandwidth = 60.0e6;
+  m.job_launch_seconds = 15.0;
+  m.task_overhead_seconds = 0.5;
+  m.slots_per_node = 1;
+  m.node_speed_variance = 0.05;
+  return m;
+}
+
+CostModel CostModel::ec2_large() {
+  CostModel m;
+  m.flops_per_second = 2.0e9;  // two medium cores per instance
+  m.disk_bandwidth = 45.0e6;   // paper: 30-60 MB/s copies between large nodes
+  m.network_bandwidth = 45.0e6;
+  m.job_launch_seconds = 15.0;
+  m.task_overhead_seconds = 0.5;
+  m.slots_per_node = 2;
+  m.node_speed_variance = 0.30;  // paper: high variance between large nodes
+  return m;
+}
+
+CostModel CostModel::scaled_down(double linear_factor) const {
+  MRI_REQUIRE(linear_factor >= 1.0, "scaled_down expects a factor >= 1");
+  const double s3 = linear_factor * linear_factor * linear_factor;
+  CostModel m = *this;
+  m.disk_bandwidth *= linear_factor;
+  m.network_bandwidth *= linear_factor;
+  m.memory_bandwidth *= linear_factor;
+  m.job_launch_seconds /= s3;
+  m.task_overhead_seconds /= s3;
+  m.message_latency_seconds /= s3;
+  m.failure_detection_seconds /= s3;
+  return m;
+}
+
+double CostModel::task_seconds(const IoStats& io, double speed_factor) const {
+  return task_overhead_seconds + compute_seconds(io, speed_factor);
+}
+
+double CostModel::compute_seconds(const IoStats& io, double speed_factor) const {
+  const double read_bw = std::min(disk_bandwidth, network_bandwidth);
+  double t = 0.0;
+  t += static_cast<double>(io.flops()) / (flops_per_second * speed_factor);
+  t += static_cast<double>(io.bytes_read) / read_bw;
+  t += static_cast<double>(io.bytes_written) / disk_bandwidth;
+  t += static_cast<double>(io.bytes_replicated) / network_bandwidth;
+  t += static_cast<double>(io.bytes_written_memory) / memory_bandwidth;
+  return t;
+}
+
+}  // namespace mri

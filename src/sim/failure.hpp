@@ -1,0 +1,47 @@
+// Deterministic failure injection for the MapReduce runtime.
+//
+// Section 7.4 of the paper describes a run in which one mapper inverting a
+// triangular matrix failed and was only re-executed once another mapper's
+// slot freed up, stretching a 5-hour run to 8 hours. The injector lets tests
+// and benches reproduce exactly this: fail a chosen task attempt of a chosen
+// job; the scheduler then re-runs it and the simulated clock reflects the
+// serialization.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mri {
+
+struct FailureRule {
+  /// Substring matched against the job name ("lu-level-0", "invert", ...).
+  std::string job_name_substring;
+  /// Task index within the job's map (or reduce) phase.
+  int task_index = 0;
+  /// Which attempt to kill (0 = first execution).
+  int attempt = 0;
+  /// Whether the rule targets a map task (true) or reduce task (false).
+  bool map_task = true;
+};
+
+class FailureInjector {
+ public:
+  void add_rule(FailureRule rule);
+  void clear();
+
+  /// Returns true exactly once per matching (job, task, attempt); the
+  /// runtime treats this as the task process dying.
+  bool should_fail(const std::string& job_name, int task_index, int attempt,
+                   bool map_task);
+
+  std::uint64_t injected_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FailureRule> rules_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace mri

@@ -1,0 +1,61 @@
+// Byte / flop accounting shared by the DFS, the MapReduce runtime and the
+// MPI simulator. These counters are what Tables 1 and 2 of the paper are
+// about, so we track them exactly:
+//
+//   bytes_written      logical bytes written to the DFS (before replication)
+//   bytes_read         logical bytes read from the DFS
+//   bytes_transferred  bytes that crossed the (simulated) network: every DFS
+//                      read (HDFS reads are remote in the paper's model) plus
+//                      explicit message-passing traffic in the MPI simulator
+//   bytes_replicated   extra copies written for fault tolerance (repl - 1)
+//   bytes_written_memory  writes to the in-memory tier (the §8 Spark-style
+//                      extension): no disk, no replication pipeline
+//   mults / adds       floating-point multiply / add operations
+#pragma once
+
+#include <cstdint>
+
+namespace mri {
+
+struct IoStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t bytes_replicated = 0;
+  std::uint64_t bytes_written_memory = 0;
+  std::uint64_t mults = 0;
+  std::uint64_t adds = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    bytes_written += other.bytes_written;
+    bytes_read += other.bytes_read;
+    bytes_transferred += other.bytes_transferred;
+    bytes_replicated += other.bytes_replicated;
+    bytes_written_memory += other.bytes_written_memory;
+    mults += other.mults;
+    adds += other.adds;
+    return *this;
+  }
+
+  /// Component-wise difference; used for stage splits (callers guarantee
+  /// the minuend dominates).
+  IoStats& operator-=(const IoStats& other) {
+    bytes_written -= other.bytes_written;
+    bytes_read -= other.bytes_read;
+    bytes_transferred -= other.bytes_transferred;
+    bytes_replicated -= other.bytes_replicated;
+    bytes_written_memory -= other.bytes_written_memory;
+    mults -= other.mults;
+    adds -= other.adds;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+  friend IoStats operator-(IoStats a, const IoStats& b) { return a -= b; }
+
+  std::uint64_t flops() const { return mults + adds; }
+
+  bool operator==(const IoStats&) const = default;
+};
+
+}  // namespace mri

@@ -1,0 +1,38 @@
+#include "sim/metrics.hpp"
+
+namespace mri {
+
+void MetricsRegistry::add_io(const IoStats& io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io_ += io;
+}
+
+IoStats MetricsRegistry::io_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_;
+}
+
+void MetricsRegistry::increment(const std::string& counter,
+                                std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[counter] += delta;
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& counter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(counter);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  io_ = IoStats{};
+  counters_.clear();
+}
+
+}  // namespace mri

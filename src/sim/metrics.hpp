@@ -1,0 +1,34 @@
+// Thread-safe global metrics registry.
+//
+// Tasks account their own IoStats locally (no contention on the hot path);
+// the registry aggregates job-level and run-level totals plus named counters
+// for things like task attempts and failures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/io_stats.hpp"
+
+namespace mri {
+
+class MetricsRegistry {
+ public:
+  void add_io(const IoStats& io);
+  IoStats io_totals() const;
+
+  void increment(const std::string& counter, std::uint64_t delta = 1);
+  std::uint64_t value(const std::string& counter) const;
+  std::map<std::string, std::uint64_t> counters() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  IoStats io_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace mri

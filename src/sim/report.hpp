@@ -1,0 +1,22 @@
+// Run-level report shared by both inversion systems (the MapReduce pipeline
+// and the ScaLAPACK-style baseline) so benches can print them side by side.
+#pragma once
+
+#include "sim/io_stats.hpp"
+
+namespace mri {
+
+struct SimReport {
+  /// Simulated wall-clock seconds for the whole run.
+  double sim_seconds = 0.0;
+  /// Aggregate I/O and flops across all nodes.
+  IoStats io;
+  /// MapReduce jobs launched (0 for the MPI baseline).
+  int jobs = 0;
+  /// Injected task failures recovered by re-execution.
+  int failures_recovered = 0;
+  /// Serial time spent on the master node (leaf LU decompositions).
+  double master_seconds = 0.0;
+};
+
+}  // namespace mri

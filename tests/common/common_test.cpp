@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace mri {
+namespace {
+
+// ---- random ---------------------------------------------------------------
+
+TEST(Random, Deterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, UniformRange) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Random, NextBelowIsBoundedAndCoversAll) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Random, RoughlyUniformMean) {
+  Xoshiro256 rng(4);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+// ---- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("task 5");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ZeroThreadsRejected) { EXPECT_THROW(ThreadPool(0), InvalidArgument); }
+
+// ---- cli --------------------------------------------------------------------
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog",      "pos1",    "--nodes", "8",
+                        "--name=fig6", "--ratio", "2.5",     "--verbose"};
+  CliOptions cli(8, argv);
+  EXPECT_EQ(cli.get_int("nodes", 0), 8);
+  EXPECT_EQ(cli.get_string("name", ""), "fig6");
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 2.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, Fallbacks) {
+  const char* argv[] = {"prog"};
+  CliOptions cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", -3), -3);
+  EXPECT_EQ(cli.get_string("missing", "d"), "d");
+  EXPECT_FALSE(cli.get_bool("missing", false));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--nodes", "1,2,4,8"};
+  CliOptions cli(3, argv);
+  EXPECT_EQ(cli.get_int_list("nodes", {}),
+            (std::vector<std::int64_t>{1, 2, 4, 8}));
+}
+
+TEST(Cli, BadValuesThrow) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  CliOptions cli(3, argv);
+  EXPECT_THROW(cli.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(cli.get_bool("n", false), InvalidArgument);
+}
+
+// ---- units ------------------------------------------------------------------
+
+TEST(Units, FormatGb) {
+  EXPECT_EQ(format_gb(8ull * 1000 * 1000 * 1000), "8.00 GB");
+  EXPECT_EQ(format_gb(200ull * 1000 * 1000 * 1000), "200 GB");
+}
+
+TEST(Units, FormatBytesScales) {
+  EXPECT_EQ(format_bytes(500), "500 B");
+  EXPECT_EQ(format_bytes(1500), "1.50 KB");
+  EXPECT_EQ(format_bytes(20ull * 1000 * 1000 * 1000 * 1000), "20.0 TB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(42.0), "42.0 s");
+  EXPECT_EQ(format_duration(300.0), "5.00 min");
+  EXPECT_EQ(format_duration(5.0 * 3600), "5.00 h");
+}
+
+TEST(Units, FormatBillions) {
+  EXPECT_EQ(format_billions(1070000000ull), "1.07 billion");
+}
+
+// ---- table ------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell_int(-42), "-42");
+}
+
+// ---- stopwatch ----------------------------------------------------------------
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mri

@@ -1,0 +1,87 @@
+// The §8 adaptive-engine extension: the analytic predictor must point the
+// same way the simulator measures, and the adaptive inverter must produce a
+// correct inverse either way it decides.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri::core {
+namespace {
+
+CostModel quiet() {
+  CostModel m = CostModel::ec2_medium();
+  m.node_speed_variance = 0.0;
+  return m;
+}
+
+TEST(Predict, SmallClusterFavorsScalapack) {
+  // The paper (§7.5): at low scale ScaLAPACK is faster — MapReduce pays
+  // job launches and HDFS round-trips.
+  const PredictedCost c = predict_cost(4096, 512, 4, quiet());
+  EXPECT_EQ(c.winner(), Engine::kScaLAPACK);
+}
+
+TEST(Predict, LargeScaleFavorsMapReduce) {
+  // The paper (§7.4/7.5): at 10⁵ order and 128+ nodes we win.
+  const PredictedCost c = predict_cost(102400, 3200, 256, quiet());
+  EXPECT_EQ(c.winner(), Engine::kMapReduce);
+}
+
+TEST(Predict, CostsArePositiveAndScaleWithN) {
+  const PredictedCost small = predict_cost(1000, 100, 8, quiet());
+  const PredictedCost big = predict_cost(4000, 400, 8, quiet());
+  EXPECT_GT(small.mapreduce_seconds, 0.0);
+  EXPECT_GT(small.scalapack_seconds, 0.0);
+  EXPECT_GT(big.mapreduce_seconds, small.mapreduce_seconds);
+  EXPECT_GT(big.scalapack_seconds, small.scalapack_seconds);
+}
+
+TEST(Predict, AgreesWithSimulatedRatios) {
+  // Prediction vs measurement: for a grid of cluster sizes, the predicted
+  // MapReduce time must track the simulated time within a factor of two
+  // (it is a point model, not a re-run of the simulator).
+  const Index n = 256;
+  const Index nb = 32;
+  for (int m0 : {2, 8, 32}) {
+    MetricsRegistry metrics;
+    Cluster cluster(m0, quiet());
+    dfs::Dfs fs(m0, dfs::DfsConfig{}, &metrics);
+    ThreadPool pool(4);
+    MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
+    InversionOptions opts;
+    opts.nb = nb;
+    const auto run = inverter.invert(random_matrix(n, m0), opts);
+    const PredictedCost c = predict_cost(n, nb, m0, quiet());
+    EXPECT_GT(c.mapreduce_seconds, 0.5 * run.report.sim_seconds)
+        << "m0=" << m0;
+    EXPECT_LT(c.mapreduce_seconds, 2.0 * run.report.sim_seconds)
+        << "m0=" << m0;
+  }
+}
+
+TEST(Adaptive, ProducesCorrectInverseEitherWay) {
+  for (int m0 : {2, 16}) {
+    MetricsRegistry metrics;
+    Cluster cluster(m0, quiet());
+    dfs::Dfs fs(m0, dfs::DfsConfig{}, &metrics);
+    ThreadPool pool(4);
+    AdaptiveInverter inverter(&cluster, &fs, &pool, &metrics);
+    const Matrix a = random_matrix(64, /*seed=*/m0);
+    InversionOptions opts;
+    opts.nb = 16;
+    const auto result = inverter.invert(a, opts);
+    EXPECT_LT(inversion_residual(a, result.inverse), 1e-8);
+    EXPECT_EQ(result.engine, result.prediction.winner());
+    EXPECT_GT(result.report.sim_seconds, 0.0);
+  }
+}
+
+TEST(Adaptive, EngineNames) {
+  EXPECT_STREQ(engine_name(Engine::kMapReduce), "mapreduce");
+  EXPECT_STREQ(engine_name(Engine::kScaLAPACK), "scalapack");
+}
+
+}  // namespace
+}  // namespace mri::core

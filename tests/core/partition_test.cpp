@@ -1,0 +1,144 @@
+// The partition job (Algorithm 3) and its geometry: the materialized region
+// TileSets must reproduce exactly the blocks of the input matrix at every
+// left-spine level.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/plan.hpp"
+#include "mapreduce/runtime.hpp"
+#include "matrix/dfs_io.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri::core {
+namespace {
+
+struct PartitionFixture {
+  explicit PartitionFixture(int m0)
+      : cluster(m0, CostModel::ec2_medium()),
+        fs(m0, dfs::DfsConfig{}, &metrics),
+        pool(4),
+        runner(&cluster, &fs, &pool, nullptr, &metrics) {}
+
+  PartitionGeometry run(const Matrix& a, Index nb) {
+    write_matrix(fs, "/Root/a.bin", a);
+    std::vector<std::string> controls;
+    for (int j = 0; j < cluster.size(); ++j) {
+      const std::string p = "/Root/MapInput/A." + std::to_string(j);
+      fs.write_text(p, std::to_string(j));
+      controls.push_back(p);
+    }
+    PartitionGeometry geom =
+        make_partition_geometry(a.rows(), nb, cluster.size(), "/Root");
+    runner.run(make_partition_job(geom, "/Root/a.bin", controls));
+    return geom;
+  }
+
+  MetricsRegistry metrics;
+  Cluster cluster;
+  dfs::Dfs fs;
+  ThreadPool pool;
+  mr::JobRunner runner;
+};
+
+TEST(PartitionGeometry, LevelsShrinkByHalving) {
+  const PartitionGeometry g = make_partition_geometry(100, 13, 4, "/Root");
+  EXPECT_EQ(g.depth, 3);
+  ASSERT_EQ(g.levels.size(), 3u);
+  EXPECT_EQ(g.levels[0].parent_n, 100);
+  EXPECT_EQ(g.levels[0].h, 50);
+  EXPECT_EQ(g.levels[1].parent_n, 50);
+  EXPECT_EQ(g.levels[1].h, 25);
+  EXPECT_EQ(g.levels[2].parent_n, 25);
+  EXPECT_EQ(g.levels[2].h, 13);
+  EXPECT_EQ(g.leaf_n, 13);
+  EXPECT_EQ(g.levels[1].dir, "/Root/A1");
+  EXPECT_EQ(g.leaf_dir, "/Root/A1/A1/A1");
+}
+
+TEST(PartitionGeometry, RegionFrames) {
+  const PartitionGeometry g = make_partition_geometry(100, 13, 4, "/Root");
+  const RegionFrame a2 = region_frame(g, 1, Region::kA2);
+  EXPECT_EQ(a2.row_off, 0);
+  EXPECT_EQ(a2.col_off, 50);
+  EXPECT_EQ(a2.rows, 50);
+  EXPECT_EQ(a2.cols, 50);
+  const RegionFrame a3 = region_frame(g, 2, Region::kA3);
+  EXPECT_EQ(a3.row_off, 25);
+  EXPECT_EQ(a3.col_off, 0);
+  EXPECT_EQ(a3.rows, 25);
+  EXPECT_EQ(a3.cols, 25);
+  const RegionFrame leaf = region_frame(g, 3, Region::kLeaf);
+  EXPECT_EQ(leaf.rows, 13);
+}
+
+TEST(PartitionGeometry, PieceFilesAreDisjointPerWriter) {
+  // §5.2: no two mappers write the same file.
+  const PartitionGeometry g = make_partition_geometry(64, 8, 4, "/Root");
+  std::set<std::string> paths;
+  for (int level = 1; level <= g.depth; ++level) {
+    for (Region r : {Region::kA2, Region::kA3, Region::kA4}) {
+      for (const Tile& t : region_pieces(g, level, r)) {
+        EXPECT_TRUE(paths.insert(t.path).second) << "duplicate " << t.path;
+      }
+    }
+  }
+  for (const Tile& t : region_pieces(g, g.depth, Region::kLeaf)) {
+    EXPECT_TRUE(paths.insert(t.path).second);
+  }
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<Index, Index, int>> {};
+
+TEST_P(PartitionSweep, RegionsReconstructInput) {
+  const auto [n, nb, m0] = GetParam();
+  PartitionFixture fx(m0);
+  const Matrix a = random_matrix(n, /*seed=*/n + m0);
+  const PartitionGeometry geom = fx.run(a, nb);
+
+  for (int level = 1; level <= geom.depth; ++level) {
+    for (Region region : {Region::kA2, Region::kA3, Region::kA4}) {
+      const RegionFrame f = region_frame(geom, level, region);
+      const Matrix stored = region_tiles(geom, level, region).read_all(fx.fs);
+      const Matrix expected = a.block(f.row_off, f.row_off + f.rows, f.col_off,
+                                      f.col_off + f.cols);
+      EXPECT_EQ(stored, expected) << "level " << level;
+    }
+  }
+  const Matrix leaf = region_tiles(geom, geom.depth, Region::kLeaf).read_all(fx.fs);
+  EXPECT_EQ(leaf, a.block(0, geom.leaf_n, 0, geom.leaf_n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Values(std::make_tuple<Index, Index, int>(32, 8, 4),
+                      std::make_tuple<Index, Index, int>(33, 8, 4),
+                      std::make_tuple<Index, Index, int>(40, 5, 3),
+                      std::make_tuple<Index, Index, int>(16, 16, 2),
+                      std::make_tuple<Index, Index, int>(17, 4, 8),
+                      std::make_tuple<Index, Index, int>(64, 8, 1)));
+
+TEST(Plan, WorkerSplitIsBalanced) {
+  const InversionPlan p = InversionPlan::make(1000, 100, 10);
+  EXPECT_EQ(p.l2_workers + p.u2_workers, 10);
+  EXPECT_LE(std::abs(p.l2_workers - p.u2_workers), 1);
+  const InversionPlan p1 = InversionPlan::make(1000, 100, 1);
+  EXPECT_EQ(p1.l2_workers, 1);
+  EXPECT_EQ(p1.u2_workers, 1);
+}
+
+TEST(Plan, MatchesTable3) {
+  struct Row {
+    Index n;
+    std::int64_t jobs;
+  };
+  for (const Row& row : {Row{20480, 9}, Row{32768, 17}, Row{40960, 17},
+                         Row{102400, 33}, Row{16384, 9}}) {
+    const InversionPlan p = InversionPlan::make(row.n, 3200, 64);
+    EXPECT_EQ(p.total_jobs, row.jobs) << "n=" << row.n;
+  }
+}
+
+}  // namespace
+}  // namespace mri::core

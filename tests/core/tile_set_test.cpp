@@ -1,0 +1,114 @@
+#include "core/tile_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/dfs_io.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri::core {
+namespace {
+
+class TileSetTest : public ::testing::Test {
+ protected:
+  MetricsRegistry metrics;
+  dfs::Dfs fs{2, dfs::DfsConfig{}, &metrics};
+
+  /// Writes `m` as a grid of tile files and returns the TileSet.
+  TileSet store_grid(const Matrix& m, Index tile_rows, Index tile_cols) {
+    std::vector<Tile> tiles;
+    int id = 0;
+    for (Index r = 0; r < m.rows(); r += tile_rows) {
+      for (Index c = 0; c < m.cols(); c += tile_cols) {
+        Tile t;
+        t.r0 = r;
+        t.r1 = std::min(m.rows(), r + tile_rows);
+        t.c0 = c;
+        t.c1 = std::min(m.cols(), c + tile_cols);
+        t.path = "/tiles/t." + std::to_string(id++);
+        write_matrix(fs, t.path, m.block(t.r0, t.r1, t.c0, t.c1));
+        tiles.push_back(std::move(t));
+      }
+    }
+    return TileSet(m.rows(), m.cols(), std::move(tiles));
+  }
+};
+
+TEST_F(TileSetTest, ReadAllReconstructs) {
+  const Matrix m = random_matrix(12, 10, /*seed=*/1, -1, 1);
+  const TileSet ts = store_grid(m, 5, 4);
+  EXPECT_EQ(ts.read_all(fs), m);
+}
+
+TEST_F(TileSetTest, ReadBlockCrossesTiles) {
+  const Matrix m = random_matrix(12, 12, /*seed=*/2, -1, 1);
+  const TileSet ts = store_grid(m, 4, 4);
+  EXPECT_EQ(ts.read_block(fs, 2, 11, 3, 9), m.block(2, 11, 3, 9));
+}
+
+TEST_F(TileSetTest, EmptyBlock) {
+  const Matrix m = random_matrix(4, 4, /*seed=*/3, -1, 1);
+  const TileSet ts = store_grid(m, 2, 2);
+  const Matrix b = ts.read_block(fs, 2, 2, 0, 4);
+  EXPECT_EQ(b.rows(), 0);
+}
+
+TEST_F(TileSetTest, ChargesOnlyTouchedRows) {
+  const Matrix m = random_matrix(16, 8, /*seed=*/4, -1, 1);
+  const TileSet ts = store_grid(m, 16, 8);  // single tile
+  IoStats io;
+  ts.read_block(fs, 0, 2, 0, 8, &io);
+  // Two 8-column rows + header; far less than the whole file.
+  EXPECT_LT(io.bytes_read, 3 * 8 * sizeof(double) + 64);
+}
+
+TEST_F(TileSetTest, UncoveredRectangleThrows) {
+  std::vector<Tile> tiles;
+  Tile t;
+  t.path = "/tiles/partial";
+  t.r0 = 0;
+  t.r1 = 2;
+  t.c0 = 0;
+  t.c1 = 4;
+  write_matrix(fs, t.path, Matrix(2, 4));
+  tiles.push_back(t);
+  const TileSet ts(4, 4, std::move(tiles));  // rows 2..4 uncovered
+  EXPECT_NO_THROW(ts.read_block(fs, 0, 2, 0, 4));
+  EXPECT_THROW(ts.read_block(fs, 0, 4, 0, 4), DfsError);
+}
+
+TEST_F(TileSetTest, WindowReadsSubMatrix) {
+  const Matrix m = random_matrix(12, 12, /*seed=*/5, -1, 1);
+  const TileSet ts = store_grid(m, 4, 4);
+  const TileSet w = ts.window(3, 9, 2, 10);
+  EXPECT_EQ(w.rows(), 6);
+  EXPECT_EQ(w.cols(), 8);
+  EXPECT_EQ(w.read_all(fs), m.block(3, 9, 2, 10));
+  // Nested windows (the recursive B partitioning).
+  const TileSet w2 = w.window(1, 5, 0, 4);
+  EXPECT_EQ(w2.read_all(fs), m.block(4, 8, 2, 6));
+}
+
+TEST_F(TileSetTest, WindowOfWindowReadBlock) {
+  const Matrix m = random_matrix(16, 16, /*seed=*/6, -1, 1);
+  const TileSet ts = store_grid(m, 5, 7);
+  const TileSet w = ts.window(2, 14, 3, 15);
+  EXPECT_EQ(w.read_block(fs, 1, 9, 2, 11), m.block(3, 11, 5, 14));
+}
+
+TEST_F(TileSetTest, OutOfBoundsChecked) {
+  const Matrix m = random_matrix(4, 4, /*seed=*/7, -1, 1);
+  const TileSet ts = store_grid(m, 2, 2);
+  EXPECT_THROW(ts.read_block(fs, 0, 5, 0, 4), InvalidArgument);
+  EXPECT_THROW(ts.window(0, 5, 0, 4), InvalidArgument);
+}
+
+TEST_F(TileSetTest, ManifestIsSmall) {
+  // §5.2: partition metadata for B is well under 1 KB.
+  const Matrix m = random_matrix(8, 8, /*seed=*/8, -1, 1);
+  const TileSet ts = store_grid(m, 4, 4);
+  EXPECT_LT(ts.manifest_bytes(), 1024u);
+}
+
+}  // namespace
+}  // namespace mri::core

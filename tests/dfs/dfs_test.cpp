@@ -1,0 +1,189 @@
+#include "dfs/dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace mri::dfs {
+namespace {
+
+TEST(Dfs, TextRoundTrip) {
+  Dfs fs(3);
+  fs.write_text("/a/hello.txt", "hello world");
+  EXPECT_EQ(fs.read_text("/a/hello.txt"), "hello world");
+}
+
+TEST(Dfs, DoubleRoundTrip) {
+  Dfs fs(3);
+  std::vector<double> values = {1.5, -2.25, 1e308, 0.0};
+  fs.write_doubles("/v.bin", values);
+  EXPECT_EQ(fs.read_doubles("/v.bin"), values);
+}
+
+TEST(Dfs, EmptyFile) {
+  Dfs fs(2);
+  fs.write_text("/empty", "");
+  EXPECT_EQ(fs.file_size("/empty"), 0u);
+  EXPECT_EQ(fs.read_text("/empty"), "");
+}
+
+TEST(Dfs, MultiBlockFile) {
+  DfsConfig cfg;
+  cfg.block_size = 16;  // force many blocks
+  Dfs fs(3, cfg);
+  std::string payload;
+  for (int i = 0; i < 100; ++i) payload += "0123456789";
+  fs.write_text("/big", payload);
+  EXPECT_EQ(fs.read_text("/big"), payload);
+}
+
+TEST(Dfs, SeekAcrossBlocks) {
+  DfsConfig cfg;
+  cfg.block_size = 8;
+  Dfs fs(2, cfg);
+  std::vector<double> values(10);
+  for (int i = 0; i < 10; ++i) values[static_cast<std::size_t>(i)] = i;
+  fs.write_doubles("/v", values);
+  auto r = fs.open("/v");
+  r.seek(5 * sizeof(double));
+  EXPECT_EQ(r.read_double(), 5.0);
+  EXPECT_EQ(r.read_double(), 6.0);
+}
+
+TEST(Dfs, ReadAccounting) {
+  MetricsRegistry metrics;
+  Dfs fs(3, DfsConfig{}, &metrics);
+  fs.write_text("/f", std::string(1000, 'x'));
+  IoStats io;
+  fs.read_text("/f", &io);
+  EXPECT_EQ(io.bytes_read, 1000u);
+  EXPECT_EQ(io.bytes_transferred, 1000u);  // HDFS read = remote read
+  EXPECT_EQ(metrics.io_totals().bytes_read, 1000u);
+}
+
+TEST(Dfs, WriteAccountingWithReplication) {
+  MetricsRegistry metrics;
+  Dfs fs(5, DfsConfig{}, &metrics);  // replication 3
+  IoStats io;
+  fs.write_text("/f", std::string(600, 'y'), &io);
+  EXPECT_EQ(io.bytes_written, 600u);
+  EXPECT_EQ(io.bytes_replicated, 1200u);
+  EXPECT_EQ(io.bytes_transferred, 1200u);
+  // All replicas resident across datanodes.
+  EXPECT_EQ(fs.physical_bytes_stored(), 1800u);
+}
+
+TEST(Dfs, ReplicationClampedToClusterSize) {
+  Dfs fs(2);  // replication 3 requested, only 2 nodes
+  IoStats io;
+  fs.write_text("/f", std::string(100, 'z'), &io);
+  EXPECT_EQ(io.bytes_replicated, 100u);
+  EXPECT_EQ(fs.physical_bytes_stored(), 200u);
+}
+
+TEST(Dfs, RemoveEvictsBlocks) {
+  Dfs fs(3);
+  fs.write_text("/d/f", std::string(100, 'a'));
+  EXPECT_GT(fs.physical_bytes_stored(), 0u);
+  fs.remove("/d", /*recursive=*/true);
+  EXPECT_EQ(fs.physical_bytes_stored(), 0u);
+}
+
+TEST(Dfs, WriterMoveAndExplicitClose) {
+  Dfs fs(2);
+  {
+    auto w = fs.create("/m");
+    w.write_text("abc");
+    auto w2 = std::move(w);
+    w2.write_text("def");
+    w2.close();
+  }
+  EXPECT_EQ(fs.read_text("/m"), "abcdef");
+}
+
+TEST(Dfs, WriterCommitsOnDestruction) {
+  Dfs fs(2);
+  {
+    auto w = fs.create("/auto");
+    w.write_text("x");
+  }
+  EXPECT_TRUE(fs.is_file("/auto"));
+}
+
+TEST(Dfs, DuplicateCreateThrowsOnClose) {
+  Dfs fs(2);
+  fs.write_text("/dup", "1");
+  auto w = fs.create("/dup");
+  w.write_text("2");
+  EXPECT_THROW(w.close(), DfsError);
+}
+
+TEST(Dfs, ShortReadThrows) {
+  Dfs fs(2);
+  fs.write_text("/small", "ab");
+  auto r = fs.open("/small");
+  std::array<std::byte, 10> buf{};
+  EXPECT_THROW(r.read_exact(buf), DfsError);
+}
+
+TEST(Dfs, ReadAllDoublesRejectsMisaligned) {
+  Dfs fs(2);
+  fs.write_text("/odd", "12345");  // not a multiple of 8
+  EXPECT_THROW(fs.read_doubles("/odd"), DfsError);
+}
+
+TEST(Dfs, ConcurrentWritersDistinctFiles) {
+  // §5.2's design point: tasks write disjoint files with no synchronization.
+  MetricsRegistry metrics;
+  Dfs fs(8, DfsConfig{}, &metrics);
+  ThreadPool pool(8);
+  pool.parallel_for(64, [&](std::size_t i) {
+    fs.write_text("/out/f." + std::to_string(i), std::string(i + 1, 'w'));
+  });
+  EXPECT_EQ(fs.list("/out").size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(fs.file_size("/out/f." + std::to_string(i)), i + 1);
+  }
+}
+
+TEST(Dfs, ConcurrentReadersSameFile) {
+  Dfs fs(4);
+  const std::string payload(4096, 'r');
+  fs.write_text("/shared", payload);
+  ThreadPool pool(8);
+  pool.parallel_for(32, [&](std::size_t) {
+    EXPECT_EQ(fs.read_text("/shared"), payload);
+  });
+}
+
+TEST(Dfs, MemoryTierSkipsDiskAndReplication) {
+  MetricsRegistry metrics;
+  Dfs fs(4, DfsConfig{}, &metrics);
+  IoStats io;
+  auto w = fs.create("/hot", &io, /*overwrite=*/false, StorageTier::kMemory);
+  w.write_text(std::string(900, 'm'));
+  w.close();
+  EXPECT_EQ(io.bytes_written, 0u);
+  EXPECT_EQ(io.bytes_replicated, 0u);
+  EXPECT_EQ(io.bytes_transferred, 0u);
+  EXPECT_EQ(io.bytes_written_memory, 900u);
+  // One unreplicated copy resident.
+  EXPECT_EQ(fs.physical_bytes_stored(), 900u);
+  // Reads are charged normally (remote fetch).
+  IoStats read_io;
+  EXPECT_EQ(fs.read_text("/hot", &read_io).size(), 900u);
+  EXPECT_EQ(read_io.bytes_read, 900u);
+}
+
+TEST(Dfs, RenameVisibleToReaders) {
+  Dfs fs(2);
+  fs.write_text("/tmp.part", "data");
+  fs.rename("/tmp.part", "/final");
+  EXPECT_EQ(fs.read_text("/final"), "data");
+  EXPECT_FALSE(fs.exists("/tmp.part"));
+}
+
+}  // namespace
+}  // namespace mri::dfs

@@ -1,0 +1,124 @@
+#include "dfs/namenode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mri::dfs {
+namespace {
+
+BlockLocation block(BlockId id, std::uint64_t len) {
+  return BlockLocation{id, len, {0}};
+}
+
+TEST(NameNode, MkdirsIsIdempotent) {
+  NameNode nn;
+  nn.mkdirs("/a/b/c");
+  nn.mkdirs("/a/b/c");
+  EXPECT_TRUE(nn.is_directory("/a/b/c"));
+  EXPECT_TRUE(nn.is_directory("/a"));
+}
+
+TEST(NameNode, CommitCreatesParents) {
+  NameNode nn;
+  nn.commit_file("/x/y/z.bin", {block(1, 100)});
+  EXPECT_TRUE(nn.is_file("/x/y/z.bin"));
+  EXPECT_TRUE(nn.is_directory("/x/y"));
+  EXPECT_EQ(nn.file_size("/x/y/z.bin"), 100u);
+}
+
+TEST(NameNode, DuplicateCreateThrows) {
+  NameNode nn;
+  nn.commit_file("/f", {});
+  EXPECT_THROW(nn.commit_file("/f", {}), DfsError);
+  EXPECT_NO_THROW(nn.commit_file("/f", {}, /*overwrite=*/true));
+}
+
+TEST(NameNode, CannotCreateDirOverFile) {
+  NameNode nn;
+  nn.commit_file("/f", {});
+  EXPECT_THROW(nn.mkdirs("/f/sub"), Error);
+}
+
+TEST(NameNode, ListIsSorted) {
+  NameNode nn;
+  nn.commit_file("/d/b", {});
+  nn.commit_file("/d/a", {});
+  nn.mkdirs("/d/c");
+  EXPECT_EQ(nn.list("/d"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_THROW(nn.list("/nope"), DfsError);
+}
+
+TEST(NameNode, FileBlocksRoundTrip) {
+  NameNode nn;
+  nn.commit_file("/f", {block(1, 10), block(2, 20)});
+  const auto blocks = nn.file_blocks("/f");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].id, 1u);
+  EXPECT_EQ(blocks[1].length, 20u);
+  EXPECT_EQ(nn.file_size("/f"), 30u);
+}
+
+TEST(NameNode, RemoveFileReturnsBlocks) {
+  NameNode nn;
+  nn.commit_file("/f", {block(7, 10)});
+  const auto removed = nn.remove("/f");
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].id, 7u);
+  EXPECT_FALSE(nn.exists("/f"));
+}
+
+TEST(NameNode, RecursiveRemove) {
+  NameNode nn;
+  nn.commit_file("/d/sub/a", {block(1, 1)});
+  nn.commit_file("/d/b", {block(2, 2)});
+  EXPECT_THROW(nn.remove("/d"), DfsError);  // not empty, not recursive
+  const auto removed = nn.remove("/d", /*recursive=*/true);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_FALSE(nn.exists("/d"));
+}
+
+TEST(NameNode, RemoveRootRefused) {
+  NameNode nn;
+  EXPECT_THROW(nn.remove("/", true), InvalidArgument);
+}
+
+TEST(NameNode, Rename) {
+  NameNode nn;
+  nn.commit_file("/a/f", {block(1, 5)});
+  nn.rename("/a/f", "/b/g");
+  EXPECT_FALSE(nn.exists("/a/f"));
+  EXPECT_EQ(nn.file_size("/b/g"), 5u);
+}
+
+TEST(NameNode, RenameDirectory) {
+  NameNode nn;
+  nn.commit_file("/a/x/f", {});
+  nn.rename("/a", "/z");
+  EXPECT_TRUE(nn.is_file("/z/x/f"));
+}
+
+TEST(NameNode, RenameIntoItselfRefused) {
+  NameNode nn;
+  nn.mkdirs("/a");
+  EXPECT_THROW(nn.rename("/a", "/a/b"), InvalidArgument);
+}
+
+TEST(NameNode, RenameOntoExistingThrows) {
+  NameNode nn;
+  nn.commit_file("/a", {});
+  nn.commit_file("/b", {});
+  EXPECT_THROW(nn.rename("/a", "/b"), DfsError);
+}
+
+TEST(NameNode, FileCount) {
+  NameNode nn;
+  EXPECT_EQ(nn.file_count(), 0u);
+  nn.commit_file("/a/b", {});
+  nn.commit_file("/a/c", {});
+  nn.commit_file("/d", {});
+  EXPECT_EQ(nn.file_count(), 3u);
+}
+
+}  // namespace
+}  // namespace mri::dfs

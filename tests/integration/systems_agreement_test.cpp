@@ -1,0 +1,174 @@
+// Cross-system integration: the MapReduce pipeline, the ScaLAPACK-style
+// baseline, and the three single-node methods must all produce the same
+// inverse; the application workflows from the paper's introduction must
+// work end-to-end on the MapReduce inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/inverter.hpp"
+#include "linalg/gauss_jordan.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/solve.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+#include "scalapack/invert.hpp"
+
+namespace mri {
+namespace {
+
+struct Systems {
+  explicit Systems(int m0)
+      : cluster(m0, CostModel::ec2_medium()),
+        fs(m0, dfs::DfsConfig{}, &metrics),
+        pool(4) {}
+
+  Matrix invert_mapreduce(const Matrix& a, Index nb) {
+    core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
+    core::InversionOptions opts;
+    opts.nb = nb;
+    return inverter.invert(a, opts).inverse;
+  }
+
+  Matrix invert_scalapack(const Matrix& a) {
+    scalapack::Options opts;
+    opts.block_width = 16;
+    return scalapack::invert(a, cluster, opts).inverse;
+  }
+
+  MetricsRegistry metrics;
+  Cluster cluster;
+  dfs::Dfs fs;
+  ThreadPool pool;
+};
+
+TEST(SystemsAgreement, AllFiveImplementationsAgree) {
+  Systems sys(4);
+  const Matrix a = random_matrix(48, /*seed=*/21);
+  const Matrix mr = sys.invert_mapreduce(a, 12);
+  const Matrix sl = sys.invert_scalapack(a);
+  const Matrix lu = invert_via_lu(a);
+  const Matrix gj = gauss_jordan_invert(a);
+  const Matrix qr = qr_invert(a);
+  EXPECT_LT(max_abs_diff(mr, lu), 1e-8);
+  EXPECT_LT(max_abs_diff(sl, lu), 1e-8);
+  EXPECT_LT(max_abs_diff(gj, lu), 1e-8);
+  EXPECT_LT(max_abs_diff(qr, lu), 1e-7);
+}
+
+TEST(SystemsAgreement, LinearSolverApplication) {
+  // §1: solve Ax = b as x = A⁻¹ b.
+  Systems sys(4);
+  const Index n = 32;
+  const Matrix a = random_diagonally_dominant(n, /*seed=*/22);
+  const Matrix inv = sys.invert_mapreduce(a, 8);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) b[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+  // x = A⁻¹ b.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (Index j = 0; j < n; ++j)
+      sum += inv(i, j) * b[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  // Check Ax == b.
+  for (Index i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (Index j = 0; j < n; ++j)
+      sum += a(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(sum, b[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(SystemsAgreement, InverseIterationApplication) {
+  // §1: inverse iteration finds the eigenvector for the eigenvalue nearest
+  // mu using repeated multiplication by (A - mu I)⁻¹. Build a matrix with a
+  // known well-separated spectrum: A = Q·diag(1..n)·Qᵀ.
+  Systems sys(2);
+  const Index n = 24;
+  const QrResult qr = qr_decompose(random_matrix(n, /*seed=*/23));
+  Matrix d(n, n);
+  for (Index i = 0; i < n; ++i) d(i, i) = static_cast<double>(i + 1);
+  const Matrix a = multiply(multiply(qr.q, d), transpose(qr.q));
+
+  // Target the eigenvalue 1 (nearest to mu = 1.3; contraction ratio 0.43).
+  const double mu = 1.3;
+  Matrix shifted = a;
+  for (Index i = 0; i < n; ++i) shifted(i, i) -= mu;
+  const Matrix inv = sys.invert_mapreduce(shifted, 8);
+
+  std::vector<double> v(static_cast<std::size_t>(n), 1.0);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+    for (Index i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (Index j = 0; j < n; ++j)
+        sum += inv(i, j) * v[static_cast<std::size_t>(j)];
+      next[static_cast<std::size_t>(i)] = sum;
+    }
+    double norm = 0.0;
+    for (double x : next) norm += x * x;
+    norm = std::sqrt(norm);
+    for (double& x : next) x /= norm;
+    v = std::move(next);
+  }
+  // Rayleigh quotient lambda = v^T A v / v^T v, then ||Av - lambda v|| small.
+  std::vector<double> av(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (Index j = 0; j < n; ++j)
+      sum += a(i, j) * v[static_cast<std::size_t>(j)];
+    av[static_cast<std::size_t>(i)] = sum;
+  }
+  double lambda = 0.0, vv = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    lambda += v[static_cast<std::size_t>(i)] * av[static_cast<std::size_t>(i)];
+    vv += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+  }
+  lambda /= vv;
+  double resid = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double d =
+        av[static_cast<std::size_t>(i)] - lambda * v[static_cast<std::size_t>(i)];
+    resid += d * d;
+  }
+  EXPECT_LT(std::sqrt(resid), 1e-6);
+}
+
+TEST(SystemsAgreement, ReusableFilesystemAcrossRuns) {
+  // Inverting twice in the same DFS must work (cleanup between runs).
+  Systems sys(2);
+  const Matrix a = random_matrix(24, /*seed=*/24);
+  const Matrix first = sys.invert_mapreduce(a, 8);
+  const Matrix b = random_matrix(24, /*seed=*/25);
+  const Matrix second = sys.invert_mapreduce(b, 8);
+  EXPECT_LT(inversion_residual(a, first), 1e-8);
+  EXPECT_LT(inversion_residual(b, second), 1e-8);
+}
+
+TEST(SystemsAgreement, SimulatedTimeOrdering) {
+  // Sanity of the cost model at tiny scale: more nodes must not make the
+  // simulated time larger by more than launch-overhead noise, and the
+  // pipeline must report plausible positive times.
+  const Matrix a = random_matrix(64, /*seed=*/26);
+  core::InversionOptions opts;
+  opts.nb = 16;
+
+  Systems one(1);
+  Systems eight(8);
+  core::MapReduceInverter inv1(&one.cluster, &one.fs, &one.pool);
+  core::MapReduceInverter inv8(&eight.cluster, &eight.fs, &eight.pool);
+  const auto r1 = inv1.invert(a, opts);
+  const auto r8 = inv8.invert(a, opts);
+  EXPECT_GT(r1.report.sim_seconds, 0.0);
+  EXPECT_GT(r8.report.sim_seconds, 0.0);
+  // The parallel phases must shrink: compare phase time excluding launch.
+  const double launch = one.cluster.cost_model().job_launch_seconds;
+  const double t1 = r1.report.sim_seconds - launch * r1.report.jobs;
+  const double t8 = r8.report.sim_seconds - launch * r8.report.jobs;
+  EXPECT_LT(t8, t1);
+}
+
+}  // namespace
+}  // namespace mri

@@ -1,0 +1,105 @@
+// The §2 method comparison: LU, Gauss-Jordan and QR inversion all agree;
+// their pipeline-length properties match the paper's argument for LU.
+#include <gtest/gtest.h>
+
+#include "linalg/gauss_jordan.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/solve.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/layout.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri {
+namespace {
+
+class MethodsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MethodsSweep, AllMethodsAgree) {
+  const Matrix a = random_matrix(24, GetParam());
+  const Matrix via_lu = invert_via_lu(a);
+  const Matrix via_gj = gauss_jordan_invert(a);
+  const Matrix via_qr = qr_invert(a);
+  EXPECT_LT(max_abs_diff(via_lu, via_gj), 1e-8);
+  EXPECT_LT(max_abs_diff(via_lu, via_qr), 1e-8);
+  EXPECT_LT(inversion_residual(a, via_lu), 1e-10);
+  EXPECT_LT(inversion_residual(a, via_gj), 1e-10);
+  EXPECT_LT(inversion_residual(a, via_qr), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MethodsSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(GaussJordan, KnownInverse) {
+  Matrix a(2, 2, {4, 7, 2, 6});
+  const Matrix inv = gauss_jordan_invert(a);
+  EXPECT_NEAR(inv(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(inv(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(inv(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.4, 1e-12);
+}
+
+TEST(GaussJordan, SingularThrows) {
+  EXPECT_THROW(gauss_jordan_invert(Matrix(3, 3)), NumericalError);
+}
+
+TEST(GaussJordan, PivotHostile) {
+  const Matrix a = random_pivot_hostile(24, /*seed=*/5);
+  EXPECT_LT(inversion_residual(a, gauss_jordan_invert(a)), 1e-7);
+}
+
+TEST(Qr, DecompositionProperties) {
+  const Matrix a = random_matrix(20, /*seed=*/6);
+  const QrResult qr = qr_decompose(a);
+  // A = QR.
+  EXPECT_LT(max_abs_diff(multiply(qr.q, qr.r), a), 1e-10);
+  // Q orthogonal.
+  EXPECT_LT(max_abs_diff(multiply(qr.q, transpose(qr.q)), Matrix::identity(20)),
+            1e-11);
+  // R upper triangular.
+  for (Index i = 1; i < 20; ++i)
+    for (Index j = 0; j < i; ++j) EXPECT_EQ(qr.r(i, j), 0.0);
+}
+
+TEST(Qr, SingularThrows) {
+  Matrix a(3, 3);       // zero matrix: R has zero diagonal
+  EXPECT_THROW(qr_invert(a), NumericalError);
+}
+
+TEST(MethodChoice, PipelineLengths) {
+  // §4.2: block LU needs ~n/nb jobs; Gauss-Jordan and QR need n.
+  const Index n = 100000;
+  const Index nb = 3200;
+  EXPECT_EQ(gauss_jordan_pipeline_steps(n), n);
+  EXPECT_EQ(qr_pipeline_steps(n), n);
+  EXPECT_LE(total_job_count(n, nb), 34);  // the paper's 33-job pipeline
+}
+
+TEST(Solve, VectorSolveMatchesInverse) {
+  const Matrix a = random_matrix(16, /*seed=*/7);
+  std::vector<double> b(16);
+  for (std::size_t i = 0; i < 16; ++i) b[i] = static_cast<double>(i) - 8.0;
+  const std::vector<double> x = solve(a, b);
+  // A x == b.
+  for (Index i = 0; i < 16; ++i) {
+    double sum = 0.0;
+    for (Index j = 0; j < 16; ++j) sum += a(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(sum, b[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Solve, MatrixSolve) {
+  const Matrix a = random_matrix(12, /*seed=*/8);
+  const Matrix b = random_matrix(12, 3, /*seed=*/9, -1, 1);
+  const Matrix x = solve_matrix(a, b);
+  EXPECT_LT(max_abs_diff(multiply(a, x), b), 1e-9);
+}
+
+TEST(Solve, InverseViaLuSatisfiesBothSides) {
+  const Matrix a = random_matrix(20, /*seed=*/10);
+  const Matrix inv = invert_via_lu(a);
+  EXPECT_LT(max_abs_diff(multiply(a, inv), Matrix::identity(20)), 1e-9);
+  EXPECT_LT(max_abs_diff(multiply(inv, a), Matrix::identity(20)), 1e-9);
+}
+
+}  // namespace
+}  // namespace mri

@@ -1,0 +1,107 @@
+// Eq. 4 triangular inversion and the Eq. 6 substitution solves.
+#include "linalg/triangular.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri {
+namespace {
+
+class TriangularSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(TriangularSweep, LowerInverse) {
+  const Index n = GetParam();
+  const Matrix l = random_unit_lower_triangular(n, /*seed=*/n);
+  const Matrix inv = invert_lower(l);
+  EXPECT_LT(max_abs_diff(multiply(l, inv), Matrix::identity(n)), 1e-9);
+  EXPECT_LT(max_abs_diff(multiply(inv, l), Matrix::identity(n)), 1e-9);
+}
+
+TEST_P(TriangularSweep, UpperInverseBothWays) {
+  const Index n = GetParam();
+  const Matrix u = random_upper_triangular(n, /*seed=*/n + 1);
+  const Matrix via_t = invert_upper_via_transpose(u);
+  const Matrix direct = invert_upper_direct(u);
+  EXPECT_LT(max_abs_diff(via_t, direct), 1e-9);
+  EXPECT_LT(max_abs_diff(multiply(u, via_t), Matrix::identity(n)), 1e-8);
+}
+
+TEST_P(TriangularSweep, SolveLower) {
+  const Index n = GetParam();
+  const Matrix l = random_unit_lower_triangular(n, /*seed=*/n + 2);
+  const Matrix b = random_matrix(n, 5, /*seed=*/n + 3, -1, 1);
+  const Matrix x = solve_lower(l, b);
+  EXPECT_LT(max_abs_diff(multiply(l, x), b), 1e-9);
+}
+
+TEST_P(TriangularSweep, SolveUpperRight) {
+  const Index n = GetParam();
+  const Matrix u = random_upper_triangular(n, /*seed=*/n + 4);
+  const Matrix b = random_matrix(5, n, /*seed=*/n + 5, -1, 1);
+  const Matrix x = solve_upper_right(u, b);
+  EXPECT_LT(max_abs_diff(multiply(x, u), b), 1e-8);
+  // Transposed-layout variant agrees.
+  const Matrix xt = solve_upper_right_from_transpose(transpose(u), b);
+  EXPECT_LT(max_abs_diff(x, xt), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TriangularSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 33, 64));
+
+TEST(Triangular, NonUnitLowerDiagonal) {
+  Matrix l(2, 2, {2, 0, 3, 4});
+  const Matrix inv = invert_lower(l);
+  EXPECT_LT(max_abs_diff(multiply(l, inv), Matrix::identity(2)), 1e-15);
+  EXPECT_DOUBLE_EQ(inv(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(inv(1, 1), 0.25);
+}
+
+TEST(Triangular, SingularDiagonalThrows) {
+  Matrix l(2, 2, {1, 0, 3, 0});
+  EXPECT_THROW(invert_lower(l), InvalidArgument);
+  EXPECT_THROW(solve_lower(l, Matrix(2, 1)), InvalidArgument);
+}
+
+TEST(Triangular, ColumnSubsetMatchesFullInverse) {
+  const Matrix l = random_unit_lower_triangular(24, /*seed=*/9);
+  const Matrix full = invert_lower(l);
+  // The §5.4 interleaved pattern: every 4th column starting at 1.
+  std::vector<Index> ids;
+  for (Index k = 1; k < 24; k += 4) ids.push_back(k);
+  const Matrix cols = invert_lower_columns(l, ids);
+  ASSERT_EQ(cols.cols(), static_cast<Index>(ids.size()));
+  for (std::size_t c = 0; c < ids.size(); ++c) {
+    for (Index i = 0; i < 24; ++i) {
+      EXPECT_NEAR(cols(i, static_cast<Index>(c)), full(i, ids[c]), 1e-12);
+    }
+  }
+}
+
+TEST(Triangular, ColumnSubsetEmpty) {
+  const Matrix l = random_unit_lower_triangular(4, /*seed=*/10);
+  const Matrix cols = invert_lower_columns(l, {});
+  EXPECT_EQ(cols.rows(), 4);
+  EXPECT_EQ(cols.cols(), 0);
+}
+
+TEST(Triangular, ColumnSubsetOutOfRangeThrows) {
+  const Matrix l = random_unit_lower_triangular(4, /*seed=*/11);
+  EXPECT_THROW(invert_lower_columns(l, {4}), InvalidArgument);
+}
+
+TEST(Triangular, SolveShapeMismatchThrows) {
+  const Matrix l = random_unit_lower_triangular(4, /*seed=*/12);
+  EXPECT_THROW(solve_lower(l, Matrix(5, 2)), InvalidArgument);
+  const Matrix u = random_upper_triangular(4, /*seed=*/13);
+  EXPECT_THROW(solve_upper_right(u, Matrix(2, 5)), InvalidArgument);
+}
+
+TEST(Triangular, CostModels) {
+  EXPECT_EQ(triangular_inverse_cost(60).mults, 60ull * 60 * 60 / 6);
+  EXPECT_EQ(triangular_solve_cost(10, 4).mults, 10ull * 10 * 4 / 2);
+}
+
+}  // namespace
+}  // namespace mri

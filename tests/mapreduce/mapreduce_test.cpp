@@ -1,0 +1,354 @@
+// The MapReduce runtime exercised as a general-purpose system: a word-count
+// style job, shuffle semantics, scheduling/failure simulation, pipelines.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mapreduce/pipeline.hpp"
+#include "mapreduce/runtime.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "mapreduce/shuffle.hpp"
+
+namespace mri::mr {
+namespace {
+
+// ---- shuffle ----------------------------------------------------------------
+
+TEST(Shuffle, PartitionsByKeyMod) {
+  std::vector<std::vector<KeyValue>> outputs(2);
+  outputs[0] = {{0, "a"}, {1, "b"}, {2, "c"}};
+  outputs[1] = {{1, "d"}};
+  const ShuffleResult r = shuffle(std::move(outputs), 2, nullptr);
+  ASSERT_EQ(r.partitions.size(), 2u);
+  EXPECT_EQ(r.partitions[0].at(0), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(r.partitions[0].at(2), (std::vector<std::string>{"c"}));
+  EXPECT_EQ(r.partitions[1].at(1), (std::vector<std::string>{"b", "d"}));
+}
+
+TEST(Shuffle, NegativeKeysLandInRange) {
+  std::vector<std::vector<KeyValue>> outputs(1);
+  outputs[0] = {{-3, "x"}};
+  const ShuffleResult r = shuffle(std::move(outputs), 2, nullptr);
+  EXPECT_EQ(r.partitions[1].at(-3).size(), 1u);
+}
+
+TEST(Shuffle, CustomPartitioner) {
+  std::vector<std::vector<KeyValue>> outputs(1);
+  outputs[0] = {{100, "x"}, {200, "y"}};
+  const ShuffleResult r = shuffle(
+      std::move(outputs), 3, [](std::int64_t, int) { return 2; });
+  EXPECT_TRUE(r.partitions[0].empty());
+  EXPECT_EQ(r.partitions[2].size(), 2u);
+}
+
+TEST(Shuffle, CountsBytes) {
+  std::vector<std::vector<KeyValue>> outputs(1);
+  outputs[0] = {{1, "abcd"}};
+  const ShuffleResult r = shuffle(std::move(outputs), 1, nullptr);
+  EXPECT_EQ(r.total_bytes, 8u + 4u);
+}
+
+TEST(Shuffle, BadPartitionerCaught) {
+  std::vector<std::vector<KeyValue>> outputs(1);
+  outputs[0] = {{1, "x"}};
+  EXPECT_THROW(
+      shuffle(std::move(outputs), 2, [](std::int64_t, int) { return 7; }),
+      Error);
+}
+
+// ---- scheduler -----------------------------------------------------------------
+
+Attempt ok_attempt(std::uint64_t flops) {
+  Attempt a;
+  a.io.mults = flops;
+  return a;
+}
+
+TEST(Scheduler, SingleWave) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.0;
+  Cluster cluster(4, m);
+  // 4 equal tasks on 4 nodes: duration = one task.
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(2'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_NEAR(s.duration, 2.0, 1e-9);
+  EXPECT_EQ(s.attempts_run, 4);
+  EXPECT_EQ(s.nodes_lost, 0);
+}
+
+TEST(Scheduler, TwoWaves) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.0;
+  Cluster cluster(2, m);
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_NEAR(s.duration, 2.0, 1e-9);  // 4 tasks / 2 slots = 2 waves
+}
+
+TEST(Scheduler, FailureSerializesRetry) {
+  // The §7.4 scenario: all slots busy; one task fails halfway and loses its
+  // node; the retry starts only when another task finishes.
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.0;
+  Cluster cluster(2, m);
+  std::vector<std::vector<Attempt>> tasks(2);
+  tasks[0] = {ok_attempt(1'000'000'000)};  // 1 s, succeeds
+  Attempt ghost = ok_attempt(500'000'000);  // dies at 0.5 s
+  ghost.failed = true;
+  tasks[1] = {ghost, ok_attempt(1'000'000'000)};
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  // Node lost at 0.5 s; retry waits for the other node (free at 1.0 s) and
+  // runs 1 s: total 2.0 s instead of 1.0 s.
+  EXPECT_NEAR(s.duration, 2.0, 1e-9);
+  EXPECT_EQ(s.nodes_lost, 1);
+  EXPECT_EQ(s.attempts_run, 3);
+}
+
+TEST(Scheduler, SlowNodeStretchesPhase) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.4;
+  Cluster cluster(4, m, /*seed=*/123);
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  double slowest = 1.0;
+  for (int i = 0; i < 4; ++i)
+    slowest = std::max(slowest, 1.0 / cluster.speed_factor(i));
+  EXPECT_NEAR(s.duration, slowest, 1e-9);
+}
+
+TEST(Scheduler, EmptyPhase) {
+  Cluster cluster(2, CostModel{});
+  EXPECT_EQ(schedule_phase(cluster, {}).duration, 0.0);
+}
+
+CostModel spec_model(bool speculation, double variance) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = variance;
+  m.speculative_execution = speculation;
+  m.speculative_threshold = 1.2;
+  return m;
+}
+
+TEST(Scheduler, SpeculationCannotRescueBigWork) {
+  // A task with 10x the *work* (not a slow node) gains nothing from a
+  // backup: the backup needs the same 10 s.
+  Cluster cluster(4, spec_model(true, 0.0));
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  tasks[3] = {ok_attempt(10'000'000'000)};
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_NEAR(s.duration, 10.0, 1e-9);
+}
+
+TEST(Scheduler, SpeculationRescuesSlowNodeStraggler) {
+  // Same work everywhere, but one node is much slower; the backup on a
+  // fast idle node beats the straggler.
+  // Seed 13 gives speeds {1.00, 0.69, 1.34, 1.56}: the task on node 1 runs
+  // 2.9 s vs a 2.0 s median; the idle 1.56x node backs it up from 1.49 s
+  // and wins at ~2.77 s.
+  Cluster with_spec(4, spec_model(true, 0.6), /*seed=*/13);
+  Cluster without_spec(4, spec_model(false, 0.6), /*seed=*/13);
+  // Fewer tasks than slots so idle capacity exists for backups.
+  std::vector<std::vector<Attempt>> tasks(3, {ok_attempt(2'000'000'000)});
+  const PhaseSchedule a = schedule_phase(with_spec, tasks);
+  const PhaseSchedule b = schedule_phase(without_spec, tasks);
+  EXPECT_LE(a.duration, b.duration);
+  // With a 0.6 spread the slowest node is ~2.5x nominal; a backup should
+  // actually have been launched and won.
+  EXPECT_GE(a.backups_run, 1);
+  EXPECT_LT(a.duration, b.duration);
+}
+
+TEST(Scheduler, SpeculationOffByDefault) {
+  CostModel m;
+  Cluster cluster(4, m);
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  EXPECT_EQ(schedule_phase(cluster, tasks).backups_run, 0);
+}
+
+// ---- runtime: a classic word-count job ------------------------------------------
+
+class WordCountMapper : public Mapper {
+ public:
+  void map(std::int64_t, const std::string& value, TaskContext& ctx) override {
+    std::istringstream in(value);
+    std::string word;
+    while (in >> word) {
+      // Key by word length (integer keys); value is the word itself.
+      ctx.emit(static_cast<std::int64_t>(word.size()), word);
+    }
+  }
+};
+
+class CountReducer : public Reducer {
+ public:
+  void reduce(std::int64_t key, const std::vector<std::string>& values,
+              TaskContext& ctx) override {
+    ctx.fs().write_text("/out/len." + std::to_string(key),
+                        std::to_string(values.size()), &ctx.io());
+  }
+};
+
+struct RuntimeFixture {
+  RuntimeFixture(int nodes)
+      : cluster(nodes, CostModel::ec2_medium()),
+        fs(nodes, dfs::DfsConfig{}, &metrics),
+        pool(4),
+        runner(&cluster, &fs, &pool, &failures, &metrics) {}
+
+  MetricsRegistry metrics;
+  FailureInjector failures;
+  Cluster cluster;
+  dfs::Dfs fs;
+  ThreadPool pool;
+  JobRunner runner;
+};
+
+JobSpec word_count_spec(std::vector<std::string> inputs) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_files = std::move(inputs);
+  spec.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  spec.num_reduce_tasks = 3;
+  return spec;
+}
+
+TEST(Runtime, WordCountEndToEnd) {
+  RuntimeFixture fx(4);
+  fx.fs.write_text("/in/0", "a bb ccc a bb");
+  fx.fs.write_text("/in/1", "dddd a ccc");
+  const JobResult r = fx.runner.run(word_count_spec({"/in/0", "/in/1"}));
+
+  EXPECT_EQ(fx.fs.read_text("/out/len.1"), "3");  // a a a
+  EXPECT_EQ(fx.fs.read_text("/out/len.2"), "2");  // bb bb
+  EXPECT_EQ(fx.fs.read_text("/out/len.3"), "2");  // ccc ccc
+  EXPECT_EQ(fx.fs.read_text("/out/len.4"), "1");  // dddd
+  EXPECT_EQ(r.map_tasks, 2);
+  EXPECT_EQ(r.reduce_tasks, 3);
+  EXPECT_GT(r.sim_seconds,
+            fx.cluster.cost_model().job_launch_seconds);  // launch charged
+  EXPECT_GT(r.shuffle_bytes, 0u);
+  EXPECT_EQ(fx.metrics.value("jobs"), 1u);
+  EXPECT_EQ(fx.metrics.value("map_tasks"), 2u);
+}
+
+TEST(Runtime, MapOnlyJob) {
+  RuntimeFixture fx(2);
+  fx.fs.write_text("/in/0", "payload");
+  JobSpec spec;
+  spec.name = "map-only";
+  spec.input_files = {"/in/0"};
+  spec.mapper_factory = [] {
+    class M : public Mapper {
+      void map(std::int64_t, const std::string& v, TaskContext& ctx) override {
+        ctx.fs().write_text("/out/copy", v, &ctx.io());
+      }
+    };
+    return std::make_unique<M>();
+  };
+  const JobResult r = fx.runner.run(spec);
+  EXPECT_EQ(fx.fs.read_text("/out/copy"), "payload");
+  EXPECT_EQ(r.reduce_tasks, 0);
+  EXPECT_EQ(r.reduce_phase_seconds, 0.0);
+}
+
+TEST(Runtime, TaskExceptionBecomesJobError) {
+  RuntimeFixture fx(2);
+  fx.fs.write_text("/in/0", "x");
+  JobSpec spec;
+  spec.name = "broken";
+  spec.input_files = {"/in/0"};
+  spec.mapper_factory = [] {
+    class M : public Mapper {
+      void map(std::int64_t, const std::string&, TaskContext&) override {
+        throw NumericalError("singular");
+      }
+    };
+    return std::make_unique<M>();
+  };
+  EXPECT_THROW(fx.runner.run(spec), JobError);
+}
+
+TEST(Runtime, InjectedFailureIsRecoveredAndCharged) {
+  RuntimeFixture fx(4);
+  for (int i = 0; i < 4; ++i)
+    fx.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+  fx.failures.add_rule(FailureRule{"wordcount", 2, 0, true});
+
+  const JobResult with_failure = fx.runner.run(word_count_spec(
+      {"/in/0", "/in/1", "/in/2", "/in/3"}));
+  EXPECT_EQ(with_failure.failures_recovered, 1);
+
+  RuntimeFixture clean(4);
+  for (int i = 0; i < 4; ++i)
+    clean.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+  const JobResult no_failure = clean.runner.run(word_count_spec(
+      {"/in/0", "/in/1", "/in/2", "/in/3"}));
+  EXPECT_EQ(no_failure.failures_recovered, 0);
+  EXPECT_GT(with_failure.sim_seconds, no_failure.sim_seconds);
+}
+
+TEST(Runtime, MissingInputIsJobError) {
+  RuntimeFixture fx(2);
+  JobSpec spec = word_count_spec({"/does/not/exist"});
+  EXPECT_THROW(fx.runner.run(spec), JobError);
+}
+
+TEST(Runtime, EmptyInputListRejected) {
+  RuntimeFixture fx(2);
+  JobSpec spec = word_count_spec({});
+  EXPECT_THROW(fx.runner.run(spec), InvalidArgument);
+}
+
+// ---- pipeline -----------------------------------------------------------------
+
+TEST(Pipeline, AccumulatesAcrossJobs) {
+  RuntimeFixture fx(2);
+  fx.fs.write_text("/in/0", "one two");
+  Pipeline pipeline(&fx.runner);
+  pipeline.run(word_count_spec({"/in/0"}));
+  fx.fs.write_text("/in/1", "three");
+  JobSpec second = word_count_spec({"/in/1"});
+  second.name = "wordcount2";
+  // The /out files from job 1 collide; write elsewhere.
+  second.reducer_factory = [] {
+    class R : public Reducer {
+      void reduce(std::int64_t key, const std::vector<std::string>& values,
+                  TaskContext& ctx) override {
+        ctx.fs().write_text("/out2/len." + std::to_string(key),
+                            std::to_string(values.size()), &ctx.io());
+      }
+    };
+    return std::make_unique<R>();
+  };
+  pipeline.run(second);
+
+  IoStats master;
+  master.mults = 1'000'000;
+  pipeline.add_master_work(master);
+
+  EXPECT_EQ(pipeline.job_count(), 2);
+  EXPECT_GT(pipeline.master_seconds(), 0.0);
+  EXPECT_NEAR(pipeline.total_sim_seconds(),
+              pipeline.jobs()[0].sim_seconds + pipeline.jobs()[1].sim_seconds +
+                  pipeline.master_seconds(),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace mri::mr

@@ -1,0 +1,66 @@
+#include "matrix/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri {
+namespace {
+
+TEST(Generate, Deterministic) {
+  EXPECT_EQ(random_matrix(16, 1), random_matrix(16, 1));
+  EXPECT_NE(random_matrix(16, 1), random_matrix(16, 2));
+}
+
+TEST(Generate, RespectsRange) {
+  const Matrix m = random_matrix(20, 20, /*seed=*/3, 2.0, 5.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Generate, DiagonallyDominant) {
+  const Matrix m = random_diagonally_dominant(24, /*seed=*/4);
+  for (Index i = 0; i < m.rows(); ++i) {
+    double off = 0.0;
+    for (Index j = 0; j < m.cols(); ++j)
+      if (j != i) off += std::abs(m(i, j));
+    EXPECT_GT(std::abs(m(i, i)), off);
+  }
+}
+
+TEST(Generate, SpdIsSymmetric) {
+  const Matrix m = random_spd(16, /*seed=*/5);
+  EXPECT_LT(max_abs_diff(m, transpose(m)), 1e-12);
+  // Strictly positive diagonal (necessary for PD).
+  for (Index i = 0; i < m.rows(); ++i) EXPECT_GT(m(i, i), 0.0);
+}
+
+TEST(Generate, PivotHostileActuallyPivots) {
+  const Matrix m = random_pivot_hostile(32, /*seed=*/6);
+  const LuResult lu = lu_decompose(m);
+  EXPECT_FALSE(lu.perm.is_identity());
+}
+
+TEST(Generate, UnitLowerTriangular) {
+  const Matrix m = random_unit_lower_triangular(12, /*seed=*/7);
+  for (Index i = 0; i < 12; ++i) {
+    EXPECT_EQ(m(i, i), 1.0);
+    for (Index j = i + 1; j < 12; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Generate, UpperTriangularInvertible) {
+  const Matrix m = random_upper_triangular(12, /*seed=*/8);
+  for (Index i = 0; i < 12; ++i) {
+    EXPECT_GE(std::abs(m(i, i)), 0.5);
+    for (Index j = 0; j < i; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mri

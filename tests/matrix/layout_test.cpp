@@ -1,0 +1,140 @@
+// Tests of the closed-form partition geometry — including the exact values
+// the paper reports (Table 3 job counts, §6.1 file counts, §6.2 factors).
+#include "matrix/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mri {
+namespace {
+
+TEST(Layout, RecursionDepthBasics) {
+  EXPECT_EQ(recursion_depth(8, 8), 0);
+  EXPECT_EQ(recursion_depth(9, 8), 1);
+  EXPECT_EQ(recursion_depth(16, 8), 1);
+  EXPECT_EQ(recursion_depth(17, 8), 2);
+  EXPECT_EQ(recursion_depth(1, 8), 0);
+}
+
+TEST(Layout, DepthMatchesPaperMatrices) {
+  // Table 3 with nb = 3200.
+  EXPECT_EQ(recursion_depth(20480, 3200), 3);   // M1
+  EXPECT_EQ(recursion_depth(32768, 3200), 4);   // M2
+  EXPECT_EQ(recursion_depth(40960, 3200), 4);   // M3
+  EXPECT_EQ(recursion_depth(102400, 3200), 5);  // M4
+  EXPECT_EQ(recursion_depth(16384, 3200), 3);   // M5
+}
+
+TEST(Layout, JobCountsMatchTable3) {
+  EXPECT_EQ(total_job_count(20480, 3200), 9);    // M1
+  EXPECT_EQ(total_job_count(32768, 3200), 17);   // M2
+  EXPECT_EQ(total_job_count(40960, 3200), 17);   // M3
+  EXPECT_EQ(total_job_count(102400, 3200), 33);  // M4
+  EXPECT_EQ(total_job_count(16384, 3200), 9);    // M5
+}
+
+TEST(Layout, JobCountDecomposition) {
+  // total = 1 partition + (2^d - 1) LU + 1 inversion.
+  for (Index n : {100, 1000, 5000, 100000}) {
+    const Index nb = 129;
+    EXPECT_EQ(total_job_count(n, nb), lu_job_count(n, nb) + 2);
+    EXPECT_EQ(lu_job_count(n, nb), leaf_count(n, nb) - 1);
+  }
+}
+
+TEST(Layout, LeafSizeIsAtMostNb) {
+  for (Index n = 1; n <= 300; n += 7) {
+    for (Index nb : {1, 3, 8, 50}) {
+      const int d = recursion_depth(n, nb);
+      Index size = n;
+      for (int i = 0; i < d; ++i) size = split_point(size);
+      EXPECT_LE(size, nb) << "n=" << n << " nb=" << nb;
+      if (d > 0) {
+        // Depth is minimal: one fewer halving would exceed nb.
+        Index bigger = n;
+        for (int i = 0; i + 1 < d; ++i) bigger = split_point(bigger);
+        EXPECT_GT(bigger, nb);
+      }
+    }
+  }
+}
+
+TEST(Layout, IntermediateFileCountMatchesPaperExample) {
+  // §6.1: n = 2^15, nb = 2048 (depth 4), m0 = 64 -> 496 files.
+  EXPECT_EQ(recursion_depth(1 << 15, 2048), 4);
+  EXPECT_EQ(intermediate_file_count(4, 64), 496);
+}
+
+TEST(Layout, BlockWrapFactorsOfPaperExamples) {
+  // §6.2: 64 nodes -> 8 x 8.
+  auto f64 = block_wrap_factors(64);
+  EXPECT_EQ(f64.f1, 8);
+  EXPECT_EQ(f64.f2, 8);
+  auto f8 = block_wrap_factors(8);
+  EXPECT_EQ(f8.f1, 4);
+  EXPECT_EQ(f8.f2, 2);
+  auto f12 = block_wrap_factors(12);
+  EXPECT_EQ(f12.f1, 4);
+  EXPECT_EQ(f12.f2, 3);
+  auto f1 = block_wrap_factors(1);
+  EXPECT_EQ(f1.f1, 1);
+  EXPECT_EQ(f1.f2, 1);
+  auto f7 = block_wrap_factors(7);  // prime: 7 x 1
+  EXPECT_EQ(f7.f1, 7);
+  EXPECT_EQ(f7.f2, 1);
+}
+
+TEST(Layout, BlockWrapInvariants) {
+  for (int m0 = 1; m0 <= 256; ++m0) {
+    const auto f = block_wrap_factors(m0);
+    EXPECT_EQ(f.f1 * f.f2, m0);
+    EXPECT_LE(f.f2, f.f1);
+    EXPECT_LE(static_cast<double>(f.f2) * f.f2, static_cast<double>(m0));
+  }
+}
+
+TEST(Layout, WrappedReadsBeatNaive) {
+  // §6.2's example: 64 nodes, naive 65n² vs wrapped 16n².
+  const Index n = 1000;
+  EXPECT_EQ(naive_multiply_read_elements(n, 64), 65u * 1000u * 1000u);
+  EXPECT_EQ(wrapped_multiply_read_elements(n, 64), 16u * 1000u * 1000u);
+  for (int m0 : {2, 4, 8, 16, 32, 64, 128}) {
+    EXPECT_LE(wrapped_multiply_read_elements(n, m0),
+              naive_multiply_read_elements(n, m0));
+  }
+}
+
+TEST(Layout, SplitPoint) {
+  EXPECT_EQ(split_point(10), 5);
+  EXPECT_EQ(split_point(11), 6);
+  EXPECT_EQ(split_point(2), 1);
+  EXPECT_THROW(split_point(1), InvalidArgument);
+}
+
+TEST(Layout, StripeCoversExactly) {
+  for (Index rows : {0, 1, 5, 17, 100}) {
+    for (int workers : {1, 2, 3, 7, 16}) {
+      Index covered = 0;
+      Index prev_end = 0;
+      for (int w = 0; w < workers; ++w) {
+        const RowRange r = stripe(rows, workers, w);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_GE(r.count(), 0);
+        covered += r.count();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, rows);
+      // Balanced to within one row.
+      const RowRange first = stripe(rows, workers, 0);
+      const RowRange last = stripe(rows, workers, workers - 1);
+      EXPECT_LE(first.count() - last.count(), 1);
+    }
+  }
+}
+
+TEST(Layout, StripeRejectsBadWorker) {
+  EXPECT_THROW(stripe(10, 2, 2), InvalidArgument);
+  EXPECT_THROW(stripe(10, 0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mri

@@ -1,0 +1,103 @@
+#include "matrix/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mri {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, AdoptsData) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 3);
+  EXPECT_EQ(m(1, 1), 4);
+}
+
+TEST(Matrix, AdoptRejectsWrongSize) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i3 = Matrix::identity(3);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j) EXPECT_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, -1), InvalidArgument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanWrites) {
+  Matrix m(2, 3);
+  auto r1 = m.row(1);
+  r1[2] = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, BlockExtractsCopy) {
+  Matrix m(4, 4);
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 4; ++j) m(i, j) = static_cast<double>(10 * i + j);
+  Matrix b = m.block(1, 3, 2, 4);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_EQ(b(0, 0), 12.0);
+  EXPECT_EQ(b(1, 1), 23.0);
+  b(0, 0) = -1;  // copy: original unchanged
+  EXPECT_EQ(m(1, 2), 12.0);
+}
+
+TEST(Matrix, BlockBoundsChecked) {
+  Matrix m(4, 4);
+  EXPECT_THROW(m.block(0, 5, 0, 4), InvalidArgument);
+  EXPECT_THROW(m.block(2, 1, 0, 4), InvalidArgument);
+}
+
+TEST(Matrix, SetBlockRoundTrip) {
+  Matrix m(4, 4);
+  Matrix b(2, 2, {1, 2, 3, 4});
+  m.set_block(1, 2, b);
+  EXPECT_EQ(m.block(1, 3, 2, 4), b);
+}
+
+TEST(Matrix, SetBlockBoundsChecked) {
+  Matrix m(4, 4);
+  Matrix b(2, 2);
+  EXPECT_THROW(m.set_block(3, 3, b), InvalidArgument);
+}
+
+TEST(Matrix, EmptyBlockAllowed) {
+  Matrix m(4, 4);
+  Matrix b = m.block(2, 2, 0, 4);
+  EXPECT_EQ(b.rows(), 0);
+  EXPECT_EQ(b.cols(), 4);
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2, 3, 4});
+  Matrix c(2, 2, {1, 2, 3, 5});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace mri

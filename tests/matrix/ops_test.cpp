@@ -1,0 +1,135 @@
+#include "matrix/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+
+namespace mri {
+namespace {
+
+TEST(Ops, MultiplyKnownValues) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = multiply(a, b);
+  EXPECT_EQ(c, Matrix(2, 2, {58, 64, 139, 154}));
+}
+
+TEST(Ops, MultiplyShapeMismatchThrows) {
+  EXPECT_THROW(multiply(Matrix(2, 3), Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Ops, MultiplyByIdentity) {
+  const Matrix a = random_matrix(17, 23, /*seed=*/1, -5, 5);
+  EXPECT_LT(max_abs_diff(multiply(a, Matrix::identity(23)), a), 1e-12);
+  EXPECT_LT(max_abs_diff(multiply(Matrix::identity(17), a), a), 1e-12);
+}
+
+class MultiplyVariants : public ::testing::TestWithParam<Index> {};
+
+TEST_P(MultiplyVariants, AllKernelsAgree) {
+  const Index n = GetParam();
+  const Matrix a = random_matrix(n, n + 3, /*seed=*/n, -1, 1);
+  const Matrix b = random_matrix(n + 3, n + 1, /*seed=*/n + 99, -1, 1);
+  const Matrix fast = multiply(a, b);
+  const Matrix naive = multiply_naive_ijk(a, b);
+  const Matrix via_t = multiply_transposed_b(a, transpose(b));
+  EXPECT_LT(max_abs_diff(fast, naive), 1e-10 * static_cast<double>(n));
+  EXPECT_LT(max_abs_diff(fast, via_t), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MultiplyVariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 64));
+
+class MultiplyProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiplyProperties, Associativity) {
+  const std::uint64_t seed = GetParam();
+  const Matrix a = random_matrix(9, 7, seed, -1, 1);
+  const Matrix b = random_matrix(7, 11, seed + 1, -1, 1);
+  const Matrix c = random_matrix(11, 5, seed + 2, -1, 1);
+  EXPECT_LT(max_abs_diff(multiply(multiply(a, b), c),
+                         multiply(a, multiply(b, c))),
+            1e-11);
+}
+
+TEST_P(MultiplyProperties, TransposeOfProduct) {
+  const std::uint64_t seed = GetParam();
+  const Matrix a = random_matrix(8, 6, seed, -1, 1);
+  const Matrix b = random_matrix(6, 10, seed + 5, -1, 1);
+  // (AB)^T = B^T A^T
+  EXPECT_LT(max_abs_diff(transpose(multiply(a, b)),
+                         multiply(transpose(b), transpose(a))),
+            1e-12);
+}
+
+TEST_P(MultiplyProperties, DistributesOverAddition) {
+  const std::uint64_t seed = GetParam();
+  const Matrix a = random_matrix(6, 6, seed, -1, 1);
+  const Matrix b = random_matrix(6, 6, seed + 1, -1, 1);
+  const Matrix c = random_matrix(6, 6, seed + 2, -1, 1);
+  EXPECT_LT(max_abs_diff(multiply(a, add(b, c)),
+                         add(multiply(a, b), multiply(a, c))),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiplyProperties,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Ops, MultiplyAccumulate) {
+  const Matrix a = random_matrix(5, 5, 1, -1, 1);
+  const Matrix b = random_matrix(5, 5, 2, -1, 1);
+  Matrix c = random_matrix(5, 5, 3, -1, 1);
+  const Matrix expected = add(c, multiply(a, b));
+  multiply_accumulate(a, b, &c);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-12);
+}
+
+TEST(Ops, AddSubtractRoundTrip) {
+  const Matrix a = random_matrix(7, 9, 4, -1, 1);
+  const Matrix b = random_matrix(7, 9, 5, -1, 1);
+  EXPECT_LT(max_abs_diff(subtract(add(a, b), b), a), 1e-15);
+}
+
+TEST(Ops, SubtractInPlace) {
+  Matrix a = random_matrix(4, 4, 6, -1, 1);
+  const Matrix orig = a;
+  const Matrix b = random_matrix(4, 4, 7, -1, 1);
+  subtract_in_place(&a, b);
+  EXPECT_LT(max_abs_diff(a, subtract(orig, b)), 1e-15);
+}
+
+TEST(Ops, TransposeIsInvolution) {
+  const Matrix a = random_matrix(6, 11, 8, -1, 1);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Ops, MaxAbs) {
+  Matrix m(2, 2, {1, -7, 3, 2});
+  EXPECT_EQ(max_abs(m), 7.0);
+  EXPECT_EQ(max_abs(Matrix(3, 3)), 0.0);
+}
+
+TEST(Ops, FrobeniusNorm) {
+  Matrix m(2, 2, {3, 4, 0, 0});
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+TEST(Ops, InversionResidualOfExactInverse) {
+  Matrix a(2, 2, {4, 7, 2, 6});
+  Matrix inv(2, 2, {0.6, -0.7, -0.2, 0.4});
+  EXPECT_LT(inversion_residual(a, inv), 1e-12);
+}
+
+TEST(Ops, InversionResidualDetectsWrongInverse) {
+  Matrix a(2, 2, {4, 7, 2, 6});
+  EXPECT_GT(inversion_residual(a, Matrix::identity(2)), 1.0);
+}
+
+TEST(Ops, MultiplyCostCountsFlops) {
+  const IoStats io = multiply_cost(3, 4, 5);
+  EXPECT_EQ(io.mults, 60u);
+  EXPECT_EQ(io.adds, 60u);
+}
+
+}  // namespace
+}  // namespace mri

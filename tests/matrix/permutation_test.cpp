@@ -1,0 +1,97 @@
+#include "matrix/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+
+namespace mri {
+namespace {
+
+TEST(Permutation, IdentityByDefault) {
+  Permutation p(4);
+  EXPECT_TRUE(p.is_identity());
+  const Matrix a = random_matrix(4, 4, 1, -1, 1);
+  EXPECT_EQ(p.apply_to_rows(a), a);
+  EXPECT_EQ(p.apply_to_columns(a), a);
+}
+
+TEST(Permutation, RejectsNonBijection) {
+  EXPECT_THROW(Permutation(std::vector<Index>{0, 0, 1}), InvalidArgument);
+  EXPECT_THROW(Permutation(std::vector<Index>{0, 3}), InvalidArgument);
+}
+
+TEST(Permutation, SwapMatchesPivoting) {
+  Permutation p(3);
+  p.swap(0, 2);
+  EXPECT_EQ(p[0], 2);
+  EXPECT_EQ(p[2], 0);
+  EXPECT_EQ(p[1], 1);
+}
+
+TEST(Permutation, RowApplicationMatchesMatrixForm) {
+  Permutation p(std::vector<Index>{2, 0, 3, 1});
+  const Matrix a = random_matrix(4, 5, 2, -1, 1);
+  EXPECT_LT(max_abs_diff(p.apply_to_rows(a), multiply(p.to_matrix(), a)),
+            1e-15);
+}
+
+TEST(Permutation, ColumnApplicationMatchesMatrixForm) {
+  Permutation p(std::vector<Index>{2, 0, 3, 1});
+  const Matrix x = random_matrix(5, 4, 3, -1, 1);
+  EXPECT_LT(max_abs_diff(p.apply_to_columns(x), multiply(x, p.to_matrix())),
+            1e-15);
+}
+
+TEST(Permutation, InverseUndoesRows) {
+  Permutation p(std::vector<Index>{1, 3, 0, 2});
+  const Matrix a = random_matrix(4, 4, 4, -1, 1);
+  EXPECT_EQ(p.inverse().apply_to_rows(p.apply_to_rows(a)), a);
+  EXPECT_EQ(p.apply_inverse_to_rows(p.apply_to_rows(a)), a);
+}
+
+TEST(Permutation, ConcatIsBlockDiagonal) {
+  Permutation s1(std::vector<Index>{1, 0});
+  Permutation s2(std::vector<Index>{2, 0, 1});
+  Permutation s = Permutation::concat(s1, s2);
+  EXPECT_EQ(s.map(), (std::vector<Index>{1, 0, 4, 2, 3}));
+  // Matches the block-diagonal matrix form.
+  Matrix block(5, 5);
+  block.set_block(0, 0, s1.to_matrix());
+  block.set_block(2, 2, s2.to_matrix());
+  EXPECT_EQ(s.to_matrix(), block);
+}
+
+TEST(Permutation, PermutationMatrixIsOrthogonal) {
+  Permutation p(std::vector<Index>{3, 1, 4, 0, 2});
+  const Matrix pm = p.to_matrix();
+  EXPECT_LT(max_abs_diff(multiply(pm, transpose(pm)), Matrix::identity(5)),
+            1e-15);
+}
+
+class PermutationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationProperty, RandomRoundTrips) {
+  Xoshiro256 rng(GetParam());
+  const Index n = 1 + static_cast<Index>(rng.next_below(20));
+  Permutation p(n);
+  for (Index i = 0; i < 2 * n; ++i) {
+    p.swap(static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n))),
+           static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  const Matrix a = random_matrix(n, n, GetParam() + 7, -1, 1);
+  // P^T P = I in both application forms.
+  EXPECT_EQ(p.apply_inverse_to_rows(p.apply_to_rows(a)), a);
+  EXPECT_EQ(p.inverse().inverse().map(), p.map());
+  // apply_to_columns is the adjoint of apply_to_rows:
+  // (X P)^T == P^T X^T.
+  EXPECT_EQ(transpose(p.apply_to_columns(a)),
+            p.inverse().apply_to_rows(transpose(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace mri

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/failure.hpp"
+#include "sim/metrics.hpp"
+
+namespace mri {
+namespace {
+
+// ---- IoStats ----------------------------------------------------------------
+
+TEST(IoStats, Accumulates) {
+  IoStats a{.bytes_written = 10,
+            .bytes_read = 20,
+            .bytes_transferred = 30,
+            .bytes_replicated = 5,
+            .bytes_written_memory = 7,
+            .mults = 100,
+            .adds = 200};
+  IoStats b{.bytes_written = 1,
+            .bytes_read = 2,
+            .bytes_transferred = 3,
+            .bytes_replicated = 4,
+            .bytes_written_memory = 5,
+            .mults = 5,
+            .adds = 6};
+  a += b;
+  EXPECT_EQ(a.bytes_written, 11u);
+  EXPECT_EQ(a.bytes_read, 22u);
+  EXPECT_EQ(a.bytes_transferred, 33u);
+  EXPECT_EQ(a.bytes_replicated, 9u);
+  EXPECT_EQ(a.bytes_written_memory, 12u);
+  EXPECT_EQ(a.flops(), 311u);
+}
+
+// ---- cost model ----------------------------------------------------------------
+
+TEST(CostModel, TaskSecondsComposition) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.disk_bandwidth = 100e6;
+  m.network_bandwidth = 50e6;
+  m.task_overhead_seconds = 1.0;
+  IoStats io;
+  io.mults = 500'000'000;  // 0.5 s
+  io.adds = 500'000'000;   // 0.5 s
+  io.bytes_read = 50'000'000;       // min(bw) = 50 MB/s -> 1 s
+  io.bytes_written = 100'000'000;   // 1 s at disk bw
+  io.bytes_replicated = 50'000'000; // 1 s at net bw
+  EXPECT_NEAR(m.task_seconds(io), 1.0 + 1.0 + 1.0 + 1.0 + 1.0, 1e-9);
+  EXPECT_NEAR(m.compute_seconds(io), 4.0, 1e-9);
+}
+
+TEST(CostModel, SpeedFactorScalesCompute) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  IoStats io;
+  io.mults = 1'000'000'000;
+  EXPECT_NEAR(m.task_seconds(io, 2.0), 0.5, 1e-9);
+}
+
+TEST(CostModel, ScaledDownPreservesShape) {
+  // A task at scale S and its full-size counterpart must satisfy
+  // t_small = t_full / S^3 exactly.
+  const CostModel full = CostModel::ec2_medium();
+  const double s = 4.0;
+  const CostModel small = full.scaled_down(s);
+
+  IoStats io_full;
+  io_full.mults = 1'000'000'000'000ull;
+  io_full.adds = 1'000'000'000'000ull;
+  io_full.bytes_read = 8'000'000'000ull;
+  io_full.bytes_written = 2'000'000'000ull;
+  io_full.bytes_replicated = 4'000'000'000ull;
+
+  IoStats io_small;
+  io_small.mults = io_full.mults / 64;  // S^3
+  io_small.adds = io_full.adds / 64;
+  io_small.bytes_read = io_full.bytes_read / 16;  // S^2
+  io_small.bytes_written = io_full.bytes_written / 16;
+  io_small.bytes_replicated = io_full.bytes_replicated / 16;
+
+  EXPECT_NEAR(small.task_seconds(io_small) * 64.0, full.task_seconds(io_full),
+              1e-6 * full.task_seconds(io_full));
+}
+
+TEST(CostModel, Presets) {
+  const CostModel medium = CostModel::ec2_medium();
+  const CostModel large = CostModel::ec2_large();
+  EXPECT_GT(large.flops_per_second, medium.flops_per_second);
+  EXPECT_LT(large.disk_bandwidth, medium.disk_bandwidth);  // paper §7.4
+  EXPECT_GT(large.node_speed_variance, medium.node_speed_variance);
+  EXPECT_EQ(large.slots_per_node, 2);
+}
+
+// ---- cluster ------------------------------------------------------------------
+
+TEST(Cluster, SpeedFactorsDeterministic) {
+  Cluster a(8, CostModel::ec2_large(), /*seed=*/7);
+  Cluster b(8, CostModel::ec2_large(), /*seed=*/7);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.speed_factor(i), b.speed_factor(i));
+}
+
+TEST(Cluster, VarianceBounds) {
+  CostModel m = CostModel::ec2_large();
+  Cluster c(64, m);
+  EXPECT_EQ(c.speed_factor(0), 1.0);  // master pinned
+  for (int i = 1; i < 64; ++i) {
+    EXPECT_GE(c.speed_factor(i), 1.0 - m.node_speed_variance);
+    EXPECT_LE(c.speed_factor(i), 1.0 + m.node_speed_variance);
+  }
+}
+
+TEST(Cluster, HomogeneousWhenVarianceZero) {
+  CostModel m;
+  m.node_speed_variance = 0.0;
+  Cluster c(4, m);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c.speed_factor(i), 1.0);
+}
+
+TEST(Cluster, TotalSlots) {
+  CostModel m = CostModel::ec2_large();  // 2 slots per node
+  EXPECT_EQ(Cluster(16, m).total_slots(), 32);
+}
+
+TEST(Cluster, RejectsBadArguments) {
+  const CostModel m;
+  EXPECT_THROW(Cluster(0, m), InvalidArgument);
+  EXPECT_THROW(Cluster(2, m).speed_factor(5), InvalidArgument);
+}
+
+// ---- metrics ------------------------------------------------------------------
+
+TEST(Metrics, AggregatesIoAndCounters) {
+  MetricsRegistry m;
+  m.add_io(IoStats{1, 2, 3, 0, 0, 0});
+  m.add_io(IoStats{10, 20, 30, 0, 0, 0});
+  EXPECT_EQ(m.io_totals().bytes_written, 11u);
+  m.increment("jobs");
+  m.increment("jobs", 2);
+  EXPECT_EQ(m.value("jobs"), 3u);
+  EXPECT_EQ(m.value("missing"), 0u);
+  m.reset();
+  EXPECT_EQ(m.io_totals().bytes_written, 0u);
+  EXPECT_EQ(m.counters().size(), 0u);
+}
+
+// ---- failure injector -----------------------------------------------------------
+
+TEST(Failure, MatchesOnceBySubstring) {
+  FailureInjector fi;
+  fi.add_rule(FailureRule{"lu:", 3, 0, true});
+  EXPECT_FALSE(fi.should_fail("partition", 3, 0, true));
+  EXPECT_FALSE(fi.should_fail("lu:/Root", 2, 0, true));
+  EXPECT_FALSE(fi.should_fail("lu:/Root", 3, 0, false));  // reduce task
+  EXPECT_TRUE(fi.should_fail("lu:/Root", 3, 0, true));
+  // One-shot: the same attempt does not fail twice.
+  EXPECT_FALSE(fi.should_fail("lu:/Root", 3, 0, true));
+  EXPECT_EQ(fi.injected_count(), 1u);
+}
+
+TEST(Failure, MultipleRules) {
+  FailureInjector fi;
+  fi.add_rule(FailureRule{"job", 0, 0, true});
+  fi.add_rule(FailureRule{"job", 0, 1, true});
+  EXPECT_TRUE(fi.should_fail("job", 0, 0, true));
+  EXPECT_TRUE(fi.should_fail("job", 0, 1, true));
+  EXPECT_FALSE(fi.should_fail("job", 0, 2, true));
+  EXPECT_EQ(fi.injected_count(), 2u);
+}
+
+TEST(Failure, ClearDropsRules) {
+  FailureInjector fi;
+  fi.add_rule(FailureRule{"x", 0, 0, true});
+  fi.clear();
+  EXPECT_FALSE(fi.should_fail("x", 0, 0, true));
+}
+
+}  // namespace
+}  // namespace mri
