@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_methods.dir/ablation_methods.cpp.o"
+  "CMakeFiles/ablation_methods.dir/ablation_methods.cpp.o.d"
+  "ablation_methods"
+  "ablation_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

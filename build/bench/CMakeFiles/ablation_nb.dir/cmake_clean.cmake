@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nb.dir/ablation_nb.cpp.o"
+  "CMakeFiles/ablation_nb.dir/ablation_nb.cpp.o.d"
+  "ablation_nb"
+  "ablation_nb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transpose.dir/ablation_transpose.cpp.o"
+  "CMakeFiles/ablation_transpose.dir/ablation_transpose.cpp.o.d"
+  "ablation_transpose"
+  "ablation_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spark_mode.dir/ext_spark_mode.cpp.o"
+  "CMakeFiles/ext_spark_mode.dir/ext_spark_mode.cpp.o.d"
+  "ext_spark_mode"
+  "ext_spark_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spark_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vs_scalapack.dir/fig8_vs_scalapack.cpp.o"
+  "CMakeFiles/fig8_vs_scalapack.dir/fig8_vs_scalapack.cpp.o.d"
+  "fig8_vs_scalapack"
+  "fig8_vs_scalapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vs_scalapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

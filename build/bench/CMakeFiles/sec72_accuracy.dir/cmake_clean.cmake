@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_accuracy.dir/sec72_accuracy.cpp.o"
+  "CMakeFiles/sec72_accuracy.dir/sec72_accuracy.cpp.o.d"
+  "sec72_accuracy"
+  "sec72_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec74_large_matrix.dir/sec74_large_matrix.cpp.o"
+  "CMakeFiles/sec74_large_matrix.dir/sec74_large_matrix.cpp.o.d"
+  "sec74_large_matrix"
+  "sec74_large_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec74_large_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

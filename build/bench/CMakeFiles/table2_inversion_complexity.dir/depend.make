@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_inversion_complexity.
+# This may be replaced when dependencies are built.

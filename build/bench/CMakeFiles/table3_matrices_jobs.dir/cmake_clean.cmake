@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_matrices_jobs.dir/table3_matrices_jobs.cpp.o"
+  "CMakeFiles/table3_matrices_jobs.dir/table3_matrices_jobs.cpp.o.d"
+  "table3_matrices_jobs"
+  "table3_matrices_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_matrices_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

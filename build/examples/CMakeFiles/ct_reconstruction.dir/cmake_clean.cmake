@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_reconstruction.dir/ct_reconstruction.cpp.o"
+  "CMakeFiles/ct_reconstruction.dir/ct_reconstruction.cpp.o.d"
+  "ct_reconstruction"
+  "ct_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

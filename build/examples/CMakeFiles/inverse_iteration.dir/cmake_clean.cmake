@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_iteration.dir/inverse_iteration.cpp.o"
+  "CMakeFiles/inverse_iteration.dir/inverse_iteration.cpp.o.d"
+  "inverse_iteration"
+  "inverse_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

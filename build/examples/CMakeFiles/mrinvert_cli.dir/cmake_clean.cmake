@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrinvert_cli.dir/mrinvert_cli.cpp.o"
+  "CMakeFiles/mrinvert_cli.dir/mrinvert_cli.cpp.o.d"
+  "mrinvert_cli"
+  "mrinvert_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrinvert_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_matrix.dir/precision_matrix.cpp.o"
+  "CMakeFiles/precision_matrix.dir/precision_matrix.cpp.o.d"
+  "precision_matrix"
+  "precision_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_common.dir/cli.cpp.o"
+  "CMakeFiles/mri_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mri_common.dir/logging.cpp.o"
+  "CMakeFiles/mri_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mri_common.dir/table.cpp.o"
+  "CMakeFiles/mri_common.dir/table.cpp.o.d"
+  "CMakeFiles/mri_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mri_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mri_common.dir/units.cpp.o"
+  "CMakeFiles/mri_common.dir/units.cpp.o.d"
+  "libmri_common.a"
+  "libmri_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/mri_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/assemble.cpp" "src/core/CMakeFiles/mri_core.dir/assemble.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/assemble.cpp.o.d"
+  "/root/repo/src/core/factor_io.cpp" "src/core/CMakeFiles/mri_core.dir/factor_io.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/factor_io.cpp.o.d"
+  "/root/repo/src/core/import.cpp" "src/core/CMakeFiles/mri_core.dir/import.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/import.cpp.o.d"
+  "/root/repo/src/core/inverse_job.cpp" "src/core/CMakeFiles/mri_core.dir/inverse_job.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/inverse_job.cpp.o.d"
+  "/root/repo/src/core/inverter.cpp" "src/core/CMakeFiles/mri_core.dir/inverter.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/inverter.cpp.o.d"
+  "/root/repo/src/core/lu_job.cpp" "src/core/CMakeFiles/mri_core.dir/lu_job.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/lu_job.cpp.o.d"
+  "/root/repo/src/core/lu_pipeline.cpp" "src/core/CMakeFiles/mri_core.dir/lu_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/lu_pipeline.cpp.o.d"
+  "/root/repo/src/core/multiply_job.cpp" "src/core/CMakeFiles/mri_core.dir/multiply_job.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/multiply_job.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/mri_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/partition_layout.cpp" "src/core/CMakeFiles/mri_core.dir/partition_layout.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/partition_layout.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/mri_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/tile_set.cpp" "src/core/CMakeFiles/mri_core.dir/tile_set.cpp.o" "gcc" "src/core/CMakeFiles/mri_core.dir/tile_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/mri_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mri_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/mri_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalapack/CMakeFiles/mri_scalapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mri_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mri_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_core.dir/adaptive.cpp.o"
+  "CMakeFiles/mri_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mri_core.dir/assemble.cpp.o"
+  "CMakeFiles/mri_core.dir/assemble.cpp.o.d"
+  "CMakeFiles/mri_core.dir/factor_io.cpp.o"
+  "CMakeFiles/mri_core.dir/factor_io.cpp.o.d"
+  "CMakeFiles/mri_core.dir/import.cpp.o"
+  "CMakeFiles/mri_core.dir/import.cpp.o.d"
+  "CMakeFiles/mri_core.dir/inverse_job.cpp.o"
+  "CMakeFiles/mri_core.dir/inverse_job.cpp.o.d"
+  "CMakeFiles/mri_core.dir/inverter.cpp.o"
+  "CMakeFiles/mri_core.dir/inverter.cpp.o.d"
+  "CMakeFiles/mri_core.dir/lu_job.cpp.o"
+  "CMakeFiles/mri_core.dir/lu_job.cpp.o.d"
+  "CMakeFiles/mri_core.dir/lu_pipeline.cpp.o"
+  "CMakeFiles/mri_core.dir/lu_pipeline.cpp.o.d"
+  "CMakeFiles/mri_core.dir/multiply_job.cpp.o"
+  "CMakeFiles/mri_core.dir/multiply_job.cpp.o.d"
+  "CMakeFiles/mri_core.dir/partition.cpp.o"
+  "CMakeFiles/mri_core.dir/partition.cpp.o.d"
+  "CMakeFiles/mri_core.dir/partition_layout.cpp.o"
+  "CMakeFiles/mri_core.dir/partition_layout.cpp.o.d"
+  "CMakeFiles/mri_core.dir/plan.cpp.o"
+  "CMakeFiles/mri_core.dir/plan.cpp.o.d"
+  "CMakeFiles/mri_core.dir/tile_set.cpp.o"
+  "CMakeFiles/mri_core.dir/tile_set.cpp.o.d"
+  "libmri_core.a"
+  "libmri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/datanode.cpp" "src/dfs/CMakeFiles/mri_dfs.dir/datanode.cpp.o" "gcc" "src/dfs/CMakeFiles/mri_dfs.dir/datanode.cpp.o.d"
+  "/root/repo/src/dfs/dfs.cpp" "src/dfs/CMakeFiles/mri_dfs.dir/dfs.cpp.o" "gcc" "src/dfs/CMakeFiles/mri_dfs.dir/dfs.cpp.o.d"
+  "/root/repo/src/dfs/namenode.cpp" "src/dfs/CMakeFiles/mri_dfs.dir/namenode.cpp.o" "gcc" "src/dfs/CMakeFiles/mri_dfs.dir/namenode.cpp.o.d"
+  "/root/repo/src/dfs/path.cpp" "src/dfs/CMakeFiles/mri_dfs.dir/path.cpp.o" "gcc" "src/dfs/CMakeFiles/mri_dfs.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mri_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

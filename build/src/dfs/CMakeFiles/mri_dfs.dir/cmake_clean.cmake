@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_dfs.dir/datanode.cpp.o"
+  "CMakeFiles/mri_dfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/mri_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/mri_dfs.dir/dfs.cpp.o.d"
+  "CMakeFiles/mri_dfs.dir/namenode.cpp.o"
+  "CMakeFiles/mri_dfs.dir/namenode.cpp.o.d"
+  "CMakeFiles/mri_dfs.dir/path.cpp.o"
+  "CMakeFiles/mri_dfs.dir/path.cpp.o.d"
+  "libmri_dfs.a"
+  "libmri_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

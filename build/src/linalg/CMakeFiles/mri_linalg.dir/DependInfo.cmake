@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/gauss_jordan.cpp" "src/linalg/CMakeFiles/mri_linalg.dir/gauss_jordan.cpp.o" "gcc" "src/linalg/CMakeFiles/mri_linalg.dir/gauss_jordan.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/mri_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/mri_linalg.dir/lu.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/mri_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/mri_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "src/linalg/CMakeFiles/mri_linalg.dir/solve.cpp.o" "gcc" "src/linalg/CMakeFiles/mri_linalg.dir/solve.cpp.o.d"
+  "/root/repo/src/linalg/triangular.cpp" "src/linalg/CMakeFiles/mri_linalg.dir/triangular.cpp.o" "gcc" "src/linalg/CMakeFiles/mri_linalg.dir/triangular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/mri_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mri_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

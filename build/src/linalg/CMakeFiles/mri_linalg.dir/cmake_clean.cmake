@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_linalg.dir/gauss_jordan.cpp.o"
+  "CMakeFiles/mri_linalg.dir/gauss_jordan.cpp.o.d"
+  "CMakeFiles/mri_linalg.dir/lu.cpp.o"
+  "CMakeFiles/mri_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/mri_linalg.dir/qr.cpp.o"
+  "CMakeFiles/mri_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/mri_linalg.dir/solve.cpp.o"
+  "CMakeFiles/mri_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/mri_linalg.dir/triangular.cpp.o"
+  "CMakeFiles/mri_linalg.dir/triangular.cpp.o.d"
+  "libmri_linalg.a"
+  "libmri_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/pipeline.cpp" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/pipeline.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/pipeline.cpp.o.d"
+  "/root/repo/src/mapreduce/runtime.cpp" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/runtime.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/runtime.cpp.o.d"
+  "/root/repo/src/mapreduce/scheduler.cpp" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/scheduler.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/scheduler.cpp.o.d"
+  "/root/repo/src/mapreduce/shuffle.cpp" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/shuffle.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mri_mapreduce.dir/shuffle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/CMakeFiles/mri_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_mapreduce.dir/pipeline.cpp.o"
+  "CMakeFiles/mri_mapreduce.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mri_mapreduce.dir/runtime.cpp.o"
+  "CMakeFiles/mri_mapreduce.dir/runtime.cpp.o.d"
+  "CMakeFiles/mri_mapreduce.dir/scheduler.cpp.o"
+  "CMakeFiles/mri_mapreduce.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mri_mapreduce.dir/shuffle.cpp.o"
+  "CMakeFiles/mri_mapreduce.dir/shuffle.cpp.o.d"
+  "libmri_mapreduce.a"
+  "libmri_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/dfs_io.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/dfs_io.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/dfs_io.cpp.o.d"
+  "/root/repo/src/matrix/generate.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/generate.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/generate.cpp.o.d"
+  "/root/repo/src/matrix/layout.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/layout.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/layout.cpp.o.d"
+  "/root/repo/src/matrix/matrix.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/matrix.cpp.o.d"
+  "/root/repo/src/matrix/ops.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/ops.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/ops.cpp.o.d"
+  "/root/repo/src/matrix/permutation.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/permutation.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/permutation.cpp.o.d"
+  "/root/repo/src/matrix/text_format.cpp" "src/matrix/CMakeFiles/mri_matrix.dir/text_format.cpp.o" "gcc" "src/matrix/CMakeFiles/mri_matrix.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mri_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mri_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

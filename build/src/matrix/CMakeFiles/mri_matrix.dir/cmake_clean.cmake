@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_matrix.dir/dfs_io.cpp.o"
+  "CMakeFiles/mri_matrix.dir/dfs_io.cpp.o.d"
+  "CMakeFiles/mri_matrix.dir/generate.cpp.o"
+  "CMakeFiles/mri_matrix.dir/generate.cpp.o.d"
+  "CMakeFiles/mri_matrix.dir/layout.cpp.o"
+  "CMakeFiles/mri_matrix.dir/layout.cpp.o.d"
+  "CMakeFiles/mri_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/mri_matrix.dir/matrix.cpp.o.d"
+  "CMakeFiles/mri_matrix.dir/ops.cpp.o"
+  "CMakeFiles/mri_matrix.dir/ops.cpp.o.d"
+  "CMakeFiles/mri_matrix.dir/permutation.cpp.o"
+  "CMakeFiles/mri_matrix.dir/permutation.cpp.o.d"
+  "CMakeFiles/mri_matrix.dir/text_format.cpp.o"
+  "CMakeFiles/mri_matrix.dir/text_format.cpp.o.d"
+  "libmri_matrix.a"
+  "libmri_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

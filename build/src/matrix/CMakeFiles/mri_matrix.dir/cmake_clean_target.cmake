@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmri_matrix.a"
+)

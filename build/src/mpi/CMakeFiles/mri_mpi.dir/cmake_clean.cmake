@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_mpi.dir/world.cpp.o"
+  "CMakeFiles/mri_mpi.dir/world.cpp.o.d"
+  "libmri_mpi.a"
+  "libmri_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_scalapack.dir/invert.cpp.o"
+  "CMakeFiles/mri_scalapack.dir/invert.cpp.o.d"
+  "CMakeFiles/mri_scalapack.dir/pdgetrf.cpp.o"
+  "CMakeFiles/mri_scalapack.dir/pdgetrf.cpp.o.d"
+  "CMakeFiles/mri_scalapack.dir/pdgetri.cpp.o"
+  "CMakeFiles/mri_scalapack.dir/pdgetri.cpp.o.d"
+  "libmri_scalapack.a"
+  "libmri_scalapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_scalapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_sim.dir/cluster.cpp.o"
+  "CMakeFiles/mri_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/mri_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/mri_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mri_sim.dir/failure.cpp.o"
+  "CMakeFiles/mri_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/mri_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mri_sim.dir/metrics.cpp.o.d"
+  "libmri_sim.a"
+  "libmri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adaptive_test.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/core_adaptive_test.dir/core/adaptive_test.cpp.o.d"
+  "core_adaptive_test"
+  "core_adaptive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_end_to_end_test.dir/core/end_to_end_test.cpp.o"
+  "CMakeFiles/core_end_to_end_test.dir/core/end_to_end_test.cpp.o.d"
+  "core_end_to_end_test"
+  "core_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_factor_io_test.dir/core/factor_io_test.cpp.o"
+  "CMakeFiles/core_factor_io_test.dir/core/factor_io_test.cpp.o.d"
+  "core_factor_io_test"
+  "core_factor_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_factor_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

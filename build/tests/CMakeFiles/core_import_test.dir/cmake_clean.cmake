@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_import_test.dir/core/import_test.cpp.o"
+  "CMakeFiles/core_import_test.dir/core/import_test.cpp.o.d"
+  "core_import_test"
+  "core_import_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/multiply_solve_det_test.cpp" "tests/CMakeFiles/core_multiply_solve_det_test.dir/core/multiply_solve_det_test.cpp.o" "gcc" "tests/CMakeFiles/core_multiply_solve_det_test.dir/core/multiply_solve_det_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalapack/CMakeFiles/mri_scalapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mri_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mri_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/mri_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mri_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mri_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

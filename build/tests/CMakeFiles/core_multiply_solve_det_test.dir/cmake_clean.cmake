@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multiply_solve_det_test.dir/core/multiply_solve_det_test.cpp.o"
+  "CMakeFiles/core_multiply_solve_det_test.dir/core/multiply_solve_det_test.cpp.o.d"
+  "core_multiply_solve_det_test"
+  "core_multiply_solve_det_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multiply_solve_det_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

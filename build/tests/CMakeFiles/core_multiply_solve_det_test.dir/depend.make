@@ -1,0 +1,2 @@
+# Empty dependencies file for core_multiply_solve_det_test.
+# This may be replaced when dependencies are built.

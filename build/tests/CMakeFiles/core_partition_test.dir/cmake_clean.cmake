@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partition_test.dir/core/partition_test.cpp.o"
+  "CMakeFiles/core_partition_test.dir/core/partition_test.cpp.o.d"
+  "core_partition_test"
+  "core_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tile_set_test.dir/core/tile_set_test.cpp.o"
+  "CMakeFiles/core_tile_set_test.dir/core/tile_set_test.cpp.o.d"
+  "core_tile_set_test"
+  "core_tile_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tile_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_namenode_test.dir/dfs/namenode_test.cpp.o"
+  "CMakeFiles/dfs_namenode_test.dir/dfs/namenode_test.cpp.o.d"
+  "dfs_namenode_test"
+  "dfs_namenode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_namenode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_path_test.dir/dfs/path_test.cpp.o"
+  "CMakeFiles/dfs_path_test.dir/dfs/path_test.cpp.o.d"
+  "dfs_path_test"
+  "dfs_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

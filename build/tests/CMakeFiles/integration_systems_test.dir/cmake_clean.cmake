@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_systems_test.dir/integration/systems_agreement_test.cpp.o"
+  "CMakeFiles/integration_systems_test.dir/integration/systems_agreement_test.cpp.o.d"
+  "integration_systems_test"
+  "integration_systems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_inversion_methods_test.dir/linalg/inversion_methods_test.cpp.o"
+  "CMakeFiles/linalg_inversion_methods_test.dir/linalg/inversion_methods_test.cpp.o.d"
+  "linalg_inversion_methods_test"
+  "linalg_inversion_methods_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_inversion_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

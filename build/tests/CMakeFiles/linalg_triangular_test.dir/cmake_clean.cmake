@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_triangular_test.dir/linalg/triangular_test.cpp.o"
+  "CMakeFiles/linalg_triangular_test.dir/linalg/triangular_test.cpp.o.d"
+  "linalg_triangular_test"
+  "linalg_triangular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_triangular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

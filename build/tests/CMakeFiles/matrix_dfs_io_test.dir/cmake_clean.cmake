@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_dfs_io_test.dir/matrix/dfs_io_test.cpp.o"
+  "CMakeFiles/matrix_dfs_io_test.dir/matrix/dfs_io_test.cpp.o.d"
+  "matrix_dfs_io_test"
+  "matrix_dfs_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_dfs_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_generate_test.dir/matrix/generate_test.cpp.o"
+  "CMakeFiles/matrix_generate_test.dir/matrix/generate_test.cpp.o.d"
+  "matrix_generate_test"
+  "matrix_generate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_generate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_layout_test.dir/matrix/layout_test.cpp.o"
+  "CMakeFiles/matrix_layout_test.dir/matrix/layout_test.cpp.o.d"
+  "matrix_layout_test"
+  "matrix_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_ops_test.dir/matrix/ops_test.cpp.o"
+  "CMakeFiles/matrix_ops_test.dir/matrix/ops_test.cpp.o.d"
+  "matrix_ops_test"
+  "matrix_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

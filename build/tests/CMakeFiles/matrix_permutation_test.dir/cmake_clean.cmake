@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_permutation_test.dir/matrix/permutation_test.cpp.o"
+  "CMakeFiles/matrix_permutation_test.dir/matrix/permutation_test.cpp.o.d"
+  "matrix_permutation_test"
+  "matrix_permutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_permutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_text_format_test.dir/matrix/text_format_test.cpp.o"
+  "CMakeFiles/matrix_text_format_test.dir/matrix/text_format_test.cpp.o.d"
+  "matrix_text_format_test"
+  "matrix_text_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

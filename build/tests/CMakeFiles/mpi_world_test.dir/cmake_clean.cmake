@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_world_test.dir/mpi/world_test.cpp.o"
+  "CMakeFiles/mpi_world_test.dir/mpi/world_test.cpp.o.d"
+  "mpi_world_test"
+  "mpi_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalapack_test.dir/scalapack/scalapack_test.cpp.o"
+  "CMakeFiles/scalapack_test.dir/scalapack/scalapack_test.cpp.o.d"
+  "scalapack_test"
+  "scalapack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalapack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
