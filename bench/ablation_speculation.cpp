@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     ScaledSetup speculative = scaled_setup(kM4, scale, spec);
     const MrRun with = run_mapreduce(speculative, workers, {}, 1, nullptr,
                                      false);
+    export_run_artifacts(cli, with);  // --trace-out / --report-out
 
     // Indicative skew of this cluster draw.
     Cluster probe(workers, base);

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
       const MrRun run = run_mapreduce(setup, static_cast<int>(node_counts[ni]),
                                       {}, /*seed=*/mi + 1, nullptr, verify);
       if (verify) MRI_CHECK_MSG(run.residual < 1e-5, "accuracy check failed");
+      export_run_artifacts(cli, run);  // --trace-out / --report-out
       minutes[mi].push_back(run.paper_seconds / 60.0);
       std::fprintf(stderr, "  %s @ %lld nodes: %.1f paper-min\n",
                    matrices[mi].name,

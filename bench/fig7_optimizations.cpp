@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     const MrRun base =
         run_mapreduce(setup, nodes, optimized, 1, nullptr, ni == 0);
     if (ni == 0) MRI_CHECK_MSG(base.residual < 1e-5, "accuracy check failed");
+    export_run_artifacts(cli, base);  // --trace-out / --report-out
 
     core::InversionOptions no_sep;
     no_sep.separate_intermediate_files = false;

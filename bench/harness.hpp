@@ -13,12 +13,14 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/inverter.hpp"
+#include "mapreduce/trace_export.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
 #include "scalapack/invert.hpp"
@@ -63,6 +65,9 @@ struct MrRun {
   core::MapReduceInverter::Result result;
   double residual = 0.0;
   double paper_seconds = 0.0;
+  /// Aggregated per-task report for this run (waves, utilization,
+  /// stragglers, failure timeline); source for the JSON exports below.
+  RunReport run_report;
 };
 
 /// Runs the MapReduce pipeline on a fresh simulated cluster.
@@ -83,7 +88,24 @@ inline MrRun run_mapreduce(const ScaledSetup& s, int nodes,
   // The residual check is itself O(n³); sweep benches verify once per series.
   run.residual = verify ? inversion_residual(a, run.result.inverse) : 0.0;
   run.paper_seconds = to_paper_seconds(run.result.report.sim_seconds, s.scale);
+  run.run_report = mr::build_run_report(run.result.jobs, cluster, &metrics);
   return run;
+}
+
+/// Honours the shared --trace-out / --report-out bench flags: writes the
+/// run's Chrome trace / run-report JSON. Benches call this per run, so with
+/// a sweep the file holds the last run that completed.
+inline void export_run_artifacts(const CliOptions& cli, const MrRun& run) {
+  const auto write = [](const std::string& path, const std::string& json) {
+    std::ofstream out(path);
+    MRI_REQUIRE(out.good(), "cannot open output file: " << path);
+    out << json << '\n';
+    std::fprintf(stderr, "  wrote %s\n", path.c_str());
+  };
+  const std::string trace = cli.get_string("trace-out", "");
+  if (!trace.empty()) write(trace, chrome_trace_json(run.run_report));
+  const std::string report = cli.get_string("report-out", "");
+  if (!report.empty()) write(report, run_report_json(run.run_report));
 }
 
 struct ScalRun {

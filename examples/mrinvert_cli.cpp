@@ -2,17 +2,21 @@
 //
 //   ./mrinvert_cli --input A.txt --output Ainv.txt [--nodes 8] [--nb 64]
 //                  [--engine auto|mapreduce|scalapack] [--spark]
+//                  [--trace-out trace.json] [--report-out report.json]
 //   ./mrinvert_cli --generate 256 --output Ainv.txt        # random input
 //
 // Reads a whitespace-separated text matrix from the local filesystem (the
 // paper's a.txt format), inverts it on a simulated cluster, writes the
 // inverse back as text, and prints the §7.2 residual and the run report.
+// --trace-out writes a Chrome trace_event timeline (chrome://tracing);
+// --report-out writes the machine-readable run report (schema in README.md).
 #include <fstream>
 #include <sstream>
 
 #include "common/cli.hpp"
 #include "common/units.hpp"
 #include "core/adaptive.hpp"
+#include "mapreduce/trace_export.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/text_format.hpp"
@@ -31,6 +35,12 @@ void save_text_file(const std::string& path, const mri::Matrix& m) {
   std::ofstream out(path);
   MRI_REQUIRE(out.good(), "cannot open output file: " << path);
   out << mri::matrix_to_text(m);
+}
+
+void save_json(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  MRI_REQUIRE(out.good(), "cannot open output file: " << path);
+  out << json << '\n';
 }
 
 }  // namespace
@@ -74,11 +84,13 @@ int main(int argc, char** argv) {
 
   Matrix inverse;
   SimReport report;
+  std::vector<mr::JobResult> jobs;
   if (engine == "mapreduce") {
     core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
     auto r = inverter.invert(a, options);
     inverse = std::move(r.inverse);
     report = r.report;
+    jobs = std::move(r.jobs);
     std::printf("engine: mapreduce (%d jobs)\n", report.jobs);
   } else if (engine == "scalapack") {
     auto r = scalapack::invert(a, cluster);
@@ -91,11 +103,33 @@ int main(int argc, char** argv) {
     auto r = inverter.invert(a, options);
     inverse = std::move(r.inverse);
     report = r.report;
+    jobs = std::move(r.jobs);
     std::printf("engine: %s (auto; predicted mapreduce %.3g s vs scalapack "
                 "%.3g s)\n",
                 core::engine_name(r.engine),
                 r.prediction.mapreduce_seconds,
                 r.prediction.scalapack_seconds);
+  }
+
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string report_out = cli.get_string("report-out", "");
+  if (!trace_out.empty() || !report_out.empty()) {
+    if (jobs.empty()) {
+      std::fprintf(stderr, "note: no task traces (engine did not run "
+                           "MapReduce jobs); skipping trace/report export\n");
+    } else {
+      const RunReport run_report = mr::build_run_report(jobs, cluster,
+                                                        &metrics);
+      if (!trace_out.empty()) {
+        save_json(trace_out, chrome_trace_json(run_report));
+        std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+                    trace_out.c_str());
+      }
+      if (!report_out.empty()) {
+        save_json(report_out, run_report_json(run_report));
+        std::printf("run report written to %s\n", report_out.c_str());
+      }
+    }
   }
 
   const double residual = inversion_residual(a, inverse);

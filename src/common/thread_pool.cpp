@@ -35,8 +35,22 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::in_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  // Nested parallelism: a worker waiting on futures that need this same
+  // pool's workers deadlocks once all workers block. Run inline instead.
+  if (in_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {

@@ -48,8 +48,13 @@ class ThreadPool {
     return result;
   }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool in_worker_thread() const;
+
   /// Runs `fn(i)` for i in [0, count) across the pool and waits for all.
-  /// Rethrows the first exception encountered.
+  /// Rethrows the first exception encountered. Safe to call from inside a
+  /// worker thread: the iterations then run inline on the caller (waiting
+  /// on pool futures from a worker would deadlock).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

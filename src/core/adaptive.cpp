@@ -109,6 +109,7 @@ AdaptiveInverter::Result AdaptiveInverter::invert(
     auto mr = inverter.invert(a, options);
     result.inverse = std::move(mr.inverse);
     result.report = mr.report;
+    result.jobs = std::move(mr.jobs);
   } else {
     scalapack::Options opts;
     auto sl = scalapack::invert(a, *cluster_, opts);

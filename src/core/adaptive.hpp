@@ -43,6 +43,9 @@ class AdaptiveInverter {
     SimReport report;
     Engine engine = Engine::kMapReduce;
     PredictedCost prediction;
+    /// Per-job results with traces (empty when ScaLAPACK won — the
+    /// message-passing baseline has no task timeline).
+    std::vector<mr::JobResult> jobs;
   };
 
   /// Predicts both engines' cost and runs the cheaper one.

@@ -95,6 +95,7 @@ MapReduceInverter::Result MapReduceInverter::invert_dfs(
   result.report.io = pipeline.total_io();
   result.report.jobs = pipeline.job_count();
   result.report.failures_recovered = pipeline.failures_recovered();
+  result.jobs = pipeline.jobs();
 
   // Stage split: the final job is the last in the pipeline; everything else
   // (partition, LU jobs, master leaf LUs) is the decomposition stage.
@@ -144,6 +145,13 @@ MapReduceInverter::SolveResult MapReduceInverter::solve(
   result.report.sim_seconds += pipeline.total_sim_seconds();
   result.report.io += pipeline.total_io();
   result.report.jobs += pipeline.job_count();
+  result.jobs = std::move(inv.jobs);
+  for (mr::JobResult job : pipeline.jobs()) {
+    // The multiply pipeline's own clock starts at 0; shift onto the
+    // inversion's run timeline.
+    job.start_seconds += inv.report.sim_seconds;
+    result.jobs.push_back(std::move(job));
+  }
   return result;
 }
 

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.hpp"
+#include "mapreduce/job.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "dfs/dfs.hpp"
@@ -47,6 +49,10 @@ class MapReduceInverter {
     /// det(A), read off the LU factors (sign and log-magnitude).
     double det_log_abs = 0.0;
     int det_sign = 1;
+    /// Every job the pipeline ran, in order, with per-attempt traces and
+    /// run-relative start times — feed to mr::build_run_report() /
+    /// chrome_trace_json() for the run-report and trace exports.
+    std::vector<mr::JobResult> jobs;
   };
 
   /// Ingests `a` into the DFS and inverts it. Throws NumericalError if `a`
@@ -60,6 +66,7 @@ class MapReduceInverter {
   struct SolveResult {
     Matrix x;
     SimReport report;  // inversion pipeline + the multiply job
+    std::vector<mr::JobResult> jobs;  // inversion jobs + the multiply job
   };
 
   /// Solves A·X = B (the paper's §1 headline application) by inverting A

@@ -16,6 +16,7 @@
 
 #include "mapreduce/context.hpp"
 #include "sim/io_stats.hpp"
+#include "sim/trace.hpp"
 
 namespace mri::mr {
 
@@ -58,8 +59,22 @@ struct JobResult {
   int reduce_tasks = 0;
   /// Injected task failures that were recovered by re-execution.
   int failures_recovered = 0;
-  /// Shuffle traffic in bytes (part of io.bytes_transferred).
+  /// Speculative backup attempts launched across both phases.
+  int backups_run = 0;
+  /// The backups' re-done reads and flops (included in io).
+  IoStats speculation_io;
+  /// Total shuffle traffic in bytes, split into node-local pairs (mapper and
+  /// reducer share a node; never cross the network) and remote pairs (the
+  /// only part charged to io.bytes_transferred).
   std::uint64_t shuffle_bytes = 0;
+  std::uint64_t shuffle_local_bytes = 0;
+  std::uint64_t shuffle_remote_bytes = 0;
+  /// Per-attempt timelines from the scheduler (phase-relative seconds).
+  std::vector<TaskTraceEvent> map_trace;
+  std::vector<TaskTraceEvent> reduce_trace;
+  /// Run-relative start of this job on its pipeline's timeline (stamped by
+  /// Pipeline::run; 0 for a job run outside a pipeline).
+  double start_seconds = 0.0;
 };
 
 }  // namespace mri::mr

@@ -3,11 +3,14 @@
 namespace mri::mr {
 
 const JobResult& Pipeline::run(const JobSpec& spec) {
-  jobs_.push_back(runner_->run(spec));
+  JobResult result = runner_->run(spec);
+  result.start_seconds = sim_seconds_;  // place the job on the run timeline
+  jobs_.push_back(std::move(result));
   const JobResult& r = jobs_.back();
   sim_seconds_ += r.sim_seconds;
   io_ += r.io;
   failures_ += r.failures_recovered;
+  backups_ += r.backups_run;
   return r;
 }
 

@@ -27,6 +27,7 @@ class Pipeline {
   const IoStats& total_io() const { return io_; }
   int job_count() const { return static_cast<int>(jobs_.size()); }
   int failures_recovered() const { return failures_; }
+  int backups_run() const { return backups_; }
   const std::vector<JobResult>& jobs() const { return jobs_; }
 
  private:
@@ -36,6 +37,7 @@ class Pipeline {
   double master_seconds_ = 0.0;
   IoStats io_;
   int failures_ = 0;
+  int backups_ = 0;
 };
 
 }  // namespace mri::mr

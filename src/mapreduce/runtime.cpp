@@ -86,7 +86,7 @@ JobResult JobRunner::run(const JobSpec& spec) {
     map_attempts.push_back(attempts_for(failures_, spec.name, t, true,
                                         map_io[static_cast<std::size_t>(t)]));
   }
-  const PhaseSchedule map_phase = schedule_phase(*cluster_, map_attempts);
+  PhaseSchedule map_phase = schedule_phase(*cluster_, map_attempts);
   result.map_phase_seconds = map_phase.duration;
   for (const auto& task_attempts : map_attempts) {
     for (const auto& attempt : task_attempts) {
@@ -94,13 +94,23 @@ JobResult JobRunner::run(const JobSpec& spec) {
       if (attempt.failed) ++result.failures_recovered;
     }
   }
+  // Speculative backups re-read and re-compute for real; charge them.
+  result.io += map_phase.speculative_io;
+  result.speculation_io += map_phase.speculative_io;
+  result.backups_run += map_phase.backups_run;
+  result.map_trace = std::move(map_phase.trace);
 
   // ---- shuffle + reduce phase ---------------------------------------------
   if (has_reduce) {
-    ShuffleResult shuffled = shuffle(std::move(map_outputs),
-                                     spec.num_reduce_tasks, spec.partitioner);
+    ShuffleResult shuffled =
+        shuffle(std::move(map_outputs), spec.num_reduce_tasks,
+                spec.partitioner, cluster_->size());
     result.shuffle_bytes = shuffled.total_bytes;
-    result.io.bytes_transferred += shuffled.total_bytes;
+    result.shuffle_local_bytes = shuffled.local_bytes;
+    result.shuffle_remote_bytes = shuffled.remote_bytes;
+    // Node-local pairs never cross the network in Hadoop; only the remote
+    // part is network traffic in the paper's Table 1/2 sense.
+    result.io.bytes_transferred += shuffled.remote_bytes;
 
     const int num_reduces = spec.num_reduce_tasks;
     std::vector<IoStats> reduce_io(static_cast<std::size_t>(num_reduces));
@@ -129,8 +139,7 @@ JobResult JobRunner::run(const JobSpec& spec) {
           attempts_for(failures_, spec.name, r, false,
                        reduce_io[static_cast<std::size_t>(r)]));
     }
-    const PhaseSchedule reduce_phase =
-        schedule_phase(*cluster_, reduce_attempts);
+    PhaseSchedule reduce_phase = schedule_phase(*cluster_, reduce_attempts);
     result.reduce_phase_seconds = reduce_phase.duration;
     for (const auto& task_attempts : reduce_attempts) {
       for (const auto& attempt : task_attempts) {
@@ -138,6 +147,10 @@ JobResult JobRunner::run(const JobSpec& spec) {
         if (attempt.failed) ++result.failures_recovered;
       }
     }
+    result.io += reduce_phase.speculative_io;
+    result.speculation_io += reduce_phase.speculative_io;
+    result.backups_run += reduce_phase.backups_run;
+    result.reduce_trace = std::move(reduce_phase.trace);
   }
 
   result.sim_seconds = cluster_->cost_model().job_launch_seconds +
@@ -151,6 +164,10 @@ JobResult JobRunner::run(const JobSpec& spec) {
     metrics_->increment(
         "task_failures",
         static_cast<std::uint64_t>(result.failures_recovered));
+    metrics_->increment("backup_attempts",
+                        static_cast<std::uint64_t>(result.backups_run));
+    metrics_->increment("shuffle_local_bytes", result.shuffle_local_bytes);
+    metrics_->increment("shuffle_remote_bytes", result.shuffle_remote_bytes);
   }
   return result;
 }

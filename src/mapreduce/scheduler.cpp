@@ -14,14 +14,24 @@ namespace {
 struct TaskRecord {
   double end = 0.0;
   const IoStats* io = nullptr;  // the successful attempt's footprint
+  int task = 0;
+  int attempts = 0;     // attempts scheduled so far (next backup's index)
+  int trace_index = -1; // successful attempt's event in PhaseSchedule::trace
+};
+
+struct IdleSlot {
+  double free_time;
+  int node;
+  int id;
 };
 
 /// Hadoop-style speculation, applied after the primary schedule: straggler
 /// tasks (projected past threshold x median completion) get backups on idle
-/// slots; the earlier finisher wins.
+/// slots; the earlier finisher wins and the loser is killed on the spot.
+/// Each backup re-reads its input and re-does the flops, so its footprint is
+/// charged to speculative_io (the discarded copy never commits its writes).
 void speculate(const Cluster& cluster, std::vector<TaskRecord>* tasks,
-               std::vector<std::pair<double, int>> idle_slots,  // (free, node)
-               PhaseSchedule* out) {
+               std::vector<IdleSlot> idle_slots, PhaseSchedule* out) {
   const CostModel& model = cluster.cost_model();
   if (tasks->size() < 2 || idle_slots.empty()) return;
 
@@ -49,20 +59,49 @@ void speculate(const Cluster& cluster, std::vector<TaskRecord>* tasks,
             [](const TaskRecord* a, const TaskRecord* b) {
               return a->end > b->end;
             });
-  std::sort(idle_slots.begin(), idle_slots.end());
+  std::sort(idle_slots.begin(), idle_slots.end(),
+            [](const IdleSlot& a, const IdleSlot& b) {
+              return std::tie(a.free_time, a.id) < std::tie(b.free_time, b.id);
+            });
 
   std::size_t slot = 0;
   for (TaskRecord* t : stragglers) {
     if (slot >= idle_slots.size()) break;
-    auto& [free_time, node] = idle_slots[slot];
-    const double start = std::max(earliest_launch, free_time);
+    IdleSlot& s = idle_slots[slot];
+    const double start = std::max(earliest_launch, s.free_time);
     if (start >= t->end) continue;  // backup could not beat the original
     const double backup_end =
-        start + model.task_seconds(*t->io, cluster.speed_factor(node));
+        start + model.task_seconds(*t->io, cluster.speed_factor(s.node));
     ++out->backups_run;
-    free_time = backup_end;
+    // The backup consumed real input reads and compute whether it wins or
+    // loses; only the winning copy's (already-counted) output commits.
+    out->speculative_io.bytes_read += t->io->bytes_read;
+    out->speculative_io.bytes_transferred += t->io->bytes_transferred;
+    out->speculative_io.mults += t->io->mults;
+    out->speculative_io.adds += t->io->adds;
+
+    TaskTraceEvent ev;
+    ev.task = t->task;
+    ev.attempt = t->attempts;
+    ev.node = s.node;
+    ev.slot = s.id;
+    ev.start = start;
+    ev.backup = true;
+    if (backup_end < t->end) {
+      // Backup wins: the original is killed the moment the backup finishes.
+      ev.end = backup_end;
+      if (t->trace_index >= 0) {
+        out->trace[static_cast<std::size_t>(t->trace_index)].end = backup_end;
+      }
+      t->end = backup_end;
+    } else {
+      // Backup loses: it is killed when the original finishes.
+      ev.end = t->end;
+    }
+    ++t->attempts;
+    s.free_time = ev.end;
+    out->trace.push_back(ev);
     ++slot;
-    t->end = std::min(t->end, backup_end);
   }
 
   // A finished phase does not wait for losing backups (they are killed), so
@@ -84,16 +123,24 @@ PhaseSchedule schedule_phase(
   struct Slot {
     double free_time;
     int node;
+    int id;
     bool operator>(const Slot& other) const {
-      return std::tie(free_time, node) > std::tie(other.free_time, other.node);
+      return std::tie(free_time, node, id) >
+             std::tie(other.free_time, other.node, other.id);
     }
   };
+  const int slots_per_node = cluster.cost_model().slots_per_node;
   std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
   for (int node = 0; node < cluster.size(); ++node) {
-    for (int s = 0; s < cluster.cost_model().slots_per_node; ++s) {
-      slots.push(Slot{0.0, node});
+    for (int s = 0; s < slots_per_node; ++s) {
+      slots.push(Slot{0.0, node, node * slots_per_node + s});
     }
   }
+  // A failed attempt takes its whole node down (§7.4), not just the slot it
+  // ran on. Dead nodes' remaining slots stay in the heap and are discarded
+  // lazily when popped.
+  std::vector<bool> node_dead(static_cast<std::size_t>(cluster.size()), false);
+  int live_slots = cluster.size() * slots_per_node;
 
   struct Pending {
     int task;
@@ -112,10 +159,15 @@ PhaseSchedule schedule_phase(
   while (!queue.empty()) {
     Pending p = queue.front();
     queue.pop_front();
-    MRI_CHECK_MSG(!slots.empty(),
+    MRI_CHECK_MSG(live_slots > 0,
                   "all slots lost to failures; phase cannot finish");
-    Slot slot = slots.top();
-    slots.pop();
+    Slot slot;
+    do {
+      MRI_CHECK_MSG(!slots.empty(),
+                    "all slots lost to failures; phase cannot finish");
+      slot = slots.top();
+      slots.pop();
+    } while (node_dead[static_cast<std::size_t>(slot.node)]);
 
     const auto& attempt =
         attempts_per_task[static_cast<std::size_t>(p.task)]
@@ -127,27 +179,45 @@ PhaseSchedule schedule_phase(
     out.duration = std::max(out.duration, end);
     ++out.attempts_run;
 
+    TaskTraceEvent ev;
+    ev.task = p.task;
+    ev.attempt = p.attempt;
+    ev.node = slot.node;
+    ev.slot = slot.id;
+    ev.start = start;
+    ev.end = end;
+    ev.failed = attempt.failed;
+    out.trace.push_back(ev);
+
     if (attempt.failed) {
-      // The node goes down with the attempt: do not return the slot. The
-      // jobtracker only notices after the task timeout elapses (§7.4: the
-      // failed mapper "did not restart until one of the other mappers
-      // finished").
+      // The node goes down with the attempt: every slot of the node is lost
+      // for the rest of the phase. The jobtracker only notices after the
+      // task timeout elapses (§7.4: the failed mapper "did not restart until
+      // one of the other mappers finished").
+      node_dead[static_cast<std::size_t>(slot.node)] = true;
+      live_slots -= slots_per_node;
       ++out.nodes_lost;
       queue.push_back(Pending{
           p.task, p.attempt + 1,
           end + cluster.cost_model().failure_detection_seconds});
     } else {
-      slots.push(Slot{end, slot.node});
-      records[static_cast<std::size_t>(p.task)] =
-          TaskRecord{end, &attempt.io};
+      slots.push(Slot{end, slot.node, slot.id});
+      TaskRecord& rec = records[static_cast<std::size_t>(p.task)];
+      rec.end = end;
+      rec.io = &attempt.io;
+      rec.task = p.task;
+      rec.attempts = p.attempt + 1;
+      rec.trace_index = static_cast<int>(out.trace.size()) - 1;
     }
   }
 
   if (cluster.cost_model().speculative_execution) {
-    std::vector<std::pair<double, int>> idle;
+    std::vector<IdleSlot> idle;
     while (!slots.empty()) {
-      idle.emplace_back(slots.top().free_time, slots.top().node);
+      const Slot s = slots.top();
       slots.pop();
+      if (node_dead[static_cast<std::size_t>(s.node)]) continue;
+      idle.push_back(IdleSlot{s.free_time, s.node, s.id});
     }
     speculate(cluster, &records, std::move(idle), &out);
   }

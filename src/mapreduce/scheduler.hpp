@@ -9,12 +9,15 @@
 //
 // Real computation happens elsewhere (JobRunner executes tasks on a thread
 // pool); the scheduler only turns per-attempt IoStats into a phase duration.
+// Every attempt placement — including failed attempts and speculative
+// backups — is recorded as a TaskTraceEvent for the run report.
 #pragma once
 
 #include <vector>
 
 #include "sim/cluster.hpp"
 #include "sim/io_stats.hpp"
+#include "sim/trace.hpp"
 
 namespace mri::mr {
 
@@ -30,6 +33,14 @@ struct PhaseSchedule {
   /// Speculative backup attempts launched (0 unless the cost model enables
   /// speculative_execution).
   int backups_run = 0;
+  /// Footprint of the speculative backups: re-read input and re-done flops.
+  /// The losing copy's output is discarded before commit, so no writes.
+  /// Callers must add this to the job's I/O totals.
+  IoStats speculative_io;
+  /// Per-attempt timeline. Spans sharing a slot never overlap; losing
+  /// speculative copies (and originals beaten by their backup) are truncated
+  /// at the winner's finish, so max end == duration.
+  std::vector<TaskTraceEvent> trace;
 };
 
 /// Schedules `attempts_per_task[t]` = the ordered attempts of task t (zero or

@@ -6,12 +6,15 @@ namespace mri::mr {
 
 ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
                       int num_partitions,
-                      const std::function<int(std::int64_t, int)>& partitioner) {
+                      const std::function<int(std::int64_t, int)>& partitioner,
+                      int cluster_size) {
   MRI_REQUIRE(num_partitions >= 1, "shuffle needs >= 1 partition");
   ShuffleResult result;
   result.partitions.resize(static_cast<std::size_t>(num_partitions));
-  for (auto& task_output : map_outputs) {
-    for (auto& kv : task_output) {
+  for (std::size_t task = 0; task < map_outputs.size(); ++task) {
+    const int map_node =
+        cluster_size > 0 ? static_cast<int>(task) % cluster_size : -1;
+    for (auto& kv : map_outputs[task]) {
       int p;
       if (partitioner) {
         p = partitioner(kv.key, num_partitions);
@@ -21,7 +24,16 @@ ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
       }
       MRI_CHECK_MSG(p >= 0 && p < num_partitions,
                     "partitioner returned " << p << " for key " << kv.key);
-      result.total_bytes += sizeof(std::int64_t) + kv.value.size();
+      const std::uint64_t bytes = sizeof(std::int64_t) + kv.value.size();
+      result.total_bytes += bytes;
+      // Reduce task p runs on node p % cluster_size (mirrors JobRunner's
+      // task placement); pairs staying on their mapper's node never cross
+      // the network in Hadoop.
+      if (cluster_size > 0 && p % cluster_size == map_node) {
+        result.local_bytes += bytes;
+      } else {
+        result.remote_bytes += bytes;
+      }
       result.partitions[static_cast<std::size_t>(p)][kv.key].push_back(
           std::move(kv.value));
     }

@@ -17,13 +17,22 @@ struct ShuffleResult {
   std::vector<ReduceInput> partitions;
   /// Serialized size of all shuffled pairs (8-byte key + value bytes).
   std::uint64_t total_bytes = 0;
+  /// Split of total_bytes by placement: a pair is node-local when the map
+  /// task's node (task % cluster_size) equals the reduce partition's node
+  /// (partition % cluster_size) — Hadoop fetches those from local disk, so
+  /// only remote_bytes cross the network. With cluster_size == 0 placement
+  /// is unknown and everything counts as remote.
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_bytes = 0;
 };
 
 /// Partitions and groups map output. `partitioner` may be null (key mod
 /// num_partitions, non-negative). Values for equal keys keep map-task order
 /// (stable within a task; tasks concatenated in task-index order).
+/// `cluster_size` drives the local/remote byte split (0 = all remote).
 ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
                       int num_partitions,
-                      const std::function<int(std::int64_t, int)>& partitioner);
+                      const std::function<int(std::int64_t, int)>& partitioner,
+                      int cluster_size = 0);
 
 }  // namespace mri::mr

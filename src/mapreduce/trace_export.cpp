@@ -1,0 +1,61 @@
+#include "mapreduce/trace_export.hpp"
+
+#include <algorithm>
+
+namespace mri::mr {
+
+std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
+  std::vector<PhaseTrace> phases;
+  phases.reserve(jobs.size() * 2);
+  for (const JobResult& job : jobs) {
+    // sim_seconds = launch + map + reduce, so the launch overhead is the
+    // remainder; the map phase starts once the job is launched.
+    const double launch = std::max(
+        0.0, job.sim_seconds - job.map_phase_seconds - job.reduce_phase_seconds);
+    if (!job.map_trace.empty()) {
+      PhaseTrace p;
+      p.job = job.name;
+      p.phase = "map";
+      p.start = job.start_seconds + launch;
+      p.duration = job.map_phase_seconds;
+      p.events = job.map_trace;
+      phases.push_back(std::move(p));
+    }
+    if (!job.reduce_trace.empty()) {
+      PhaseTrace p;
+      p.job = job.name;
+      p.phase = "reduce";
+      p.start = job.start_seconds + launch + job.map_phase_seconds;
+      p.duration = job.reduce_phase_seconds;
+      p.events = job.reduce_trace;
+      phases.push_back(std::move(p));
+    }
+  }
+  return phases;
+}
+
+RunReport build_run_report(const std::vector<JobResult>& jobs,
+                           const Cluster& cluster,
+                           const MetricsRegistry* metrics) {
+  RunReport report;
+  report.total_slots = cluster.total_slots();
+  report.jobs = static_cast<int>(jobs.size());
+  for (const JobResult& job : jobs) {
+    report.sim_seconds = std::max(
+        report.sim_seconds, job.start_seconds + job.sim_seconds);
+    report.io += job.io;
+    report.failures_recovered += job.failures_recovered;
+    report.backups_run += job.backups_run;
+    report.shuffle_local_bytes += job.shuffle_local_bytes;
+    report.shuffle_remote_bytes += job.shuffle_remote_bytes;
+  }
+  if (metrics != nullptr) {
+    report.dfs_io = metrics->io_totals();
+    report.counters = metrics->counters();
+  }
+  report.phases = phase_traces(jobs);
+  aggregate_run_report(&report);
+  return report;
+}
+
+}  // namespace mri::mr

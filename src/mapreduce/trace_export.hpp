@@ -1,0 +1,26 @@
+// Bridge from executed MapReduce jobs to the sim-layer run report: lays the
+// jobs' per-attempt traces onto the run timeline (job launch overhead, then
+// map phase, then reduce phase) and aggregates wave/utilization/straggler
+// statistics plus the failure-recovery timeline.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "sim/cluster.hpp"
+#include "sim/metrics.hpp"
+#include "sim/run_report.hpp"
+
+namespace mri::mr {
+
+/// Run-relative phase traces for a sequence of jobs (one PhaseTrace per
+/// non-empty phase). Jobs must carry the start_seconds stamped by Pipeline.
+std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs);
+
+/// Builds and aggregates the full run report. `metrics` (DFS-side totals and
+/// named counters) may be null.
+RunReport build_run_report(const std::vector<JobResult>& jobs,
+                           const Cluster& cluster,
+                           const MetricsRegistry* metrics);
+
+}  // namespace mri::mr

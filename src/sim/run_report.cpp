@@ -1,0 +1,231 @@
+#include "sim/run_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mri {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+void aggregate_run_report(RunReport* report) {
+  report->phase_reports.clear();
+  report->failure_timeline.clear();
+
+  for (const PhaseTrace& phase : report->phases) {
+    PhaseReport pr;
+    pr.job = phase.job;
+    pr.phase = phase.phase;
+    pr.duration = phase.duration;
+
+    std::map<int, double> task_end;          // effective completion per task
+    std::map<int, int> attempts_per_slot;
+    for (const TaskTraceEvent& e : phase.events) {
+      ++pr.attempts;
+      if (e.failed) ++pr.failures;
+      if (e.backup) ++pr.backups;
+      pr.busy_seconds += e.end - e.start;
+      ++attempts_per_slot[e.slot];
+      // Failed attempts never complete the task; winners and truncated
+      // losers share the same end, so max over the rest is the completion.
+      if (!e.failed) {
+        auto [it, inserted] = task_end.emplace(e.task, e.end);
+        if (!inserted) it->second = std::max(it->second, e.end);
+      } else {
+        task_end.emplace(e.task, 0.0);  // count the task even if all failed
+      }
+    }
+    pr.tasks = static_cast<int>(task_end.size());
+    for (const auto& [slot, n] : attempts_per_slot) {
+      pr.waves = std::max(pr.waves, n);
+    }
+    if (report->total_slots > 0 && pr.duration > 0.0) {
+      pr.slot_utilization =
+          pr.busy_seconds /
+          (static_cast<double>(report->total_slots) * pr.duration);
+    }
+    std::vector<double> ends;
+    ends.reserve(task_end.size());
+    for (const auto& [task, end] : task_end) ends.push_back(end);
+    pr.median_task_end = median_of(ends);
+    pr.max_task_end = ends.empty() ? 0.0 : *std::max_element(ends.begin(),
+                                                             ends.end());
+    pr.straggler_ratio =
+        pr.median_task_end > 0.0 ? pr.max_task_end / pr.median_task_end : 1.0;
+    report->phase_reports.push_back(std::move(pr));
+
+    // Failure-recovery timeline: each failed attempt paired with the start
+    // of the next attempt of the same task.
+    for (const TaskTraceEvent& e : phase.events) {
+      if (!e.failed) continue;
+      FailureRecovery f;
+      f.job = phase.job;
+      f.phase = phase.phase;
+      f.task = e.task;
+      f.attempt = e.attempt;
+      f.node = e.node;
+      f.failed_at = phase.start + e.end;
+      f.retry_start = -1.0;
+      for (const TaskTraceEvent& r : phase.events) {
+        if (r.task == e.task && r.attempt == e.attempt + 1 && !r.backup) {
+          f.retry_start = phase.start + r.start;
+          break;
+        }
+      }
+      report->failure_timeline.push_back(std::move(f));
+    }
+  }
+}
+
+namespace {
+
+// Minimal JSON writer: the strings we emit (job names, counter names) are
+// plain identifiers, but escape defensively anyway.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_num(std::ostringstream& os, double v) {
+  // JSON has no NaN/Inf; clamp defensively.
+  if (!std::isfinite(v)) v = 0.0;
+  os << v;
+}
+
+void append_io(std::ostringstream& os, const char* key, const IoStats& io) {
+  os << '"' << key << "\":{"
+     << "\"bytes_written\":" << io.bytes_written
+     << ",\"bytes_read\":" << io.bytes_read
+     << ",\"bytes_transferred\":" << io.bytes_transferred
+     << ",\"bytes_replicated\":" << io.bytes_replicated
+     << ",\"bytes_written_memory\":" << io.bytes_written_memory
+     << ",\"mults\":" << io.mults << ",\"adds\":" << io.adds << '}';
+}
+
+}  // namespace
+
+std::string run_report_json(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"sim_seconds\":";
+  append_num(os, report.sim_seconds);
+  os << ",\"jobs\":" << report.jobs
+     << ",\"failures_recovered\":" << report.failures_recovered
+     << ",\"backups_run\":" << report.backups_run
+     << ",\"total_slots\":" << report.total_slots << ',';
+  append_io(os, "io", report.io);
+  os << ",\"shuffle\":{\"local_bytes\":" << report.shuffle_local_bytes
+     << ",\"remote_bytes\":" << report.shuffle_remote_bytes << "},";
+  append_io(os, "dfs_io", report.dfs_io);
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : report.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << value;
+  }
+  os << "},\"phases\":[";
+  first = true;
+  for (const PhaseReport& p : report.phase_reports) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"job\":\"" << json_escape(p.job) << "\",\"phase\":\"" << p.phase
+       << "\",\"tasks\":" << p.tasks << ",\"attempts\":" << p.attempts
+       << ",\"failures\":" << p.failures << ",\"backups\":" << p.backups
+       << ",\"waves\":" << p.waves << ",\"duration\":";
+    append_num(os, p.duration);
+    os << ",\"busy_seconds\":";
+    append_num(os, p.busy_seconds);
+    os << ",\"slot_utilization\":";
+    append_num(os, p.slot_utilization);
+    os << ",\"median_task_end\":";
+    append_num(os, p.median_task_end);
+    os << ",\"max_task_end\":";
+    append_num(os, p.max_task_end);
+    os << ",\"straggler_ratio\":";
+    append_num(os, p.straggler_ratio);
+    os << '}';
+  }
+  os << "],\"failure_timeline\":[";
+  first = true;
+  for (const FailureRecovery& f : report.failure_timeline) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"job\":\"" << json_escape(f.job) << "\",\"phase\":\"" << f.phase
+       << "\",\"task\":" << f.task << ",\"attempt\":" << f.attempt
+       << ",\"node\":" << f.node << ",\"failed_at\":";
+    append_num(os, f.failed_at);
+    os << ",\"retry_start\":";
+    append_num(os, f.retry_start);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string chrome_trace_json(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "[";
+  bool first = true;
+  // Process metadata so chrome://tracing labels the per-node swimlanes.
+  std::map<int, bool> nodes_seen;
+  for (const PhaseTrace& phase : report.phases) {
+    for (const TaskTraceEvent& e : phase.events) nodes_seen[e.node] = true;
+  }
+  for (const auto& [node, seen] : nodes_seen) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << node
+       << ",\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+  for (const PhaseTrace& phase : report.phases) {
+    for (const TaskTraceEvent& e : phase.events) {
+      const double ts_us = (phase.start + e.start) * 1e6;
+      const double dur_us = (e.end - e.start) * 1e6;
+      if (!first) os << ',';
+      first = false;
+      os << "{\"ph\":\"X\",\"name\":\"" << json_escape(phase.job) << '/'
+         << phase.phase << " t" << e.task << " a" << e.attempt
+         << (e.backup ? " (backup)" : e.failed ? " (failed)" : "")
+         << "\",\"cat\":\"" << phase.phase << "\",\"pid\":" << e.node
+         << ",\"tid\":" << e.slot << ",\"ts\":";
+      append_num(os, ts_us);
+      os << ",\"dur\":";
+      append_num(os, dur_us);
+      os << ",\"args\":{\"task\":" << e.task << ",\"attempt\":" << e.attempt
+         << ",\"failed\":" << (e.failed ? "true" : "false")
+         << ",\"backup\":" << (e.backup ? "true" : "false") << "}}";
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace mri

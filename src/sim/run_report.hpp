@@ -1,0 +1,94 @@
+// Run-level aggregation of scheduler traces, plus JSON export.
+//
+// A run is a sequence of scheduled phases (two per MapReduce job) laid out
+// on the run's simulated timeline. From the raw per-attempt events this
+// module derives the quantities the paper argues with: waves of tasks,
+// slot utilization, straggler spread, and the failure-recovery timeline
+// (§7.4). Two export shapes are provided:
+//   * run_report_json()  — machine-readable summary (schema in README.md);
+//   * chrome_trace_json() — Chrome trace_event format; load the file in
+//     chrome://tracing (or ui.perfetto.dev) to see the per-slot timeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/io_stats.hpp"
+#include "sim/trace.hpp"
+
+namespace mri {
+
+/// One scheduled phase placed on the run timeline. Event times inside
+/// `events` are phase-relative; add `start` for run-relative times.
+struct PhaseTrace {
+  std::string job;
+  std::string phase;  // "map" or "reduce"
+  double start = 0.0;     // run-relative phase start (after job launch)
+  double duration = 0.0;  // scheduler-reported phase duration
+  std::vector<TaskTraceEvent> events;
+};
+
+/// Aggregates computed from one PhaseTrace by aggregate_run_report().
+struct PhaseReport {
+  std::string job;
+  std::string phase;
+  int tasks = 0;
+  int attempts = 0;  // includes failed attempts and speculative backups
+  int failures = 0;
+  int backups = 0;
+  /// Max number of attempts any single slot executed (1 = one wave).
+  int waves = 0;
+  double duration = 0.0;
+  /// Sum of attempt spans; utilization = busy / (total_slots * duration).
+  double busy_seconds = 0.0;
+  double slot_utilization = 0.0;
+  /// Straggler spread over per-task effective completion times.
+  double median_task_end = 0.0;
+  double max_task_end = 0.0;
+  double straggler_ratio = 0.0;  // max / median (1.0 when degenerate)
+};
+
+/// One recovered failure: when the attempt died and when its retry started,
+/// both run-relative.
+struct FailureRecovery {
+  std::string job;
+  std::string phase;
+  int task = 0;
+  int attempt = 0;  // the attempt that died
+  int node = 0;     // the node lost with it
+  double failed_at = 0.0;
+  double retry_start = 0.0;  // < 0 when no retry event was found
+};
+
+struct RunReport {
+  double sim_seconds = 0.0;
+  IoStats io;  // full run footprint (includes speculative re-work)
+  int jobs = 0;
+  int failures_recovered = 0;
+  int backups_run = 0;
+  int total_slots = 0;
+  std::uint64_t shuffle_local_bytes = 0;
+  std::uint64_t shuffle_remote_bytes = 0;
+  /// DFS-side totals from the MetricsRegistry, when one was attached.
+  IoStats dfs_io;
+  std::map<std::string, std::uint64_t> counters;
+  std::vector<PhaseTrace> phases;
+  /// Derived by aggregate_run_report().
+  std::vector<PhaseReport> phase_reports;
+  std::vector<FailureRecovery> failure_timeline;
+};
+
+/// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites
+/// any previous aggregation. `total_slots` must be set by the caller.
+void aggregate_run_report(RunReport* report);
+
+/// Machine-readable run report (one JSON object; schema in README.md).
+std::string run_report_json(const RunReport& report);
+
+/// Chrome trace_event JSON: one complete ("ph":"X") event per attempt with
+/// pid = node, tid = global slot, timestamps in microseconds.
+std::string chrome_trace_json(const RunReport& report);
+
+}  // namespace mri

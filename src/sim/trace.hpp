@@ -1,0 +1,23 @@
+// Per-attempt trace records produced by the phase scheduler.
+//
+// One TaskTraceEvent is the simulated lifetime of one task attempt on one
+// slot — the same tuple Hadoop's JobTracker exposes per attempt. The
+// scheduler guarantees that events sharing a slot never overlap and that a
+// phase's duration equals the latest event end (losing speculative copies
+// and killed originals are truncated at the moment the winner finished).
+#pragma once
+
+namespace mri {
+
+struct TaskTraceEvent {
+  int task = 0;     // task index within the phase
+  int attempt = 0;  // 0 = first execution; backups get the next free index
+  int node = 0;     // cluster node the attempt ran on
+  int slot = 0;     // global slot id: node * slots_per_node + local slot
+  double start = 0.0;  // phase-relative simulated seconds
+  double end = 0.0;    // when the attempt finished, died, or was killed
+  bool failed = false;  // injected failure: the attempt died mid-run
+  bool backup = false;  // speculative copy launched by speculate()
+};
+
+}  // namespace mri

@@ -91,6 +91,20 @@ TEST(ThreadPool, SingleThreadWorks) {
 
 TEST(ThreadPool, ZeroThreadsRejected) { EXPECT_THROW(ThreadPool(0), InvalidArgument); }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a worker used to deadlock: every
+  // worker blocks on futures only workers could run. More outer tasks than
+  // threads guarantees the old deadlock; now inner loops run inline.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(pool.in_worker_thread());
+    pool.parallel_for(4, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_FALSE(pool.in_worker_thread());
+}
+
 // ---- cli --------------------------------------------------------------------
 
 TEST(Cli, ParsesForms) {

@@ -8,6 +8,7 @@
 #include "mapreduce/runtime.hpp"
 #include "mapreduce/scheduler.hpp"
 #include "mapreduce/shuffle.hpp"
+#include "mapreduce/trace_export.hpp"
 
 namespace mri::mr {
 namespace {
@@ -54,6 +55,39 @@ TEST(Shuffle, BadPartitionerCaught) {
   EXPECT_THROW(
       shuffle(std::move(outputs), 2, [](std::int64_t, int) { return 7; }),
       Error);
+}
+
+TEST(Shuffle, WithoutClusterSizeEverythingIsRemote) {
+  std::vector<std::vector<KeyValue>> outputs(1);
+  outputs[0] = {{0, "ab"}, {1, "cd"}};
+  const ShuffleResult r = shuffle(std::move(outputs), 2, nullptr);
+  EXPECT_EQ(r.local_bytes, 0u);
+  EXPECT_EQ(r.remote_bytes, r.total_bytes);
+}
+
+TEST(Shuffle, SplitsLocalAndRemoteByNode) {
+  // 2 map tasks on a 2-node cluster: map t runs on node t, reduce partition
+  // p lands on node p. Keys equal to the mapper's node stay local.
+  std::vector<std::vector<KeyValue>> outputs(2);
+  outputs[0] = {{0, "aa"}, {1, "bb"}};  // key 0 local, key 1 remote
+  outputs[1] = {{0, "cc"}, {1, "dd"}};  // key 0 remote, key 1 local
+  const ShuffleResult r =
+      shuffle(std::move(outputs), 2, nullptr, /*cluster_size=*/2);
+  const std::uint64_t pair_bytes = 8 + 2;
+  EXPECT_EQ(r.total_bytes, 4 * pair_bytes);
+  EXPECT_EQ(r.local_bytes, 2 * pair_bytes);
+  EXPECT_EQ(r.remote_bytes, 2 * pair_bytes);
+  EXPECT_EQ(r.local_bytes + r.remote_bytes, r.total_bytes);
+}
+
+TEST(Shuffle, MorePartitionsThanNodesWrapAround) {
+  // Partition 2 on a 2-node cluster lands on node 0 again.
+  std::vector<std::vector<KeyValue>> outputs(1);
+  outputs[0] = {{2, "xy"}};  // map task 0 = node 0; partition 2 -> node 0
+  const ShuffleResult r =
+      shuffle(std::move(outputs), 3, nullptr, /*cluster_size=*/2);
+  EXPECT_EQ(r.local_bytes, r.total_bytes);
+  EXPECT_EQ(r.remote_bytes, 0u);
 }
 
 // ---- scheduler -----------------------------------------------------------------
@@ -303,6 +337,98 @@ TEST(Runtime, InjectedFailureIsRecoveredAndCharged) {
   EXPECT_GT(with_failure.sim_seconds, no_failure.sim_seconds);
 }
 
+TEST(Runtime, ShuffleLocalBytesExcludedFromNetworkTraffic) {
+  RuntimeFixture fx(4);
+  fx.fs.write_text("/in/0", "a bb ccc a bb");
+  fx.fs.write_text("/in/1", "dddd a ccc");
+  const JobResult r = fx.runner.run(word_count_spec({"/in/0", "/in/1"}));
+  EXPECT_EQ(r.shuffle_local_bytes + r.shuffle_remote_bytes, r.shuffle_bytes);
+  // Both local and remote pairs exist in this job (keys 1..4 over 3
+  // partitions on 4 nodes), so the old all-remote accounting would differ.
+  EXPECT_GT(r.shuffle_local_bytes, 0u);
+  EXPECT_GT(r.shuffle_remote_bytes, 0u);
+  EXPECT_EQ(fx.metrics.value("shuffle_local_bytes"), r.shuffle_local_bytes);
+  EXPECT_EQ(fx.metrics.value("shuffle_remote_bytes"), r.shuffle_remote_bytes);
+}
+
+// A mapper with a large, known flop footprint: speculation tests compare
+// exact I/O totals with and without backups.
+class FlopsMapper : public Mapper {
+ public:
+  void map(std::int64_t, const std::string&, TaskContext& ctx) override {
+    IoStats flops;
+    flops.mults = 2'000'000'000;
+    ctx.add_flops(flops);
+  }
+};
+
+JobSpec flops_spec(std::vector<std::string> inputs) {
+  JobSpec spec;
+  spec.name = "flops";
+  spec.input_files = std::move(inputs);
+  spec.mapper_factory = [] { return std::make_unique<FlopsMapper>(); };
+  return spec;
+}
+
+TEST(Runtime, SpeculativeBackupsAreChargedToJobIo) {
+  // Seed 13 + 0.6 variance gives node speeds {1.00, 0.69, 1.34, 1.56}: the
+  // map task on node 1 straggles past 1.2x median and the idle fast node
+  // launches a backup. That backup's re-done reads and flops must appear in
+  // JobResult::io, else Table 1/2 accounting understates work.
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.6;
+  m.speculative_execution = true;
+  m.speculative_threshold = 1.2;
+
+  const auto run_once = [](CostModel model, bool speculation) {
+    model.speculative_execution = speculation;
+    MetricsRegistry metrics;
+    Cluster cluster(4, model, /*seed=*/13);
+    dfs::Dfs fs(4, dfs::DfsConfig{}, &metrics);
+    ThreadPool pool(4);
+    JobRunner runner(&cluster, &fs, &pool, nullptr, &metrics);
+    for (int i = 0; i < 3; ++i)
+      fs.write_text("/in/" + std::to_string(i), "x");
+    return runner.run(flops_spec({"/in/0", "/in/1", "/in/2"}));
+  };
+
+  const JobResult with = run_once(m, true);
+  const JobResult without = run_once(m, false);
+  ASSERT_GE(with.backups_run, 1);
+  EXPECT_EQ(without.backups_run, 0);
+  // Exactly the backups' footprint more: re-read input, re-done flops.
+  EXPECT_EQ(with.io.mults,
+            without.io.mults +
+                static_cast<std::uint64_t>(with.backups_run) * 2'000'000'000u);
+  EXPECT_GT(with.io.bytes_read, without.io.bytes_read);
+  EXPECT_EQ(with.io.bytes_written, without.io.bytes_written);  // no commit
+  EXPECT_EQ(with.speculation_io.mults,
+            static_cast<std::uint64_t>(with.backups_run) * 2'000'000'000u);
+  // The backup also shows up in the trace and wins over the straggler.
+  EXPECT_LT(with.map_phase_seconds, without.map_phase_seconds);
+  bool saw_backup = false;
+  for (const TaskTraceEvent& e : with.map_trace) saw_backup |= e.backup;
+  EXPECT_TRUE(saw_backup);
+}
+
+TEST(Runtime, TracesCoverEveryAttempt) {
+  RuntimeFixture fx(4);
+  for (int i = 0; i < 4; ++i)
+    fx.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+  fx.failures.add_rule(FailureRule{"wordcount", 2, 0, true});
+  const JobResult r = fx.runner.run(
+      word_count_spec({"/in/0", "/in/1", "/in/2", "/in/3"}));
+  // 4 maps + 1 retry; 3 reduces.
+  EXPECT_EQ(r.map_trace.size(), 5u);
+  EXPECT_EQ(r.reduce_trace.size(), 3u);
+  int failed_events = 0;
+  for (const TaskTraceEvent& e : r.map_trace) failed_events += e.failed;
+  EXPECT_EQ(failed_events, 1);
+}
+
 TEST(Runtime, MissingInputIsJobError) {
   RuntimeFixture fx(2);
   JobSpec spec = word_count_spec({"/does/not/exist"});
@@ -348,6 +474,46 @@ TEST(Pipeline, AccumulatesAcrossJobs) {
               pipeline.jobs()[0].sim_seconds + pipeline.jobs()[1].sim_seconds +
                   pipeline.master_seconds(),
               1e-12);
+  // Jobs are placed on the pipeline's timeline back to back.
+  EXPECT_EQ(pipeline.jobs()[0].start_seconds, 0.0);
+  EXPECT_NEAR(pipeline.jobs()[1].start_seconds,
+              pipeline.jobs()[0].sim_seconds, 1e-12);
+}
+
+// ---- trace export -----------------------------------------------------------
+
+TEST(TraceExport, RunReportFromPipelineJobs) {
+  RuntimeFixture fx(4);
+  for (int i = 0; i < 4; ++i)
+    fx.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+  fx.failures.add_rule(FailureRule{"wordcount", 1, 0, true});
+  Pipeline pipeline(&fx.runner);
+  pipeline.run(word_count_spec({"/in/0", "/in/1", "/in/2", "/in/3"}));
+
+  const RunReport report =
+      build_run_report(pipeline.jobs(), fx.cluster, &fx.metrics);
+  EXPECT_EQ(report.jobs, 1);
+  EXPECT_EQ(report.failures_recovered, 1);
+  EXPECT_EQ(report.total_slots, fx.cluster.total_slots());
+  ASSERT_EQ(report.phases.size(), 2u);  // map + reduce
+  EXPECT_EQ(report.phases[0].phase, "map");
+  EXPECT_EQ(report.phases[1].phase, "reduce");
+  // Map phase starts after the job launch overhead; reduce after the map.
+  EXPECT_NEAR(report.phases[0].start,
+              fx.cluster.cost_model().job_launch_seconds, 1e-9);
+  EXPECT_NEAR(report.phases[1].start,
+              report.phases[0].start + report.phases[0].duration, 1e-9);
+  ASSERT_EQ(report.phase_reports.size(), 2u);
+  EXPECT_EQ(report.phase_reports[0].failures, 1);
+  ASSERT_EQ(report.failure_timeline.size(), 1u);
+  EXPECT_GT(report.failure_timeline[0].retry_start,
+            report.failure_timeline[0].failed_at - 1e-12);
+  // DFS totals came through the metrics registry.
+  EXPECT_GT(report.dfs_io.bytes_written, 0u);
+  EXPECT_EQ(report.counters.at("jobs"), 1u);
+  // Both export shapes serialize.
+  EXPECT_FALSE(run_report_json(report).empty());
+  EXPECT_FALSE(chrome_trace_json(report).empty());
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// Scheduler unit tests: wave placement, dead-node slot loss, retry
+// ready-times, speculation win/lose accounting, and the trace invariants
+// the run report relies on (no slot overlap, monotone per-slot times,
+// max event end == phase duration).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "mapreduce/scheduler.hpp"
+
+namespace mri::mr {
+namespace {
+
+CostModel flat_model(int slots_per_node = 1) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.0;
+  m.slots_per_node = slots_per_node;
+  return m;
+}
+
+Attempt ok_attempt(std::uint64_t flops) {
+  Attempt a;
+  a.io.mults = flops;
+  return a;
+}
+
+Attempt failed_attempt(std::uint64_t flops) {
+  Attempt a = ok_attempt(flops);
+  a.failed = true;
+  return a;
+}
+
+/// Events sharing a slot must be disjoint and in non-decreasing time order.
+void expect_no_slot_overlap(const PhaseSchedule& s) {
+  std::map<int, std::vector<TaskTraceEvent>> by_slot;
+  for (const TaskTraceEvent& e : s.trace) {
+    EXPECT_LE(e.start, e.end) << "negative-length span";
+    by_slot[e.slot].push_back(e);
+  }
+  for (auto& [slot, events] : by_slot) {
+    std::sort(events.begin(), events.end(),
+              [](const TaskTraceEvent& a, const TaskTraceEvent& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].end, events[i].start + 1e-12)
+          << "slot " << slot << " runs two attempts at once";
+    }
+  }
+}
+
+double max_trace_end(const PhaseSchedule& s) {
+  double end = 0.0;
+  for (const TaskTraceEvent& e : s.trace) end = std::max(end, e.end);
+  return end;
+}
+
+// ---- waves -----------------------------------------------------------------
+
+TEST(SchedulerTrace, TwoWavesFillBothSlots) {
+  Cluster cluster(2, flat_model());
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  ASSERT_EQ(s.trace.size(), 4u);
+  std::map<int, int> per_slot;
+  for (const TaskTraceEvent& e : s.trace) ++per_slot[e.slot];
+  ASSERT_EQ(per_slot.size(), 2u);  // both slots used
+  for (const auto& [slot, n] : per_slot) EXPECT_EQ(n, 2);  // 2 waves each
+  expect_no_slot_overlap(s);
+  EXPECT_NEAR(max_trace_end(s), s.duration, 1e-12);
+}
+
+TEST(SchedulerTrace, EventsCarryTaskAndAttempt) {
+  Cluster cluster(4, flat_model());
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  ASSERT_EQ(s.trace.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (const TaskTraceEvent& e : s.trace) {
+    EXPECT_EQ(e.attempt, 0);
+    EXPECT_FALSE(e.failed);
+    EXPECT_FALSE(e.backup);
+    ASSERT_GE(e.task, 0);
+    ASSERT_LT(e.task, 4);
+    seen[static_cast<std::size_t>(e.task)] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+// ---- dead nodes ------------------------------------------------------------
+
+TEST(SchedulerDeadNode, FailureRemovesAllNodeSlots) {
+  // 2 nodes x 2 slots. Task 0 dies at 0.5 s and takes node 0 down; the
+  // node's *other* slot must stop receiving tasks too, so the remaining
+  // 7 one-second attempts (6 fresh + 1 retry) share node 1's two slots:
+  // the phase ends at 4.0 s, not at the 3.0 s a buggy half-dead node gives.
+  Cluster cluster(2, flat_model(/*slots_per_node=*/2));
+  std::vector<std::vector<Attempt>> tasks(8, {ok_attempt(1'000'000'000)});
+  tasks[0] = {failed_attempt(500'000'000), ok_attempt(1'000'000'000)};
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_EQ(s.nodes_lost, 1);
+  EXPECT_EQ(s.attempts_run, 9);
+  EXPECT_NEAR(s.duration, 4.0, 1e-9);
+
+  // The dead node serves nothing after the failure.
+  double fail_time = 0.0;
+  int dead_node = -1;
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.failed) {
+      fail_time = e.end;
+      dead_node = e.node;
+    }
+  }
+  ASSERT_GE(dead_node, 0);
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.node == dead_node) {
+      EXPECT_LE(e.start, fail_time)
+          << "dead node " << dead_node << " received a task after dying";
+    }
+  }
+  expect_no_slot_overlap(s);
+  EXPECT_NEAR(max_trace_end(s), s.duration, 1e-12);
+}
+
+TEST(SchedulerDeadNode, AllNodesLostThrows) {
+  Cluster cluster(1, flat_model(/*slots_per_node=*/2));
+  std::vector<std::vector<Attempt>> tasks(1);
+  tasks[0] = {failed_attempt(500'000'000), ok_attempt(1'000'000'000)};
+  EXPECT_THROW(schedule_phase(cluster, tasks), Error);
+}
+
+// ---- retry ready-times -----------------------------------------------------
+
+TEST(SchedulerRetry, WaitsForFailureDetection) {
+  CostModel m = flat_model();
+  m.failure_detection_seconds = 10.0;
+  Cluster cluster(2, m);
+  std::vector<std::vector<Attempt>> tasks(2);
+  tasks[0] = {failed_attempt(500'000'000), ok_attempt(1'000'000'000)};
+  tasks[1] = {ok_attempt(1'000'000'000)};
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  // Dies at 0.5, detected at 10.5 (slot on node 1 is free from 1.0), runs
+  // 1 s: the retry's start is detection-bound, not slot-bound.
+  const TaskTraceEvent* retry = nullptr;
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.task == 0 && e.attempt == 1) retry = &e;
+  }
+  ASSERT_NE(retry, nullptr);
+  EXPECT_NEAR(retry->start, 10.5, 1e-9);
+  EXPECT_NEAR(s.duration, 11.5, 1e-9);
+  EXPECT_EQ(retry->node, 1);  // node 0 is dead
+}
+
+TEST(SchedulerRetry, SlotBoundWhenDetectionIsFast) {
+  // With instant detection the retry still waits for a live slot (§7.4:
+  // "did not restart until one of the other mappers finished").
+  Cluster cluster(2, flat_model());
+  std::vector<std::vector<Attempt>> tasks(2);
+  tasks[0] = {failed_attempt(500'000'000), ok_attempt(1'000'000'000)};
+  tasks[1] = {ok_attempt(1'000'000'000)};
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_NEAR(s.duration, 2.0, 1e-9);
+}
+
+// ---- speculation -----------------------------------------------------------
+
+CostModel spec_model(bool speculation, double variance) {
+  CostModel m = flat_model();
+  m.node_speed_variance = variance;
+  m.speculative_execution = speculation;
+  m.speculative_threshold = 1.2;
+  return m;
+}
+
+TEST(SchedulerSpeculation, WinningBackupChargedAndTruncatesOriginal) {
+  // Seed 13 gives speeds {1.00, 0.69, 1.34, 1.56}: the 2-s task on node 1
+  // straggles to 2.9 s; the idle 1.56x node backs it up and wins (~2.77 s).
+  Cluster cluster(4, spec_model(true, 0.6), /*seed=*/13);
+  std::vector<std::vector<Attempt>> tasks(3, {ok_attempt(2'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  ASSERT_GE(s.backups_run, 1);
+  // The backup's re-done work is charged, reads and flops only.
+  EXPECT_EQ(s.speculative_io.mults,
+            static_cast<std::uint64_t>(s.backups_run) * 2'000'000'000u);
+  EXPECT_EQ(s.speculative_io.bytes_written, 0u);
+
+  const TaskTraceEvent* backup = nullptr;
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.backup) backup = &e;
+  }
+  ASSERT_NE(backup, nullptr);
+  // The winner's end is the phase-effective completion; the beaten original
+  // is killed (truncated) at the same moment, so nothing outlives duration.
+  EXPECT_NEAR(max_trace_end(s), s.duration, 1e-12);
+  expect_no_slot_overlap(s);
+}
+
+TEST(SchedulerSpeculation, LosingBackupStillChargedAndKilled) {
+  // 10x the *work* (not a slow node): the backup cannot win, loses, and is
+  // killed when the original finishes — but its I/O was still spent.
+  Cluster cluster(4, spec_model(true, 0.0));
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  tasks[3] = {ok_attempt(10'000'000'000)};
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_NEAR(s.duration, 10.0, 1e-9);  // speculation rescues nothing
+  ASSERT_EQ(s.backups_run, 1);
+  EXPECT_EQ(s.speculative_io.mults, 10'000'000'000u);
+  const TaskTraceEvent* backup = nullptr;
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.backup) backup = &e;
+  }
+  ASSERT_NE(backup, nullptr);
+  EXPECT_EQ(backup->task, 3);
+  EXPECT_NEAR(backup->end, 10.0, 1e-9);  // killed at the original's finish
+  EXPECT_NEAR(max_trace_end(s), s.duration, 1e-12);
+  expect_no_slot_overlap(s);
+}
+
+TEST(SchedulerSpeculation, OffMeansNoBackupIo) {
+  Cluster cluster(4, spec_model(false, 0.6), /*seed=*/13);
+  std::vector<std::vector<Attempt>> tasks(3, {ok_attempt(2'000'000'000)});
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_EQ(s.backups_run, 0);
+  EXPECT_EQ(s.speculative_io, IoStats{});
+}
+
+TEST(SchedulerSpeculation, DeadNodeSlotsNotUsedForBackups) {
+  // One node dies; with speculation on, its idle slots must not host
+  // backups. 2 nodes x 2 slots, node with the failure is dead.
+  CostModel m = spec_model(true, 0.0);
+  m.slots_per_node = 2;
+  Cluster cluster(2, m);
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  tasks[0] = {failed_attempt(500'000'000), ok_attempt(1'000'000'000)};
+  tasks[3] = {ok_attempt(5'000'000'000)};  // straggler to tempt speculation
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  int dead_node = -1;
+  double fail_time = 0.0;
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.failed) {
+      dead_node = e.node;
+      fail_time = e.end;
+    }
+  }
+  ASSERT_GE(dead_node, 0);
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.backup) {
+      EXPECT_NE(e.node, dead_node);
+    }
+    if (e.node == dead_node) {
+      EXPECT_LE(e.start, fail_time);
+    }
+  }
+  expect_no_slot_overlap(s);
+}
+
+}  // namespace
+}  // namespace mri::mr

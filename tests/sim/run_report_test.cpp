@@ -1,0 +1,130 @@
+// Run-report aggregation and JSON export over synthetic phase traces.
+#include <gtest/gtest.h>
+
+#include "sim/run_report.hpp"
+
+namespace mri {
+namespace {
+
+TaskTraceEvent event(int task, int attempt, int node, int slot, double start,
+                     double end, bool failed = false, bool backup = false) {
+  TaskTraceEvent e;
+  e.task = task;
+  e.attempt = attempt;
+  e.node = node;
+  e.slot = slot;
+  e.start = start;
+  e.end = end;
+  e.failed = failed;
+  e.backup = backup;
+  return e;
+}
+
+RunReport two_slot_run() {
+  RunReport r;
+  r.total_slots = 2;
+  r.jobs = 1;
+  r.sim_seconds = 17.0;
+  PhaseTrace map;
+  map.job = "lu-level-0";
+  map.phase = "map";
+  map.start = 15.0;  // after job launch
+  map.duration = 2.0;
+  map.events = {
+      event(0, 0, 0, 0, 0.0, 1.0),
+      event(1, 0, 1, 1, 0.0, 0.5, /*failed=*/true),
+      event(1, 1, 0, 0, 1.0, 2.0),  // retry on the surviving node
+  };
+  r.phases.push_back(std::move(map));
+  return r;
+}
+
+TEST(RunReport, AggregatesWavesUtilizationStragglers) {
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  ASSERT_EQ(r.phase_reports.size(), 1u);
+  const PhaseReport& p = r.phase_reports[0];
+  EXPECT_EQ(p.job, "lu-level-0");
+  EXPECT_EQ(p.phase, "map");
+  EXPECT_EQ(p.tasks, 2);
+  EXPECT_EQ(p.attempts, 3);
+  EXPECT_EQ(p.failures, 1);
+  EXPECT_EQ(p.backups, 0);
+  EXPECT_EQ(p.waves, 2);  // slot 0 ran two attempts
+  EXPECT_NEAR(p.busy_seconds, 2.5, 1e-12);
+  EXPECT_NEAR(p.slot_utilization, 2.5 / (2 * 2.0), 1e-12);
+  EXPECT_NEAR(p.median_task_end, 2.0, 1e-12);
+  EXPECT_NEAR(p.max_task_end, 2.0, 1e-12);
+  EXPECT_NEAR(p.straggler_ratio, 1.0, 1e-12);
+}
+
+TEST(RunReport, FailureTimelineIsRunRelative) {
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  ASSERT_EQ(r.failure_timeline.size(), 1u);
+  const FailureRecovery& f = r.failure_timeline[0];
+  EXPECT_EQ(f.task, 1);
+  EXPECT_EQ(f.attempt, 0);
+  EXPECT_EQ(f.node, 1);
+  EXPECT_NEAR(f.failed_at, 15.5, 1e-12);    // phase start + 0.5
+  EXPECT_NEAR(f.retry_start, 16.0, 1e-12);  // phase start + 1.0
+}
+
+TEST(RunReport, AggregationIsIdempotent) {
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  aggregate_run_report(&r);
+  EXPECT_EQ(r.phase_reports.size(), 1u);
+  EXPECT_EQ(r.failure_timeline.size(), 1u);
+}
+
+TEST(RunReport, JsonContainsSchemaKeys) {
+  RunReport r = two_slot_run();
+  r.io.bytes_read = 123;
+  r.counters["jobs"] = 1;
+  aggregate_run_report(&r);
+  const std::string json = run_report_json(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"sim_seconds\"", "\"jobs\"", "\"failures_recovered\"",
+        "\"backups_run\"", "\"total_slots\"", "\"io\"", "\"shuffle\"",
+        "\"dfs_io\"", "\"counters\"", "\"phases\"", "\"failure_timeline\"",
+        "\"waves\"", "\"slot_utilization\"", "\"straggler_ratio\"",
+        "\"bytes_read\":123"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(RunReport, ChromeTraceHasCompleteEventsAndNodeLanes) {
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  const std::string json = chrome_trace_json(r);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Metadata lanes for both nodes plus one complete event per attempt.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"failed\":true"), std::string::npos);
+  // Timestamps are run-relative microseconds: map start 15 s -> 15e6 us.
+  EXPECT_NE(json.find("\"ts\":15000000"), std::string::npos);
+}
+
+TEST(RunReport, EscapesJobNames) {
+  RunReport r;
+  r.total_slots = 1;
+  PhaseTrace p;
+  p.job = "weird\"name";
+  p.phase = "map";
+  p.duration = 1.0;
+  p.events = {event(0, 0, 0, 0, 0.0, 1.0)};
+  r.phases.push_back(std::move(p));
+  aggregate_run_report(&r);
+  EXPECT_NE(run_report_json(r).find("weird\\\"name"), std::string::npos);
+  EXPECT_NE(chrome_trace_json(r).find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mri
