@@ -88,7 +88,8 @@ inline MrRun run_mapreduce(const ScaledSetup& s, int nodes,
   // The residual check is itself O(n³); sweep benches verify once per series.
   run.residual = verify ? inversion_residual(a, run.result.inverse) : 0.0;
   run.paper_seconds = to_paper_seconds(run.result.report.sim_seconds, s.scale);
-  run.run_report = mr::build_run_report(run.result.jobs, cluster, &metrics);
+  run.run_report = mr::build_run_report(run.result.jobs, cluster, &metrics,
+                                        run.result.master_spans);
   return run;
 }
 

@@ -1,7 +1,7 @@
 // mrinvert: a command-line matrix inverter backed by the MapReduce pipeline.
 //
 //   ./mrinvert_cli --input A.txt --output Ainv.txt [--nodes 8] [--nb 64]
-//                  [--engine auto|mapreduce|scalapack] [--spark]
+//                  [--engine auto|mapreduce|scalapack] [--spark] [--overlap]
 //                  [--trace-out trace.json] [--report-out report.json]
 //   ./mrinvert_cli --generate 256 --output Ainv.txt        # random input
 //
@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mrinvert_cli (--input A.txt | --generate N) "
                  "[--output Ainv.txt] [--nodes N] [--nb N]\n"
-                 "       [--engine auto|mapreduce|scalapack] [--spark]\n");
+                 "       [--engine auto|mapreduce|scalapack] [--spark] "
+                 "[--overlap]\n");
     return 2;
   }
   MRI_REQUIRE(a.square(), "input matrix must be square");
@@ -81,16 +82,19 @@ int main(int argc, char** argv) {
   core::InversionOptions options;
   options.nb = cli.get_int("nb", std::max<Index>(32, a.rows() / 8));
   options.in_memory_intermediates = cli.get_bool("spark", false);
+  options.overlap_final_stage = cli.get_bool("overlap", false);
 
   Matrix inverse;
   SimReport report;
   std::vector<mr::JobResult> jobs;
+  std::vector<MasterSpan> master_spans;
   if (engine == "mapreduce") {
     core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
     auto r = inverter.invert(a, options);
     inverse = std::move(r.inverse);
     report = r.report;
     jobs = std::move(r.jobs);
+    master_spans = std::move(r.master_spans);
     std::printf("engine: mapreduce (%d jobs)\n", report.jobs);
   } else if (engine == "scalapack") {
     auto r = scalapack::invert(a, cluster);
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
     inverse = std::move(r.inverse);
     report = r.report;
     jobs = std::move(r.jobs);
+    master_spans = std::move(r.master_spans);
     std::printf("engine: %s (auto; predicted mapreduce %.3g s vs scalapack "
                 "%.3g s)\n",
                 core::engine_name(r.engine),
@@ -118,8 +123,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "note: no task traces (engine did not run "
                            "MapReduce jobs); skipping trace/report export\n");
     } else {
-      const RunReport run_report = mr::build_run_report(jobs, cluster,
-                                                        &metrics);
+      const RunReport run_report =
+          mr::build_run_report(jobs, cluster, &metrics, master_spans);
       if (!trace_out.empty()) {
         save_json(trace_out, chrome_trace_json(run_report));
         std::printf("chrome trace written to %s (load in chrome://tracing)\n",

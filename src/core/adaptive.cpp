@@ -110,6 +110,7 @@ AdaptiveInverter::Result AdaptiveInverter::invert(
     result.inverse = std::move(mr.inverse);
     result.report = mr.report;
     result.jobs = std::move(mr.jobs);
+    result.master_spans = std::move(mr.master_spans);
   } else {
     scalapack::Options opts;
     auto sl = scalapack::invert(a, *cluster_, opts);

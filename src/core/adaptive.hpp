@@ -46,6 +46,8 @@ class AdaptiveInverter {
     /// Per-job results with traces (empty when ScaLAPACK won — the
     /// message-passing baseline has no task timeline).
     std::vector<mr::JobResult> jobs;
+    /// Master-node work spans on the jobs' timeline (empty for ScaLAPACK).
+    std::vector<MasterSpan> master_spans;
   };
 
   /// Predicts both engines' cost and runs the cheaper one.

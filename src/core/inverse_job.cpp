@@ -81,7 +81,31 @@ IndexedBlock read_indexed_block(const dfs::Dfs& fs, const std::string& path,
   return block;
 }
 
-// ---- mapper ---------------------------------------------------------------
+// ---- mappers --------------------------------------------------------------
+
+void invert_l_slice(const InverseJobContext& c, int s, mr::TaskContext& task) {
+  const std::vector<Index> ids = interleaved_ids(c.n, c.l_workers, s);
+  if (ids.empty()) return;
+  const Matrix l = assemble_l(task.fs(), *c.root, &task.io());
+  const Matrix cols = invert_lower_columns(l, ids);  // n x K
+  task.add_flops(column_inverse_cost(c.n, ids));
+  write_matrix(task.fs(), dfs::join(c.dir, "INV/L." + std::to_string(s)),
+               cols, &task.io(), c.opts.intermediate_tier());
+}
+
+void invert_u_slice(const InverseJobContext& c, int s, mr::TaskContext& task) {
+  const std::vector<Index> ids = interleaved_ids(c.n, c.u_workers, s);
+  if (ids.empty()) return;
+  const Matrix ut = assemble_ut(task.fs(), *c.root, &task.io());
+  // Columns of (Uᵀ)⁻¹ are rows of U⁻¹; store them as rows (K x n) so the
+  // reducers' multiply streams them.
+  const Matrix cols = invert_lower_columns(ut, ids);
+  IoStats flops = column_inverse_cost(c.n, ids);
+  if (!c.opts.transposed_u) flops = penalized(flops, c.layout_penalty);
+  task.add_flops(flops);
+  write_matrix(task.fs(), dfs::join(c.dir, "INV/U." + std::to_string(s)),
+               transpose(cols), &task.io(), c.opts.intermediate_tier());
+}
 
 class InverseMapper : public mr::Mapper {
  public:
@@ -91,44 +115,58 @@ class InverseMapper : public mr::Mapper {
            mr::TaskContext& task) override {
     const int i = std::stoi(value);
     if (ctx_->m0 == 1) {
-      invert_l_slice(0, task);
-      invert_u_slice(0, task);
+      invert_l_slice(*ctx_, 0, task);
+      invert_u_slice(*ctx_, 0, task);
     } else if (i < ctx_->l_workers) {
-      invert_l_slice(i, task);
+      invert_l_slice(*ctx_, i, task);
     } else {
-      invert_u_slice(i - ctx_->l_workers, task);
+      invert_u_slice(*ctx_, i - ctx_->l_workers, task);
     }
     task.emit(key, std::to_string(i));
   }
 
  private:
-  void invert_l_slice(int s, mr::TaskContext& task) {
-    const InverseJobContext& c = *ctx_;
-    const std::vector<Index> ids = interleaved_ids(c.n, c.l_workers, s);
-    if (ids.empty()) return;
-    const Matrix l = assemble_l(task.fs(), *c.root, &task.io());
-    const Matrix cols = invert_lower_columns(l, ids);  // n x K
-    task.add_flops(column_inverse_cost(c.n, ids));
-    write_matrix(task.fs(), dfs::join(c.dir, "INV/L." + std::to_string(s)),
-                 cols, &task.io(), c.opts.intermediate_tier());
-  }
-
-  void invert_u_slice(int s, mr::TaskContext& task) {
-    const InverseJobContext& c = *ctx_;
-    const std::vector<Index> ids = interleaved_ids(c.n, c.u_workers, s);
-    if (ids.empty()) return;
-    const Matrix ut = assemble_ut(task.fs(), *c.root, &task.io());
-    // Columns of (Uᵀ)⁻¹ are rows of U⁻¹; store them as rows (K x n) so the
-    // reducers' multiply streams them.
-    const Matrix cols = invert_lower_columns(ut, ids);
-    IoStats flops = column_inverse_cost(c.n, ids);
-    if (!c.opts.transposed_u) flops = penalized(flops, c.layout_penalty);
-    task.add_flops(flops);
-    write_matrix(task.fs(), dfs::join(c.dir, "INV/U." + std::to_string(s)),
-                 transpose(cols), &task.io(), c.opts.intermediate_tier());
-  }
-
   InverseJobContextPtr ctx_;
+};
+
+/// Map-only: control file j (j < l_workers) -> the L⁻¹ column slice j.
+class InverseLMapper : public mr::Mapper {
+ public:
+  explicit InverseLMapper(InverseJobContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+  void map(std::int64_t /*key*/, const std::string& value,
+           mr::TaskContext& task) override {
+    invert_l_slice(*ctx_, std::stoi(value), task);
+  }
+
+ private:
+  InverseJobContextPtr ctx_;
+};
+
+/// Map-only: control file l_workers + s -> the U⁻¹ row slice s (with a
+/// single node, control file 0 -> slice 0).
+class InverseUMapper : public mr::Mapper {
+ public:
+  explicit InverseUMapper(InverseJobContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+  void map(std::int64_t /*key*/, const std::string& value,
+           mr::TaskContext& task) override {
+    const int slice = ctx_->m0 == 1 ? 0 : std::stoi(value) - ctx_->l_workers;
+    invert_u_slice(*ctx_, slice, task);
+  }
+
+ private:
+  InverseJobContextPtr ctx_;
+};
+
+/// Control fan-out for the split multiply job: the INV/ slices are already
+/// in the DFS, so the mappers only route one record per reducer key.
+class InverseMulMapper : public mr::Mapper {
+ public:
+  void map(std::int64_t key, const std::string& value,
+           mr::TaskContext& task) override {
+    task.emit(key, value);
+  }
 };
 
 // ---- reducer ----------------------------------------------------------------
@@ -271,6 +309,50 @@ mr::JobSpec make_inverse_job(InverseJobContextPtr ctx,
     return std::make_unique<InverseReducer>(ctx);
   };
   return spec;
+}
+
+InverseStageJobs make_inverse_stage_jobs(
+    InverseJobContextPtr ctx, const std::vector<std::string>& control_files) {
+  MRI_REQUIRE(ctx != nullptr, "null inverse job context");
+  MRI_REQUIRE(static_cast<int>(control_files.size()) >= ctx->m0,
+              "need one control file per worker");
+  InverseStageJobs jobs;
+
+  // The same control files the combined job's workers would read: files
+  // [0, l_workers) drive L slices, files [l_workers, m0) drive U slices
+  // (both on file 0 when there is a single worker).
+  jobs.invert_l.name = "invert-l";
+  jobs.invert_l.input_files.assign(
+      control_files.begin(),
+      control_files.begin() + ctx->l_workers);
+  jobs.invert_l.mapper_factory = [ctx] {
+    return std::make_unique<InverseLMapper>(ctx);
+  };
+
+  jobs.invert_u.name = "invert-u";
+  if (ctx->m0 == 1) {
+    jobs.invert_u.input_files.assign(control_files.begin(),
+                                     control_files.begin() + 1);
+  } else {
+    jobs.invert_u.input_files.assign(
+        control_files.begin() + ctx->l_workers,
+        control_files.begin() + ctx->m0);
+  }
+  jobs.invert_u.mapper_factory = [ctx] {
+    return std::make_unique<InverseUMapper>(ctx);
+  };
+
+  jobs.multiply.name = "invert-mul";
+  jobs.multiply.input_files.assign(control_files.begin(),
+                                   control_files.begin() + ctx->m0);
+  jobs.multiply.num_reduce_tasks = ctx->u_groups * ctx->l_groups;
+  jobs.multiply.mapper_factory = [] {
+    return std::make_unique<InverseMulMapper>();
+  };
+  jobs.multiply.reducer_factory = [ctx] {
+    return std::make_unique<InverseReducer>(ctx);
+  };
+  return jobs;
 }
 
 Matrix assemble_inverse(const dfs::Dfs& fs, const InverseJobContext& ctx) {

@@ -43,6 +43,21 @@ void plan_inverse_job(InverseJobContext* ctx);
 mr::JobSpec make_inverse_job(InverseJobContextPtr ctx,
                              std::vector<std::string> control_files);
 
+/// The final stage as three DAG-executor jobs instead of one: the L⁻¹ and
+/// U⁻¹ triangular inversions are independent of each other (map-only jobs
+/// writing INV/L.* and INV/U.*), and only the multiply/permute job (the
+/// reducer grid writing AINV/A.*) needs both. Submitted with
+/// {invert_l, invert_u} -> multiply dependencies the two inversions share
+/// the cluster's slots. Same arithmetic, same output files as the single
+/// make_inverse_job() job.
+struct InverseStageJobs {
+  mr::JobSpec invert_l;
+  mr::JobSpec invert_u;
+  mr::JobSpec multiply;
+};
+InverseStageJobs make_inverse_stage_jobs(
+    InverseJobContextPtr ctx, const std::vector<std::string>& control_files);
+
 /// Columns of L⁻¹ (or rows of U⁻¹) owned by worker s of `workers`:
 /// {k < n : k ≡ s (mod workers)}.
 std::vector<Index> interleaved_ids(Index n, int workers, int s);

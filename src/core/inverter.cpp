@@ -33,6 +33,14 @@ MapReduceInverter::Result MapReduceInverter::invert(
 
 MapReduceInverter::Result MapReduceInverter::invert_dfs(
     const std::string& input_path, const InversionOptions& options) {
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+  mr::Pipeline pipeline(&runner);
+  return invert_with(pipeline, input_path, options);
+}
+
+MapReduceInverter::Result MapReduceInverter::invert_with(
+    mr::Pipeline& pipeline, const std::string& input_path,
+    const InversionOptions& options) {
   const MatrixShape shape = read_matrix_shape(*fs_, input_path);
   MRI_REQUIRE(shape.rows == shape.cols, "input matrix is not square");
   const Index n = shape.rows;
@@ -54,18 +62,18 @@ MapReduceInverter::Result MapReduceInverter::invert_dfs(
     control_files.push_back(path);
   }
 
-  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
-  mr::Pipeline pipeline(&runner);
-
   // Step 2: the partition job (Algorithm 3).
   PartitionGeometry geom =
       make_partition_geometry(n, options.nb, m0, options.work_dir);
   geom.intermediate_tier = options.intermediate_tier();
-  pipeline.run(make_partition_job(geom, input_path, control_files));
+  const mr::JobHandle partition =
+      pipeline.submit(make_partition_job(geom, input_path, control_files));
+  pipeline.wait(partition);
 
-  // Step 3: the LU pipeline (Algorithm 2).
+  // Step 3: the LU pipeline (Algorithm 2), chained onto the partition job.
   const double penalty = cluster_->cost_model().column_stride_penalty;
-  LuPipeline lu(&pipeline, fs_, options, m0, penalty, control_files);
+  LuPipeline lu(&pipeline, fs_, options, m0, penalty, control_files,
+                partition);
   LuNodePtr root = lu.factor_partitioned(geom);
 
   // The determinant falls out of the factors: the master reads the leaf U
@@ -87,7 +95,20 @@ MapReduceInverter::Result MapReduceInverter::invert_dfs(
   inv_ctx->m0 = m0;
   inv_ctx->layout_penalty = penalty;
   plan_inverse_job(inv_ctx.get());
-  pipeline.run(make_inverse_job(inv_ctx, control_files));
+  if (options.overlap_final_stage) {
+    // DAG mode: L⁻¹ and U⁻¹ are independent map-only jobs sharing the
+    // cluster's slots; only the multiply/permute job needs both (diamond
+    // over the last LU job).
+    InverseStageJobs stage = make_inverse_stage_jobs(inv_ctx, control_files);
+    const mr::JobHandle hl =
+        pipeline.submit(std::move(stage.invert_l), {lu.last_job()});
+    const mr::JobHandle hu =
+        pipeline.submit(std::move(stage.invert_u), {lu.last_job()});
+    result.final_job = pipeline.submit(std::move(stage.multiply), {hl, hu});
+  } else {
+    result.final_job = pipeline.submit(make_inverse_job(inv_ctx, control_files));
+  }
+  pipeline.wait(result.final_job);
 
   result.inverse = assemble_inverse(*fs_, *inv_ctx);
   result.report.sim_seconds = pipeline.total_sim_seconds();
@@ -96,21 +117,42 @@ MapReduceInverter::Result MapReduceInverter::invert_dfs(
   result.report.jobs = pipeline.job_count();
   result.report.failures_recovered = pipeline.failures_recovered();
   result.jobs = pipeline.jobs();
+  result.master_spans = pipeline.master_spans();
 
-  // Stage split: the final job is the last in the pipeline; everything else
-  // (partition, LU jobs, master leaf LUs) is the decomposition stage.
-  const mr::JobResult& final_job = pipeline.jobs().back();
-  result.inversion_stage.sim_seconds = final_job.sim_seconds;
-  result.inversion_stage.io = final_job.io;
-  result.inversion_stage.jobs = 1;
-  result.lu_stage = result.report;
-  result.lu_stage.sim_seconds -= final_job.sim_seconds;
-  result.lu_stage.io = result.report.io - final_job.io;
-  result.lu_stage.jobs = result.report.jobs - 1;
+  // Stage split: the final stage is the last job (or the three-job diamond
+  // in overlap mode); everything else (partition, LU jobs, master leaf LUs)
+  // is the decomposition stage.
+  if (options.overlap_final_stage) {
+    const std::vector<mr::JobResult>& jobs = result.jobs;
+    const std::size_t first = jobs.size() - 3;
+    // The stage's wall time is makespan minus the stage's start (the three
+    // jobs overlap, so per-job sims don't add up).
+    result.inversion_stage.sim_seconds =
+        result.report.sim_seconds - jobs[first].start_seconds;
+    for (std::size_t i = first; i < jobs.size(); ++i) {
+      result.inversion_stage.io += jobs[i].io;
+    }
+    result.inversion_stage.jobs = 3;
+    result.lu_stage = result.report;
+    result.lu_stage.sim_seconds = jobs[first].start_seconds;
+    result.lu_stage.io = result.report.io - result.inversion_stage.io;
+    result.lu_stage.jobs = result.report.jobs - 3;
+  } else {
+    const mr::JobResult& final_job = pipeline.jobs().back();
+    result.inversion_stage.sim_seconds = final_job.sim_seconds;
+    result.inversion_stage.io = final_job.io;
+    result.inversion_stage.jobs = 1;
+    result.lu_stage = result.report;
+    result.lu_stage.sim_seconds -= final_job.sim_seconds;
+    result.lu_stage.io = result.report.io - final_job.io;
+    result.lu_stage.jobs = result.report.jobs - 1;
+  }
 
-  MRI_CHECK_MSG(pipeline.job_count() == result.plan.total_jobs,
+  const int expected_jobs =
+      result.plan.total_jobs + (options.overlap_final_stage ? 2 : 0);
+  MRI_CHECK_MSG(pipeline.job_count() == expected_jobs,
                 "pipeline ran " << pipeline.job_count() << " jobs, plan said "
-                                << result.plan.total_jobs);
+                                << expected_jobs);
 
   if (!options.keep_intermediates) {
     // Keep the input and control files (reusable); drop everything the
@@ -129,29 +171,36 @@ MapReduceInverter::SolveResult MapReduceInverter::solve(
   MRI_REQUIRE(a.rows() == b.rows(), "solve shape mismatch: A has "
                                         << a.rows() << " rows, B has "
                                         << b.rows());
-  Result inv = invert(a, options);
+  MRI_REQUIRE(a.square(), "solve expects a square A, got " << a.rows() << "x"
+                                                           << a.cols());
+  const std::string input_path = dfs::join(options.work_dir, "a.bin");
+  if (fs_->exists(input_path)) fs_->remove(input_path);
+  write_matrix(*fs_, input_path, a);
+
+  // One pipeline for the whole solve: the multiply is submitted against the
+  // inversion's final job, so every job lives on the same cluster timeline
+  // (no manual clock shifting) and can lease slots from the shared pool.
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+  mr::Pipeline pipeline(&runner);
+  Result inv = invert_with(pipeline, input_path, options);
 
   std::vector<std::string> control_files;
   for (int j = 0; j < cluster_->size(); ++j) {
     control_files.push_back(
         dfs::join(options.work_dir, "MapInput/A." + std::to_string(j)));
   }
-  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
-  mr::Pipeline pipeline(&runner);
   SolveResult result;
   result.x = mapreduce_multiply(&pipeline, fs_, cluster_->size(), inv.inverse,
-                                b, options.work_dir, control_files);
+                                b, options.work_dir, control_files,
+                                inv.final_job);
+  pipeline.run_all();
   result.report = inv.report;
-  result.report.sim_seconds += pipeline.total_sim_seconds();
-  result.report.io += pipeline.total_io();
-  result.report.jobs += pipeline.job_count();
-  result.jobs = std::move(inv.jobs);
-  for (mr::JobResult job : pipeline.jobs()) {
-    // The multiply pipeline's own clock starts at 0; shift onto the
-    // inversion's run timeline.
-    job.start_seconds += inv.report.sim_seconds;
-    result.jobs.push_back(std::move(job));
-  }
+  result.report.sim_seconds = pipeline.total_sim_seconds();
+  result.report.io = pipeline.total_io();
+  result.report.jobs = pipeline.job_count();
+  result.report.failures_recovered = pipeline.failures_recovered();
+  result.jobs = pipeline.jobs();
+  result.master_spans = pipeline.master_spans();
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/thread_pool.hpp"
 #include "mapreduce/job.hpp"
+#include "mapreduce/pipeline.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "dfs/dfs.hpp"
@@ -28,6 +29,7 @@
 #include "sim/failure.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
+#include "sim/trace.hpp"
 
 namespace mri::core {
 
@@ -53,6 +55,13 @@ class MapReduceInverter {
     /// run-relative start times — feed to mr::build_run_report() /
     /// chrome_trace_json() for the run-report and trace exports.
     std::vector<mr::JobResult> jobs;
+    /// Master-node work intervals (leaf LUs, determinant read, combine
+    /// penalties) on the same run timeline as `jobs` — the 4th argument of
+    /// mr::build_run_report().
+    std::vector<MasterSpan> master_spans;
+    /// Handle of the final inversion job — dependency anchor for follow-on
+    /// submissions on the same pipeline (solve() chains its multiply here).
+    mr::JobHandle final_job;
   };
 
   /// Ingests `a` into the DFS and inverts it. Throws NumericalError if `a`
@@ -67,6 +76,7 @@ class MapReduceInverter {
     Matrix x;
     SimReport report;  // inversion pipeline + the multiply job
     std::vector<mr::JobResult> jobs;  // inversion jobs + the multiply job
+    std::vector<MasterSpan> master_spans;  // master work on the same timeline
   };
 
   /// Solves A·X = B (the paper's §1 headline application) by inverting A
@@ -76,6 +86,12 @@ class MapReduceInverter {
                     const InversionOptions& options = {});
 
  private:
+  /// Runs the whole inversion pipeline on a caller-owned Pipeline, so the
+  /// caller can keep submitting dependent jobs (solve's multiply) on the
+  /// same cluster timeline afterwards.
+  Result invert_with(mr::Pipeline& pipeline, const std::string& input_path,
+                     const InversionOptions& options);
+
   const Cluster* cluster_;
   dfs::Dfs* fs_;
   ThreadPool* pool_;

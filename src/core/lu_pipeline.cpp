@@ -10,13 +10,15 @@ namespace mri::core {
 
 LuPipeline::LuPipeline(mr::Pipeline* pipeline, dfs::Dfs* fs,
                        InversionOptions opts, int m0, double layout_penalty,
-                       std::vector<std::string> control_files)
+                       std::vector<std::string> control_files,
+                       mr::JobHandle after)
     : pipeline_(pipeline),
       fs_(fs),
       opts_(std::move(opts)),
       m0_(m0),
       layout_penalty_(layout_penalty),
-      control_files_(std::move(control_files)) {
+      control_files_(std::move(control_files)),
+      last_job_(after) {
   MRI_REQUIRE(pipeline != nullptr && fs != nullptr, "null pipeline/fs");
   MRI_REQUIRE(m0 >= 1, "need at least one node");
 }
@@ -101,7 +103,13 @@ LuNodePtr LuPipeline::run_internal(Index n, Index h, TileSet a2, TileSet a3,
   ctx->layout_penalty = layout_penalty_;
   plan_lu_job_outputs(ctx.get());
 
-  pipeline_->run(make_lu_job(ctx, control_files_, "lu:" + dir));
+  // Submit with an explicit dependency on the previous LU job (or the
+  // partition job): the chain is the data-dependency order. The wait keeps
+  // the master's recursion lockstep — B's geometry comes from this job's
+  // planned outputs, and the next leaf reads tiles this job wrote.
+  last_job_ = pipeline_->submit(make_lu_job(ctx, control_files_, "lu:" + dir),
+                                {last_job_});
+  pipeline_->wait(last_job_);
 
   // The master "partitions" B by metadata only (§5.2) and recurses.
   LuNodePtr second =

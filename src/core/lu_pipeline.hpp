@@ -16,9 +16,20 @@ namespace mri::core {
 
 class LuPipeline {
  public:
+  /// `after` (optional) is the job every LU job transitively depends on —
+  /// the partition job that materialized the spine. The LU jobs themselves
+  /// are submitted as an explicit dependency chain: each one's input window
+  /// covers the previous job's OUT tiles, so the chain order is the true
+  /// data-dependency order (Algorithm 2 is inherently sequential).
   LuPipeline(mr::Pipeline* pipeline, dfs::Dfs* fs, InversionOptions opts,
              int m0, double layout_penalty,
-             std::vector<std::string> control_files);
+             std::vector<std::string> control_files,
+             mr::JobHandle after = {});
+
+  /// The last LU job submitted so far; dependency anchor for the final
+  /// inversion stage (invalid before the first job — depth-0 plans run no
+  /// LU job at all).
+  mr::JobHandle last_job() const { return last_job_; }
 
   /// Factors the left spine materialized by the partition job.
   LuNodePtr factor_partitioned(const PartitionGeometry& geom);
@@ -42,6 +53,7 @@ class LuPipeline {
   int m0_;
   double layout_penalty_;
   std::vector<std::string> control_files_;
+  mr::JobHandle last_job_;
 };
 
 }  // namespace mri::core

@@ -95,7 +95,8 @@ mr::JobSpec make_multiply_job(MultiplyJobContextPtr ctx,
 Matrix mapreduce_multiply(mr::Pipeline* pipeline, dfs::Dfs* fs, int m0,
                           const Matrix& a, const Matrix& b,
                           const std::string& work_dir,
-                          std::vector<std::string> control_files) {
+                          std::vector<std::string> control_files,
+                          mr::JobHandle after) {
   MRI_REQUIRE(pipeline != nullptr && fs != nullptr, "null pipeline/fs");
   // Ingest the operands pre-striped for the block wrap (the §5.2 storage
   // discipline: a reducer's stripe lives in its own files, so nobody reads
@@ -140,7 +141,8 @@ Matrix mapreduce_multiply(mr::Pipeline* pipeline, dfs::Dfs* fs, int m0,
   if (fs->exists(dfs::join(work_dir, "MUL"))) {
     fs->remove(dfs::join(work_dir, "MUL"), /*recursive=*/true);
   }
-  pipeline->run(make_multiply_job(ctx, std::move(control_files), "multiply"));
+  pipeline->wait(pipeline->submit(
+      make_multiply_job(ctx, std::move(control_files), "multiply"), {after}));
   return ctx->c_out.read_all(*fs);
 }
 

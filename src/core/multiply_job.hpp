@@ -41,11 +41,14 @@ mr::JobSpec make_multiply_job(MultiplyJobContextPtr ctx,
 
 /// Convenience facade: runs C = A·B as one job on the cluster behind
 /// `pipeline`, with `a` and `b` ingested from memory, and returns C.
-/// (Callers composing with existing DFS data should build the job spec
-/// directly from TileSets.)
+/// `after` (optional) makes the job depend on an earlier submission — e.g.
+/// solve() chains its multiply onto the inversion's final job. (Callers
+/// composing with existing DFS data should build the job spec directly from
+/// TileSets.)
 Matrix mapreduce_multiply(mr::Pipeline* pipeline, dfs::Dfs* fs, int m0,
                           const Matrix& a, const Matrix& b,
                           const std::string& work_dir,
-                          std::vector<std::string> control_files);
+                          std::vector<std::string> control_files,
+                          mr::JobHandle after = {});
 
 }  // namespace mri::core

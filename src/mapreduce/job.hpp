@@ -44,7 +44,9 @@ struct JobSpec {
   /// Null factory or num_reduce_tasks == 0 makes this a map-only job.
   std::function<std::unique_ptr<Reducer>()> reducer_factory;
   int num_reduce_tasks = 0;
-  /// Maps a key to a reduce task index; default is key mod num_reduce_tasks.
+  /// Maps a key to a reduce task index in [0, num_reduce_tasks); the shuffle
+  /// validates the range. Default is floor_mod_partition (key mod
+  /// num_reduce_tasks, non-negative even for negative keys).
   std::function<int(std::int64_t, int)> partitioner;
 };
 

@@ -1,0 +1,226 @@
+#include "mapreduce/job_graph.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace mri::mr {
+
+JobGraph::JobGraph(JobRunner* runner) : runner_(runner), pool_(1) {
+  MRI_REQUIRE(runner != nullptr, "JobGraph needs a JobRunner");
+  pool_ = SlotPool(runner->cluster().total_slots());
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+JobGraph::~JobGraph() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  worker_.join();
+}
+
+void JobGraph::worker_loop() {
+  for (;;) {
+    Node* node = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] {
+        return stop_ || next_exec_ < nodes_.size();
+      });
+      if (stop_) return;
+      node = nodes_[next_exec_].get();
+      ++next_exec_;
+    }
+    // Dependencies are always earlier submissions and the worker drains in
+    // submission order, so a job's inputs exist in the DFS by the time it
+    // runs. The real work happens outside the lock.
+    ExecutedJob work;
+    std::exception_ptr error;
+    try {
+      work = runner_->execute(node->spec);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      node->work = std::move(work);
+      node->error = error;
+      node->executed = true;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+JobHandle JobGraph::submit(JobSpec spec, std::vector<JobHandle> deps) {
+  auto node = std::make_unique<Node>();
+  node->spec = std::move(spec);
+  for (const JobHandle& dep : deps) {
+    if (!dep.valid()) continue;  // "no dependency" placeholder
+    MRI_REQUIRE(dep.id < static_cast<int>(nodes_.size()),
+                "dependency handle " << dep.id << " is not from this graph");
+    node->deps.push_back(dep.id);
+  }
+  node->submit_frontier = frontier_;
+  JobHandle handle;
+  handle.id = static_cast<int>(nodes_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_.push_back(std::move(node));
+  }
+  jobs_cache_dirty_ = true;
+  cv_work_.notify_all();
+  return handle;
+}
+
+void JobGraph::place_closure(const std::vector<int>& targets) {
+  // Collect the unplaced ancestor closure.
+  std::vector<int> pending;
+  std::vector<int> stack(targets);
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(id)]) continue;
+    seen[static_cast<std::size_t>(id)] = true;
+    Node& node = *nodes_[static_cast<std::size_t>(id)];
+    if (node.placed) continue;
+    pending.push_back(id);
+    for (int dep : node.deps) stack.push_back(dep);
+  }
+
+  // Place in canonical order: among ready jobs (all deps placed), earliest
+  // ready time first, submission index breaking ties. This keeps simulated
+  // timings a function of the DAG alone, not of worker-thread timing.
+  std::sort(pending.begin(), pending.end());
+  while (!pending.empty()) {
+    int best = -1;
+    std::size_t best_at = 0;
+    double best_ready = 0.0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      Node& node = *nodes_[static_cast<std::size_t>(pending[i])];
+      double ready = node.submit_frontier;
+      bool deps_placed = true;
+      for (int dep : node.deps) {
+        const Node& d = *nodes_[static_cast<std::size_t>(dep)];
+        if (!d.placed) {
+          deps_placed = false;
+          break;
+        }
+        ready = std::max(ready, d.finish_time);
+      }
+      if (!deps_placed) continue;
+      if (best < 0 || std::tie(ready, pending[i]) <
+                          std::tie(best_ready, pending[best_at])) {
+        best = pending[i];
+        best_at = i;
+        best_ready = ready;
+      }
+    }
+    MRI_CHECK_MSG(best >= 0, "dependency cycle in job graph");
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_at));
+
+    Node& node = *nodes_[static_cast<std::size_t>(best)];
+    ExecutedJob work;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&node] { return node.executed; });
+      if (node.error != nullptr) std::rethrow_exception(node.error);
+      work = std::move(node.work);
+    }
+    node.result = runner_->finish(std::move(work), &pool_, best_ready);
+    node.finish_time = best_ready + node.result.sim_seconds;
+    node.placed = true;
+    io_ += node.result.io;
+    failures_ += node.result.failures_recovered;
+    backups_ += node.result.backups_run;
+    jobs_cache_dirty_ = true;
+  }
+}
+
+const JobResult& JobGraph::wait(JobHandle h) {
+  MRI_REQUIRE(h.valid() && h.id < static_cast<int>(nodes_.size()),
+              "wait() on a handle not from this graph");
+  Node& node = *nodes_[static_cast<std::size_t>(h.id)];
+  if (!node.placed) place_closure({h.id});
+  // The master observes this job's completion: the frontier (and with it
+  // every later submission's earliest start) moves to its finish.
+  frontier_ = std::max(frontier_, node.finish_time);
+  return node.result;
+}
+
+void JobGraph::run_all() {
+  std::vector<int> all;
+  all.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->placed) all.push_back(static_cast<int>(i));
+  }
+  if (!all.empty()) place_closure(all);
+  for (const auto& node : nodes_) {
+    frontier_ = std::max(frontier_, node->finish_time);
+  }
+}
+
+void JobGraph::add_master_work(const IoStats& io) {
+  const double t = runner_->cluster().cost_model().compute_seconds(io);
+  MasterSpan span;
+  span.start = frontier_;
+  span.end = frontier_ + t;
+  span.io = io;
+  master_spans_.push_back(span);
+  master_seconds_ += t;
+  frontier_ += t;
+  io_ += io;
+}
+
+void JobGraph::require_all_placed(const char* what) const {
+  for (const auto& node : nodes_) {
+    MRI_CHECK_MSG(node->placed, what << " read before job '"
+                                     << node->spec.name
+                                     << "' was wait()ed or run_all()");
+  }
+}
+
+double JobGraph::total_sim_seconds() const {
+  require_all_placed("total_sim_seconds");
+  double makespan = frontier_;
+  for (const auto& node : nodes_) {
+    makespan = std::max(makespan, node->finish_time);
+  }
+  return makespan;
+}
+
+const IoStats& JobGraph::total_io() const {
+  require_all_placed("total_io");
+  return io_;
+}
+
+int JobGraph::job_count() const {
+  require_all_placed("job_count");
+  return static_cast<int>(nodes_.size());
+}
+
+int JobGraph::failures_recovered() const {
+  require_all_placed("failures_recovered");
+  return failures_;
+}
+
+int JobGraph::backups_run() const {
+  require_all_placed("backups_run");
+  return backups_;
+}
+
+const std::vector<JobResult>& JobGraph::jobs() const {
+  require_all_placed("jobs");
+  if (jobs_cache_dirty_) {
+    jobs_cache_.clear();
+    jobs_cache_.reserve(nodes_.size());
+    for (const auto& node : nodes_) jobs_cache_.push_back(node->result);
+    jobs_cache_dirty_ = false;
+  }
+  return jobs_cache_;
+}
+
+}  // namespace mri::mr

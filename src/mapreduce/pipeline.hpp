@@ -1,43 +1,62 @@
 // A pipeline of MapReduce jobs (Figure 2 of the paper) with accumulated
-// simulated time and I/O. The master node's own compute (leaf LU
-// decompositions, metadata partitioning) is charged via add_master_work().
+// simulated time and I/O. Since the JobGraph refactor this is a thin facade
+// over the DAG executor: run() is submit-then-wait (strictly sequential
+// submissions reproduce the historical serial-sum numbers bit-for-bit), and
+// drivers that know two jobs are independent can submit() them with explicit
+// dependencies and let them share the cluster. The master node's own compute
+// (leaf LU decompositions, metadata partitioning) is charged via
+// add_master_work(), which now also records a master-lane span.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "mapreduce/job_graph.hpp"
 #include "mapreduce/runtime.hpp"
 
 namespace mri::mr {
 
 class Pipeline {
  public:
-  explicit Pipeline(JobRunner* runner) : runner_(runner) {
-    MRI_REQUIRE(runner != nullptr, "Pipeline needs a JobRunner");
+  explicit Pipeline(JobRunner* runner) : graph_(runner) {}
+
+  /// Runs a job to completion and folds its result into the totals.
+  const JobResult& run(const JobSpec& spec) {
+    return graph_.wait(graph_.submit(spec));
   }
 
-  /// Runs a job and folds its result into the totals.
-  const JobResult& run(const JobSpec& spec);
+  /// Submits a job to run after `deps` (invalid handles are ignored) without
+  /// blocking; jobs with no ordering between them share the cluster's slots.
+  JobHandle submit(JobSpec spec, std::vector<JobHandle> deps = {}) {
+    return graph_.submit(std::move(spec), std::move(deps));
+  }
+
+  /// Blocks for a submitted job and advances the pipeline clock to its
+  /// finish. Rethrows the job's JobError if it failed.
+  const JobResult& wait(JobHandle h) { return graph_.wait(h); }
+
+  /// Waits for every submitted job (no-op when all were wait()ed already).
+  void run_all() { graph_.run_all(); }
 
   /// Charges serial work done on the master node between jobs.
-  void add_master_work(const IoStats& io);
+  void add_master_work(const IoStats& io) { graph_.add_master_work(io); }
 
-  double total_sim_seconds() const { return sim_seconds_; }
-  double master_seconds() const { return master_seconds_; }
-  const IoStats& total_io() const { return io_; }
-  int job_count() const { return static_cast<int>(jobs_.size()); }
-  int failures_recovered() const { return failures_; }
-  int backups_run() const { return backups_; }
-  const std::vector<JobResult>& jobs() const { return jobs_; }
+  /// Makespan of the executed DAG; a serial sum for sequential submissions.
+  double total_sim_seconds() const { return graph_.total_sim_seconds(); }
+  double master_seconds() const { return graph_.master_seconds(); }
+  const IoStats& total_io() const { return graph_.total_io(); }
+  int job_count() const { return graph_.job_count(); }
+  int failures_recovered() const { return graph_.failures_recovered(); }
+  int backups_run() const { return graph_.backups_run(); }
+  const std::vector<JobResult>& jobs() const { return graph_.jobs(); }
+  const std::vector<MasterSpan>& master_spans() const {
+    return graph_.master_spans();
+  }
+
+  JobGraph& graph() { return graph_; }
 
  private:
-  JobRunner* runner_;
-  std::vector<JobResult> jobs_;
-  double sim_seconds_ = 0.0;
-  double master_seconds_ = 0.0;
-  IoStats io_;
-  int failures_ = 0;
-  int backups_ = 0;
+  JobGraph graph_;
 };
 
 }  // namespace mri::mr

@@ -42,6 +42,10 @@ std::vector<Attempt> attempts_for(FailureInjector* failures,
 }  // namespace
 
 JobResult JobRunner::run(const JobSpec& spec) {
+  return finish(execute(spec));
+}
+
+ExecutedJob JobRunner::execute(const JobSpec& spec) {
   MRI_REQUIRE(!spec.input_files.empty(), "job '" << spec.name
                                                  << "' has no input files");
   MRI_REQUIRE(spec.mapper_factory != nullptr,
@@ -49,7 +53,8 @@ JobResult JobRunner::run(const JobSpec& spec) {
   const bool has_reduce =
       spec.reducer_factory != nullptr && spec.num_reduce_tasks > 0;
 
-  JobResult result;
+  ExecutedJob executed;
+  JobResult& result = executed.result;
   result.name = spec.name;
   result.map_tasks = static_cast<int>(spec.input_files.size());
   result.reduce_tasks = has_reduce ? spec.num_reduce_tasks : 0;
@@ -80,25 +85,17 @@ JobResult JobRunner::run(const JobSpec& spec) {
     throw JobError("map phase of job '" + spec.name + "' failed: " + e.what());
   }
 
-  std::vector<std::vector<Attempt>> map_attempts;
-  map_attempts.reserve(static_cast<std::size_t>(num_maps));
+  executed.map_attempts.reserve(static_cast<std::size_t>(num_maps));
   for (int t = 0; t < num_maps; ++t) {
-    map_attempts.push_back(attempts_for(failures_, spec.name, t, true,
-                                        map_io[static_cast<std::size_t>(t)]));
+    executed.map_attempts.push_back(attempts_for(
+        failures_, spec.name, t, true, map_io[static_cast<std::size_t>(t)]));
   }
-  PhaseSchedule map_phase = schedule_phase(*cluster_, map_attempts);
-  result.map_phase_seconds = map_phase.duration;
-  for (const auto& task_attempts : map_attempts) {
+  for (const auto& task_attempts : executed.map_attempts) {
     for (const auto& attempt : task_attempts) {
       result.io += attempt.io;
       if (attempt.failed) ++result.failures_recovered;
     }
   }
-  // Speculative backups re-read and re-compute for real; charge them.
-  result.io += map_phase.speculative_io;
-  result.speculation_io += map_phase.speculative_io;
-  result.backups_run += map_phase.backups_run;
-  result.map_trace = std::move(map_phase.trace);
 
   // ---- shuffle + reduce phase ---------------------------------------------
   if (has_reduce) {
@@ -132,21 +129,58 @@ JobResult JobRunner::run(const JobSpec& spec) {
                      "' failed: " + e.what());
     }
 
-    std::vector<std::vector<Attempt>> reduce_attempts;
-    reduce_attempts.reserve(static_cast<std::size_t>(num_reduces));
+    executed.reduce_attempts.reserve(static_cast<std::size_t>(num_reduces));
     for (int r = 0; r < num_reduces; ++r) {
-      reduce_attempts.push_back(
+      executed.reduce_attempts.push_back(
           attempts_for(failures_, spec.name, r, false,
                        reduce_io[static_cast<std::size_t>(r)]));
     }
-    PhaseSchedule reduce_phase = schedule_phase(*cluster_, reduce_attempts);
-    result.reduce_phase_seconds = reduce_phase.duration;
-    for (const auto& task_attempts : reduce_attempts) {
+    for (const auto& task_attempts : executed.reduce_attempts) {
       for (const auto& attempt : task_attempts) {
         result.io += attempt.io;
         if (attempt.failed) ++result.failures_recovered;
       }
     }
+  }
+  return executed;
+}
+
+JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
+                            double start_seconds) {
+  JobResult result = std::move(executed.result);
+  result.start_seconds = start_seconds;
+  const double launch = cluster_->cost_model().job_launch_seconds;
+
+  // The map phase starts once the job is launched; the reduce phase once the
+  // last map attempt finished. Each phase leases the pool at its own start
+  // so it sees exactly the slots concurrent jobs still occupy then.
+  const double map_start = start_seconds + launch;
+  PhaseSchedule map_phase;
+  if (pool != nullptr) {
+    const std::vector<double> busy = pool->offsets_at(map_start);
+    map_phase = schedule_phase(*cluster_, executed.map_attempts, &busy);
+    pool->commit(map_phase.trace, map_start);
+  } else {
+    map_phase = schedule_phase(*cluster_, executed.map_attempts);
+  }
+  result.map_phase_seconds = map_phase.duration;
+  // Speculative backups re-read and re-compute for real; charge them.
+  result.io += map_phase.speculative_io;
+  result.speculation_io += map_phase.speculative_io;
+  result.backups_run += map_phase.backups_run;
+  result.map_trace = std::move(map_phase.trace);
+
+  if (!executed.reduce_attempts.empty()) {
+    const double reduce_start = map_start + result.map_phase_seconds;
+    PhaseSchedule reduce_phase;
+    if (pool != nullptr) {
+      const std::vector<double> busy = pool->offsets_at(reduce_start);
+      reduce_phase = schedule_phase(*cluster_, executed.reduce_attempts, &busy);
+      pool->commit(reduce_phase.trace, reduce_start);
+    } else {
+      reduce_phase = schedule_phase(*cluster_, executed.reduce_attempts);
+    }
+    result.reduce_phase_seconds = reduce_phase.duration;
     result.io += reduce_phase.speculative_io;
     result.speculation_io += reduce_phase.speculative_io;
     result.backups_run += reduce_phase.backups_run;
@@ -158,7 +192,8 @@ JobResult JobRunner::run(const JobSpec& spec) {
 
   if (metrics_ != nullptr) {
     metrics_->increment("jobs");
-    metrics_->increment("map_tasks", static_cast<std::uint64_t>(num_maps));
+    metrics_->increment("map_tasks",
+                        static_cast<std::uint64_t>(result.map_tasks));
     metrics_->increment("reduce_tasks",
                         static_cast<std::uint64_t>(result.reduce_tasks));
     metrics_->increment(

@@ -14,15 +14,27 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "dfs/dfs.hpp"
 #include "mapreduce/job.hpp"
+#include "mapreduce/scheduler.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
 #include "sim/metrics.hpp"
 
 namespace mri::mr {
+
+/// A job whose real work (map, shuffle, reduce, DFS writes) has completed
+/// but whose simulated timeline has not been decided yet. `result` carries
+/// everything scheduling-independent (io, counts, shuffle bytes, recovered
+/// failures); the per-task attempt lists feed schedule_phase() in finish().
+struct ExecutedJob {
+  JobResult result;
+  std::vector<std::vector<Attempt>> map_attempts;
+  std::vector<std::vector<Attempt>> reduce_attempts;
+};
 
 class JobRunner {
  public:
@@ -33,7 +45,22 @@ class JobRunner {
             MetricsRegistry* metrics = nullptr);
 
   /// Runs the job to completion. Throws JobError if a task throws.
+  /// Equivalent to finish(execute(spec)) — the job owns an idle cluster.
   JobResult run(const JobSpec& spec);
+
+  /// Phase 1: performs the job's real work. Throws JobError if a task
+  /// throws. Charges no simulated time; safe to call off the driver thread
+  /// (JobGraph calls it from its execution thread).
+  ExecutedJob execute(const JobSpec& spec);
+
+  /// Phase 2: places both phases on the simulated timeline starting at
+  /// absolute run time `start_seconds`, leasing slots from `pool` when one
+  /// is given (offsets of zero — no pool, or an idle pool — reproduce the
+  /// standalone schedule exactly). Fills durations, traces, speculation and
+  /// metrics. Driver-thread only: the pool and metrics are not synchronized
+  /// against concurrent finish() calls.
+  JobResult finish(ExecutedJob executed, SlotPool* pool = nullptr,
+                   double start_seconds = 0.0);
 
   const Cluster& cluster() const { return *cluster_; }
   dfs::Dfs& fs() { return *fs_; }

@@ -116,7 +116,8 @@ void speculate(const Cluster& cluster, std::vector<TaskRecord>* tasks,
 
 PhaseSchedule schedule_phase(
     const Cluster& cluster,
-    const std::vector<std::vector<Attempt>>& attempts_per_task) {
+    const std::vector<std::vector<Attempt>>& attempts_per_task,
+    const std::vector<double>* slot_busy_until) {
   PhaseSchedule out;
   if (attempts_per_task.empty()) return out;
 
@@ -130,10 +131,19 @@ PhaseSchedule schedule_phase(
     }
   };
   const int slots_per_node = cluster.cost_model().slots_per_node;
+  MRI_REQUIRE(slot_busy_until == nullptr ||
+                  static_cast<int>(slot_busy_until->size()) >=
+                      cluster.size() * slots_per_node,
+              "slot_busy_until must cover every global slot");
   std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
   for (int node = 0; node < cluster.size(); ++node) {
     for (int s = 0; s < slots_per_node; ++s) {
-      slots.push(Slot{0.0, node, node * slots_per_node + s});
+      const int id = node * slots_per_node + s;
+      const double busy =
+          slot_busy_until != nullptr
+              ? (*slot_busy_until)[static_cast<std::size_t>(id)]
+              : 0.0;
+      slots.push(Slot{busy, node, id});
     }
   }
   // A failed attempt takes its whole node down (§7.4), not just the slot it
@@ -222,6 +232,31 @@ PhaseSchedule schedule_phase(
     speculate(cluster, &records, std::move(idle), &out);
   }
   return out;
+}
+
+SlotPool::SlotPool(int total_slots) {
+  MRI_REQUIRE(total_slots >= 1, "SlotPool needs at least one slot");
+  free_at_.assign(static_cast<std::size_t>(total_slots), 0.0);
+}
+
+std::vector<double> SlotPool::offsets_at(double phase_start) const {
+  std::vector<double> offsets(free_at_.size(), 0.0);
+  for (std::size_t i = 0; i < free_at_.size(); ++i) {
+    // A slot free before the phase starts contributes exactly 0.0, so a
+    // sequential run's heap is bit-identical to the shared-nothing one.
+    if (free_at_[i] > phase_start) offsets[i] = free_at_[i] - phase_start;
+  }
+  return offsets;
+}
+
+void SlotPool::commit(const std::vector<TaskTraceEvent>& events,
+                      double phase_start) {
+  for (const TaskTraceEvent& e : events) {
+    MRI_CHECK_MSG(e.slot >= 0 && e.slot < static_cast<int>(free_at_.size()),
+                  "trace event on unknown slot " << e.slot);
+    double& free_at = free_at_[static_cast<std::size_t>(e.slot)];
+    free_at = std::max(free_at, phase_start + e.end);
+  }
 }
 
 }  // namespace mri::mr

@@ -47,7 +47,38 @@ struct PhaseSchedule {
 /// more failed attempts followed by exactly one successful one). `node_hint`
 /// pins fresh attempts of task t near node (t % cluster size), matching the
 /// paper's worker-j-reads-file-A.j placement; retries go wherever a slot is.
+///
+/// `slot_busy_until` (optional) gives, per global slot id, the phase-relative
+/// time before which the slot is still busy with other jobs' tasks — the
+/// lease a SlotPool hands out when concurrent jobs share the cluster. Null
+/// (or all zeros) means the phase owns an idle cluster, which is exactly the
+/// pre-JobGraph behaviour.
 PhaseSchedule schedule_phase(const Cluster& cluster,
-                             const std::vector<std::vector<Attempt>>& attempts_per_task);
+                             const std::vector<std::vector<Attempt>>& attempts_per_task,
+                             const std::vector<double>* slot_busy_until = nullptr);
+
+/// Cluster-wide slot arbiter for concurrent jobs: tracks, per global slot,
+/// the absolute run time until which the slot is occupied. A phase scheduled
+/// at absolute time T leases the cluster via offsets_at(T) (phase-relative
+/// busy offsets for schedule_phase) and commits its placements back with
+/// commit(trace, T), so the next eligible phase sees the slots it filled.
+/// With strictly sequential phases every offset is 0 and the arbiter is
+/// invisible — sequential runs reproduce the shared-nothing numbers exactly.
+class SlotPool {
+ public:
+  explicit SlotPool(int total_slots);
+
+  int total_slots() const { return static_cast<int>(free_at_.size()); }
+
+  /// Phase-relative busy offsets for a phase starting at `phase_start`
+  /// (clamped at 0 for slots already free).
+  std::vector<double> offsets_at(double phase_start) const;
+
+  /// Folds a scheduled phase's per-attempt trace back into the pool.
+  void commit(const std::vector<TaskTraceEvent>& events, double phase_start);
+
+ private:
+  std::vector<double> free_at_;  // absolute run seconds per global slot
+};
 
 }  // namespace mri::mr

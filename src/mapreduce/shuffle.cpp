@@ -4,6 +4,12 @@
 
 namespace mri::mr {
 
+int floor_mod_partition(std::int64_t key, int num_partitions) {
+  MRI_REQUIRE(num_partitions >= 1, "floor_mod_partition needs >= 1 partition");
+  return static_cast<int>(((key % num_partitions) + num_partitions) %
+                          num_partitions);
+}
+
 ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
                       int num_partitions,
                       const std::function<int(std::int64_t, int)>& partitioner,
@@ -15,13 +21,8 @@ ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
     const int map_node =
         cluster_size > 0 ? static_cast<int>(task) % cluster_size : -1;
     for (auto& kv : map_outputs[task]) {
-      int p;
-      if (partitioner) {
-        p = partitioner(kv.key, num_partitions);
-      } else {
-        p = static_cast<int>(((kv.key % num_partitions) + num_partitions) %
-                             num_partitions);
-      }
+      const int p = partitioner ? partitioner(kv.key, num_partitions)
+                                : floor_mod_partition(kv.key, num_partitions);
       MRI_CHECK_MSG(p >= 0 && p < num_partitions,
                     "partitioner returned " << p << " for key " << kv.key);
       const std::uint64_t bytes = sizeof(std::int64_t) + kv.value.size();

@@ -26,6 +26,12 @@ struct ShuffleResult {
   std::uint64_t remote_bytes = 0;
 };
 
+/// The default partitioner: key mod num_partitions as a floor-mod, so a
+/// negative key still lands in [0, num_partitions). C++'s truncating `%`
+/// would hand a negative reduce index to the shuffle (and Hadoop's
+/// HashPartitioner masks the sign bit for the same reason).
+int floor_mod_partition(std::int64_t key, int num_partitions);
+
 /// Partitions and groups map output. `partitioner` may be null (key mod
 /// num_partitions, non-negative). Values for equal keys keep map-task order
 /// (stable within a task; tasks concatenated in task-index order).

@@ -36,7 +36,8 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
 
 RunReport build_run_report(const std::vector<JobResult>& jobs,
                            const Cluster& cluster,
-                           const MetricsRegistry* metrics) {
+                           const MetricsRegistry* metrics,
+                           const std::vector<MasterSpan>& master_spans) {
   RunReport report;
   report.total_slots = cluster.total_slots();
   report.jobs = static_cast<int>(jobs.size());
@@ -48,6 +49,18 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
     report.backups_run += job.backups_run;
     report.shuffle_local_bytes += job.shuffle_local_bytes;
     report.shuffle_remote_bytes += job.shuffle_remote_bytes;
+    JobSpan span;
+    span.job = job.name;
+    span.start = job.start_seconds;
+    span.end = job.start_seconds + job.sim_seconds;
+    report.job_spans.push_back(std::move(span));
+  }
+  // The master lane stretches the timeline but its footprint stays out of
+  // report.io, which remains the job-side total it always was (pipeline
+  // totals already charge master work separately).
+  report.master_spans = master_spans;
+  for (const MasterSpan& span : master_spans) {
+    report.sim_seconds = std::max(report.sim_seconds, span.end);
   }
   if (metrics != nullptr) {
     report.dfs_io = metrics->io_totals();

@@ -18,9 +18,11 @@ namespace mri::mr {
 std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs);
 
 /// Builds and aggregates the full run report. `metrics` (DFS-side totals and
-/// named counters) may be null.
+/// named counters) may be null. `master_spans` (Pipeline::master_spans())
+/// adds the master's serial-work lane; omit it for job-only reports.
 RunReport build_run_report(const std::vector<JobResult>& jobs,
                            const Cluster& cluster,
-                           const MetricsRegistry* metrics);
+                           const MetricsRegistry* metrics,
+                           const std::vector<MasterSpan>& master_spans = {});
 
 }  // namespace mri::mr

@@ -20,6 +20,22 @@ double median_of(std::vector<double> v) {
 void aggregate_run_report(RunReport* report) {
   report->phase_reports.clear();
   report->failure_timeline.clear();
+  report->master_seconds = 0.0;
+  for (const MasterSpan& span : report->master_spans) {
+    report->master_seconds += span.end - span.start;
+  }
+  report->busy_slot_seconds = 0.0;
+  for (const PhaseTrace& phase : report->phases) {
+    for (const TaskTraceEvent& e : phase.events) {
+      report->busy_slot_seconds += e.end - e.start;
+    }
+  }
+  report->cluster_utilization =
+      report->total_slots > 0 && report->sim_seconds > 0.0
+          ? report->busy_slot_seconds /
+                (static_cast<double>(report->total_slots) *
+                 report->sim_seconds)
+          : 0.0;
 
   for (const PhaseTrace& phase : report->phases) {
     PhaseReport pr;
@@ -138,7 +154,12 @@ std::string run_report_json(const RunReport& report) {
   os << ",\"jobs\":" << report.jobs
      << ",\"failures_recovered\":" << report.failures_recovered
      << ",\"backups_run\":" << report.backups_run
-     << ",\"total_slots\":" << report.total_slots << ',';
+     << ",\"total_slots\":" << report.total_slots
+     << ",\"busy_slot_seconds\":";
+  append_num(os, report.busy_slot_seconds);
+  os << ",\"cluster_utilization\":";
+  append_num(os, report.cluster_utilization);
+  os << ',';
   append_io(os, "io", report.io);
   os << ",\"shuffle\":{\"local_bytes\":" << report.shuffle_local_bytes
      << ",\"remote_bytes\":" << report.shuffle_remote_bytes << "},";
@@ -172,7 +193,31 @@ std::string run_report_json(const RunReport& report) {
     append_num(os, p.straggler_ratio);
     os << '}';
   }
-  os << "],\"failure_timeline\":[";
+  os << "],\"job_spans\":[";
+  first = true;
+  for (const JobSpan& s : report.job_spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"job\":\"" << json_escape(s.job) << "\",\"start\":";
+    append_num(os, s.start);
+    os << ",\"end\":";
+    append_num(os, s.end);
+    os << '}';
+  }
+  os << "],\"master\":{\"seconds\":";
+  append_num(os, report.master_seconds);
+  os << ",\"spans\":[";
+  first = true;
+  for (const MasterSpan& s : report.master_spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"start\":";
+    append_num(os, s.start);
+    os << ",\"end\":";
+    append_num(os, s.end);
+    os << '}';
+  }
+  os << "]},\"failure_timeline\":[";
   first = true;
   for (const FailureRecovery& f : report.failure_timeline) {
     if (!first) os << ',';
@@ -190,6 +235,9 @@ std::string run_report_json(const RunReport& report) {
 }
 
 std::string chrome_trace_json(const RunReport& report) {
+  // Pseudo-process ids for the run-level lanes, far above any node id.
+  constexpr int kJobsPid = 1000000;
+  constexpr int kMasterPid = 1000001;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -204,6 +252,39 @@ std::string chrome_trace_json(const RunReport& report) {
     first = false;
     os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << node
        << ",\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+  if (!report.job_spans.empty()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kJobsPid
+       << ",\"args\":{\"name\":\"jobs\"}}";
+    // One lane (tid) per job: overlap-scheduled jobs render side by side.
+    int lane = 0;
+    for (const JobSpan& s : report.job_spans) {
+      os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(s.job)
+         << "\",\"cat\":\"job\",\"pid\":" << kJobsPid << ",\"tid\":" << lane
+         << ",\"ts\":";
+      append_num(os, s.start * 1e6);
+      os << ",\"dur\":";
+      append_num(os, (s.end - s.start) * 1e6);
+      os << ",\"args\":{}}";
+      ++lane;
+    }
+  }
+  if (!report.master_spans.empty()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kMasterPid
+       << ",\"args\":{\"name\":\"master\"}}";
+    for (const MasterSpan& s : report.master_spans) {
+      os << ",{\"ph\":\"X\",\"name\":\"master work\",\"cat\":\"master\","
+            "\"pid\":" << kMasterPid << ",\"tid\":0,\"ts\":";
+      append_num(os, s.start * 1e6);
+      os << ",\"dur\":";
+      append_num(os, (s.end - s.start) * 1e6);
+      os << ",\"args\":{\"mults\":" << s.io.mults
+         << ",\"bytes_read\":" << s.io.bytes_read << "}}";
+    }
   }
   for (const PhaseTrace& phase : report.phases) {
     for (const TaskTraceEvent& e : phase.events) {

@@ -62,6 +62,14 @@ struct FailureRecovery {
   double retry_start = 0.0;  // < 0 when no retry event was found
 };
 
+/// One job's [start, end) extent on the run timeline — the per-job lane of
+/// the Chrome trace, where concurrently scheduled jobs visibly overlap.
+struct JobSpan {
+  std::string job;
+  double start = 0.0;
+  double end = 0.0;
+};
+
 struct RunReport {
   double sim_seconds = 0.0;
   IoStats io;  // full run footprint (includes speculative re-work)
@@ -75,9 +83,19 @@ struct RunReport {
   IoStats dfs_io;
   std::map<std::string, std::uint64_t> counters;
   std::vector<PhaseTrace> phases;
+  /// Per-job [start, end) lanes on the run timeline.
+  std::vector<JobSpan> job_spans;
+  /// Serial master-node work (leaf LUs, determinant reads) between jobs;
+  /// previously an invisible gap in the timeline.
+  std::vector<MasterSpan> master_spans;
   /// Derived by aggregate_run_report().
   std::vector<PhaseReport> phase_reports;
   std::vector<FailureRecovery> failure_timeline;
+  double master_seconds = 0.0;       // sum over master_spans
+  double busy_slot_seconds = 0.0;    // sum of attempt spans over all phases
+  /// Cluster-wide slot utilization over the whole run:
+  /// busy_slot_seconds / (total_slots * sim_seconds).
+  double cluster_utilization = 0.0;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites
@@ -88,7 +106,10 @@ void aggregate_run_report(RunReport* report);
 std::string run_report_json(const RunReport& report);
 
 /// Chrome trace_event JSON: one complete ("ph":"X") event per attempt with
-/// pid = node, tid = global slot, timestamps in microseconds.
+/// pid = node, tid = global slot, timestamps in microseconds. Additional
+/// lanes: one per job (the job_spans, under a "jobs" pseudo-process, where
+/// DAG-overlapped jobs visibly run concurrently) and one for the master's
+/// serial work (the master_spans, under a "master" pseudo-process).
 std::string chrome_trace_json(const RunReport& report);
 
 }  // namespace mri

@@ -7,6 +7,8 @@
 // and killed originals are truncated at the moment the winner finished).
 #pragma once
 
+#include "sim/io_stats.hpp"
+
 namespace mri {
 
 struct TaskTraceEvent {
@@ -18,6 +20,16 @@ struct TaskTraceEvent {
   double end = 0.0;    // when the attempt finished, died, or was killed
   bool failed = false;  // injected failure: the attempt died mid-run
   bool backup = false;  // speculative copy launched by speculate()
+};
+
+/// One stretch of serial work on the master node (leaf LU decompositions,
+/// factor-file combining, determinant reads) charged between jobs. Times are
+/// run-relative simulated seconds; before the JobGraph executor these spans
+/// were invisible gaps in the run timeline.
+struct MasterSpan {
+  double start = 0.0;
+  double end = 0.0;
+  IoStats io;  // the footprint that was charged for this span
 };
 
 }  // namespace mri

@@ -119,6 +119,52 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{48, 12, 4, false, false, false}  // everything off
         ));
 
+TEST(EndToEnd, OverlapFinalStageMatchesSequential) {
+  // DAG mode splits the final job into {invert-l, invert-u} -> invert-mul.
+  // Same arithmetic, same inverse; two extra jobs; and because L⁻¹ and U⁻¹
+  // share the cluster concurrently, the makespan lands below the serial sum
+  // of the job times.
+  const Matrix a = random_matrix(64, /*seed=*/7);
+  core::InversionOptions opts;
+  opts.nb = 16;
+
+  PipelineFixture seq_fx(4);
+  auto seq = seq_fx.run(a, opts);
+
+  PipelineFixture dag_fx(4);
+  opts.overlap_final_stage = true;
+  auto dag = dag_fx.run(a, opts);
+
+  EXPECT_EQ(max_abs_diff(dag.inverse, seq.inverse), 0.0);  // same arithmetic
+  EXPECT_EQ(dag.report.jobs, seq.report.jobs + 2);
+  EXPECT_EQ(dag.det_log_abs, seq.det_log_abs);
+  EXPECT_EQ(dag.det_sign, seq.det_sign);
+
+  double serial_sum = dag.report.master_seconds;
+  for (const mr::JobResult& job : dag.jobs) serial_sum += job.sim_seconds;
+  EXPECT_LT(dag.report.sim_seconds, serial_sum);
+
+  // The last three jobs are the diamond: invert-l and invert-u overlap.
+  ASSERT_GE(dag.jobs.size(), 3u);
+  const mr::JobResult& jl = dag.jobs[dag.jobs.size() - 3];
+  const mr::JobResult& ju = dag.jobs[dag.jobs.size() - 2];
+  const mr::JobResult& jm = dag.jobs.back();
+  EXPECT_EQ(jl.name, "invert-l");
+  EXPECT_EQ(ju.name, "invert-u");
+  EXPECT_EQ(jm.name, "invert-mul");
+  EXPECT_EQ(jl.start_seconds, ju.start_seconds);
+  EXPECT_GE(jm.start_seconds,
+            std::max(jl.start_seconds + jl.sim_seconds,
+                     ju.start_seconds + ju.sim_seconds) -
+                1e-12);
+
+  // Stage accounting still covers the whole run.
+  EXPECT_EQ(dag.inversion_stage.jobs, 3);
+  EXPECT_EQ(dag.lu_stage.jobs + dag.inversion_stage.jobs, dag.report.jobs);
+  EXPECT_NEAR(dag.lu_stage.sim_seconds + dag.inversion_stage.sim_seconds,
+              dag.report.sim_seconds, 1e-9);
+}
+
 TEST(EndToEnd, SingularMatrixThrows) {
   PipelineFixture fx(2);
   Matrix a = random_matrix(16, /*seed=*/5);

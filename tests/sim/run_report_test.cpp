@@ -112,6 +112,32 @@ TEST(RunReport, ChromeTraceHasCompleteEventsAndNodeLanes) {
   EXPECT_NE(json.find("\"ts\":15000000"), std::string::npos);
 }
 
+TEST(RunReport, JobLanesAndMasterSpansExport) {
+  RunReport r = two_slot_run();
+  r.job_spans = {{"lu-level-0", 15.0, 17.0}, {"invert", 17.0, 20.0}};
+  MasterSpan span;
+  span.start = 14.0;
+  span.end = 15.0;
+  span.io.mults = 42;
+  r.master_spans = {span};
+  aggregate_run_report(&r);
+  EXPECT_NEAR(r.master_seconds, 1.0, 1e-12);
+  EXPECT_NEAR(r.busy_slot_seconds, 2.5, 1e-12);
+  EXPECT_NEAR(r.cluster_utilization, 2.5 / (2 * 17.0), 1e-12);
+
+  const std::string json = run_report_json(r);
+  for (const char* key :
+       {"\"busy_slot_seconds\"", "\"cluster_utilization\"", "\"job_spans\"",
+        "\"master\"", "\"job\":\"invert\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  const std::string trace = chrome_trace_json(r);
+  // One pseudo-process lane per job plus the master lane.
+  EXPECT_NE(trace.find("\"name\":\"jobs\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"master\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"master work\""), std::string::npos);
+}
+
 TEST(RunReport, EscapesJobNames) {
   RunReport r;
   r.total_slots = 1;
