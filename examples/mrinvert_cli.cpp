@@ -4,12 +4,18 @@
 //                  [--engine auto|mapreduce|scalapack] [--spark] [--overlap]
 //                  [--trace-out trace.json] [--report-out report.json]
 //   ./mrinvert_cli --generate 256 --output Ainv.txt        # random input
+//   ./mrinvert_cli --serve requests.trace [--max-concurrent 2]
+//                  [--queue-depth 8] [--tenant-queue-limit 0]
 //
 // Reads a whitespace-separated text matrix from the local filesystem (the
 // paper's a.txt format), inverts it on a simulated cluster, writes the
 // inverse back as text, and prints the §7.2 residual and the run report.
 // --trace-out writes a Chrome trace_event timeline (chrome://tracing);
 // --report-out writes the machine-readable run report (schema in README.md).
+//
+// --serve replays a request-trace file (tenants + timed inversion requests;
+// see examples/sample_requests.trace) through the multi-tenant inversion
+// service: admission control, fair-share slots, per-tenant SLO percentiles.
 #include <fstream>
 #include <sstream>
 
@@ -20,6 +26,8 @@
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/text_format.hpp"
+#include "service/loadgen.hpp"
+#include "service/service.hpp"
 
 namespace {
 
@@ -43,6 +51,79 @@ void save_json(const std::string& path, const std::string& json) {
   out << json << '\n';
 }
 
+// Replays a request-trace file through the multi-tenant inversion service
+// and prints the per-tenant SLO report.
+int run_serve(const mri::CliOptions& cli) {
+  using namespace mri;
+  const std::string trace_path = cli.get_string("serve", "");
+  MRI_REQUIRE(!trace_path.empty(),
+              "--serve needs a request-trace file: --serve requests.trace "
+              "(see examples/sample_requests.trace)");
+  std::ifstream in(trace_path);
+  MRI_REQUIRE(in.good(), "cannot open request trace: " << trace_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const service::RequestTrace trace =
+      service::parse_request_trace(buffer.str());
+
+  const int nodes = static_cast<int>(cli.get_int("nodes", 8));
+  MetricsRegistry metrics;
+  Cluster cluster(nodes, CostModel::ec2_medium());
+  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  ThreadPool pool(4);
+
+  service::ServiceOptions options;
+  options.shares = trace.shares;
+  options.max_concurrent = static_cast<int>(cli.get_int("max-concurrent", 2));
+  options.admission.max_queue_depth =
+      static_cast<int>(cli.get_int("queue-depth", 8));
+  options.admission.per_tenant_queue_limit =
+      static_cast<int>(cli.get_int("tenant-queue-limit", 0));
+  options.inversion.nb = cli.get_int("nb", 0);
+  if (options.inversion.nb <= 0) options.inversion.nb = 256;
+  options.inversion.in_memory_intermediates = cli.get_bool("spark", false);
+  options.inversion.overlap_final_stage = cli.get_bool("overlap", false);
+  options.inversion.work_dir = "/svc";
+
+  std::printf("serving %zu requests from %zu tenants (%s) on %d nodes: "
+              "%d execution slots, queue depth %d\n\n",
+              trace.requests.size(), trace.shares.size(), trace_path.c_str(),
+              nodes, options.max_concurrent,
+              options.admission.max_queue_depth);
+
+  service::InversionService svc(&cluster, &fs, &pool, options, nullptr,
+                                &metrics);
+  const service::ServiceResult result = svc.run(trace.requests);
+
+  std::printf("%-12s %6s %8s %8s %12s %10s %10s %10s %6s\n", "tenant",
+              "weight", "admitted", "rejected", "slot-sec", "p50 (s)",
+              "p95 (s)", "p99 (s)", "miss");
+  for (const TenantReport& t : result.report.tenants) {
+    std::printf("%-12s %6d %8d %8d %12.3f %10.3f %10.3f %10.3f %6d\n",
+                t.tenant.c_str(), t.weight, t.admitted, t.rejected,
+                t.slot_seconds, t.latency_p50, t.latency_p95, t.latency_p99,
+                t.deadline_misses);
+  }
+  std::printf("\n%d submitted, %d admitted, %d rejected; makespan %s; "
+              "fairness index %.4f\n",
+              result.submitted, result.admitted, result.rejected,
+              format_duration(result.makespan).c_str(),
+              result.report.fairness_index);
+
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string report_out = cli.get_string("report-out", "");
+  if (!trace_out.empty()) {
+    save_json(trace_out, chrome_trace_json(result.report));
+    std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!report_out.empty()) {
+    save_json(report_out, run_report_json(result.report));
+    std::printf("run report written to %s\n", report_out.c_str());
+  }
+  return result.admitted > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +132,31 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 8));
   const std::string engine = cli.get_string("engine", "auto");
   const std::string output = cli.get_string("output", "");
+
+  if (cli.has("serve")) {
+    // Single-inversion flags make no sense against a request trace; reject
+    // them with a pointer at the right alternative instead of ignoring them.
+    MRI_REQUIRE(!cli.has("input") && !cli.has("generate"),
+                "--serve takes its workload from the trace file; drop "
+                "--input/--generate or put the matrix spec on a 'request' "
+                "line of the trace");
+    MRI_REQUIRE(!cli.has("output"),
+                "--serve runs many inversions and writes no single inverse; "
+                "drop --output (use --report-out for the per-tenant report)");
+    MRI_REQUIRE(!cli.has("engine") || engine == "mapreduce",
+                "--serve always drives the MapReduce pipeline (engine '"
+                    << engine << "' cannot share the service's slot pool); "
+                    "drop --engine or pass --engine mapreduce");
+    return run_serve(cli);
+  }
+  MRI_REQUIRE(!(cli.has("overlap") && engine == "scalapack"),
+              "--overlap schedules the final stage on the MapReduce DAG "
+              "executor, which --engine scalapack never runs; drop --overlap "
+              "or use --engine mapreduce (or auto)");
+  MRI_REQUIRE(!(cli.has("spark") && engine == "scalapack"),
+              "--spark keeps MapReduce intermediates in memory, which "
+              "--engine scalapack never writes; drop --spark or use "
+              "--engine mapreduce (or auto)");
 
   Matrix a;
   if (cli.has("generate")) {
@@ -69,7 +175,9 @@ int main(int argc, char** argv) {
                  "usage: mrinvert_cli (--input A.txt | --generate N) "
                  "[--output Ainv.txt] [--nodes N] [--nb N]\n"
                  "       [--engine auto|mapreduce|scalapack] [--spark] "
-                 "[--overlap]\n");
+                 "[--overlap]\n"
+                 "       mrinvert_cli --serve requests.trace "
+                 "[--max-concurrent N] [--queue-depth N]\n");
     return 2;
   }
   MRI_REQUIRE(a.square(), "input matrix must be square");

@@ -38,6 +38,16 @@ MapReduceInverter::Result MapReduceInverter::invert_dfs(
   return invert_with(pipeline, input_path, options);
 }
 
+MapReduceInverter::Result MapReduceInverter::invert_on(
+    mr::Pipeline& pipeline, const Matrix& a, const InversionOptions& options) {
+  MRI_REQUIRE(a.square(), "invert expects a square matrix, got "
+                              << a.rows() << "x" << a.cols());
+  const std::string input_path = dfs::join(options.work_dir, "a.bin");
+  if (fs_->exists(input_path)) fs_->remove(input_path);
+  write_matrix(*fs_, input_path, a);
+  return invert_with(pipeline, input_path, options);
+}
+
 MapReduceInverter::Result MapReduceInverter::invert_with(
     mr::Pipeline& pipeline, const std::string& input_path,
     const InversionOptions& options) {

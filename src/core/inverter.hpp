@@ -85,13 +85,20 @@ class MapReduceInverter {
   SolveResult solve(const Matrix& a, const Matrix& b,
                     const InversionOptions& options = {});
 
- private:
   /// Runs the whole inversion pipeline on a caller-owned Pipeline, so the
-  /// caller can keep submitting dependent jobs (solve's multiply) on the
-  /// same cluster timeline afterwards.
+  /// caller controls the placement context — solve() chains its multiply on
+  /// the same timeline, and the service layer builds the Pipeline with a
+  /// shared SlotPool, a dispatch-time origin and a fair-share tenant (see
+  /// mr::JobGraphOptions) so many requests interleave on one cluster.
   Result invert_with(mr::Pipeline& pipeline, const std::string& input_path,
                      const InversionOptions& options);
 
+  /// Ingests `a` into the DFS (under options.work_dir) and inverts it on the
+  /// caller's pipeline. Convenience wrapper over invert_with().
+  Result invert_on(mr::Pipeline& pipeline, const Matrix& a,
+                   const InversionOptions& options = {});
+
+ private:
   const Cluster* cluster_;
   dfs::Dfs* fs_;
   ThreadPool* pool_;

@@ -4,12 +4,20 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace mri::mr {
 
-JobGraph::JobGraph(JobRunner* runner) : runner_(runner), pool_(1) {
+JobGraph::JobGraph(JobRunner* runner, JobGraphOptions options)
+    : runner_(runner), options_(std::move(options)) {
   MRI_REQUIRE(runner != nullptr, "JobGraph needs a JobRunner");
-  pool_ = SlotPool(runner->cluster().total_slots());
+  if (options_.shared_pool != nullptr) {
+    pool_ = options_.shared_pool;
+  } else {
+    owned_pool_ = std::make_unique<SlotPool>(runner->cluster().total_slots());
+    pool_ = owned_pool_.get();
+  }
+  frontier_ = options_.origin_seconds;
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -19,7 +27,25 @@ JobGraph::~JobGraph() {
     stop_ = true;
   }
   cv_work_.notify_all();
+  // The worker drains every submitted job before exiting (see worker_loop),
+  // so abandoned jobs still execute and their outcome is knowable here.
   worker_.join();
+  for (const auto& node : nodes_) {
+    if (node->error == nullptr || node->error_consumed) continue;
+    if (options_.abandoned_error_handler != nullptr) {
+      options_.abandoned_error_handler(node->spec.name, node->error);
+      continue;
+    }
+    try {
+      std::rethrow_exception(node->error);
+    } catch (const std::exception& e) {
+      MRI_ERROR() << "job '" << node->spec.name
+                  << "' failed but was never wait()ed: " << e.what();
+    } catch (...) {
+      MRI_ERROR() << "job '" << node->spec.name
+                  << "' failed but was never wait()ed (non-standard exception)";
+    }
+  }
 }
 
 void JobGraph::worker_loop() {
@@ -30,7 +56,11 @@ void JobGraph::worker_loop() {
       cv_work_.wait(lock, [this] {
         return stop_ || next_exec_ < nodes_.size();
       });
-      if (stop_) return;
+      // Drain before honouring stop_: a destructor tearing the graph down
+      // must not discard submitted-but-never-executed jobs (their errors —
+      // and their DFS side effects — would be silently lost). The predicate
+      // only passes with nothing left to run when stop_ is set.
+      if (next_exec_ >= nodes_.size()) return;
       node = nodes_[next_exec_].get();
       ++next_exec_;
     }
@@ -127,10 +157,14 @@ void JobGraph::place_closure(const std::vector<int>& targets) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_done_.wait(lock, [&node] { return node.executed; });
-      if (node.error != nullptr) std::rethrow_exception(node.error);
+      if (node.error != nullptr) {
+        node.error_consumed = true;  // surfaced here, not abandoned
+        std::rethrow_exception(node.error);
+      }
       work = std::move(node.work);
     }
-    node.result = runner_->finish(std::move(work), &pool_, best_ready);
+    node.result =
+        runner_->finish(std::move(work), pool_, best_ready, options_.tenant);
     node.finish_time = best_ready + node.result.sim_seconds;
     node.placed = true;
     io_ += node.result.io;

@@ -28,8 +28,10 @@
 
 #include <condition_variable>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,9 +47,34 @@ struct JobHandle {
   bool valid() const { return id >= 0; }
 };
 
+/// Construction knobs for graphs that share a cluster with other graphs —
+/// the service layer runs one JobGraph per admitted request against one
+/// SlotPool. Defaults reproduce the standalone single-graph behaviour.
+struct JobGraphOptions {
+  /// Borrowed arbiter shared with other graphs; null = the graph owns a
+  /// private pool sized to the runner's cluster. Must outlive the graph and
+  /// match the cluster's slot count (re-validated on every lease).
+  SlotPool* shared_pool = nullptr;
+  /// Starting master frontier: the absolute run time this graph's timeline
+  /// begins at (a service request's dispatch time). Job start_seconds and
+  /// master spans come out absolute, so many graphs lay onto one timeline.
+  double origin_seconds = 0.0;
+  /// Fair-share identity for slot leases (see SlotPool::set_shares); empty
+  /// leases the whole pool first-come first-served.
+  std::string tenant;
+  /// Called at destruction for every job that executed with an error nobody
+  /// wait()ed for — instead of losing the failure. Null = log at ERROR.
+  std::function<void(const std::string& job, std::exception_ptr)>
+      abandoned_error_handler;
+};
+
 class JobGraph {
  public:
-  explicit JobGraph(JobRunner* runner);
+  explicit JobGraph(JobRunner* runner) : JobGraph(runner, JobGraphOptions{}) {}
+  JobGraph(JobRunner* runner, JobGraphOptions options);
+  /// Joins the worker after draining every submitted job (abandoned jobs
+  /// still execute so their outcome is known), then reports any errors that
+  /// were never consumed by wait() through the abandoned-error handler.
   ~JobGraph();
   JobGraph(const JobGraph&) = delete;
   JobGraph& operator=(const JobGraph&) = delete;
@@ -94,6 +121,7 @@ class JobGraph {
     bool executed = false;
     ExecutedJob work;
     std::exception_ptr error;
+    bool error_consumed = false;  // rethrown by wait(); not "abandoned"
     // Driver-thread-only simulated placement.
     bool placed = false;
     double finish_time = 0.0;
@@ -107,7 +135,9 @@ class JobGraph {
   void require_all_placed(const char* what) const;
 
   JobRunner* runner_;
-  SlotPool pool_;
+  JobGraphOptions options_;
+  std::unique_ptr<SlotPool> owned_pool_;  // null when options_.shared_pool set
+  SlotPool* pool_;
   std::vector<std::unique_ptr<Node>> nodes_;  // guarded by mu_ (growth)
   double frontier_ = 0.0;       // driver-only: master timeline position
   double master_seconds_ = 0.0;

@@ -19,6 +19,11 @@ namespace mri::mr {
 class Pipeline {
  public:
   explicit Pipeline(JobRunner* runner) : graph_(runner) {}
+  /// Service-layer construction: share a SlotPool with other pipelines,
+  /// start the timeline at a request's dispatch time, lease slots under a
+  /// fair-share tenant identity.
+  Pipeline(JobRunner* runner, JobGraphOptions options)
+      : graph_(runner, std::move(options)) {}
 
   /// Runs a job to completion and folds its result into the totals.
   const JobResult& run(const JobSpec& spec) {

@@ -146,7 +146,19 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
 }
 
 JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
-                            double start_seconds) {
+                            double start_seconds, const std::string& tenant) {
+  // The pool may be shared across many requests while the cluster it was
+  // sized for changes between them; trusting the constructor-time snapshot
+  // would silently lease slots that no longer exist (or miss new ones).
+  MRI_REQUIRE(pool == nullptr || pool->total_slots() == cluster_->total_slots(),
+              "SlotPool tracks " << pool->total_slots()
+                                 << " slots but the cluster now has "
+                                 << cluster_->total_slots() << " ("
+                                 << cluster_->size() << " nodes x "
+                                 << cluster_->cost_model().slots_per_node
+                                 << " slots/node); recreate the SlotPool (and "
+                                    "any JobGraph built on it) whenever the "
+                                    "cluster is resized");
   JobResult result = std::move(executed.result);
   result.start_seconds = start_seconds;
   const double launch = cluster_->cost_model().job_launch_seconds;
@@ -157,7 +169,7 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
   const double map_start = start_seconds + launch;
   PhaseSchedule map_phase;
   if (pool != nullptr) {
-    const std::vector<double> busy = pool->offsets_at(map_start);
+    const std::vector<double> busy = pool->offsets_at(map_start, tenant);
     map_phase = schedule_phase(*cluster_, executed.map_attempts, &busy);
     pool->commit(map_phase.trace, map_start);
   } else {
@@ -174,7 +186,7 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
     const double reduce_start = map_start + result.map_phase_seconds;
     PhaseSchedule reduce_phase;
     if (pool != nullptr) {
-      const std::vector<double> busy = pool->offsets_at(reduce_start);
+      const std::vector<double> busy = pool->offsets_at(reduce_start, tenant);
       reduce_phase = schedule_phase(*cluster_, executed.reduce_attempts, &busy);
       pool->commit(reduce_phase.trace, reduce_start);
     } else {

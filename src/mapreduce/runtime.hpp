@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -56,11 +57,16 @@ class JobRunner {
   /// Phase 2: places both phases on the simulated timeline starting at
   /// absolute run time `start_seconds`, leasing slots from `pool` when one
   /// is given (offsets of zero — no pool, or an idle pool — reproduce the
-  /// standalone schedule exactly). Fills durations, traces, speculation and
-  /// metrics. Driver-thread only: the pool and metrics are not synchronized
-  /// against concurrent finish() calls.
+  /// standalone schedule exactly). A non-empty `tenant` takes the lease
+  /// through the pool's fair-share policy (set_shares()): the phase may only
+  /// place tasks on the tenant's slots plus slots of currently idle tenants.
+  /// Re-validates on every lease that the pool still matches the cluster —
+  /// pools outlive individual requests, clusters can be swapped between
+  /// them. Fills durations, traces, speculation and metrics. Driver-thread
+  /// only: the pool and metrics are not synchronized against concurrent
+  /// finish() calls.
   JobResult finish(ExecutedJob executed, SlotPool* pool = nullptr,
-                   double start_seconds = 0.0);
+                   double start_seconds = 0.0, const std::string& tenant = {});
 
   const Cluster& cluster() const { return *cluster_; }
   dfs::Dfs& fs() { return *fs_; }

@@ -1,7 +1,9 @@
 #include "mapreduce/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <tuple>
 
@@ -136,6 +138,10 @@ PhaseSchedule schedule_phase(
                       cluster.size() * slots_per_node,
               "slot_busy_until must cover every global slot");
   std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
+  // Slots a fair-share lease withholds (busy offset of infinity) never enter
+  // the heap: this phase schedules as if they did not exist.
+  std::vector<int> slots_on_node(static_cast<std::size_t>(cluster.size()), 0);
+  int live_slots = 0;
   for (int node = 0; node < cluster.size(); ++node) {
     for (int s = 0; s < slots_per_node; ++s) {
       const int id = node * slots_per_node + s;
@@ -143,14 +149,19 @@ PhaseSchedule schedule_phase(
           slot_busy_until != nullptr
               ? (*slot_busy_until)[static_cast<std::size_t>(id)]
               : 0.0;
+      if (std::isinf(busy)) continue;
       slots.push(Slot{busy, node, id});
+      ++slots_on_node[static_cast<std::size_t>(node)];
+      ++live_slots;
     }
   }
+  MRI_REQUIRE(live_slots > 0,
+              "no leasable slots in this phase's lease (fair-share mask "
+              "withheld every slot); give the tenant a share of the pool");
   // A failed attempt takes its whole node down (§7.4), not just the slot it
   // ran on. Dead nodes' remaining slots stay in the heap and are discarded
   // lazily when popped.
   std::vector<bool> node_dead(static_cast<std::size_t>(cluster.size()), false);
-  int live_slots = cluster.size() * slots_per_node;
 
   struct Pending {
     int task;
@@ -205,7 +216,7 @@ PhaseSchedule schedule_phase(
       // task timeout elapses (§7.4: the failed mapper "did not restart until
       // one of the other mappers finished").
       node_dead[static_cast<std::size_t>(slot.node)] = true;
-      live_slots -= slots_per_node;
+      live_slots -= slots_on_node[static_cast<std::size_t>(slot.node)];
       ++out.nodes_lost;
       queue.push_back(Pending{
           p.task, p.attempt + 1,
@@ -239,12 +250,154 @@ SlotPool::SlotPool(int total_slots) {
   free_at_.assign(static_cast<std::size_t>(total_slots), 0.0);
 }
 
+double SlotPool::unavailable() {
+  return std::numeric_limits<double>::infinity();
+}
+
+void SlotPool::set_shares(std::vector<TenantShare> shares) {
+  if (shares.empty()) {
+    shares_.clear();
+    owner_.clear();
+    active_.clear();
+    return;
+  }
+  MRI_REQUIRE(shares.size() <= free_at_.size(),
+              "fair-share pool has " << free_at_.size() << " slots for "
+                                     << shares.size()
+                                     << " tenants; every tenant needs one");
+  long long total_weight = 0;
+  for (const TenantShare& s : shares) {
+    MRI_REQUIRE(s.weight >= 1, "tenant '" << s.tenant
+                                          << "' has non-positive weight "
+                                          << s.weight);
+    MRI_REQUIRE(!s.tenant.empty(), "fair-share tenants need non-empty names");
+    total_weight += s.weight;
+  }
+  shares_ = std::move(shares);
+  for (std::size_t i = 0; i < shares_.size(); ++i) {
+    for (std::size_t j = i + 1; j < shares_.size(); ++j) {
+      MRI_REQUIRE(shares_[i].tenant != shares_[j].tenant,
+                  "duplicate fair-share tenant '" << shares_[i].tenant << "'");
+    }
+  }
+
+  // Largest-remainder apportionment with a floor of one slot per tenant:
+  // proportional to weight, deterministic, and exact (counts sum to the pool
+  // size). Slot ids are handed out contiguously in share order.
+  const int total = static_cast<int>(free_at_.size());
+  const int n = static_cast<int>(shares_.size());
+  std::vector<int> counts(static_cast<std::size_t>(n), 1);
+  int assigned = n;
+  std::vector<double> remainders(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double ideal = static_cast<double>(total) *
+                         static_cast<double>(shares_[static_cast<std::size_t>(i)].weight) /
+                         static_cast<double>(total_weight);
+    const int extra = std::max(0, static_cast<int>(ideal) - 1);
+    counts[static_cast<std::size_t>(i)] += extra;
+    assigned += extra;
+    remainders[static_cast<std::size_t>(i)] =
+        ideal - static_cast<double>(counts[static_cast<std::size_t>(i)]);
+  }
+  while (assigned < total) {
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+      if (remainders[static_cast<std::size_t>(i)] >
+          remainders[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    ++counts[static_cast<std::size_t>(best)];
+    remainders[static_cast<std::size_t>(best)] -= 1.0;
+    ++assigned;
+  }
+  // Over-assignment can only come from the one-slot floors; take the excess
+  // back from the largest allocations (never below the floor).
+  while (assigned > total) {
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+      if (counts[static_cast<std::size_t>(i)] >
+          counts[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    MRI_CHECK(counts[static_cast<std::size_t>(best)] > 1);
+    --counts[static_cast<std::size_t>(best)];
+    --assigned;
+  }
+
+  owner_.assign(free_at_.size(), 0);
+  int slot = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < counts[static_cast<std::size_t>(i)]; ++c) {
+      owner_[static_cast<std::size_t>(slot)] = i;
+      ++slot;
+    }
+  }
+  MRI_CHECK(slot == total);
+  active_.assign(static_cast<std::size_t>(n), 0);
+}
+
+int SlotPool::share_index(const std::string& tenant) const {
+  for (std::size_t i = 0; i < shares_.size(); ++i) {
+    if (shares_[i].tenant == tenant) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SlotPool::acquire(const std::string& tenant) {
+  if (shares_.empty()) return;
+  const int i = share_index(tenant);
+  MRI_REQUIRE(i >= 0, "tenant '" << tenant
+                                 << "' has no share in the SlotPool; add it "
+                                    "to set_shares() before admitting work");
+  ++active_[static_cast<std::size_t>(i)];
+}
+
+void SlotPool::release(const std::string& tenant) {
+  if (shares_.empty()) return;
+  const int i = share_index(tenant);
+  MRI_REQUIRE(i >= 0, "tenant '" << tenant << "' has no share in the SlotPool");
+  MRI_CHECK_MSG(active_[static_cast<std::size_t>(i)] > 0,
+                "release() of tenant '" << tenant << "' without an acquire()");
+  --active_[static_cast<std::size_t>(i)];
+}
+
+std::vector<int> SlotPool::slots_of(const std::string& tenant) const {
+  std::vector<int> slots;
+  const int i = share_index(tenant);
+  if (i < 0) return slots;
+  for (std::size_t s = 0; s < owner_.size(); ++s) {
+    if (owner_[s] == i) slots.push_back(static_cast<int>(s));
+  }
+  return slots;
+}
+
 std::vector<double> SlotPool::offsets_at(double phase_start) const {
   std::vector<double> offsets(free_at_.size(), 0.0);
   for (std::size_t i = 0; i < free_at_.size(); ++i) {
     // A slot free before the phase starts contributes exactly 0.0, so a
     // sequential run's heap is bit-identical to the shared-nothing one.
     if (free_at_[i] > phase_start) offsets[i] = free_at_[i] - phase_start;
+  }
+  return offsets;
+}
+
+std::vector<double> SlotPool::offsets_at(double phase_start,
+                                         const std::string& tenant) const {
+  std::vector<double> offsets = offsets_at(phase_start);
+  if (shares_.empty() || tenant.empty()) return offsets;
+  const int i = share_index(tenant);
+  MRI_REQUIRE(i >= 0, "tenant '" << tenant
+                                 << "' has no share in the SlotPool; add it "
+                                    "to set_shares() before leasing slots");
+  for (std::size_t s = 0; s < offsets.size(); ++s) {
+    const int owner = owner_[s];
+    // Own slots are always leasable; another tenant's slots only while that
+    // tenant has nothing in the system (work-conserving borrowing).
+    if (owner != i && active_[static_cast<std::size_t>(owner)] > 0) {
+      offsets[s] = unavailable();
+    }
   }
   return offsets;
 }

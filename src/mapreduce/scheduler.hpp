@@ -13,6 +13,7 @@
 // backups — is recorded as a TaskTraceEvent for the run report.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "sim/cluster.hpp"
@@ -52,10 +53,20 @@ struct PhaseSchedule {
 /// time before which the slot is still busy with other jobs' tasks — the
 /// lease a SlotPool hands out when concurrent jobs share the cluster. Null
 /// (or all zeros) means the phase owns an idle cluster, which is exactly the
-/// pre-JobGraph behaviour.
+/// pre-JobGraph behaviour. An entry of SlotPool::kUnavailable (infinity)
+/// withholds the slot from this phase entirely: a fair-share lease marks
+/// other tenants' slots unavailable rather than merely busy.
 PhaseSchedule schedule_phase(const Cluster& cluster,
                              const std::vector<std::vector<Attempt>>& attempts_per_task,
                              const std::vector<double>* slot_busy_until = nullptr);
+
+/// One tenant's weight in a fair-share SlotPool: slots are divided between
+/// tenants proportionally to weight (largest remainder, every tenant gets at
+/// least one slot).
+struct TenantShare {
+  std::string tenant;
+  int weight = 1;
+};
 
 /// Cluster-wide slot arbiter for concurrent jobs: tracks, per global slot,
 /// the absolute run time until which the slot is occupied. A phase scheduled
@@ -64,21 +75,56 @@ PhaseSchedule schedule_phase(const Cluster& cluster,
 /// commit(trace, T), so the next eligible phase sees the slots it filled.
 /// With strictly sequential phases every offset is 0 and the arbiter is
 /// invisible — sequential runs reproduce the shared-nothing numbers exactly.
+///
+/// Fair sharing (the service layer's policy): set_shares() assigns every
+/// slot a tenant owner by weight. A lease taken with a tenant id may use the
+/// tenant's own slots plus — work-conserving redistribution — the slots of
+/// tenants that currently have no work in the system (acquire()/release()
+/// refcounts, maintained by the service as requests enter and leave); slots
+/// of busy tenants come back as kUnavailable. Without shares, or with an
+/// empty tenant id, every lease sees the whole pool first-come first-served.
 class SlotPool {
  public:
   explicit SlotPool(int total_slots);
 
+  /// Sentinel busy offset: the slot is not leasable by this phase at all.
+  static double unavailable();
+
   int total_slots() const { return static_cast<int>(free_at_.size()); }
 
+  /// Installs a weighted fair-share partition of the slots. Requires at
+  /// least as many slots as tenants; replaces any previous shares. Resets
+  /// activity refcounts.
+  void set_shares(std::vector<TenantShare> shares);
+  bool has_shares() const { return !shares_.empty(); }
+
+  /// Marks a tenant as having work in the system (queued or running); its
+  /// slots stop being borrowable. Calls nest.
+  void acquire(const std::string& tenant);
+  void release(const std::string& tenant);
+
+  /// Slot ids owned by `tenant` under the current shares (empty when no
+  /// shares are set).
+  std::vector<int> slots_of(const std::string& tenant) const;
+
   /// Phase-relative busy offsets for a phase starting at `phase_start`
-  /// (clamped at 0 for slots already free).
+  /// (clamped at 0 for slots already free). The tenant-aware overload masks
+  /// out slots the tenant may not use (see class comment); tenants must be
+  /// registered via set_shares().
   std::vector<double> offsets_at(double phase_start) const;
+  std::vector<double> offsets_at(double phase_start,
+                                 const std::string& tenant) const;
 
   /// Folds a scheduled phase's per-attempt trace back into the pool.
   void commit(const std::vector<TaskTraceEvent>& events, double phase_start);
 
  private:
+  int share_index(const std::string& tenant) const;  // -1 when absent
+
   std::vector<double> free_at_;  // absolute run seconds per global slot
+  std::vector<TenantShare> shares_;
+  std::vector<int> owner_;   // per-slot index into shares_; empty = no policy
+  std::vector<int> active_;  // per-share count of requests in the system
 };
 
 }  // namespace mri::mr

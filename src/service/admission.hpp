@@ -1,0 +1,89 @@
+// Admission control for the inversion service: a bounded wait queue with
+// per-tenant quotas. The service is work-conserving (a request only waits
+// when every execution slot is taken), so the queue bound is a bound on
+// backlog — at offered load beyond capacity, excess requests are rejected
+// at arrival instead of growing the queue without limit, and each tenant's
+// rejections are counted for its run report.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mri::service {
+
+struct AdmissionOptions {
+  /// Most requests allowed to wait (not counting running ones). The bound
+  /// is checked at arrival, before the greedy dispatch that may immediately
+  /// drain the new request — so with a free execution slot (empty queue by
+  /// the work-conserving invariant) a request is never rejected.
+  int max_queue_depth = 8;
+
+  /// Per-tenant cap on waiting requests; 0 = only the global bound. Stops
+  /// one bursty tenant from occupying the whole queue.
+  int per_tenant_queue_limit = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options) : options_(options) {
+    MRI_REQUIRE(options_.max_queue_depth >= 1,
+                "admission needs max_queue_depth >= 1, got "
+                    << options_.max_queue_depth
+                    << " (a zero-depth queue would reject every request "
+                       "that cannot dispatch in the same instant)");
+    MRI_REQUIRE(options_.per_tenant_queue_limit >= 0,
+                "per_tenant_queue_limit must be >= 0, got "
+                    << options_.per_tenant_queue_limit);
+  }
+
+  /// Admits the request into the wait queue when both bounds allow it;
+  /// otherwise counts a rejection against `tenant` and returns false.
+  bool try_admit(const std::string& tenant) {
+    const bool global_full = queued_ >= options_.max_queue_depth;
+    const bool tenant_full =
+        options_.per_tenant_queue_limit > 0 &&
+        queued_of(tenant) >= options_.per_tenant_queue_limit;
+    if (global_full || tenant_full) {
+      ++rejected_[tenant];
+      return false;
+    }
+    ++queued_;
+    ++per_tenant_[tenant];
+    return true;
+  }
+
+  /// The dispatcher moved one of `tenant`'s requests from waiting to
+  /// running; its queue slot frees up.
+  void on_dispatch(const std::string& tenant) {
+    MRI_CHECK_MSG(queued_ > 0 && queued_of(tenant) > 0,
+                  "dispatch of tenant '" << tenant
+                                         << "' with no queued request");
+    --queued_;
+    --per_tenant_[tenant];
+  }
+
+  int queued() const { return queued_; }
+  int queued_of(const std::string& tenant) const {
+    const auto it = per_tenant_.find(tenant);
+    return it == per_tenant_.end() ? 0 : it->second;
+  }
+  int rejected_of(const std::string& tenant) const {
+    const auto it = rejected_.find(tenant);
+    return it == rejected_.end() ? 0 : it->second;
+  }
+  int total_rejected() const {
+    int total = 0;
+    for (const auto& [tenant, n] : rejected_) total += n;
+    return total;
+  }
+
+ private:
+  AdmissionOptions options_;
+  int queued_ = 0;
+  std::map<std::string, int> per_tenant_;  // waiting requests per tenant
+  std::map<std::string, int> rejected_;
+};
+
+}  // namespace mri::service

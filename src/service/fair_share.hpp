@@ -1,0 +1,93 @@
+// Dispatch-order policy for the inversion service: weighted deficit
+// fairness across tenants, priority/deadline order within a tenant.
+//
+// This is the queue-side half of fair sharing; the slot-side half is
+// mr::SlotPool's share masking. The picker chooses WHICH queued request
+// dispatches next (the tenant furthest below its weighted share of consumed
+// slot-seconds goes first); the pool then bounds HOW MUCH of the cluster
+// that request's phases may lease while other tenants are active. Both are
+// deterministic: every tie falls back to pick counts, then names/ids.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "service/request.hpp"
+
+namespace mri::service {
+
+class FairSharePicker {
+ public:
+  /// `shares` may be empty (every tenant weight 1 — plain fair queueing).
+  explicit FairSharePicker(const std::vector<mr::TenantShare>& shares) {
+    for (const mr::TenantShare& s : shares) weight_[s.tenant] = s.weight;
+  }
+
+  /// Charges finished work so the deficit ordering reflects actual
+  /// consumption, not request counts (a tenant of big inversions is not
+  /// owed more turns because a tenant of small ones completed more).
+  void charge(const std::string& tenant, double slot_seconds) {
+    used_[tenant] += slot_seconds;
+  }
+
+  /// Picks the next request to dispatch: position into `queue` (indices
+  /// into `requests`, arrival order). Tenant order: smallest
+  /// used-slot-seconds/weight, then fewest picks, then name. Within the
+  /// chosen tenant: highest priority, tightest deadline (0 = none = loosest),
+  /// then arrival order.
+  std::size_t pick(const std::vector<std::size_t>& queue,
+                   const std::vector<InversionRequest>& requests) {
+    MRI_REQUIRE(!queue.empty(), "pick() on an empty queue");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (before(requests[queue[i]], requests[queue[best]])) best = i;
+    }
+    const std::string& tenant = requests[queue[best]].tenant;
+    ++picks_[tenant];
+    return best;
+  }
+
+  double used_of(const std::string& tenant) const {
+    const auto it = used_.find(tenant);
+    return it == used_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  int weight_of(const std::string& tenant) const {
+    const auto it = weight_.find(tenant);
+    return it == weight_.end() ? 1 : it->second;
+  }
+  int picks_of(const std::string& tenant) const {
+    const auto it = picks_.find(tenant);
+    return it == picks_.end() ? 0 : it->second;
+  }
+
+  bool before(const InversionRequest& a, const InversionRequest& b) const {
+    if (a.tenant != b.tenant) {
+      const double da = used_of(a.tenant) / weight_of(a.tenant);
+      const double db = used_of(b.tenant) / weight_of(b.tenant);
+      if (da != db) return da < db;
+      const int pa = picks_of(a.tenant), pb = picks_of(b.tenant);
+      if (pa != pb) return pa < pb;
+      return a.tenant < b.tenant;
+    }
+    if (a.priority != b.priority) return a.priority > b.priority;
+    // 0 means "no deadline", which sorts after any real deadline.
+    const bool a_has = a.deadline_seconds > 0.0, b_has = b.deadline_seconds > 0.0;
+    if (a_has != b_has) return a_has;
+    if (a_has && a.deadline_seconds != b.deadline_seconds) {
+      return a.deadline_seconds < b.deadline_seconds;
+    }
+    return false;  // equal keys: keep arrival (queue) order
+  }
+
+  std::map<std::string, int> weight_;
+  std::map<std::string, double> used_;  // charged slot-seconds per tenant
+  std::map<std::string, int> picks_;
+};
+
+}  // namespace mri::service

@@ -1,0 +1,41 @@
+// One tenant's inversion request as the service's admission queue sees it:
+// a matrix spec (the service generates the paper's uniform-random workload
+// from a seed rather than shipping matrices through the queue), the tenant
+// identity the fair-share policy schedules under, and the scheduling hints
+// (priority, deadline) the dispatcher orders a tenant's own backlog by.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace mri::service {
+
+struct InversionRequest {
+  /// Fair-share identity; must have a share in the service's tenant table
+  /// when one is configured.
+  std::string tenant = "default";
+
+  /// Matrix spec: invert a random_matrix(order, seed) — the paper's §7
+  /// workload. The service materialises it at dispatch time.
+  Index order = 64;
+  std::uint64_t seed = 1;
+
+  /// Master block size for this request; 0 = the service-wide default.
+  Index nb = 0;
+
+  /// Higher dispatches first among this tenant's queued requests. Priority
+  /// never crosses tenants — cross-tenant order is the fair-share policy's.
+  int priority = 0;
+
+  /// Advisory SLO hint in simulated seconds after arrival (0 = none): among
+  /// equal-priority requests of one tenant, tighter deadlines go first, and
+  /// the run report counts a miss when finish > arrival + deadline.
+  double deadline_seconds = 0.0;
+
+  /// Absolute simulated arrival time. Requests are admitted in this order.
+  double arrival_seconds = 0.0;
+};
+
+}  // namespace mri::service

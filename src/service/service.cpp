@@ -1,0 +1,210 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "dfs/path.hpp"
+#include "mapreduce/pipeline.hpp"
+#include "mapreduce/runtime.hpp"
+#include "mapreduce/trace_export.hpp"
+#include "matrix/generate.hpp"
+#include "service/fair_share.hpp"
+
+namespace mri::service {
+
+namespace {
+
+double trace_slot_seconds(const std::vector<TaskTraceEvent>& events) {
+  double total = 0.0;
+  for (const TaskTraceEvent& e : events) total += e.end - e.start;
+  return total;
+}
+
+}  // namespace
+
+InversionService::InversionService(const Cluster* cluster, dfs::Dfs* fs,
+                                   ThreadPool* pool, ServiceOptions options,
+                                   FailureInjector* failures,
+                                   MetricsRegistry* metrics)
+    : cluster_(cluster), fs_(fs), pool_(pool), options_(std::move(options)),
+      failures_(failures), metrics_(metrics) {
+  MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
+              "InversionService needs a cluster, a DFS and a thread pool");
+  MRI_REQUIRE(options_.max_concurrent >= 1,
+              "max_concurrent must be >= 1, got " << options_.max_concurrent);
+}
+
+ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
+  ServiceResult out;
+  out.submitted = static_cast<int>(requests.size());
+
+  // Request ids are arrival order; stats[id] is that request's record.
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const InversionRequest& a, const InversionRequest& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+  const std::size_t n = requests.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const InversionRequest& r = requests[i];
+    MRI_REQUIRE(r.order >= 1, "request r" << i << " has matrix order "
+                                          << r.order);
+    MRI_REQUIRE(r.arrival_seconds >= 0.0,
+                "request r" << i << " arrives at " << r.arrival_seconds);
+    if (!options_.shares.empty()) {
+      bool known = false;
+      for (const mr::TenantShare& s : options_.shares) {
+        known = known || s.tenant == r.tenant;
+      }
+      MRI_REQUIRE(known, "request r"
+                             << i << " is from tenant '" << r.tenant
+                             << "', which has no share in the service's "
+                                "tenant table; add it to ServiceOptions::"
+                                "shares or clear the table for FCFS");
+    }
+  }
+
+  mr::SlotPool slot_pool(cluster_->total_slots());
+  if (!options_.shares.empty()) slot_pool.set_shares(options_.shares);
+  AdmissionController admission(options_.admission);
+  FairSharePicker picker(options_.shares);
+  core::MapReduceInverter inverter(cluster_, fs_, pool_, failures_, metrics_);
+
+  auto weight_of = [&](const std::string& tenant) {
+    for (const mr::TenantShare& s : options_.shares) {
+      if (s.tenant == tenant) return s.weight;
+    }
+    return 1;
+  };
+
+  out.stats.resize(n);
+  std::vector<mr::JobResult> all_jobs;
+  std::vector<MasterSpan> all_master_spans;
+
+  struct Running {
+    std::size_t id;
+    double finish;
+  };
+  std::vector<Running> running;
+  std::vector<std::size_t> queue;  // admitted, waiting; arrival order
+  std::size_t next_arrival = 0;
+  double clock = 0.0;
+
+  // Dispatch one queued request: place its whole pipeline on the timeline
+  // starting at `now`, leasing slots from the shared pool as the tenant.
+  auto dispatch_one = [&](double now) {
+    const std::size_t at = picker.pick(queue, requests);
+    const std::size_t id = queue[at];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(at));
+    const InversionRequest& r = requests[id];
+    admission.on_dispatch(r.tenant);
+
+    core::InversionOptions opts = options_.inversion;
+    opts.work_dir =
+        dfs::join(options_.inversion.work_dir, "r" + std::to_string(id));
+    if (r.nb > 0) opts.nb = r.nb;
+
+    mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+    mr::JobGraphOptions graph_options;
+    graph_options.shared_pool = &slot_pool;
+    graph_options.origin_seconds = now;
+    graph_options.tenant = options_.shares.empty() ? std::string() : r.tenant;
+    mr::Pipeline pipeline(&runner, std::move(graph_options));
+
+    const Matrix a = random_matrix(r.order, r.seed);
+    core::MapReduceInverter::Result result =
+        inverter.invert_on(pipeline, a, opts);
+    const double finish = pipeline.total_sim_seconds();
+
+    RequestStat& stat = out.stats[id];
+    stat.dispatch = now;
+    stat.finish = finish;
+    for (const mr::JobResult& job : result.jobs) {
+      stat.slot_seconds += trace_slot_seconds(job.map_trace) +
+                           trace_slot_seconds(job.reduce_trace);
+    }
+    picker.charge(r.tenant, stat.slot_seconds);
+
+    all_jobs.insert(all_jobs.end(), result.jobs.begin(), result.jobs.end());
+    all_master_spans.insert(all_master_spans.end(),
+                            result.master_spans.begin(),
+                            result.master_spans.end());
+    running.push_back({id, finish});
+    out.makespan = std::max(out.makespan, finish);
+    MRI_DEBUG() << "service: r" << id << " (" << r.tenant << ", order "
+                << r.order << ") dispatched at " << now << ", finishes at "
+                << finish;
+  };
+
+  auto dispatch_all = [&](double now) {
+    while (static_cast<int>(running.size()) < options_.max_concurrent &&
+           !queue.empty()) {
+      dispatch_one(now);
+    }
+  };
+
+  while (next_arrival < n || !running.empty()) {
+    // Earliest completion; ties by request id so the order is a function of
+    // the schedule, not of vector layout.
+    std::size_t done = running.size();
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (done == running.size() ||
+          running[i].finish < running[done].finish ||
+          (running[i].finish == running[done].finish &&
+           running[i].id < running[done].id)) {
+        done = i;
+      }
+    }
+    const double next_completion = done < running.size()
+                                       ? running[done].finish
+                                       : std::numeric_limits<double>::infinity();
+    const double arrival = next_arrival < n
+                               ? requests[next_arrival].arrival_seconds
+                               : std::numeric_limits<double>::infinity();
+
+    if (next_completion <= arrival) {
+      // Completion first at ties: the freed slot (and the tenant's now-idle
+      // share) is visible to the simultaneous arrival.
+      clock = next_completion;
+      const std::size_t id = running[done].id;
+      slot_pool.release(requests[id].tenant);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(done));
+      dispatch_all(clock);
+      continue;
+    }
+
+    clock = arrival;
+    const std::size_t id = next_arrival++;
+    const InversionRequest& r = requests[id];
+    RequestStat& stat = out.stats[id];
+    stat.tenant = r.tenant;
+    stat.weight = weight_of(r.tenant);
+    stat.arrival = r.arrival_seconds;
+    stat.deadline_seconds = r.deadline_seconds;
+    if (admission.try_admit(r.tenant)) {
+      // The tenant has work in the system from now until completion; its
+      // share stops being borrowable (work-conserving redistribution).
+      slot_pool.acquire(r.tenant);
+      queue.push_back(id);
+      ++out.admitted;
+    } else {
+      stat.rejected = true;
+      stat.dispatch = stat.finish = r.arrival_seconds;
+      ++out.rejected;
+      MRI_DEBUG() << "service: r" << id << " (" << r.tenant
+                  << ") rejected at " << clock << " (queue "
+                  << admission.queued() << ")";
+    }
+    dispatch_all(clock);
+  }
+  MRI_CHECK_MSG(queue.empty(), "service loop ended with queued requests");
+
+  out.report =
+      mr::build_run_report(all_jobs, *cluster_, metrics_, all_master_spans);
+  aggregate_tenant_reports(&out.report, out.stats);
+  return out;
+}
+
+}  // namespace mri::service

@@ -1,0 +1,96 @@
+// Multi-tenant inversion service over one shared simulated cluster.
+//
+// InversionService::run() plays a request sequence through a discrete-event
+// loop on the simulated clock: arrivals pass admission control (bounded
+// queue, per-tenant quotas — see admission.hpp), the fair-share picker
+// chooses dispatch order (fair_share.hpp), and every admitted request runs
+// as its own inversion pipeline (a mr::JobGraph with the request's dispatch
+// time as origin) leasing slots from ONE SlotPool under the tenant's
+// fair-share identity. Up to max_concurrent requests overlap on the
+// timeline; the pool's per-slot occupancy makes each request's phases see
+// exactly the slots earlier-dispatched requests still hold.
+//
+// Determinism: the loop is single-threaded over simulated time; at equal
+// event times completions process before arrivals (a freed execution slot
+// is visible to the request arriving "at the same instant"), completions
+// tie-break by request id, and all scheduling state (picker deficits,
+// admission counts, pool occupancy) evolves only at event boundaries. The
+// same request sequence therefore yields bit-identical reports on every
+// run — the property the service bench's reproducibility check enforces.
+//
+// Execution is real (matrices are generated, inverted and checked into the
+// DFS); only time is simulated. Dispatch places a request's whole pipeline
+// synchronously, so requests' real executions are serialized even when
+// their simulated spans overlap — the DFS sees one request at a time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/inverter.hpp"
+#include "core/options.hpp"
+#include "dfs/dfs.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "service/admission.hpp"
+#include "service/request.hpp"
+#include "sim/cluster.hpp"
+#include "sim/failure.hpp"
+#include "sim/metrics.hpp"
+#include "sim/run_report.hpp"
+
+namespace mri::service {
+
+struct ServiceOptions {
+  /// Per-tenant fair-share weights (SlotPool::set_shares). Empty = no slot
+  /// policy: one first-come first-served pool, every tenant weight 1 in the
+  /// dispatch order. When set, every request's tenant must appear here.
+  std::vector<mr::TenantShare> shares;
+
+  /// Execution slots: requests whose pipelines may overlap on the timeline.
+  int max_concurrent = 2;
+
+  AdmissionOptions admission;
+
+  /// Template inversion options for every request. work_dir becomes the
+  /// per-request directory "<work_dir>/r<id>"; nb is the default for
+  /// requests that don't set their own.
+  core::InversionOptions inversion;
+};
+
+struct ServiceResult {
+  /// Cluster-level run report over every admitted request's jobs, plus the
+  /// per-tenant SLO aggregates and request lanes (aggregate_tenant_reports).
+  RunReport report;
+  /// Per-request accounting in request-id (arrival) order; feedstock of
+  /// report.tenants and report.request_spans.
+  std::vector<RequestStat> stats;
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  /// Simulated time the last admitted request finished.
+  double makespan = 0.0;
+};
+
+class InversionService {
+ public:
+  /// All pointers are borrowed. `failures` and `metrics` may be null.
+  InversionService(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
+                   ServiceOptions options, FailureInjector* failures = nullptr,
+                   MetricsRegistry* metrics = nullptr);
+
+  /// Plays `requests` (any order; sorted by arrival internally, stable) to
+  /// completion and returns the merged report. May be called repeatedly;
+  /// each run starts from an idle service but shares the DFS and metrics.
+  ServiceResult run(std::vector<InversionRequest> requests);
+
+ private:
+  const Cluster* cluster_;
+  dfs::Dfs* fs_;
+  ThreadPool* pool_;
+  ServiceOptions options_;
+  FailureInjector* failures_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace mri::service

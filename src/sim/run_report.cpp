@@ -102,6 +102,95 @@ void aggregate_run_report(RunReport* report) {
   }
 }
 
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  // Linear interpolation between closest ranks (numpy's default).
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+void aggregate_tenant_reports(RunReport* report,
+                              const std::vector<RequestStat>& stats) {
+  report->request_spans.clear();
+  report->tenants.clear();
+  report->fairness_index = 1.0;
+
+  // Request lanes, in request-id order (the order the service assigned ids).
+  report->request_spans.reserve(stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const RequestStat& s = stats[i];
+    RequestSpan span;
+    span.request = "r" + std::to_string(i);
+    span.tenant = s.tenant;
+    span.arrival = s.arrival;
+    span.dispatch = s.rejected ? s.arrival : s.dispatch;
+    span.finish = s.rejected ? s.arrival : s.finish;
+    span.rejected = s.rejected;
+    report->request_spans.push_back(std::move(span));
+  }
+
+  // Group by tenant; map keeps the output deterministic (sorted by name).
+  std::map<std::string, std::vector<const RequestStat*>> by_tenant;
+  for (const RequestStat& s : stats) by_tenant[s.tenant].push_back(&s);
+
+  for (const auto& [tenant, reqs] : by_tenant) {
+    TenantReport tr;
+    tr.tenant = tenant;
+    std::vector<double> latencies;
+    double wait_sum = 0.0;
+    for (const RequestStat* s : reqs) {
+      tr.weight = s->weight;  // identical for all of a tenant's requests
+      ++tr.submitted;
+      if (s->rejected) {
+        ++tr.rejected;
+        continue;
+      }
+      ++tr.admitted;
+      const double wait = s->dispatch - s->arrival;
+      wait_sum += wait;
+      tr.queue_wait_max = std::max(tr.queue_wait_max, wait);
+      latencies.push_back(s->finish - s->arrival);
+      tr.slot_seconds += s->slot_seconds;
+      if (s->deadline_seconds > 0.0 &&
+          s->finish > s->arrival + s->deadline_seconds) {
+        ++tr.deadline_misses;
+      }
+    }
+    if (tr.admitted > 0) wait_sum /= tr.admitted;
+    tr.queue_wait_mean = wait_sum;
+    tr.latency_p50 = percentile(latencies, 0.50);
+    tr.latency_p95 = percentile(latencies, 0.95);
+    tr.latency_p99 = percentile(latencies, 0.99);
+    report->tenants.push_back(std::move(tr));
+  }
+
+  // Jain's fairness index over x_i = slot_seconds_i / weight_i, counting
+  // only tenants that actually ran work (an idle tenant is not unfairness).
+  std::vector<double> shares;
+  for (const TenantReport& tr : report->tenants) {
+    if (tr.slot_seconds > 0.0 && tr.weight > 0) {
+      shares.push_back(tr.slot_seconds / tr.weight);
+    }
+  }
+  if (shares.size() > 1) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (double x : shares) {
+      sum += x;
+      sum_sq += x * x;
+    }
+    report->fairness_index =
+        sum_sq > 0.0
+            ? (sum * sum) / (static_cast<double>(shares.size()) * sum_sq)
+            : 1.0;
+  }
+}
+
 namespace {
 
 // Minimal JSON writer: the strings we emit (job names, counter names) are
@@ -230,6 +319,46 @@ std::string run_report_json(const RunReport& report) {
     append_num(os, f.retry_start);
     os << '}';
   }
+  // Service-layer keys are always present (stable schema for the service
+  // bench's consumers); both arrays are empty for single-run reports.
+  os << "],\"fairness_index\":";
+  append_num(os, report.fairness_index);
+  os << ",\"tenants\":[";
+  first = true;
+  for (const TenantReport& t : report.tenants) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"tenant\":\"" << json_escape(t.tenant)
+       << "\",\"weight\":" << t.weight << ",\"submitted\":" << t.submitted
+       << ",\"admitted\":" << t.admitted << ",\"rejected\":" << t.rejected
+       << ",\"queue_wait_mean\":";
+    append_num(os, t.queue_wait_mean);
+    os << ",\"queue_wait_max\":";
+    append_num(os, t.queue_wait_max);
+    os << ",\"latency_p50\":";
+    append_num(os, t.latency_p50);
+    os << ",\"latency_p95\":";
+    append_num(os, t.latency_p95);
+    os << ",\"latency_p99\":";
+    append_num(os, t.latency_p99);
+    os << ",\"slot_seconds\":";
+    append_num(os, t.slot_seconds);
+    os << ",\"deadline_misses\":" << t.deadline_misses << '}';
+  }
+  os << "],\"requests\":[";
+  first = true;
+  for (const RequestSpan& r : report.request_spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"request\":\"" << json_escape(r.request) << "\",\"tenant\":\""
+       << json_escape(r.tenant) << "\",\"arrival\":";
+    append_num(os, r.arrival);
+    os << ",\"dispatch\":";
+    append_num(os, r.dispatch);
+    os << ",\"finish\":";
+    append_num(os, r.finish);
+    os << ",\"rejected\":" << (r.rejected ? "true" : "false") << '}';
+  }
   os << "]}";
   return os.str();
 }
@@ -238,6 +367,7 @@ std::string chrome_trace_json(const RunReport& report) {
   // Pseudo-process ids for the run-level lanes, far above any node id.
   constexpr int kJobsPid = 1000000;
   constexpr int kMasterPid = 1000001;
+  constexpr int kRequestsPid = 1000002;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -284,6 +414,41 @@ std::string chrome_trace_json(const RunReport& report) {
       append_num(os, (s.end - s.start) * 1e6);
       os << ",\"args\":{\"mults\":" << s.io.mults
          << ",\"bytes_read\":" << s.io.bytes_read << "}}";
+    }
+  }
+  if (!report.request_spans.empty()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kRequestsPid
+       << ",\"args\":{\"name\":\"requests\"}}";
+    // One lane per request: queued (arrival->dispatch) then run
+    // (dispatch->finish); rejected requests render as instant markers.
+    int lane = 0;
+    for (const RequestSpan& r : report.request_spans) {
+      if (r.rejected) {
+        os << ",{\"ph\":\"i\",\"name\":\"" << json_escape(r.request)
+           << " rejected\",\"cat\":\"request\",\"pid\":" << kRequestsPid
+           << ",\"tid\":" << lane << ",\"ts\":";
+        append_num(os, r.arrival * 1e6);
+        os << ",\"s\":\"t\",\"args\":{\"tenant\":\"" << json_escape(r.tenant)
+           << "\"}}";
+      } else {
+        os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(r.request)
+           << " queued\",\"cat\":\"request\",\"pid\":" << kRequestsPid
+           << ",\"tid\":" << lane << ",\"ts\":";
+        append_num(os, r.arrival * 1e6);
+        os << ",\"dur\":";
+        append_num(os, (r.dispatch - r.arrival) * 1e6);
+        os << ",\"args\":{\"tenant\":\"" << json_escape(r.tenant) << "\"}}";
+        os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(r.request)
+           << " run\",\"cat\":\"request\",\"pid\":" << kRequestsPid
+           << ",\"tid\":" << lane << ",\"ts\":";
+        append_num(os, r.dispatch * 1e6);
+        os << ",\"dur\":";
+        append_num(os, (r.finish - r.dispatch) * 1e6);
+        os << ",\"args\":{\"tenant\":\"" << json_escape(r.tenant) << "\"}}";
+      }
+      ++lane;
     }
   }
   for (const PhaseTrace& phase : report.phases) {

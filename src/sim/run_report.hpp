@@ -70,6 +70,50 @@ struct JobSpan {
   double end = 0.0;
 };
 
+/// One service request's lifecycle on the run timeline (service layer):
+/// arrival -> dispatch is queue wait, dispatch -> finish is execution.
+/// Rejected requests carry dispatch == finish == arrival.
+struct RequestSpan {
+  std::string request;  // "r<id>"
+  std::string tenant;
+  double arrival = 0.0;
+  double dispatch = 0.0;
+  double finish = 0.0;
+  bool rejected = false;
+};
+
+/// Raw per-request accounting the service feeds aggregate_tenant_reports().
+struct RequestStat {
+  std::string tenant;
+  int weight = 1;
+  bool rejected = false;
+  double arrival = 0.0;
+  double dispatch = 0.0;
+  double finish = 0.0;
+  /// Sum of this request's task-attempt spans (its cluster occupancy).
+  double slot_seconds = 0.0;
+  /// Advisory deadline (seconds after arrival; 0 = none).
+  double deadline_seconds = 0.0;
+};
+
+/// Per-tenant SLO aggregates derived from RequestStats.
+struct TenantReport {
+  std::string tenant;
+  int weight = 1;
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  double queue_wait_mean = 0.0;
+  double queue_wait_max = 0.0;
+  double latency_p50 = 0.0;  // arrival -> finish, admitted requests only
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double slot_seconds = 0.0;
+  /// Admitted requests that finished after arrival + deadline (requests
+  /// without a deadline hint never count).
+  int deadline_misses = 0;
+};
+
 struct RunReport {
   double sim_seconds = 0.0;
   IoStats io;  // full run footprint (includes speculative re-work)
@@ -96,11 +140,28 @@ struct RunReport {
   /// Cluster-wide slot utilization over the whole run:
   /// busy_slot_seconds / (total_slots * sim_seconds).
   double cluster_utilization = 0.0;
+  /// Service-layer lanes and aggregates (empty for single-run reports);
+  /// filled by aggregate_tenant_reports().
+  std::vector<RequestSpan> request_spans;
+  std::vector<TenantReport> tenants;
+  /// Jain's fairness index over per-tenant weighted slot-seconds
+  /// ((Σx)² / (n·Σx²), x = slot_seconds/weight): 1.0 = perfectly
+  /// proportional sharing, 1/n = one tenant got everything.
+  double fairness_index = 1.0;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites
 /// any previous aggregation. `total_slots` must be set by the caller.
 void aggregate_run_report(RunReport* report);
+
+/// Interpolated percentile of `values` (q in [0,1]); 0.0 when empty.
+double percentile(std::vector<double> values, double q);
+
+/// Fills `request_spans`, `tenants` and `fairness_index` from per-request
+/// stats (service layer); overwrites any previous aggregation. Stats must be
+/// in request-id order — span names are assigned "r0", "r1", ...
+void aggregate_tenant_reports(RunReport* report,
+                              const std::vector<RequestStat>& stats);
 
 /// Machine-readable run report (one JSON object; schema in README.md).
 std::string run_report_json(const RunReport& report);

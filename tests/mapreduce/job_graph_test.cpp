@@ -384,5 +384,163 @@ TEST(JobGraph, NegativeKeysFlowThroughDefaultPartitioner) {
   EXPECT_EQ(fx.fs.read_text("/neg/key.-2"), "4");
 }
 
+// ---- teardown of submitted-but-never-waited jobs ----------------------------
+
+// A job whose map phase throws (its input file does not exist).
+JobSpec failing_job(std::string name) {
+  JobSpec spec = flops_job(std::move(name), {"/no/such/file"});
+  return spec;
+}
+
+TEST(JobGraphTeardown, AbandonedJobsStillExecute) {
+  // Destroying the graph with submitted-but-never-wait()ed jobs must drain
+  // them, not discard them: their DFS side effects exist afterwards.
+  GraphFixture fx(4);
+  {
+    JobGraph g(&fx.runner);
+    g.submit(count_job("abandoned", fx.inputs(4), "/drain"));
+    // No wait(), no run_all(): the destructor joins the worker.
+  }
+  EXPECT_EQ(fx.fs.read_text("/drain/len.2"), "4");
+}
+
+TEST(JobGraphTeardown, AbandonedErrorReachesHandler) {
+  GraphFixture fx(2);
+  std::vector<std::string> reported;
+  std::string message;
+  {
+    JobGraphOptions options;
+    options.abandoned_error_handler = [&](const std::string& job,
+                                          std::exception_ptr error) {
+      reported.push_back(job);
+      try {
+        std::rethrow_exception(error);
+      } catch (const JobError& e) {
+        message = e.what();
+      }
+    };
+    JobGraph g(&fx.runner, std::move(options));
+    g.submit(failing_job("doomed"));
+  }
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0], "doomed");
+  EXPECT_NE(message.find("doomed"), std::string::npos);
+}
+
+TEST(JobGraphTeardown, WaitedErrorIsNotReportedAgain) {
+  GraphFixture fx(2);
+  int reported = 0;
+  {
+    JobGraphOptions options;
+    options.abandoned_error_handler = [&](const std::string&,
+                                          std::exception_ptr) { ++reported; };
+    JobGraph g(&fx.runner, std::move(options));
+    const JobHandle h = g.submit(failing_job("seen"));
+    EXPECT_THROW(g.wait(h), JobError);
+  }
+  EXPECT_EQ(reported, 0) << "wait() consumed the error; the teardown "
+                            "handler must not double-report it";
+}
+
+TEST(JobGraphTeardown, MixedOutcomesReportOnlyUnconsumedErrors) {
+  GraphFixture fx(4);
+  std::vector<std::string> reported;
+  {
+    JobGraphOptions options;
+    options.abandoned_error_handler = [&](const std::string& job,
+                                          std::exception_ptr) {
+      reported.push_back(job);
+    };
+    JobGraph g(&fx.runner, std::move(options));
+    const JobHandle ok = g.submit(flops_job("fine", fx.inputs(2)));
+    g.submit(failing_job("lost-1"));
+    g.submit(failing_job("lost-2"));
+    g.wait(ok);  // succeeds; the two failures are never consumed
+  }
+  ASSERT_EQ(reported.size(), 2u);
+  EXPECT_EQ(reported[0], "lost-1");
+  EXPECT_EQ(reported[1], "lost-2");
+}
+
+// ---- shared pool across graphs ----------------------------------------------
+
+TEST(JobGraphSharedPool, PoolSizeMismatchThrowsOnLease) {
+  // Satellite: the runner re-validates the pool against the cluster on
+  // every lease instead of trusting a stale snapshot.
+  GraphFixture fx(4);  // 4 nodes x 1 slot
+  SlotPool wrong(fx.cluster.total_slots() + 1);
+  JobGraphOptions options;
+  options.shared_pool = &wrong;
+  JobGraph g(&fx.runner, std::move(options));
+  const JobHandle h = g.submit(flops_job("a", fx.inputs(2)));
+  EXPECT_THROW(g.wait(h), InvalidArgument);
+}
+
+TEST(JobGraphSharedPool, NodeDeathWithTwoConcurrentGraphs) {
+  // Two JobGraphs lease one SlotPool while failure injection kills a node
+  // under the first graph's map phase. Lease accounting must stay
+  // consistent: merged per-slot spans never overlap in absolute time,
+  // busy-slot-seconds equal the sum over both graphs' traces, and the
+  // combined makespan is the max of the two graphs' finish times.
+  MetricsRegistry metrics;
+  Cluster cluster(4, flops_model());
+  dfs::Dfs fs(4, dfs::DfsConfig{}, &metrics);
+  ThreadPool pool(4);
+  FailureInjector failures;
+  failures.add_rule({"g1-job", /*task_index=*/0, /*attempt=*/0,
+                     /*map_task=*/true});
+  JobRunner runner(&cluster, &fs, &pool, &failures, &metrics);
+  for (int i = 0; i < 4; ++i) {
+    fs.write_text("/in/" + std::to_string(i), "x" + std::to_string(i));
+  }
+  const auto inputs = [&](int count) {
+    std::vector<std::string> files;
+    for (int i = 0; i < count; ++i) {
+      files.push_back("/in/" + std::to_string(i));
+    }
+    return files;
+  };
+
+  SlotPool shared(cluster.total_slots());
+  JobGraphOptions o1, o2;
+  o1.shared_pool = &shared;
+  o2.shared_pool = &shared;
+  JobGraph g1(&runner, std::move(o1));
+  JobGraph g2(&runner, std::move(o2));
+  const JobHandle h1 = g1.submit(flops_job("g1-job", inputs(4)));
+  const JobHandle h2 = g2.submit(flops_job("g2-job", inputs(4)));
+  const JobResult& r1 = g1.wait(h1);
+  // g2's lease at start 0 sees g1's committed occupancy (including the
+  // failure's retry serialization) because g1 was placed first.
+  const JobResult& r2 = g2.wait(h2);
+  EXPECT_EQ(r1.failures_recovered, 1);
+  EXPECT_EQ(r2.failures_recovered, 0);
+
+  // Merge both graphs' traces onto the absolute timeline.
+  std::vector<JobResult> all = {r1, r2};
+  double busy = 0.0;
+  std::map<int, std::vector<std::pair<double, double>>> by_slot;
+  for (const PhaseTrace& phase : phase_traces(all)) {
+    for (const TaskTraceEvent& e : phase.events) {
+      busy += e.end - e.start;
+      by_slot[e.slot].push_back({phase.start + e.start, phase.start + e.end});
+    }
+  }
+  for (auto& [slot, spans] : by_slot) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].second, spans[i].first + 1e-12)
+          << "slot " << slot << " leased to two graphs at once";
+    }
+  }
+
+  RunReport report = build_run_report(all, cluster, &metrics);
+  EXPECT_NEAR(report.busy_slot_seconds, busy, 1e-12);
+  EXPECT_NEAR(report.sim_seconds,
+              std::max(g1.total_sim_seconds(), g2.total_sim_seconds()),
+              1e-12);
+  EXPECT_EQ(report.failures_recovered, 1);
+}
+
 }  // namespace
 }  // namespace mri::mr

@@ -259,5 +259,80 @@ TEST(SchedulerSpeculation, DeadNodeSlotsNotUsedForBackups) {
   expect_no_slot_overlap(s);
 }
 
+// ---- fair-share slot pool ---------------------------------------------------
+
+TEST(SlotPoolShares, LargestRemainderApportionment) {
+  SlotPool pool(8);
+  pool.set_shares({{"a", 3}, {"b", 1}});
+  EXPECT_EQ(pool.slots_of("a").size(), 6u);
+  EXPECT_EQ(pool.slots_of("b").size(), 2u);
+  EXPECT_TRUE(pool.slots_of("nobody").empty());
+}
+
+TEST(SlotPoolShares, EveryTenantGetsAtLeastOneSlot) {
+  SlotPool pool(4);
+  pool.set_shares({{"whale", 100}, {"minnow", 1}});
+  EXPECT_EQ(pool.slots_of("whale").size(), 3u);
+  EXPECT_EQ(pool.slots_of("minnow").size(), 1u);
+}
+
+TEST(SlotPoolShares, ValidatesShares) {
+  SlotPool pool(2);
+  EXPECT_THROW(pool.set_shares({{"a", 1}, {"b", 1}, {"c", 1}}),
+               InvalidArgument);  // more tenants than slots
+  EXPECT_THROW(pool.set_shares({{"a", 0}}), InvalidArgument);
+  EXPECT_THROW(pool.set_shares({{"", 1}}), InvalidArgument);
+  EXPECT_THROW(pool.set_shares({{"a", 1}, {"a", 1}}), InvalidArgument);
+}
+
+TEST(SlotPoolShares, ActiveTenantsMaskEachOther) {
+  SlotPool pool(4);
+  pool.set_shares({{"a", 1}, {"b", 1}});
+  pool.acquire("b");
+  const std::vector<double> masked = pool.offsets_at(0.0, "a");
+  const std::vector<int> a_slots = pool.slots_of("a");
+  const std::vector<int> b_slots = pool.slots_of("b");
+  for (int s : a_slots) EXPECT_EQ(masked[static_cast<std::size_t>(s)], 0.0);
+  for (int s : b_slots) {
+    EXPECT_EQ(masked[static_cast<std::size_t>(s)], SlotPool::unavailable());
+  }
+  // Work-conserving: once b leaves the system its slots are borrowable.
+  pool.release("b");
+  for (const double off : pool.offsets_at(0.0, "a")) EXPECT_EQ(off, 0.0);
+}
+
+TEST(SlotPoolShares, EmptyTenantSeesWholePool) {
+  SlotPool pool(4);
+  pool.set_shares({{"a", 1}, {"b", 1}});
+  pool.acquire("a");
+  pool.acquire("b");
+  for (const double off : pool.offsets_at(0.0, "")) EXPECT_EQ(off, 0.0);
+  EXPECT_THROW(pool.offsets_at(0.0, "stranger"), InvalidArgument);
+  EXPECT_THROW(pool.acquire("stranger"), InvalidArgument);
+}
+
+TEST(SlotPoolShares, ScheduleSkipsUnavailableSlots) {
+  // 2 nodes x 2 slots; mask node 1's two slots entirely. All four tasks
+  // must run on node 0's two slots in two waves.
+  Cluster cluster(2, flat_model(/*slots_per_node=*/2));
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  std::vector<double> busy(4, 0.0);
+  busy[2] = busy[3] = SlotPool::unavailable();
+  const PhaseSchedule s = schedule_phase(cluster, tasks, &busy);
+  for (const TaskTraceEvent& e : s.trace) {
+    EXPECT_EQ(e.node, 0);
+    EXPECT_LT(e.slot, 2);
+  }
+  EXPECT_NEAR(s.duration, 2.0, 1e-9);
+  expect_no_slot_overlap(s);
+}
+
+TEST(SlotPoolShares, AllSlotsUnavailableThrows) {
+  Cluster cluster(1, flat_model(/*slots_per_node=*/2));
+  std::vector<std::vector<Attempt>> tasks(1, {ok_attempt(1'000'000'000)});
+  const std::vector<double> busy(2, SlotPool::unavailable());
+  EXPECT_THROW(schedule_phase(cluster, tasks, &busy), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace mri::mr
