@@ -16,7 +16,17 @@
 // --serve replays a request-trace file (tenants + timed inversion requests;
 // see examples/sample_requests.trace) through the multi-tenant inversion
 // service: admission control, fair-share slots, per-tenant SLO percentiles.
+//
+// Chaos flags (both modes; the §7.4 fault-tolerance story):
+//   --kill-node id@t[,id@t...]   kill worker nodes at simulated seconds t
+//                                (bare ids sample a time; needs --chaos-seed)
+//   --chaos-seed N               seed for sampled fault schedules
+//   --chaos-mtbf S               per-node mean time between failures
+//   --chaos-horizon S            sampling horizon (default 86400)
+// The run completes with a correct inverse despite the losses; the report's
+// "recovery" section counts re-executed tasks and re-replicated blocks.
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/cli.hpp"
@@ -51,6 +61,79 @@ void save_json(const std::string& path, const std::string& json) {
   out << json << '\n';
 }
 
+bool chaos_requested(const mri::CliOptions& cli) {
+  return cli.has("chaos-seed") || cli.has("kill-node") ||
+         cli.has("chaos-mtbf");
+}
+
+// Builds the chaos engine from the --chaos-*/--kill-node flags; null when
+// none were given. Call Dfs::bind_chaos() on the result before running.
+std::unique_ptr<mri::ChaosEngine> build_chaos_engine(
+    const mri::CliOptions& cli, int nodes) {
+  using namespace mri;
+  if (!chaos_requested(cli)) return nullptr;
+  MRI_REQUIRE(cli.has("chaos-seed") || !cli.has("chaos-mtbf"),
+              "--chaos-mtbf samples a random fault schedule and needs "
+              "--chaos-seed N to make it reproducible; add --chaos-seed");
+
+  ChaosOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
+  opts.mtbf_seconds = cli.get_double("chaos-mtbf", 0.0);
+  opts.horizon_seconds = cli.get_double("chaos-horizon", 86400.0);
+  MRI_REQUIRE(opts.horizon_seconds > 0.0,
+              "--chaos-horizon must be positive, got "
+                  << opts.horizon_seconds);
+  auto engine = std::make_unique<ChaosEngine>(opts);
+  if (cli.has("chaos-mtbf")) {
+    MRI_REQUIRE(opts.mtbf_seconds > 0.0,
+                "--chaos-mtbf must be positive seconds, got "
+                    << opts.mtbf_seconds);
+    engine->sample_faults(nodes);
+  }
+
+  const std::string spec = cli.get_string("kill-node", "");
+  std::istringstream tokens(spec);
+  std::string token;
+  while (std::getline(tokens, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t at_pos = token.find('@');
+    int node = -1;
+    double at = -1.0;
+    try {
+      node = std::stoi(token.substr(0, at_pos));
+      if (at_pos != std::string::npos) at = std::stod(token.substr(at_pos + 1));
+    } catch (const std::exception&) {
+      MRI_REQUIRE(false, "cannot parse --kill-node entry '"
+                             << token << "'; expected id@seconds (3@120) or "
+                                "a bare node id with --chaos-seed");
+    }
+    MRI_REQUIRE(node != 0,
+                "--kill-node 0 would take down the master (jobtracker + "
+                "namenode) and abort the run rather than stretch it; pick a "
+                "worker id in 1.." << nodes - 1);
+    MRI_REQUIRE(node > 0 && node < nodes,
+                "--kill-node " << node << " is outside the cluster; --nodes "
+                               << nodes << " has worker ids 1.." << nodes - 1);
+    if (at_pos == std::string::npos) {
+      MRI_REQUIRE(cli.has("chaos-seed"),
+                  "--kill-node " << node
+                                 << " has no kill time; give one explicitly "
+                                    "(--kill-node " << node
+                                 << "@3600) or add --chaos-seed N to sample "
+                                    "a deterministic time");
+      at = engine->sample_kill_time(node);
+    }
+    MRI_REQUIRE(at >= 0.0, "--kill-node " << node << "@" << at
+                                          << ": kill time must be >= 0");
+    ChaosEvent event;
+    event.kind = ChaosEventKind::kKillNode;
+    event.at = at;
+    event.node = node;
+    engine->add_event(event);
+  }
+  return engine;
+}
+
 // Replays a request-trace file through the multi-tenant inversion service
 // and prints the per-tenant SLO report.
 int run_serve(const mri::CliOptions& cli) {
@@ -71,6 +154,8 @@ int run_serve(const mri::CliOptions& cli) {
   Cluster cluster(nodes, CostModel::ec2_medium());
   dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
   ThreadPool pool(4);
+  std::unique_ptr<ChaosEngine> chaos = build_chaos_engine(cli, nodes);
+  if (chaos) fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth);
 
   service::ServiceOptions options;
   options.shares = trace.shares;
@@ -92,7 +177,7 @@ int run_serve(const mri::CliOptions& cli) {
               options.admission.max_queue_depth);
 
   service::InversionService svc(&cluster, &fs, &pool, options, nullptr,
-                                &metrics);
+                                &metrics, chaos.get());
   const service::ServiceResult result = svc.run(trace.requests);
 
   std::printf("%-12s %6s %8s %8s %12s %10s %10s %10s %6s\n", "tenant",
@@ -109,6 +194,14 @@ int run_serve(const mri::CliOptions& cli) {
               result.submitted, result.admitted, result.rejected,
               format_duration(result.makespan).c_str(),
               result.report.fairness_index);
+  if (chaos) {
+    const RecoveryReport& rec = result.report.recovery;
+    std::printf("chaos: %d node(s) killed, %d task(s) recomputed, %s "
+                "re-replicated, %d retried, %d unrecoverable\n",
+                rec.nodes_killed, rec.tasks_recomputed,
+                format_bytes(rec.re_replicated_bytes).c_str(),
+                rec.request_retries, rec.requests_unrecoverable);
+  }
 
   const std::string trace_out = cli.get_string("trace-out", "");
   const std::string report_out = cli.get_string("report-out", "");
@@ -157,6 +250,11 @@ int main(int argc, char** argv) {
               "--spark keeps MapReduce intermediates in memory, which "
               "--engine scalapack never writes; drop --spark or use "
               "--engine mapreduce (or auto)");
+  MRI_REQUIRE(!(chaos_requested(cli) && engine == "scalapack"),
+              "--kill-node/--chaos-* simulate node failures, and ScaLAPACK/"
+              "MPI cannot survive one — a lost rank aborts the whole run "
+              "(the paper's §7.4 point); drop the chaos flags or use "
+              "--engine mapreduce");
 
   Matrix a;
   if (cli.has("generate")) {
@@ -176,6 +274,8 @@ int main(int argc, char** argv) {
                  "[--output Ainv.txt] [--nodes N] [--nb N]\n"
                  "       [--engine auto|mapreduce|scalapack] [--spark] "
                  "[--overlap]\n"
+                 "       [--kill-node id@t[,id@t...]] [--chaos-seed N] "
+                 "[--chaos-mtbf S]\n"
                  "       mrinvert_cli --serve requests.trace "
                  "[--max-concurrent N] [--queue-depth N]\n");
     return 2;
@@ -186,18 +286,30 @@ int main(int argc, char** argv) {
   Cluster cluster(nodes, CostModel::ec2_medium());
   dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
   ThreadPool pool(4);
+  std::unique_ptr<ChaosEngine> chaos = build_chaos_engine(cli, nodes);
+  if (chaos) fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth);
 
   core::InversionOptions options;
   options.nb = cli.get_int("nb", std::max<Index>(32, a.rows() / 8));
   options.in_memory_intermediates = cli.get_bool("spark", false);
   options.overlap_final_stage = cli.get_bool("overlap", false);
 
+  std::string effective_engine = engine;
+  if (chaos && engine == "auto") {
+    // The auto-picker compares fault-free predictions; chaos only makes
+    // sense on the engine that can survive it.
+    std::printf("note: chaos flags force the MapReduce engine (auto's "
+                "ScaLAPACK candidate cannot survive node loss)\n");
+    effective_engine = "mapreduce";
+  }
+
   Matrix inverse;
   SimReport report;
   std::vector<mr::JobResult> jobs;
   std::vector<MasterSpan> master_spans;
-  if (engine == "mapreduce") {
-    core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics);
+  if (effective_engine == "mapreduce") {
+    core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics,
+                                     chaos.get());
     auto r = inverter.invert(a, options);
     inverse = std::move(r.inverse);
     report = r.report;
@@ -232,7 +344,8 @@ int main(int argc, char** argv) {
                            "MapReduce jobs); skipping trace/report export\n");
     } else {
       const RunReport run_report =
-          mr::build_run_report(jobs, cluster, &metrics, master_spans);
+          mr::build_run_report(jobs, cluster, &metrics, master_spans,
+                               chaos.get());
       if (!trace_out.empty()) {
         save_json(trace_out, chrome_trace_json(run_report));
         std::printf("chrome trace written to %s (load in chrome://tracing)\n",
@@ -252,6 +365,16 @@ int main(int argc, char** argv) {
   std::printf("data moved               : %s read, %s written\n",
               format_bytes(report.io.bytes_read).c_str(),
               format_bytes(report.io.bytes_written).c_str());
+  if (chaos) {
+    const RecoveryStats rec = chaos->stats();
+    int recomputed = 0;
+    for (const mr::JobResult& job : jobs) recomputed += job.tasks_recomputed;
+    std::printf("chaos recovery           : %d node(s) killed, %d task(s) "
+                "recomputed, %s re-replicated, %d block(s) lost\n",
+                rec.nodes_killed, recomputed,
+                format_bytes(rec.re_replicated_bytes).c_str(),
+                rec.blocks_lost);
+  }
 
   if (!output.empty()) {
     save_text_file(output, inverse);

@@ -36,6 +36,15 @@ class DfsError : public Error {
   explicit DfsError(const std::string& what) : Error(what) {}
 };
 
+/// Every replica of a DFS block died with its datanode: the data is gone
+/// and no amount of retrying this read will bring it back. Reads fail fast
+/// with this (never hang, never return zeros) so callers can distinguish
+/// permanent data loss from transient read errors (plain DfsError).
+class UnrecoverableBlock : public DfsError {
+ public:
+  explicit UnrecoverableBlock(const std::string& what) : DfsError(what) {}
+};
+
 /// A MapReduce job failed permanently (all retries exhausted).
 class JobError : public Error {
  public:

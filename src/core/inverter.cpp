@@ -14,9 +14,10 @@ namespace mri::core {
 MapReduceInverter::MapReduceInverter(const Cluster* cluster, dfs::Dfs* fs,
                                      ThreadPool* pool,
                                      FailureInjector* failures,
-                                     MetricsRegistry* metrics)
+                                     MetricsRegistry* metrics,
+                                     ChaosEngine* chaos)
     : cluster_(cluster), fs_(fs), pool_(pool), failures_(failures),
-      metrics_(metrics) {
+      metrics_(metrics), chaos_(chaos) {
   MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
               "MapReduceInverter needs a cluster, a DFS and a thread pool");
 }
@@ -33,7 +34,7 @@ MapReduceInverter::Result MapReduceInverter::invert(
 
 MapReduceInverter::Result MapReduceInverter::invert_dfs(
     const std::string& input_path, const InversionOptions& options) {
-  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_, chaos_);
   mr::Pipeline pipeline(&runner);
   return invert_with(pipeline, input_path, options);
 }
@@ -190,7 +191,7 @@ MapReduceInverter::SolveResult MapReduceInverter::solve(
   // One pipeline for the whole solve: the multiply is submitted against the
   // inversion's final job, so every job lives on the same cluster timeline
   // (no manual clock shifting) and can lease slots from the shared pool.
-  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_);
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_, chaos_);
   mr::Pipeline pipeline(&runner);
   Result inv = invert_with(pipeline, input_path, options);
 

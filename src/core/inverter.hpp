@@ -25,6 +25,7 @@
 #include "dfs/dfs.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/permutation.hpp"
+#include "sim/chaos.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
 #include "sim/metrics.hpp"
@@ -35,10 +36,13 @@ namespace mri::core {
 
 class MapReduceInverter {
  public:
-  /// All pointers are borrowed. `failures` and `metrics` may be null.
+  /// All pointers are borrowed. `failures`, `metrics` and `chaos` may be
+  /// null. A chaos engine must be bound to the DFS (Dfs::bind_chaos()) by
+  /// the caller so node kills reach the block layer.
   MapReduceInverter(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
                     FailureInjector* failures = nullptr,
-                    MetricsRegistry* metrics = nullptr);
+                    MetricsRegistry* metrics = nullptr,
+                    ChaosEngine* chaos = nullptr);
 
   struct Result {
     Matrix inverse;
@@ -104,6 +108,7 @@ class MapReduceInverter {
   ThreadPool* pool_;
   FailureInjector* failures_;
   MetricsRegistry* metrics_;
+  ChaosEngine* chaos_;
 };
 
 }  // namespace mri::core

@@ -33,6 +33,12 @@ void DataNode::evict(BlockId block) {
   blocks_.erase(it);
 }
 
+void DataNode::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.clear();
+  bytes_ = 0;
+}
+
 std::uint64_t DataNode::bytes_stored() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;

@@ -20,6 +20,9 @@ class DataNode {
   bool has(BlockId block) const;
   void evict(BlockId block);
 
+  /// Drops every block (the node died; its disks are gone).
+  void clear();
+
   /// Bytes of replicas resident on this node.
   std::uint64_t bytes_stored() const;
   std::size_t block_count() const;

@@ -17,6 +17,8 @@ Dfs::Dfs(int num_datanodes, DfsConfig config, MetricsRegistry* metrics)
   for (int i = 0; i < num_datanodes; ++i) {
     datanodes_.push_back(std::make_unique<DataNode>(i));
   }
+  dead_.assign(static_cast<std::size_t>(num_datanodes), false);
+  read_errors_.assign(static_cast<std::size_t>(num_datanodes), 0);
 }
 
 void Dfs::remove(const std::string& path, bool recursive) {
@@ -88,12 +90,34 @@ Dfs::Writer Dfs::create(const std::string& path, IoStats* account,
 void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
                  bool overwrite, IoStats* account, StorageTier tier) {
   const std::uint64_t total = buffer.size();
+  // Replicas go to live nodes only; with no dead nodes this degenerates to
+  // round-robin over all datanodes, bit-identical to the chaos-free layout.
+  std::vector<int> live;
+  {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    for (std::size_t i = 0; i < dead_.size(); ++i) {
+      if (!dead_[i]) live.push_back(static_cast<int>(i));
+    }
+  }
+  MRI_CHECK_MSG(!live.empty(),
+                "every datanode is dead; cannot write " << path);
   // Memory-tier files keep a single unreplicated copy (Spark-style lineage
   // fault tolerance instead of replication).
   const int repl =
       tier == StorageTier::kMemory
           ? 1
-          : std::min(config_.replication, static_cast<int>(datanodes_.size()));
+          : std::min(config_.replication, static_cast<int>(live.size()));
+
+  // Placement base: FNV-1a of the path, advanced per block. A function of
+  // the file alone — NOT a shared counter — so concurrent writers racing on
+  // commit order still produce the same replica layout every run (chaos
+  // re-replication totals depend on which blocks lived on the dead node, so
+  // placement must be deterministic for same-seed runs to be bit-identical).
+  std::uint64_t base = 14695981039346656037ull;
+  for (char c : path) {
+    base ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    base *= 1099511628211ull;
+  }
 
   std::vector<BlockLocation> locations;
   std::size_t offset = 0;
@@ -106,11 +130,11 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     BlockLocation loc;
     loc.id = next_block_id_.fetch_add(1);
     loc.length = len;
-    const std::uint64_t base = next_placement_.fetch_add(1);
+    ++base;
     for (int r = 0; r < repl; ++r) {
       loc.replicas.push_back(
-          static_cast<int>((base + static_cast<std::uint64_t>(r)) %
-                           datanodes_.size()));
+          live[static_cast<std::size_t>(
+              (base + static_cast<std::uint64_t>(r)) % live.size())]);
     }
     BlockData shared = payload;
     for (int node : loc.replicas) {
@@ -231,18 +255,160 @@ void Dfs::Reader::seek(std::uint64_t offset) {
   position_ = offset;
 }
 
+BlockData Dfs::read_replica(const BlockLocation& loc,
+                            const std::string& path) const {
+  if (loc.replicas.empty()) {
+    // Every replica died with its datanode (namenode repair keeps the block
+    // registered precisely so this read fails fast and loudly).
+    throw UnrecoverableBlock(
+        "block " + std::to_string(loc.id) + " of " + path +
+        ": all replicas lost to dead datanodes; the data is unrecoverable");
+  }
+  int chosen = -1;
+  int failed_over = 0;
+  {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    for (int r : loc.replicas) {
+      const auto idx = static_cast<std::size_t>(r);
+      if (dead_[idx]) continue;  // stale entry from an in-flight kill
+      if (read_errors_[idx] > 0) {
+        --read_errors_[idx];  // this copy errors out; try the next replica
+        ++failed_over;
+        continue;
+      }
+      chosen = r;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    if (failed_over > 0) {
+      throw DfsError("read of block " + std::to_string(loc.id) + " of " +
+                     path + " failed on every live replica (injected read "
+                     "errors); transient — retry the read");
+    }
+    throw UnrecoverableBlock(
+        "block " + std::to_string(loc.id) + " of " + path +
+        ": all replicas lost to dead datanodes; the data is unrecoverable");
+  }
+  if (failed_over > 0 && metrics_ != nullptr) {
+    metrics_->increment("dfs_read_errors_survived",
+                        static_cast<std::uint64_t>(failed_over));
+  }
+  return datanodes_[static_cast<std::size_t>(chosen)]->get(loc.id);
+}
+
 Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
   const auto blocks = namenode_.file_blocks(path);
   std::vector<BlockData> data;
   data.reserve(blocks.size());
   std::uint64_t size = 0;
   for (const auto& loc : blocks) {
-    MRI_CHECK(!loc.replicas.empty());
-    data.push_back(
-        datanodes_[static_cast<std::size_t>(loc.replicas.front())]->get(loc.id));
+    data.push_back(read_replica(loc, path));
     size += loc.length;
   }
   return Reader(std::move(data), size, account, metrics_);
+}
+
+// ---------------------------------------------------------------------------
+// Failures
+
+NodeKillOutcome Dfs::kill_datanode(int node) {
+  MRI_REQUIRE(node >= 0 && node < num_datanodes(),
+              "kill_datanode(" << node << ") on a DFS with "
+                               << num_datanodes() << " datanodes");
+  {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    if (dead_[static_cast<std::size_t>(node)]) return {};
+    dead_[static_cast<std::size_t>(node)] = true;
+  }
+
+  // Re-replication target choice: the smallest-id live node not already
+  // holding the block — deterministic, so same-seed runs place identical
+  // repair copies.
+  const auto replicate = [this](const BlockLocation& loc) -> int {
+    int source = -1;
+    int target = -1;
+    {
+      std::lock_guard<std::mutex> lock(chaos_mu_);
+      for (int r : loc.replicas) {
+        if (!dead_[static_cast<std::size_t>(r)]) {
+          source = r;
+          break;
+        }
+      }
+      if (source < 0) return -1;
+      for (std::size_t i = 0; i < dead_.size(); ++i) {
+        if (dead_[i]) continue;
+        const int candidate = static_cast<int>(i);
+        if (std::find(loc.replicas.begin(), loc.replicas.end(), candidate) ==
+            loc.replicas.end()) {
+          target = candidate;
+          break;
+        }
+      }
+    }
+    if (target < 0) return -1;
+    datanodes_[static_cast<std::size_t>(target)]->put(
+        loc.id, datanodes_[static_cast<std::size_t>(source)]->get(loc.id));
+    return target;
+  };
+
+  const BlockRepairSummary repaired =
+      namenode_.repair_after_node_loss(node, config_.replication, replicate);
+  datanodes_[static_cast<std::size_t>(node)]->clear();
+
+  NodeKillOutcome out;
+  out.re_replicated_bytes = repaired.re_replicated_bytes;
+  out.re_replicated_blocks = repaired.re_replicated_blocks;
+  out.blocks_lost = repaired.blocks_lost;
+
+  if (metrics_ != nullptr) {
+    // Background datanode-to-datanode traffic (HDFS re-replication is not a
+    // client read): network copies only, no client-side bytes_read.
+    IoStats io;
+    io.bytes_replicated = out.re_replicated_bytes;
+    io.bytes_transferred = out.re_replicated_bytes;
+    metrics_->add_io(io);
+    metrics_->increment("dfs_nodes_killed");
+    metrics_->increment("dfs_blocks_re_replicated",
+                        static_cast<std::uint64_t>(out.re_replicated_blocks));
+    metrics_->increment("dfs_blocks_lost",
+                        static_cast<std::uint64_t>(out.blocks_lost));
+  }
+  return out;
+}
+
+bool Dfs::datanode_dead(int node) const {
+  MRI_REQUIRE(node >= 0 && node < num_datanodes(),
+              "datanode_dead(" << node << ") on a DFS with "
+                               << num_datanodes() << " datanodes");
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  return dead_[static_cast<std::size_t>(node)];
+}
+
+int Dfs::live_datanodes() const {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  int live = 0;
+  for (const bool d : dead_) {
+    if (!d) ++live;
+  }
+  return live;
+}
+
+void Dfs::inject_read_error(int node, int count) {
+  MRI_REQUIRE(node >= 0 && node < num_datanodes(),
+              "inject_read_error(" << node << ") on a DFS with "
+                                   << num_datanodes() << " datanodes");
+  MRI_REQUIRE(count >= 1, "read-error count must be >= 1");
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  read_errors_[static_cast<std::size_t>(node)] += count;
+}
+
+void Dfs::bind_chaos(ChaosEngine* chaos, double network_bandwidth) {
+  MRI_REQUIRE(chaos != nullptr, "bind_chaos() needs a chaos engine");
+  chaos->set_kill_handler([this](int node) { return kill_datanode(node); });
+  chaos->set_read_error_handler([this](int node) { inject_read_error(node); });
+  if (network_bandwidth > 0.0) chaos->set_network_bandwidth(network_bandwidth);
 }
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "dfs/block.hpp"
 #include "dfs/datanode.hpp"
 #include "dfs/namenode.hpp"
+#include "sim/chaos.hpp"
 #include "sim/metrics.hpp"
 
 namespace mri::dfs {
@@ -65,6 +67,12 @@ class Dfs {
     namenode_.rename(from, to);
   }
   std::size_t file_count() const { return namenode_.file_count(); }
+  /// The namenode's block map for one file (replica placement included) —
+  /// read-only introspection for tests and tooling, e.g. verifying that
+  /// re-replication restored the target replica count after a node death.
+  std::vector<BlockLocation> file_blocks(const std::string& path) const {
+    return namenode_.file_blocks(path);
+  }
 
   // -- data ---------------------------------------------------------------
 
@@ -147,16 +155,49 @@ class Dfs {
   /// replicas share payload in memory but are accounted at full size here).
   std::uint64_t physical_bytes_stored() const;
 
+  // -- failures (chaos engine wiring) --------------------------------------
+
+  /// Marks a datanode dead, HDFS-style: its replicas are dropped, every
+  /// under-replicated live block is re-replicated onto surviving nodes
+  /// (smallest-id eligible node first; deterministic), and blocks whose
+  /// last replica died become unrecoverable — reads of their files throw
+  /// UnrecoverableBlock instead of hanging or returning zeros. New writes
+  /// place replicas on live nodes only. Idempotent per node. Returns the
+  /// re-replication totals; the same traffic is charged to the
+  /// MetricsRegistry as background bytes_replicated.
+  NodeKillOutcome kill_datanode(int node);
+  bool datanode_dead(int node) const;
+  int live_datanodes() const;
+
+  /// Arms `count` failing reads on `node`: each read that would touch the
+  /// node instead fails over to the next live replica (counted in the
+  /// "dfs_read_errors_survived" metric), or throws a transient DfsError
+  /// when the node held the only live copy.
+  void inject_read_error(int node, int count = 1);
+
+  /// Installs this filesystem as `chaos`'s kill and read-error handler and
+  /// hands it `network_bandwidth` for re-replication-seconds accounting.
+  /// The filesystem must outlive the engine's last advance_to().
+  void bind_chaos(ChaosEngine* chaos, double network_bandwidth = 0.0);
+
  private:
   void commit(const std::string& path, std::vector<std::byte> buffer,
               bool overwrite, IoStats* account, StorageTier tier);
+
+  /// Picks the replica a read of `loc` uses: the first live replica whose
+  /// read-error budget is exhausted. Throws UnrecoverableBlock when every
+  /// replica is dead, DfsError when only injected-error copies remain.
+  BlockData read_replica(const BlockLocation& loc,
+                         const std::string& path) const;
 
   DfsConfig config_;
   MetricsRegistry* metrics_;
   NameNode namenode_;
   std::vector<std::unique_ptr<DataNode>> datanodes_;
   std::atomic<BlockId> next_block_id_{1};
-  std::atomic<std::uint64_t> next_placement_{0};
+  mutable std::mutex chaos_mu_;  // guards dead_ and read_errors_
+  std::vector<bool> dead_;
+  mutable std::vector<int> read_errors_;  // per-node armed failing reads
 };
 
 }  // namespace mri::dfs

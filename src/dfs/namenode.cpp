@@ -169,4 +169,44 @@ std::size_t NameNode::file_count() const {
   return count_files(*root_);
 }
 
+void NameNode::repair_inode(
+    Inode* inode, int node, int target_replication,
+    const std::function<int(const BlockLocation&)>& replicate,
+    BlockRepairSummary* out) {
+  if (!inode->is_dir) {
+    for (BlockLocation& loc : inode->blocks) {
+      auto it = std::find(loc.replicas.begin(), loc.replicas.end(), node);
+      if (it == loc.replicas.end()) continue;
+      loc.replicas.erase(it);
+      if (loc.replicas.empty()) {
+        // Last replica gone: keep the block registered so reads fail fast
+        // with UnrecoverableBlock rather than "no such file".
+        ++out->blocks_lost;
+        continue;
+      }
+      while (static_cast<int>(loc.replicas.size()) < target_replication) {
+        const int placed = replicate(loc);
+        if (placed < 0) break;  // no eligible node left; stay under-replicated
+        loc.replicas.push_back(placed);
+        ++out->re_replicated_blocks;
+        out->re_replicated_bytes += loc.length;
+      }
+    }
+    return;
+  }
+  for (auto& [name, child] : inode->children) {
+    repair_inode(child.get(), node, target_replication, replicate, out);
+  }
+}
+
+BlockRepairSummary NameNode::repair_after_node_loss(
+    int node, int target_replication,
+    const std::function<int(const BlockLocation&)>& replicate) {
+  MRI_REQUIRE(target_replication >= 1, "target replication must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  BlockRepairSummary out;
+  repair_inode(root_.get(), node, target_replication, replicate, &out);
+  return out;
+}
+
 }  // namespace mri::dfs

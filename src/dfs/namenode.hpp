@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,14 @@
 #include "dfs/block.hpp"
 
 namespace mri::dfs {
+
+/// Outcome of repair_after_node_loss(): re-replication traffic plus blocks
+/// whose last replica died with the node.
+struct BlockRepairSummary {
+  std::uint64_t re_replicated_bytes = 0;
+  int re_replicated_blocks = 0;
+  int blocks_lost = 0;
+};
 
 class NameNode {
  public:
@@ -49,6 +58,18 @@ class NameNode {
   /// Number of files in the whole namespace (used by §6.1 tests).
   std::size_t file_count() const;
 
+  /// Node-loss repair (HDFS block management): removes `node` from every
+  /// file's replica lists, then restores each under-replicated block toward
+  /// `target_replication` by calling `replicate(loc)`, which copies the
+  /// payload from a surviving replica of `loc` to a new node and returns
+  /// that node's id (or -1 when no eligible node is left — the block stays
+  /// under-replicated). Blocks whose last replica died remain registered
+  /// with an empty replica list so reads surface UnrecoverableBlock instead
+  /// of "no such file". Runs atomically under the namespace lock.
+  BlockRepairSummary repair_after_node_loss(
+      int node, int target_replication,
+      const std::function<int(const BlockLocation&)>& replicate);
+
  private:
   struct Inode {
     bool is_dir = true;
@@ -59,6 +80,9 @@ class NameNode {
 
   Inode* find(const std::string& path) const;
   Inode* find_or_create_dir(const std::string& path);
+  static void repair_inode(Inode* inode, int node, int target_replication,
+                           const std::function<int(const BlockLocation&)>& replicate,
+                           BlockRepairSummary* out);
   static void collect_blocks(const Inode& node, std::vector<BlockLocation>* out);
   static std::size_t count_files(const Inode& node);
 

@@ -71,6 +71,15 @@ struct JobResult {
   std::uint64_t shuffle_bytes = 0;
   std::uint64_t shuffle_local_bytes = 0;
   std::uint64_t shuffle_remote_bytes = 0;
+  /// Chaos node-loss recovery (all zero without a chaos engine):
+  /// completed map tasks re-executed because their output died with a node,
+  /// in-flight attempts killed by node outages, the wasted + re-done
+  /// footprint (included in io), and the reduce-phase stall spent waiting
+  /// for the recomputation waves.
+  int tasks_recomputed = 0;
+  int chaos_attempts_killed = 0;
+  IoStats recovery_io;
+  double recovery_seconds = 0.0;
   /// Per-attempt timelines from the scheduler (phase-relative seconds).
   std::vector<TaskTraceEvent> map_trace;
   std::vector<TaskTraceEvent> reduce_trace;

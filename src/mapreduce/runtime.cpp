@@ -1,5 +1,6 @@
 #include "mapreduce/runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.hpp"
@@ -9,9 +10,10 @@
 namespace mri::mr {
 
 JobRunner::JobRunner(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
-                     FailureInjector* failures, MetricsRegistry* metrics)
+                     FailureInjector* failures, MetricsRegistry* metrics,
+                     ChaosEngine* chaos)
     : cluster_(cluster), fs_(fs), pool_(pool), failures_(failures),
-      metrics_(metrics) {
+      metrics_(metrics), chaos_(chaos) {
   MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
               "JobRunner needs a cluster, a DFS and a thread pool");
 }
@@ -20,13 +22,21 @@ namespace {
 
 /// Ghost attempts for every injected failure of (job, task): the attempt's
 /// node dies near task completion (the §7.4 worst case), so charge the full
-/// compute/read footprint but none of the (discarded) output writes.
+/// compute/read footprint but none of the (discarded) output writes. Rules
+/// can come from the legacy injector or from the chaos engine's task rules.
 std::vector<Attempt> attempts_for(FailureInjector* failures,
-                                  const std::string& job, int task,
-                                  bool map_task, const IoStats& success_io) {
+                                  ChaosEngine* chaos, const std::string& job,
+                                  int task, bool map_task,
+                                  const IoStats& success_io) {
   std::vector<Attempt> attempts;
   int a = 0;
-  while (failures != nullptr && failures->should_fail(job, task, a, map_task)) {
+  const auto injected = [&](int attempt) {
+    return (failures != nullptr &&
+            failures->should_fail(job, task, attempt, map_task)) ||
+           (chaos != nullptr &&
+            chaos->should_fail_task(job, task, attempt, map_task));
+  };
+  while (injected(a)) {
     Attempt ghost;
     ghost.io.bytes_read = success_io.bytes_read;
     ghost.io.mults = success_io.mults;
@@ -87,8 +97,9 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
 
   executed.map_attempts.reserve(static_cast<std::size_t>(num_maps));
   for (int t = 0; t < num_maps; ++t) {
-    executed.map_attempts.push_back(attempts_for(
-        failures_, spec.name, t, true, map_io[static_cast<std::size_t>(t)]));
+    executed.map_attempts.push_back(
+        attempts_for(failures_, chaos_, spec.name, t, true,
+                     map_io[static_cast<std::size_t>(t)]));
   }
   for (const auto& task_attempts : executed.map_attempts) {
     for (const auto& attempt : task_attempts) {
@@ -132,7 +143,7 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
     executed.reduce_attempts.reserve(static_cast<std::size_t>(num_reduces));
     for (int r = 0; r < num_reduces; ++r) {
       executed.reduce_attempts.push_back(
-          attempts_for(failures_, spec.name, r, false,
+          attempts_for(failures_, chaos_, spec.name, r, false,
                        reduce_io[static_cast<std::size_t>(r)]));
     }
     for (const auto& task_attempts : executed.reduce_attempts) {
@@ -161,46 +172,181 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
                                     "cluster is resized");
   JobResult result = std::move(executed.result);
   result.start_seconds = start_seconds;
-  const double launch = cluster_->cost_model().job_launch_seconds;
+  const CostModel& model = cluster_->cost_model();
+  const double launch = model.job_launch_seconds;
+  const bool has_chaos = chaos_ != nullptr && chaos_->enabled();
+
+  // The chaos engine speaks absolute run seconds; each phase wants its own
+  // clock. Events on nodes outside this cluster are ignored.
+  const auto chaos_view = [&](double phase_start) {
+    PhaseChaos view;
+    for (const ChaosEvent& e : chaos_->events()) {
+      if (e.node >= cluster_->size()) continue;
+      if (e.kind == ChaosEventKind::kKillNode) {
+        view.outages.push_back(NodeOutage{e.node, e.at - phase_start, 0.0});
+      } else if (e.kind == ChaosEventKind::kDegradeNode) {
+        view.degrades.push_back(
+            NodeDegrade{e.node, e.at - phase_start, e.factor});
+      }
+    }
+    return view;
+  };
+  const auto schedule = [&](const std::vector<std::vector<Attempt>>& attempts,
+                            double phase_start, bool commit_to_pool) {
+    PhaseChaos view;
+    if (has_chaos) view = chaos_view(phase_start);
+    PhaseSchedule s;
+    if (pool != nullptr) {
+      const std::vector<double> busy = pool->offsets_at(phase_start, tenant);
+      s = schedule_phase(*cluster_, attempts, &busy,
+                         has_chaos ? &view : nullptr);
+      if (commit_to_pool) pool->commit(s.trace, phase_start);
+    } else {
+      s = schedule_phase(*cluster_, attempts, nullptr,
+                         has_chaos ? &view : nullptr);
+    }
+    return s;
+  };
+  const auto charge_phase = [&result](const PhaseSchedule& s) {
+    // Speculative backups and chaos-killed attempts re-read and re-compute
+    // (or wasted reads and compute) for real; charge them.
+    result.io += s.speculative_io;
+    result.speculation_io += s.speculative_io;
+    result.backups_run += s.backups_run;
+    result.io += s.chaos_io;
+    result.recovery_io += s.chaos_io;
+    result.chaos_attempts_killed += s.chaos_attempts_killed;
+  };
 
   // The map phase starts once the job is launched; the reduce phase once the
   // last map attempt finished. Each phase leases the pool at its own start
   // so it sees exactly the slots concurrent jobs still occupy then.
   const double map_start = start_seconds + launch;
-  PhaseSchedule map_phase;
-  if (pool != nullptr) {
-    const std::vector<double> busy = pool->offsets_at(map_start, tenant);
-    map_phase = schedule_phase(*cluster_, executed.map_attempts, &busy);
-    pool->commit(map_phase.trace, map_start);
-  } else {
-    map_phase = schedule_phase(*cluster_, executed.map_attempts);
-  }
+  PhaseSchedule map_phase = schedule(executed.map_attempts, map_start, true);
   result.map_phase_seconds = map_phase.duration;
-  // Speculative backups re-read and re-compute for real; charge them.
-  result.io += map_phase.speculative_io;
-  result.speculation_io += map_phase.speculative_io;
-  result.backups_run += map_phase.backups_run;
+  charge_phase(map_phase);
   result.map_trace = std::move(map_phase.trace);
 
   if (!executed.reduce_attempts.empty()) {
-    const double reduce_start = map_start + result.map_phase_seconds;
-    PhaseSchedule reduce_phase;
-    if (pool != nullptr) {
-      const std::vector<double> busy = pool->offsets_at(reduce_start, tenant);
-      reduce_phase = schedule_phase(*cluster_, executed.reduce_attempts, &busy);
-      pool->commit(reduce_phase.trace, reduce_start);
+    double reduce_start = map_start + result.map_phase_seconds;
+
+    if (has_chaos) {
+      // Hadoop node-loss semantics: a completed map task's output lives on
+      // its tasktracker's local disk, so a node death before the reduce
+      // phase has consumed it forces the map task to re-execute. Model:
+      // every kill inside the job's map..reduce window whose node hosted
+      // completed map attempts triggers a recovery wave (the lost tasks
+      // re-scheduled on survivors once the failure is detected); the reduce
+      // phase starts only after the last wave. Waves can cascade — a later
+      // kill can take out a wave's own outputs — so iterate to a fixpoint
+      // (each kill is processed at most once; the loop terminates).
+      std::vector<ChaosEvent> kills;
+      for (const ChaosEvent& e : chaos_->events()) {
+        if (e.kind == ChaosEventKind::kKillNode && e.node < cluster_->size()) {
+          kills.push_back(e);
+        }
+      }
+      struct OutputCopy {
+        int task;
+        int node;
+      };
+      std::vector<OutputCopy> outputs;
+      std::vector<int> next_attempt(
+          static_cast<std::size_t>(result.map_tasks), 0);
+      for (const TaskTraceEvent& ev : result.map_trace) {
+        if (!ev.failed) outputs.push_back(OutputCopy{ev.task, ev.node});
+        auto& next = next_attempt[static_cast<std::size_t>(ev.task)];
+        next = std::max(next, ev.attempt + 1);
+      }
+
+      std::vector<bool> kill_done(kills.size(), false);
+      PhaseSchedule reduce_phase;
+      while (true) {
+        reduce_phase = schedule(executed.reduce_attempts, reduce_start, false);
+        const double reduce_end = reduce_start + reduce_phase.duration;
+        bool rescheduled = false;
+        for (std::size_t k = 0; k < kills.size(); ++k) {
+          if (kill_done[k] || kills[k].at >= reduce_end) continue;
+          kill_done[k] = true;
+          // Map tasks with a completed attempt on the dead node lose that
+          // output (every copy on the node finished before the kill — the
+          // scheduler truncates in-flight attempts at the outage).
+          std::vector<int> lost;
+          for (const OutputCopy& c : outputs) {
+            if (c.node == kills[k].node) lost.push_back(c.task);
+          }
+          std::sort(lost.begin(), lost.end());
+          lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+          if (lost.empty()) continue;
+
+          std::vector<std::vector<Attempt>> wave;
+          wave.reserve(lost.size());
+          for (const int t : lost) {
+            wave.push_back({Attempt{
+                executed.map_attempts[static_cast<std::size_t>(t)].back().io,
+                false}});
+          }
+          const double wave_start =
+              kills[k].at + model.failure_detection_seconds;
+          PhaseSchedule wave_phase = schedule(wave, wave_start, true);
+          charge_phase(wave_phase);
+          std::vector<int> wave_attempts(lost.size(), 0);
+          for (const TaskTraceEvent& ev : wave_phase.trace) {
+            const int task = lost[static_cast<std::size_t>(ev.task)];
+            TaskTraceEvent rec = ev;
+            rec.task = task;
+            rec.attempt =
+                next_attempt[static_cast<std::size_t>(task)] + ev.attempt;
+            rec.recovery = true;
+            rec.start += wave_start - map_start;
+            rec.end += wave_start - map_start;
+            result.map_trace.push_back(rec);
+            if (!ev.failed) outputs.push_back(OutputCopy{task, ev.node});
+            auto& used = wave_attempts[static_cast<std::size_t>(ev.task)];
+            used = std::max(used, ev.attempt + 1);
+          }
+          for (std::size_t i = 0; i < lost.size(); ++i) {
+            next_attempt[static_cast<std::size_t>(lost[i])] +=
+                wave_attempts[i];
+          }
+          for (const int t : lost) {
+            // The re-executed attempt re-does its full footprint.
+            const IoStats& redo =
+                executed.map_attempts[static_cast<std::size_t>(t)].back().io;
+            result.io += redo;
+            result.recovery_io += redo;
+          }
+          result.tasks_recomputed += static_cast<int>(lost.size());
+          reduce_start =
+              std::max(reduce_start, wave_start + wave_phase.duration);
+          rescheduled = true;
+          break;
+        }
+        if (!rescheduled) break;
+      }
+      if (pool != nullptr) pool->commit(reduce_phase.trace, reduce_start);
+      result.recovery_seconds =
+          reduce_start - (map_start + result.map_phase_seconds);
+      result.reduce_phase_seconds = reduce_phase.duration;
+      charge_phase(reduce_phase);
+      result.reduce_trace = std::move(reduce_phase.trace);
     } else {
-      reduce_phase = schedule_phase(*cluster_, executed.reduce_attempts);
+      PhaseSchedule reduce_phase =
+          schedule(executed.reduce_attempts, reduce_start, true);
+      result.reduce_phase_seconds = reduce_phase.duration;
+      charge_phase(reduce_phase);
+      result.reduce_trace = std::move(reduce_phase.trace);
     }
-    result.reduce_phase_seconds = reduce_phase.duration;
-    result.io += reduce_phase.speculative_io;
-    result.speculation_io += reduce_phase.speculative_io;
-    result.backups_run += reduce_phase.backups_run;
-    result.reduce_trace = std::move(reduce_phase.trace);
   }
 
-  result.sim_seconds = cluster_->cost_model().job_launch_seconds +
-                       result.map_phase_seconds + result.reduce_phase_seconds;
+  result.sim_seconds = launch + result.map_phase_seconds +
+                       result.recovery_seconds + result.reduce_phase_seconds;
+
+  // Apply DFS-side consequences (block loss, re-replication) of every chaos
+  // event up to this job's end before the next job executes its reads.
+  if (chaos_ != nullptr) {
+    chaos_->advance_to(start_seconds + result.sim_seconds);
+  }
 
   if (metrics_ != nullptr) {
     metrics_->increment("jobs");
@@ -215,6 +361,11 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
                         static_cast<std::uint64_t>(result.backups_run));
     metrics_->increment("shuffle_local_bytes", result.shuffle_local_bytes);
     metrics_->increment("shuffle_remote_bytes", result.shuffle_remote_bytes);
+    metrics_->increment("tasks_recomputed",
+                        static_cast<std::uint64_t>(result.tasks_recomputed));
+    metrics_->increment(
+        "chaos_attempts_killed",
+        static_cast<std::uint64_t>(result.chaos_attempts_killed));
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include "dfs/dfs.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/scheduler.hpp"
+#include "sim/chaos.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
 #include "sim/metrics.hpp"
@@ -39,11 +40,16 @@ struct ExecutedJob {
 
 class JobRunner {
  public:
-  /// All pointers are borrowed and must outlive the runner. `failures` and
-  /// `metrics` may be null.
+  /// All pointers are borrowed and must outlive the runner. `failures`,
+  /// `metrics` and `chaos` may be null. With a chaos engine attached,
+  /// finish() overlays its fault schedule on both phases (node outages,
+  /// stragglers), re-executes completed map tasks whose outputs died with a
+  /// node before the reduce phase consumed them, and advances the engine to
+  /// the job's end so DFS-side consequences (block loss, re-replication)
+  /// land before the next job reads.
   JobRunner(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
             FailureInjector* failures = nullptr,
-            MetricsRegistry* metrics = nullptr);
+            MetricsRegistry* metrics = nullptr, ChaosEngine* chaos = nullptr);
 
   /// Runs the job to completion. Throws JobError if a task throws.
   /// Equivalent to finish(execute(spec)) — the job owns an idle cluster.
@@ -77,6 +83,7 @@ class JobRunner {
   ThreadPool* pool_;
   FailureInjector* failures_;
   MetricsRegistry* metrics_;
+  ChaosEngine* chaos_;
 };
 
 }  // namespace mri::mr

@@ -119,7 +119,7 @@ void speculate(const Cluster& cluster, std::vector<TaskRecord>* tasks,
 PhaseSchedule schedule_phase(
     const Cluster& cluster,
     const std::vector<std::vector<Attempt>>& attempts_per_task,
-    const std::vector<double>* slot_busy_until) {
+    const std::vector<double>* slot_busy_until, const PhaseChaos* chaos) {
   PhaseSchedule out;
   if (attempts_per_task.empty()) return out;
 
@@ -137,9 +137,44 @@ PhaseSchedule schedule_phase(
                   static_cast<int>(slot_busy_until->size()) >=
                       cluster.size() * slots_per_node,
               "slot_busy_until must cover every global slot");
+
+  // Chaos overlay: per-node death time (phase-relative; infinity = never)
+  // and detection delay, plus degrade onsets applied per placement below.
+  const double never = std::numeric_limits<double>::infinity();
+  std::vector<double> kill_at(static_cast<std::size_t>(cluster.size()), never);
+  std::vector<double> detect_after(
+      static_cast<std::size_t>(cluster.size()),
+      cluster.cost_model().failure_detection_seconds);
+  if (chaos != nullptr) {
+    for (const NodeOutage& o : chaos->outages) {
+      MRI_REQUIRE(o.node >= 0 && o.node < cluster.size(),
+                  "chaos outage on unknown node " << o.node);
+      auto n = static_cast<std::size_t>(o.node);
+      if (o.at < kill_at[n]) {
+        kill_at[n] = o.at;
+        if (o.detect_after > 0.0) detect_after[n] = o.detect_after;
+      }
+    }
+    for (const NodeDegrade& d : chaos->degrades) {
+      MRI_REQUIRE(d.node >= 0 && d.node < cluster.size(),
+                  "chaos degrade on unknown node " << d.node);
+      MRI_REQUIRE(d.factor > 0.0, "chaos degrade factor must be > 0");
+    }
+  }
+  const auto chaos_speed = [&](int node, double start) {
+    double speed = cluster.speed_factor(node);
+    if (chaos != nullptr) {
+      for (const NodeDegrade& d : chaos->degrades) {
+        if (d.node == node && d.at <= start) speed *= d.factor;
+      }
+    }
+    return speed;
+  };
+
   std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
   // Slots a fair-share lease withholds (busy offset of infinity) never enter
-  // the heap: this phase schedules as if they did not exist.
+  // the heap — this phase schedules as if they did not exist — and neither
+  // do slots of nodes that die before the slot would first free up.
   std::vector<int> slots_on_node(static_cast<std::size_t>(cluster.size()), 0);
   int live_slots = 0;
   for (int node = 0; node < cluster.size(); ++node) {
@@ -150,29 +185,39 @@ PhaseSchedule schedule_phase(
               ? (*slot_busy_until)[static_cast<std::size_t>(id)]
               : 0.0;
       if (std::isinf(busy)) continue;
+      if (kill_at[static_cast<std::size_t>(node)] <= busy) continue;
       slots.push(Slot{busy, node, id});
       ++slots_on_node[static_cast<std::size_t>(node)];
       ++live_slots;
     }
   }
   MRI_REQUIRE(live_slots > 0,
-              "no leasable slots in this phase's lease (fair-share mask "
-              "withheld every slot); give the tenant a share of the pool");
+              "no usable slots for this phase (every slot is withheld by the "
+              "fair-share lease or its node is dead); give the tenant a share "
+              "of the pool or keep at least one node alive");
   // A failed attempt takes its whole node down (§7.4), not just the slot it
   // ran on. Dead nodes' remaining slots stay in the heap and are discarded
   // lazily when popped.
   std::vector<bool> node_dead(static_cast<std::size_t>(cluster.size()), false);
+  const auto lose_node = [&](int node) {
+    if (node_dead[static_cast<std::size_t>(node)]) return;
+    node_dead[static_cast<std::size_t>(node)] = true;
+    live_slots -= slots_on_node[static_cast<std::size_t>(node)];
+    ++out.nodes_lost;
+  };
 
   struct Pending {
     int task;
-    int attempt;
+    int data_index;  // which entry of attempts_per_task[task] to run
+    int attempt;     // trace attempt number (chaos retries re-run the same
+                     // data entry under a fresh attempt number)
     double ready_time;  // failure-detection time for retries, 0 for fresh
   };
   std::deque<Pending> queue;
   for (std::size_t t = 0; t < attempts_per_task.size(); ++t) {
     MRI_REQUIRE(!attempts_per_task[t].empty(),
                 "task " << t << " has no attempts");
-    queue.push_back(Pending{static_cast<int>(t), 0, 0.0});
+    queue.push_back(Pending{static_cast<int>(t), 0, 0, 0.0});
   }
 
   std::vector<TaskRecord> records(attempts_per_task.size());
@@ -190,13 +235,26 @@ PhaseSchedule schedule_phase(
       slots.pop();
     } while (node_dead[static_cast<std::size_t>(slot.node)]);
 
+    const double start = std::max(slot.free_time, p.ready_time);
+    const double killed_at = kill_at[static_cast<std::size_t>(slot.node)];
+    if (start >= killed_at) {
+      // The node dies before this placement could begin: drop its slots and
+      // place the attempt elsewhere.
+      lose_node(slot.node);
+      queue.push_front(p);
+      continue;
+    }
+
     const auto& attempt =
         attempts_per_task[static_cast<std::size_t>(p.task)]
-                         [static_cast<std::size_t>(p.attempt)];
-    const double start = std::max(slot.free_time, p.ready_time);
+                         [static_cast<std::size_t>(p.data_index)];
     const double duration = cluster.cost_model().task_seconds(
-        attempt.io, cluster.speed_factor(slot.node));
-    const double end = start + duration;
+        attempt.io, chaos_speed(slot.node, start));
+    double end = start + duration;
+    // The node dies mid-attempt: the attempt is killed at the outage and
+    // retried (same work) once the jobtracker notices, on a surviving node.
+    const bool chaos_killed = end > killed_at;
+    if (chaos_killed) end = killed_at;
     out.duration = std::max(out.duration, end);
     ++out.attempts_run;
 
@@ -207,19 +265,30 @@ PhaseSchedule schedule_phase(
     ev.slot = slot.id;
     ev.start = start;
     ev.end = end;
-    ev.failed = attempt.failed;
+    ev.failed = attempt.failed || chaos_killed;
+    ev.chaos = chaos_killed;
     out.trace.push_back(ev);
 
-    if (attempt.failed) {
+    if (chaos_killed) {
+      lose_node(slot.node);
+      ++out.chaos_attempts_killed;
+      // The dead attempt's reads and compute were spent for nothing; charge
+      // them in full (the ghost-attempt convention — §7.4's worst case).
+      out.chaos_io.bytes_read += attempt.io.bytes_read;
+      out.chaos_io.bytes_transferred += attempt.io.bytes_transferred;
+      out.chaos_io.mults += attempt.io.mults;
+      out.chaos_io.adds += attempt.io.adds;
+      queue.push_back(
+          Pending{p.task, p.data_index, p.attempt + 1,
+                  killed_at + detect_after[static_cast<std::size_t>(slot.node)]});
+    } else if (attempt.failed) {
       // The node goes down with the attempt: every slot of the node is lost
       // for the rest of the phase. The jobtracker only notices after the
       // task timeout elapses (§7.4: the failed mapper "did not restart until
       // one of the other mappers finished").
-      node_dead[static_cast<std::size_t>(slot.node)] = true;
-      live_slots -= slots_on_node[static_cast<std::size_t>(slot.node)];
-      ++out.nodes_lost;
+      lose_node(slot.node);
       queue.push_back(Pending{
-          p.task, p.attempt + 1,
+          p.task, p.data_index + 1, p.attempt + 1,
           end + cluster.cost_model().failure_detection_seconds});
     } else {
       slots.push(Slot{end, slot.node, slot.id});
@@ -238,6 +307,10 @@ PhaseSchedule schedule_phase(
       const Slot s = slots.top();
       slots.pop();
       if (node_dead[static_cast<std::size_t>(s.node)]) continue;
+      // Nodes scheduled to die never host backups: modeling a backup that
+      // outlives its node would re-enter the retry machinery for work the
+      // original completes anyway.
+      if (kill_at[static_cast<std::size_t>(s.node)] < never) continue;
       idle.push_back(IdleSlot{s.free_time, s.node, s.id});
     }
     speculate(cluster, &records, std::move(idle), &out);

@@ -27,6 +27,32 @@ struct Attempt {
   bool failed = false;  // injected failure: attempt dies, retry follows
 };
 
+/// One node death visible to a phase, in phase-relative seconds. `at <= 0`
+/// means the node was already dead when the phase started: its slots never
+/// join the pool. A mid-phase death kills the node's in-flight attempts at
+/// `at`; their retries become ready at `at + detect_after` (§7.4: the
+/// jobtracker only notices after the task timeout).
+struct NodeOutage {
+  int node = 0;
+  double at = 0.0;
+  double detect_after = 0.0;
+};
+
+/// The node slows down by `factor` for work starting at or after `at`
+/// (phase-relative); a chaos straggler on top of the static speed variance.
+struct NodeDegrade {
+  int node = 0;
+  double at = 0.0;
+  double factor = 1.0;
+};
+
+/// The chaos engine's fault schedule projected onto one phase's clock;
+/// built by JobRunner::finish() from the engine's absolute-time events.
+struct PhaseChaos {
+  std::vector<NodeOutage> outages;
+  std::vector<NodeDegrade> degrades;
+};
+
 struct PhaseSchedule {
   double duration = 0.0;
   int attempts_run = 0;
@@ -38,6 +64,13 @@ struct PhaseSchedule {
   /// The losing copy's output is discarded before commit, so no writes.
   /// Callers must add this to the job's I/O totals.
   IoStats speculative_io;
+  /// In-flight attempts killed by chaos node outages (distinct from the
+  /// injected task failures counted in nodes_lost's legacy path).
+  int chaos_attempts_killed = 0;
+  /// Wasted footprint of chaos-killed attempts — the reads and flops the
+  /// dead attempt had consumed (charged in full, like ghost attempts).
+  /// Callers must add this to the job's I/O totals.
+  IoStats chaos_io;
   /// Per-attempt timeline. Spans sharing a slot never overlap; losing
   /// speculative copies (and originals beaten by their backup) are truncated
   /// at the winner's finish, so max end == duration.
@@ -56,9 +89,16 @@ struct PhaseSchedule {
 /// pre-JobGraph behaviour. An entry of SlotPool::kUnavailable (infinity)
 /// withholds the slot from this phase entirely: a fair-share lease marks
 /// other tenants' slots unavailable rather than merely busy.
+///
+/// `chaos` (optional) overlays the fault schedule: dead-on-arrival nodes
+/// contribute no slots, mid-phase outages kill in-flight attempts (retried
+/// after the outage's detection delay, on surviving nodes) and remove the
+/// node's slots, and degrades slow a node's subsequent attempts. Throws
+/// when every slot is dead or withheld.
 PhaseSchedule schedule_phase(const Cluster& cluster,
                              const std::vector<std::vector<Attempt>>& attempts_per_task,
-                             const std::vector<double>* slot_busy_until = nullptr);
+                             const std::vector<double>* slot_busy_until = nullptr,
+                             const PhaseChaos* chaos = nullptr);
 
 /// One tenant's weight in a fair-share SlotPool: slots are divided between
 /// tenants proportionally to weight (largest remainder, every tenant gets at

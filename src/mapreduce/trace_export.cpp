@@ -8,16 +8,20 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
   std::vector<PhaseTrace> phases;
   phases.reserve(jobs.size() * 2);
   for (const JobResult& job : jobs) {
-    // sim_seconds = launch + map + reduce, so the launch overhead is the
-    // remainder; the map phase starts once the job is launched.
+    // sim_seconds = launch + map + recovery stall + reduce, so the launch
+    // overhead is the remainder; the map phase starts once the job is
+    // launched. Recovery-wave re-executions ride in map_trace (their events
+    // start after the nominal phase end) and the reduce phase starts only
+    // after the stall.
     const double launch = std::max(
-        0.0, job.sim_seconds - job.map_phase_seconds - job.reduce_phase_seconds);
+        0.0, job.sim_seconds - job.map_phase_seconds - job.recovery_seconds -
+                 job.reduce_phase_seconds);
     if (!job.map_trace.empty()) {
       PhaseTrace p;
       p.job = job.name;
       p.phase = "map";
       p.start = job.start_seconds + launch;
-      p.duration = job.map_phase_seconds;
+      p.duration = job.map_phase_seconds + job.recovery_seconds;
       p.events = job.map_trace;
       phases.push_back(std::move(p));
     }
@@ -25,7 +29,8 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
       PhaseTrace p;
       p.job = job.name;
       p.phase = "reduce";
-      p.start = job.start_seconds + launch + job.map_phase_seconds;
+      p.start = job.start_seconds + launch + job.map_phase_seconds +
+                job.recovery_seconds;
       p.duration = job.reduce_phase_seconds;
       p.events = job.reduce_trace;
       phases.push_back(std::move(p));
@@ -37,7 +42,8 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
 RunReport build_run_report(const std::vector<JobResult>& jobs,
                            const Cluster& cluster,
                            const MetricsRegistry* metrics,
-                           const std::vector<MasterSpan>& master_spans) {
+                           const std::vector<MasterSpan>& master_spans,
+                           const ChaosEngine* chaos) {
   RunReport report;
   report.total_slots = cluster.total_slots();
   report.jobs = static_cast<int>(jobs.size());
@@ -49,6 +55,10 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
     report.backups_run += job.backups_run;
     report.shuffle_local_bytes += job.shuffle_local_bytes;
     report.shuffle_remote_bytes += job.shuffle_remote_bytes;
+    report.recovery.tasks_recomputed += job.tasks_recomputed;
+    report.recovery.attempts_killed += job.chaos_attempts_killed;
+    report.recovery.recovery_io += job.recovery_io;
+    report.recovery.recovery_seconds += job.recovery_seconds;
     JobSpan span;
     span.job = job.name;
     span.start = job.start_seconds;
@@ -65,6 +75,23 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
   if (metrics != nullptr) {
     report.dfs_io = metrics->io_totals();
     report.counters = metrics->counters();
+  }
+  if (chaos != nullptr) {
+    const RecoveryStats& stats = chaos->stats();
+    report.recovery.nodes_killed = stats.nodes_killed;
+    report.recovery.nodes_degraded = stats.nodes_degraded;
+    report.recovery.read_errors_injected = stats.read_errors_injected;
+    report.recovery.re_replicated_bytes = stats.re_replicated_bytes;
+    report.recovery.re_replicated_blocks = stats.re_replicated_blocks;
+    report.recovery.blocks_lost = stats.blocks_lost;
+    report.recovery.re_replication_seconds = stats.re_replication_seconds;
+    report.recovery.request_retries = stats.request_retries;
+    report.recovery.requests_unrecoverable = stats.requests_unrecoverable;
+    // Only events that actually fired within the run belong on the faults
+    // lane; the schedule may extend past the point the run ended.
+    for (const ChaosEvent& e : chaos->events()) {
+      if (e.at <= report.sim_seconds) report.chaos_events.push_back(e);
+    }
   }
   report.phases = phase_traces(jobs);
   aggregate_run_report(&report);

@@ -20,9 +20,13 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs);
 /// Builds and aggregates the full run report. `metrics` (DFS-side totals and
 /// named counters) may be null. `master_spans` (Pipeline::master_spans())
 /// adds the master's serial-work lane; omit it for job-only reports.
+/// `chaos` (optional) fills report.recovery — job-side fields summed from
+/// the JobResults, DFS/service-side fields from the engine's RecoveryStats —
+/// and report.chaos_events with the events that fired within the run.
 RunReport build_run_report(const std::vector<JobResult>& jobs,
                            const Cluster& cluster,
                            const MetricsRegistry* metrics,
-                           const std::vector<MasterSpan>& master_spans = {});
+                           const std::vector<MasterSpan>& master_spans = {},
+                           const ChaosEngine* chaos = nullptr);
 
 }  // namespace mri::mr

@@ -34,12 +34,33 @@
 #include "mapreduce/scheduler.hpp"
 #include "service/admission.hpp"
 #include "service/request.hpp"
+#include "sim/chaos.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
 #include "sim/metrics.hpp"
 #include "sim/run_report.hpp"
 
 namespace mri::service {
+
+/// Service-level retry for requests whose pipeline fails mid-run (chaos
+/// faults: transient read errors, node loss mid-pipeline). A failed attempt
+/// re-enters the dispatch queue after a capped exponential backoff and
+/// re-runs from scratch in a fresh per-attempt work directory (re-ingesting
+/// its input, so blocks land on surviving nodes). Retries bypass admission
+/// (the request was admitted once); they compete for execution slots like
+/// any queued request. A request is abandoned as unrecoverable when its
+/// retries are exhausted, its data loss is permanent (UnrecoverableBlock),
+/// or the next attempt could not start before its deadline.
+struct RetryPolicy {
+  int max_retries = 2;
+  double backoff_seconds = 60.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 900.0;
+  /// Abandon instead of retrying when the backoff would push the next
+  /// attempt past arrival + deadline (requests without a deadline never
+  /// abort early).
+  bool respect_deadline = true;
+};
 
 struct ServiceOptions {
   /// Per-tenant fair-share weights (SlotPool::set_shares). Empty = no slot
@@ -52,9 +73,12 @@ struct ServiceOptions {
 
   AdmissionOptions admission;
 
+  RetryPolicy retry;
+
   /// Template inversion options for every request. work_dir becomes the
-  /// per-request directory "<work_dir>/r<id>"; nb is the default for
-  /// requests that don't set their own.
+  /// per-request directory "<work_dir>/r<id>" ("<work_dir>/r<id>a<k>" for
+  /// retry attempt k); nb is the default for requests that don't set their
+  /// own.
   core::InversionOptions inversion;
 };
 
@@ -68,16 +92,26 @@ struct ServiceResult {
   int submitted = 0;
   int admitted = 0;
   int rejected = 0;
+  /// Service-level retries consumed and requests abandoned as
+  /// unrecoverable, across all tenants (chaos runs; zero otherwise).
+  int retries = 0;
+  int unrecoverable = 0;
   /// Simulated time the last admitted request finished.
   double makespan = 0.0;
 };
 
 class InversionService {
  public:
-  /// All pointers are borrowed. `failures` and `metrics` may be null.
+  /// All pointers are borrowed. `failures`, `metrics` and `chaos` may be
+  /// null. A chaos engine must already be bound to the DFS
+  /// (Dfs::bind_chaos()); the service advances it along the simulated clock
+  /// and feeds it retry/abandon accounting. An engine's applied-event state
+  /// is monotonic, so reuse one engine for at most one run — comparing runs
+  /// means building a fresh engine (and DFS) per run.
   InversionService(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
                    ServiceOptions options, FailureInjector* failures = nullptr,
-                   MetricsRegistry* metrics = nullptr);
+                   MetricsRegistry* metrics = nullptr,
+                   ChaosEngine* chaos = nullptr);
 
   /// Plays `requests` (any order; sorted by arrival internally, stable) to
   /// completion and returns the merged report. May be called repeatedly;
@@ -91,6 +125,7 @@ class InversionService {
   ServiceOptions options_;
   FailureInjector* failures_;
   MetricsRegistry* metrics_;
+  ChaosEngine* chaos_;
 };
 
 }  // namespace mri::service

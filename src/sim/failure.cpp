@@ -3,33 +3,18 @@
 namespace mri {
 
 void FailureInjector::add_rule(FailureRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
-  rules_.push_back(std::move(rule));
+  engine_.add_task_rule(std::move(rule));
 }
 
-void FailureInjector::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  rules_.clear();
-}
+void FailureInjector::clear() { engine_.clear_task_rules(); }
 
 bool FailureInjector::should_fail(const std::string& job_name, int task_index,
                                   int attempt, bool map_task) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
-    if (it->task_index == task_index && it->attempt == attempt &&
-        it->map_task == map_task &&
-        job_name.find(it->job_name_substring) != std::string::npos) {
-      rules_.erase(it);  // one-shot
-      ++injected_;
-      return true;
-    }
-  }
-  return false;
+  return engine_.should_fail_task(job_name, task_index, attempt, map_task);
 }
 
 std::uint64_t FailureInjector::injected_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return injected_;
+  return engine_.injected_task_count();
 }
 
 }  // namespace mri

@@ -1,4 +1,4 @@
-// Deterministic failure injection for the MapReduce runtime.
+// Deterministic task-level failure injection — compatibility shim.
 //
 // Section 7.4 of the paper describes a run in which one mapper inverting a
 // triangular matrix failed and was only re-executed once another mapper's
@@ -6,29 +6,29 @@
 // and benches reproduce exactly this: fail a chosen task attempt of a chosen
 // job; the scheduler then re-runs it and the simulated clock reflects the
 // serialization.
+//
+// The implementation moved into ChaosEngine (which generalizes injection to
+// whole-node kills, stragglers and block-read errors); FailureInjector is a
+// thin facade over an owned engine's task-rule surface, kept so existing
+// callers and benches keep compiling unchanged.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <vector>
+
+#include "sim/chaos.hpp"
 
 namespace mri {
 
-struct FailureRule {
-  /// Substring matched against the job name ("lu-level-0", "invert", ...).
-  std::string job_name_substring;
-  /// Task index within the job's map (or reduce) phase.
-  int task_index = 0;
-  /// Which attempt to kill (0 = first execution).
-  int attempt = 0;
-  /// Whether the rule targets a map task (true) or reduce task (false).
-  bool map_task = true;
-};
+/// Legacy name for the task-level rule; see TaskFailureRule.
+using FailureRule = TaskFailureRule;
 
 class FailureInjector {
  public:
   void add_rule(FailureRule rule);
+
+  /// Drops pending rules and resets injected_count() (a reused injector
+  /// used to report stale counts).
   void clear();
 
   /// Returns true exactly once per matching (job, task, attempt); the
@@ -38,10 +38,13 @@ class FailureInjector {
 
   std::uint64_t injected_count() const;
 
+  /// The engine backing this injector, for callers that want to mix task
+  /// rules with node-level chaos through one object.
+  ChaosEngine& engine() { return engine_; }
+  const ChaosEngine& engine() const { return engine_; }
+
  private:
-  mutable std::mutex mu_;
-  std::vector<FailureRule> rules_;
-  std::uint64_t injected_ = 0;
+  ChaosEngine engine_;
 };
 
 }  // namespace mri

@@ -126,7 +126,10 @@ void aggregate_tenant_reports(RunReport* report,
   for (std::size_t i = 0; i < stats.size(); ++i) {
     const RequestStat& s = stats[i];
     RequestSpan span;
-    span.request = "r" + std::to_string(i);
+    // Built in two steps: gcc 12 false-positives -Wrestrict on the
+    // `const char* + std::string&&` overload here under -O2.
+    span.request = "r";
+    span.request += std::to_string(i);
     span.tenant = s.tenant;
     span.arrival = s.arrival;
     span.dispatch = s.rejected ? s.arrival : s.dispatch;
@@ -152,9 +155,18 @@ void aggregate_tenant_reports(RunReport* report,
         continue;
       }
       ++tr.admitted;
+      tr.retries += s->retries;
       const double wait = s->dispatch - s->arrival;
       wait_sum += wait;
       tr.queue_wait_max = std::max(tr.queue_wait_max, wait);
+      if (s->unrecoverable) {
+        // Abandoned requests were dispatched and held slots until the
+        // abandon time, but never produced a result; keep them out of the
+        // latency percentiles and deadline accounting.
+        ++tr.unrecoverable;
+        tr.slot_seconds += s->slot_seconds;
+        continue;
+      }
       latencies.push_back(s->finish - s->arrival);
       tr.slot_seconds += s->slot_seconds;
       if (s->deadline_seconds > 0.0 &&
@@ -253,7 +265,40 @@ std::string run_report_json(const RunReport& report) {
   os << ",\"shuffle\":{\"local_bytes\":" << report.shuffle_local_bytes
      << ",\"remote_bytes\":" << report.shuffle_remote_bytes << "},";
   append_io(os, "dfs_io", report.dfs_io);
-  os << ",\"counters\":{";
+  // Recovery keys are always present (stable schema); all zero and an
+  // empty event list on chaos-free runs.
+  const RecoveryReport& rec = report.recovery;
+  os << ",\"recovery\":{\"nodes_killed\":" << rec.nodes_killed
+     << ",\"nodes_degraded\":" << rec.nodes_degraded
+     << ",\"read_errors_injected\":" << rec.read_errors_injected
+     << ",\"tasks_recomputed\":" << rec.tasks_recomputed
+     << ",\"attempts_killed\":" << rec.attempts_killed
+     << ",\"re_replicated_bytes\":" << rec.re_replicated_bytes
+     << ",\"re_replicated_blocks\":" << rec.re_replicated_blocks
+     << ",\"blocks_lost\":" << rec.blocks_lost
+     << ",\"re_replication_seconds\":";
+  append_num(os, rec.re_replication_seconds);
+  os << ",\"recovery_seconds\":";
+  append_num(os, rec.recovery_seconds);
+  os << ",\"request_retries\":" << rec.request_retries
+     << ",\"requests_unrecoverable\":" << rec.requests_unrecoverable << ',';
+  append_io(os, "recovery_io", rec.recovery_io);
+  os << "},\"chaos_events\":[";
+  bool first_event = true;
+  for (const ChaosEvent& e : report.chaos_events) {
+    if (!first_event) os << ',';
+    first_event = false;
+    os << "{\"kind\":\""
+       << (e.kind == ChaosEventKind::kKillNode      ? "kill"
+           : e.kind == ChaosEventKind::kDegradeNode ? "degrade"
+                                                    : "read_error")
+       << "\",\"at\":";
+    append_num(os, e.at);
+    os << ",\"node\":" << e.node << ",\"factor\":";
+    append_num(os, e.factor);
+    os << '}';
+  }
+  os << "],\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : report.counters) {
     if (!first) os << ',';
@@ -343,7 +388,9 @@ std::string run_report_json(const RunReport& report) {
     append_num(os, t.latency_p99);
     os << ",\"slot_seconds\":";
     append_num(os, t.slot_seconds);
-    os << ",\"deadline_misses\":" << t.deadline_misses << '}';
+    os << ",\"deadline_misses\":" << t.deadline_misses
+       << ",\"retries\":" << t.retries
+       << ",\"unrecoverable\":" << t.unrecoverable << '}';
   }
   os << "],\"requests\":[";
   first = true;
@@ -368,6 +415,7 @@ std::string chrome_trace_json(const RunReport& report) {
   constexpr int kJobsPid = 1000000;
   constexpr int kMasterPid = 1000001;
   constexpr int kRequestsPid = 1000002;
+  constexpr int kFaultsPid = 1000003;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -451,6 +499,50 @@ std::string chrome_trace_json(const RunReport& report) {
       ++lane;
     }
   }
+  // Fault lane: every chaos event that fired, as an instant marker, plus
+  // the recovery-wave attempts as spans (mirrored from their node lanes so
+  // the damage and the repair read side by side).
+  const bool any_recovery = [&report] {
+    for (const PhaseTrace& phase : report.phases) {
+      for (const TaskTraceEvent& e : phase.events) {
+        if (e.recovery) return true;
+      }
+    }
+    return false;
+  }();
+  if (!report.chaos_events.empty() || any_recovery) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kFaultsPid
+       << ",\"args\":{\"name\":\"faults\"}}";
+    for (const ChaosEvent& e : report.chaos_events) {
+      const char* what = e.kind == ChaosEventKind::kKillNode ? "kill node "
+                         : e.kind == ChaosEventKind::kDegradeNode
+                             ? "degrade node "
+                             : "read error node ";
+      os << ",{\"ph\":\"i\",\"name\":\"" << what << e.node
+         << "\",\"cat\":\"chaos\",\"pid\":" << kFaultsPid
+         << ",\"tid\":0,\"ts\":";
+      append_num(os, e.at * 1e6);
+      os << ",\"s\":\"g\",\"args\":{\"node\":" << e.node << ",\"factor\":";
+      append_num(os, e.factor);
+      os << "}}";
+    }
+    for (const PhaseTrace& phase : report.phases) {
+      for (const TaskTraceEvent& e : phase.events) {
+        if (!e.recovery) continue;
+        os << ",{\"ph\":\"X\",\"name\":\"recompute " << json_escape(phase.job)
+           << '/' << phase.phase << " t" << e.task
+           << "\",\"cat\":\"recovery\",\"pid\":" << kFaultsPid
+           << ",\"tid\":1,\"ts\":";
+        append_num(os, (phase.start + e.start) * 1e6);
+        os << ",\"dur\":";
+        append_num(os, (e.end - e.start) * 1e6);
+        os << ",\"args\":{\"task\":" << e.task << ",\"node\":" << e.node
+           << "}}";
+      }
+    }
+  }
   for (const PhaseTrace& phase : report.phases) {
     for (const TaskTraceEvent& e : phase.events) {
       const double ts_us = (phase.start + e.start) * 1e6;
@@ -459,7 +551,11 @@ std::string chrome_trace_json(const RunReport& report) {
       first = false;
       os << "{\"ph\":\"X\",\"name\":\"" << json_escape(phase.job) << '/'
          << phase.phase << " t" << e.task << " a" << e.attempt
-         << (e.backup ? " (backup)" : e.failed ? " (failed)" : "")
+         << (e.recovery       ? " (recovery)"
+             : e.chaos        ? " (node lost)"
+             : e.backup       ? " (backup)"
+             : e.failed       ? " (failed)"
+                              : "")
          << "\",\"cat\":\"" << phase.phase << "\",\"pid\":" << e.node
          << ",\"tid\":" << e.slot << ",\"ts\":";
       append_num(os, ts_us);
@@ -467,7 +563,9 @@ std::string chrome_trace_json(const RunReport& report) {
       append_num(os, dur_us);
       os << ",\"args\":{\"task\":" << e.task << ",\"attempt\":" << e.attempt
          << ",\"failed\":" << (e.failed ? "true" : "false")
-         << ",\"backup\":" << (e.backup ? "true" : "false") << "}}";
+         << ",\"backup\":" << (e.backup ? "true" : "false")
+         << ",\"chaos\":" << (e.chaos ? "true" : "false")
+         << ",\"recovery\":" << (e.recovery ? "true" : "false") << "}}";
     }
   }
   os << "]";

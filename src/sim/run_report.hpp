@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/io_stats.hpp"
 #include "sim/trace.hpp"
 
@@ -94,6 +95,11 @@ struct RequestStat {
   double slot_seconds = 0.0;
   /// Advisory deadline (seconds after arrival; 0 = none).
   double deadline_seconds = 0.0;
+  /// Service-level retries this request consumed (fault recovery).
+  int retries = 0;
+  /// The request exhausted its retry budget (or hit permanent data loss /
+  /// its deadline) and was abandoned; `finish` is the abandon time.
+  bool unrecoverable = false;
 };
 
 /// Per-tenant SLO aggregates derived from RequestStats.
@@ -112,6 +118,32 @@ struct TenantReport {
   /// Admitted requests that finished after arrival + deadline (requests
   /// without a deadline hint never count).
   int deadline_misses = 0;
+  /// Service-level retries across the tenant's requests, and requests
+  /// abandoned as unrecoverable after exhausting them.
+  int retries = 0;
+  int unrecoverable = 0;
+};
+
+/// Fault-recovery accounting for one run: what the chaos engine broke and
+/// what every layer paid to absorb it. Job-side fields (tasks_recomputed,
+/// attempts_killed, recovery_io, recovery_seconds) are summed from
+/// JobResults; DFS/service-side fields come from the engine's RecoveryStats.
+/// All zero for a chaos-free run.
+struct RecoveryReport {
+  int nodes_killed = 0;
+  int nodes_degraded = 0;
+  int read_errors_injected = 0;
+  int tasks_recomputed = 0;      // completed maps re-executed (outputs died)
+  int attempts_killed = 0;       // in-flight attempts lost to node outages
+  std::uint64_t re_replicated_bytes = 0;
+  std::uint64_t re_replicated_blocks = 0;
+  std::uint64_t blocks_lost = 0;  // blocks with every replica gone
+  double re_replication_seconds = 0.0;
+  /// Reduce-phase stall waiting for map recomputation waves (summed).
+  double recovery_seconds = 0.0;
+  IoStats recovery_io;  // wasted + re-done task footprint (included in io)
+  int request_retries = 0;
+  int requests_unrecoverable = 0;
 };
 
 struct RunReport {
@@ -148,6 +180,11 @@ struct RunReport {
   /// ((Σx)² / (n·Σx²), x = slot_seconds/weight): 1.0 = perfectly
   /// proportional sharing, 1/n = one tenant got everything.
   double fairness_index = 1.0;
+  /// Chaos-run recovery accounting (all zero without a chaos engine), and
+  /// the fault events that actually fired during the run (absolute run
+  /// seconds) — rendered as the Chrome trace's "faults" lane.
+  RecoveryReport recovery;
+  std::vector<ChaosEvent> chaos_events;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites
@@ -169,8 +206,10 @@ std::string run_report_json(const RunReport& report);
 /// Chrome trace_event JSON: one complete ("ph":"X") event per attempt with
 /// pid = node, tid = global slot, timestamps in microseconds. Additional
 /// lanes: one per job (the job_spans, under a "jobs" pseudo-process, where
-/// DAG-overlapped jobs visibly run concurrently) and one for the master's
-/// serial work (the master_spans, under a "master" pseudo-process).
+/// DAG-overlapped jobs visibly run concurrently), one for the master's
+/// serial work (the master_spans, under a "master" pseudo-process), and —
+/// on chaos runs — a "faults" pseudo-process with instant markers for
+/// kills/degrades/read errors plus the recovery-wave attempt spans.
 std::string chrome_trace_json(const RunReport& report);
 
 }  // namespace mri

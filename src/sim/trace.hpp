@@ -20,6 +20,10 @@ struct TaskTraceEvent {
   double end = 0.0;    // when the attempt finished, died, or was killed
   bool failed = false;  // injected failure: the attempt died mid-run
   bool backup = false;  // speculative copy launched by speculate()
+  bool chaos = false;   // killed by a chaos node-loss event mid-attempt
+  /// Re-execution of a completed map task whose output died with its node
+  /// (Hadoop node-loss semantics; see JobRunner::finish).
+  bool recovery = false;
 };
 
 /// One stretch of serial work on the master node (leaf LU decompositions,

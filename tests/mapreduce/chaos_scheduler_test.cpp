@@ -1,0 +1,118 @@
+// Node-loss scheduling semantics (§7.4, Hadoop 1.x): dead-on-arrival nodes
+// contribute no slots, a mid-phase kill truncates the node's in-flight
+// attempts and retries them on survivors after the detection delay, losing
+// every slot is an error, and chaos degrades slow subsequent attempts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mapreduce/scheduler.hpp"
+
+namespace mri::mr {
+namespace {
+
+CostModel flat_model(int slots_per_node = 1) {
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.task_overhead_seconds = 0.0;
+  m.failure_detection_seconds = 0.0;
+  m.node_speed_variance = 0.0;
+  m.slots_per_node = slots_per_node;
+  return m;
+}
+
+Attempt ok_attempt(std::uint64_t flops) {
+  Attempt a;
+  a.io.mults = flops;
+  return a;
+}
+
+// 1e9 flops at 1e9 flops/s = 1.0 simulated second per attempt.
+std::vector<std::vector<Attempt>> tasks(int count) {
+  return std::vector<std::vector<Attempt>>(
+      static_cast<std::size_t>(count), {ok_attempt(1'000'000'000)});
+}
+
+TEST(ChaosScheduler, DeadOnArrivalNodeContributesNoSlots) {
+  Cluster cluster(2, flat_model());
+  const PhaseSchedule clean = schedule_phase(cluster, tasks(4));
+  EXPECT_DOUBLE_EQ(clean.duration, 2.0);  // 4 tasks over 2 slots
+
+  PhaseChaos chaos;
+  chaos.outages.push_back({/*node=*/1, /*at=*/0.0, /*detect_after=*/0.0});
+  const PhaseSchedule degraded =
+      schedule_phase(cluster, tasks(4), nullptr, &chaos);
+  EXPECT_DOUBLE_EQ(degraded.duration, 4.0);  // 4 tasks over 1 surviving slot
+  for (const TaskTraceEvent& e : degraded.trace) {
+    EXPECT_NE(e.node, 1) << "an attempt was placed on the dead node";
+  }
+}
+
+TEST(ChaosScheduler, MidPhaseKillRetriesOnSurvivorsAfterDetection) {
+  Cluster cluster(2, flat_model());
+  PhaseChaos chaos;
+  chaos.outages.push_back({/*node=*/1, /*at=*/0.5, /*detect_after=*/0.25});
+  const PhaseSchedule s = schedule_phase(cluster, tasks(2), nullptr, &chaos);
+
+  EXPECT_EQ(s.chaos_attempts_killed, 1);
+  bool saw_killed = false, saw_retry = false;
+  for (const TaskTraceEvent& e : s.trace) {
+    if (e.chaos) {
+      saw_killed = true;
+      EXPECT_EQ(e.node, 1);
+      EXPECT_DOUBLE_EQ(e.end, 0.5) << "killed attempt not truncated at death";
+    } else if (e.task == 1) {
+      saw_retry = true;
+      EXPECT_NE(e.node, 1) << "retry placed on the dead node";
+      // Ready at kill + detection (0.75) but node 0's slot is busy with its
+      // own task until 1.0 — §7.4's "did not restart until another mapper
+      // finished".
+      EXPECT_GE(e.start, 1.0 - 1e-12);
+    }
+  }
+  EXPECT_TRUE(saw_killed);
+  EXPECT_TRUE(saw_retry);
+  EXPECT_DOUBLE_EQ(s.duration, 2.0);
+  EXPECT_GT(s.chaos_io.mults, 0u) << "the dead attempt's work is wasted";
+}
+
+TEST(ChaosScheduler, EveryNodeDeadThrows) {
+  Cluster cluster(2, flat_model());
+  PhaseChaos chaos;
+  chaos.outages.push_back({0, 0.0, 0.0});
+  chaos.outages.push_back({1, 0.0, 0.0});
+  EXPECT_THROW(schedule_phase(cluster, tasks(2), nullptr, &chaos), Error);
+}
+
+TEST(ChaosScheduler, DegradeSlowsAttemptsStartingAfterIt) {
+  Cluster cluster(1, flat_model());
+  PhaseChaos chaos;
+  chaos.degrades.push_back({/*node=*/0, /*at=*/0.5, /*factor=*/0.5});
+  const PhaseSchedule s = schedule_phase(cluster, tasks(2), nullptr, &chaos);
+  // Task 0 starts at 0 (full speed, 1 s); task 1 starts at 1.0, slowed to
+  // half speed (2 s) — a straggler, not a death.
+  EXPECT_DOUBLE_EQ(s.duration, 3.0);
+  EXPECT_EQ(s.nodes_lost, 0);
+  EXPECT_EQ(s.chaos_attempts_killed, 0);
+}
+
+TEST(ChaosScheduler, ChaosScheduleIsDeterministic) {
+  Cluster cluster(3, flat_model());
+  PhaseChaos chaos;
+  chaos.outages.push_back({2, 0.4, 0.3});
+  chaos.degrades.push_back({1, 0.2, 0.5});
+  const PhaseSchedule a = schedule_phase(cluster, tasks(6), nullptr, &chaos);
+  const PhaseSchedule b = schedule_phase(cluster, tasks(6), nullptr, &chaos);
+  EXPECT_DOUBLE_EQ(a.duration, b.duration);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].task, b.trace[i].task);
+    EXPECT_EQ(a.trace[i].node, b.trace[i].node);
+    EXPECT_DOUBLE_EQ(a.trace[i].start, b.trace[i].start);
+    EXPECT_DOUBLE_EQ(a.trace[i].end, b.trace[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace mri::mr

@@ -63,7 +63,7 @@ struct GraphFixture {
         pool(4),
         runner(&cluster, &fs, &pool, nullptr, &metrics) {
     for (int i = 0; i < nodes; ++i)
-      fs.write_text("/in/" + std::to_string(i), "x" + std::to_string(i));
+      { const std::string n = std::to_string(i); fs.write_text("/in/" + n, "x" + n); }
   }
 
   std::vector<std::string> inputs(int count) const {
@@ -491,7 +491,7 @@ TEST(JobGraphSharedPool, NodeDeathWithTwoConcurrentGraphs) {
                      /*map_task=*/true});
   JobRunner runner(&cluster, &fs, &pool, &failures, &metrics);
   for (int i = 0; i < 4; ++i) {
-    fs.write_text("/in/" + std::to_string(i), "x" + std::to_string(i));
+    { const std::string n = std::to_string(i); fs.write_text("/in/" + n, "x" + n); }
   }
   const auto inputs = [&](int count) {
     std::vector<std::string> files;

@@ -321,7 +321,7 @@ TEST(Runtime, TaskExceptionBecomesJobError) {
 TEST(Runtime, InjectedFailureIsRecoveredAndCharged) {
   RuntimeFixture fx(4);
   for (int i = 0; i < 4; ++i)
-    fx.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+    { const std::string n = std::to_string(i); fx.fs.write_text("/in/" + n, "w" + n); }
   fx.failures.add_rule(FailureRule{"wordcount", 2, 0, true});
 
   const JobResult with_failure = fx.runner.run(word_count_spec(
@@ -330,7 +330,7 @@ TEST(Runtime, InjectedFailureIsRecoveredAndCharged) {
 
   RuntimeFixture clean(4);
   for (int i = 0; i < 4; ++i)
-    clean.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+    { const std::string n = std::to_string(i); clean.fs.write_text("/in/" + n, "w" + n); }
   const JobResult no_failure = clean.runner.run(word_count_spec(
       {"/in/0", "/in/1", "/in/2", "/in/3"}));
   EXPECT_EQ(no_failure.failures_recovered, 0);
@@ -417,7 +417,7 @@ TEST(Runtime, SpeculativeBackupsAreChargedToJobIo) {
 TEST(Runtime, TracesCoverEveryAttempt) {
   RuntimeFixture fx(4);
   for (int i = 0; i < 4; ++i)
-    fx.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+    { const std::string n = std::to_string(i); fx.fs.write_text("/in/" + n, "w" + n); }
   fx.failures.add_rule(FailureRule{"wordcount", 2, 0, true});
   const JobResult r = fx.runner.run(
       word_count_spec({"/in/0", "/in/1", "/in/2", "/in/3"}));
@@ -485,7 +485,7 @@ TEST(Pipeline, AccumulatesAcrossJobs) {
 TEST(TraceExport, RunReportFromPipelineJobs) {
   RuntimeFixture fx(4);
   for (int i = 0; i < 4; ++i)
-    fx.fs.write_text("/in/" + std::to_string(i), "w" + std::to_string(i));
+    { const std::string n = std::to_string(i); fx.fs.write_text("/in/" + n, "w" + n); }
   fx.failures.add_rule(FailureRule{"wordcount", 1, 0, true});
   Pipeline pipeline(&fx.runner);
   pipeline.run(word_count_spec({"/in/0", "/in/1", "/in/2", "/in/3"}));

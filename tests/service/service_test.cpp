@@ -284,6 +284,97 @@ TEST(InversionService, RequestsProduceVerifiableInverses) {
   EXPECT_EQ(result.report.failures_recovered, 0);
 }
 
+// ---- chaos: service-level retry and abandonment -----------------------------
+
+struct ChaosServiceRun {
+  ServiceResult result;
+  std::string report_json;
+};
+
+// Replication 1 plus one armed read error: the first read touching the
+// chosen node throws a transient DfsError (no other replica to fail over
+// to), the request's pipeline dies, and the service's retry policy decides
+// what happens next. Everything is rebuilt per run — a chaos engine's
+// applied-event state is monotonic.
+ChaosServiceRun run_with_chaos(const std::vector<ChaosEvent>& events,
+                               RetryPolicy retry, double deadline = 0.0) {
+  MetricsRegistry metrics;
+  const CostModel model = CostModel::ec2_medium().scaled_down(40.0);
+  Cluster cluster(4, model);
+  dfs::DfsConfig cfg;
+  cfg.replication = 1;
+  dfs::Dfs fs(4, cfg, &metrics);
+  ThreadPool pool(4);
+  ChaosEngine chaos;
+  for (const ChaosEvent& e : events) chaos.add_event(e);
+  fs.bind_chaos(&chaos, model.network_bandwidth);
+
+  ServiceOptions options;
+  options.max_concurrent = 1;
+  options.inversion.nb = kNb;
+  options.inversion.work_dir = "/svc";
+  options.retry = retry;
+  InversionService svc(&cluster, &fs, &pool, options, nullptr, &metrics,
+                       &chaos);
+  InversionRequest r = request("default", 0.0, 7);
+  r.deadline_seconds = deadline;
+  ChaosServiceRun run;
+  run.result = svc.run({r});
+  run.report_json = run_report_json(run.result.report);
+  return run;
+}
+
+const std::vector<ChaosEvent> kReadErrorAtStart = {
+    {ChaosEventKind::kBlockReadError, 0.0, 1, 1.0}};
+
+TEST(ServiceChaos, TransientReadErrorIsRetriedToSuccess) {
+  RetryPolicy retry;
+  retry.backoff_seconds = 5.0;
+  const ChaosServiceRun run = run_with_chaos(kReadErrorAtStart, retry);
+  EXPECT_EQ(run.result.admitted, 1);
+  EXPECT_EQ(run.result.retries, 1) << "the failed attempt was never retried";
+  EXPECT_EQ(run.result.unrecoverable, 0);
+  ASSERT_EQ(run.result.stats.size(), 1u);
+  EXPECT_EQ(run.result.stats[0].retries, 1);
+  EXPECT_FALSE(run.result.stats[0].unrecoverable);
+  // The second attempt starts after the backoff, so the request's span
+  // stretches past the retry delay.
+  EXPECT_GE(run.result.stats[0].finish, retry.backoff_seconds);
+  EXPECT_EQ(run.result.report.recovery.request_retries, 1);
+  EXPECT_EQ(run.result.report.recovery.requests_unrecoverable, 0);
+}
+
+TEST(ServiceChaos, ExhaustedRetryBudgetAbandonsTheRequest) {
+  RetryPolicy retry;
+  retry.max_retries = 0;
+  const ChaosServiceRun run = run_with_chaos(kReadErrorAtStart, retry);
+  EXPECT_EQ(run.result.retries, 0);
+  EXPECT_EQ(run.result.unrecoverable, 1);
+  ASSERT_EQ(run.result.stats.size(), 1u);
+  EXPECT_TRUE(run.result.stats[0].unrecoverable);
+  // Abandon time is the failure instant — here t=0, the dispatch time.
+  EXPECT_GE(run.result.stats[0].finish, run.result.stats[0].dispatch);
+  EXPECT_EQ(run.result.report.recovery.requests_unrecoverable, 1);
+}
+
+TEST(ServiceChaos, RetryPastTheDeadlineAbortsInstead) {
+  RetryPolicy retry;
+  retry.backoff_seconds = 5.0;  // next attempt at t=5, deadline at t=1
+  const ChaosServiceRun run =
+      run_with_chaos(kReadErrorAtStart, retry, /*deadline=*/1.0);
+  EXPECT_EQ(run.result.retries, 0)
+      << "a retry that cannot meet the deadline must not be scheduled";
+  EXPECT_EQ(run.result.unrecoverable, 1);
+}
+
+TEST(ServiceChaos, SameSeedChaosRunsAreBitIdentical) {
+  RetryPolicy retry;
+  retry.backoff_seconds = 5.0;
+  const ChaosServiceRun a = run_with_chaos(kReadErrorAtStart, retry);
+  const ChaosServiceRun b = run_with_chaos(kReadErrorAtStart, retry);
+  EXPECT_EQ(a.report_json, b.report_json);
+}
+
 // ---- load generation and trace parsing --------------------------------------
 
 TEST(LoadGen, OpenLoopArrivalsAreSortedAndTenantStable) {

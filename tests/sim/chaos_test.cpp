@@ -1,0 +1,204 @@
+// ChaosEngine unit tests: schedule determinism, master sparing, kill/degrade
+// queries, exactly-once event application, and the FailureInjector shim —
+// including the regression for clear() forgetting the injected count.
+#include "sim/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sim/failure.hpp"
+
+namespace mri {
+namespace {
+
+TEST(ChaosEngine, EmptyScheduleIsDisabled) {
+  ChaosEngine engine;
+  EXPECT_FALSE(engine.enabled());
+  EXPECT_TRUE(engine.events().empty());
+  EXPECT_TRUE(std::isinf(engine.kill_time(0)));
+  EXPECT_DOUBLE_EQ(engine.speed_factor(0, 1e9), 1.0);
+}
+
+TEST(ChaosEngine, SamplingIsDeterministicInSeed) {
+  ChaosOptions options;
+  options.seed = 17;
+  options.mtbf_seconds = 50.0;
+  options.horizon_seconds = 200.0;
+  options.degrade_fraction = 0.5;
+  ChaosEngine a(options), b(options);
+  a.sample_faults(8);
+  b.sample_faults(8);
+  const auto ea = a.events(), eb = b.events();
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_FALSE(ea.empty()) << "mtbf = horizon/4 should sample some faults";
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_DOUBLE_EQ(ea[i].at, eb[i].at);
+    EXPECT_EQ(ea[i].node, eb[i].node);
+    EXPECT_DOUBLE_EQ(ea[i].factor, eb[i].factor);
+  }
+
+  options.seed = 18;
+  ChaosEngine c(options);
+  c.sample_faults(8);
+  const auto ec = c.events();
+  bool differs = ec.size() != ea.size();
+  for (std::size_t i = 0; !differs && i < ea.size(); ++i) {
+    differs = ea[i].at != ec[i].at || ea[i].node != ec[i].node;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the same schedule";
+}
+
+TEST(ChaosEngine, SamplingSparesTheMasterByDefault) {
+  ChaosOptions options;
+  options.seed = 3;
+  options.mtbf_seconds = 10.0;
+  options.horizon_seconds = 100.0;
+  ChaosEngine engine(options);
+  engine.sample_faults(6);
+  ASSERT_FALSE(engine.events().empty());
+  for (const ChaosEvent& e : engine.events()) EXPECT_NE(e.node, 0);
+}
+
+TEST(ChaosEngine, KillTimeAndSpeedFactorReflectTheSchedule) {
+  ChaosEngine engine;
+  engine.add_event({ChaosEventKind::kKillNode, 40.0, 2, 1.0});
+  engine.add_event({ChaosEventKind::kDegradeNode, 10.0, 1, 0.5});
+  engine.add_event({ChaosEventKind::kDegradeNode, 20.0, 1, 0.5});
+  EXPECT_TRUE(engine.enabled());
+  EXPECT_DOUBLE_EQ(engine.kill_time(2), 40.0);
+  EXPECT_TRUE(std::isinf(engine.kill_time(1)));
+  EXPECT_DOUBLE_EQ(engine.speed_factor(1, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(engine.speed_factor(1, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(engine.speed_factor(1, 25.0), 0.25);  // compounding
+  EXPECT_DOUBLE_EQ(engine.speed_factor(2, 25.0), 1.0);
+}
+
+TEST(ChaosEngine, EarliestKillOfANodeWins) {
+  ChaosEngine engine;
+  engine.add_event({ChaosEventKind::kKillNode, 50.0, 1, 1.0});
+  engine.add_event({ChaosEventKind::kKillNode, 20.0, 1, 1.0});
+  EXPECT_DOUBLE_EQ(engine.kill_time(1), 20.0);
+
+  int kills = 0;
+  engine.set_kill_handler([&](int) {
+    ++kills;
+    return NodeKillOutcome{};
+  });
+  engine.advance_to(100.0);
+  EXPECT_EQ(kills, 1) << "a node must die at most once";
+  EXPECT_EQ(engine.stats().nodes_killed, 1);
+}
+
+TEST(ChaosEngine, AdvanceAppliesEachEventExactlyOnceAndNeverRewinds) {
+  ChaosEngine engine;
+  engine.add_event({ChaosEventKind::kKillNode, 10.0, 1, 1.0});
+  engine.add_event({ChaosEventKind::kKillNode, 30.0, 2, 1.0});
+  std::vector<int> killed;
+  engine.set_kill_handler([&](int node) {
+    killed.push_back(node);
+    return NodeKillOutcome{};
+  });
+  engine.advance_to(5.0);
+  EXPECT_TRUE(killed.empty());
+  engine.advance_to(10.0);  // inclusive boundary
+  EXPECT_EQ(killed, (std::vector<int>{1}));
+  engine.advance_to(10.0);
+  engine.advance_to(2.0);  // rewind attempt: no-op
+  EXPECT_EQ(killed, (std::vector<int>{1}));
+  engine.advance_to(1e9);
+  EXPECT_EQ(killed, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.stats().nodes_killed, 2);
+}
+
+TEST(ChaosEngine, ReReplicationSecondsUseTheBandwidth) {
+  ChaosEngine engine;
+  engine.add_event({ChaosEventKind::kKillNode, 1.0, 1, 1.0});
+  engine.set_kill_handler([](int) {
+    NodeKillOutcome outcome;
+    outcome.re_replicated_bytes = 100;
+    outcome.re_replicated_blocks = 2;
+    return outcome;
+  });
+  engine.set_network_bandwidth(50.0);
+  engine.advance_to(2.0);
+  const RecoveryStats stats = engine.stats();
+  EXPECT_EQ(stats.re_replicated_bytes, 100u);
+  EXPECT_EQ(stats.re_replicated_blocks, 2);
+  EXPECT_DOUBLE_EQ(stats.re_replication_seconds, 2.0);
+}
+
+TEST(ChaosEngine, ReadErrorEventsReachTheHandler) {
+  ChaosEngine engine;
+  engine.add_event({ChaosEventKind::kBlockReadError, 5.0, 3, 1.0});
+  std::vector<int> armed;
+  engine.set_read_error_handler([&](int node) { armed.push_back(node); });
+  engine.advance_to(10.0);
+  EXPECT_EQ(armed, (std::vector<int>{3}));
+  EXPECT_EQ(engine.stats().read_errors_injected, 1);
+}
+
+TEST(ChaosEngine, SampleKillTimeIsDeterministicAndInHorizon) {
+  ChaosOptions options;
+  options.seed = 9;
+  options.horizon_seconds = 3600.0;
+  ChaosEngine a(options), b(options);
+  for (int node = 1; node < 5; ++node) {
+    const double t = a.sample_kill_time(node);
+    EXPECT_DOUBLE_EQ(t, b.sample_kill_time(node));
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 3600.0);
+  }
+  EXPECT_NE(a.sample_kill_time(1), a.sample_kill_time(2));
+}
+
+TEST(ChaosEngine, RejectsMalformedEvents) {
+  ChaosEngine engine;
+  EXPECT_THROW(engine.add_event({ChaosEventKind::kKillNode, -1.0, 1, 1.0}),
+               Error);
+  EXPECT_THROW(engine.add_event({ChaosEventKind::kKillNode, 0.0, -1, 1.0}),
+               Error);
+  EXPECT_THROW(engine.add_event({ChaosEventKind::kDegradeNode, 0.0, 1, 0.0}),
+               Error);
+  EXPECT_THROW(engine.add_event({ChaosEventKind::kDegradeNode, 0.0, 1, 1.5}),
+               Error);
+}
+
+TEST(ChaosEngine, TaskRuleFiresExactlyOnce) {
+  ChaosEngine engine;
+  engine.add_task_rule({"invert", 2, 0, true});
+  EXPECT_FALSE(engine.should_fail_task("invert-l", 1, 0, true));
+  EXPECT_TRUE(engine.should_fail_task("invert-l", 2, 0, true));
+  EXPECT_FALSE(engine.should_fail_task("invert-l", 2, 0, true));
+  EXPECT_EQ(engine.injected_task_count(), 1u);
+}
+
+// -- FailureInjector shim ---------------------------------------------------
+
+TEST(FailureInjector, ShimDelegatesToTheEngine) {
+  FailureInjector injector;
+  injector.add_rule({"lu", 0, 0, true});
+  EXPECT_TRUE(injector.should_fail("lu:/Root", 0, 0, true));
+  EXPECT_FALSE(injector.should_fail("lu:/Root", 0, 0, true));
+  EXPECT_EQ(injector.injected_count(), 1u);
+  EXPECT_EQ(injector.engine().injected_task_count(), 1u);
+}
+
+// Regression: clear() used to drop the pending rules but keep the injected
+// count, so a reused injector reported failures from a previous run.
+TEST(FailureInjector, ClearResetsInjectedCount) {
+  FailureInjector injector;
+  injector.add_rule({"lu", 0, 0, true});
+  ASSERT_TRUE(injector.should_fail("lu:/Root", 0, 0, true));
+  ASSERT_EQ(injector.injected_count(), 1u);
+  injector.clear();
+  EXPECT_EQ(injector.injected_count(), 0u);
+  EXPECT_FALSE(injector.should_fail("lu:/Root", 0, 1, true))
+      << "cleared rules must not fire";
+}
+
+}  // namespace
+}  // namespace mri
