@@ -36,6 +36,7 @@
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/text_format.hpp"
+#include "net/topology.hpp"
 #include "service/loadgen.hpp"
 #include "service/service.hpp"
 
@@ -64,6 +65,37 @@ void save_json(const std::string& path, const std::string& json) {
 bool chaos_requested(const mri::CliOptions& cli) {
   return cli.has("chaos-seed") || cli.has("kill-node") ||
          cli.has("chaos-mtbf");
+}
+
+// Builds the network topology from --topology/--racks/--oversub/--rack-aware
+// and attaches it to both the cluster (flow-costed scheduling) and the DFS
+// (rack-aware placement, transfer recording). "flat" — the default — leaves
+// both untouched and reproduces the scalar network model bit-identically.
+void attach_topology(const mri::CliOptions& cli, mri::Cluster* cluster,
+                     mri::dfs::Dfs* fs) {
+  using namespace mri;
+  const std::string kind = cli.get_string("topology", "flat");
+  if (kind == "flat") {
+    MRI_REQUIRE(!cli.has("oversub") && !cli.has("racks"),
+                "--racks/--oversub shape the racked topology; add "
+                "--topology racked or drop them");
+    return;
+  }
+  MRI_REQUIRE(kind == "racked",
+              "unknown --topology '" << kind << "'; use flat or racked");
+  net::TopologyOptions opts;
+  opts.kind = net::TopologyKind::kRacked;
+  opts.racks = static_cast<int>(cli.get_int("racks", 4));
+  opts.oversubscription = cli.get_double("oversub", 1.0);
+  opts.rack_aware_placement = cli.get_bool("rack-aware", true);
+  auto topology = std::make_shared<const net::Topology>(
+      cluster->size(), cluster->cost_model().network_bandwidth, opts);
+  cluster->set_topology(topology);
+  fs->set_topology(topology);
+  std::printf("topology: %d racks, %.2g:1 oversubscription, rack-aware "
+              "placement %s\n",
+              opts.racks, opts.oversubscription,
+              opts.rack_aware_placement ? "on" : "off");
 }
 
 // Builds the chaos engine from the --chaos-*/--kill-node flags; null when
@@ -153,6 +185,7 @@ int run_serve(const mri::CliOptions& cli) {
   MetricsRegistry metrics;
   Cluster cluster(nodes, CostModel::ec2_medium());
   dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  attach_topology(cli, &cluster, &fs);
   ThreadPool pool(4);
   std::unique_ptr<ChaosEngine> chaos = build_chaos_engine(cli, nodes);
   if (chaos) fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth);
@@ -255,6 +288,11 @@ int main(int argc, char** argv) {
               "MPI cannot survive one — a lost rank aborts the whole run "
               "(the paper's §7.4 point); drop the chaos flags or use "
               "--engine mapreduce");
+  MRI_REQUIRE(!(cli.get_string("topology", "flat") != "flat" &&
+                engine == "scalapack"),
+              "--topology racked models DFS and shuffle flows, which "
+              "--engine scalapack never produces; drop --topology or use "
+              "--engine mapreduce (or auto)");
 
   Matrix a;
   if (cli.has("generate")) {
@@ -274,6 +312,8 @@ int main(int argc, char** argv) {
                  "[--output Ainv.txt] [--nodes N] [--nb N]\n"
                  "       [--engine auto|mapreduce|scalapack] [--spark] "
                  "[--overlap]\n"
+                 "       [--topology flat|racked] [--racks N] [--oversub X] "
+                 "[--rack-aware 0|1]\n"
                  "       [--kill-node id@t[,id@t...]] [--chaos-seed N] "
                  "[--chaos-mtbf S]\n"
                  "       mrinvert_cli --serve requests.trace "
@@ -285,6 +325,7 @@ int main(int argc, char** argv) {
   MetricsRegistry metrics;
   Cluster cluster(nodes, CostModel::ec2_medium());
   dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  attach_topology(cli, &cluster, &fs);
   ThreadPool pool(4);
   std::unique_ptr<ChaosEngine> chaos = build_chaos_engine(cli, nodes);
   if (chaos) fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth);

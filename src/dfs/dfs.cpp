@@ -5,8 +5,22 @@
 
 #include "common/error.hpp"
 #include "dfs/path.hpp"
+#include "net/flow_sim.hpp"
 
 namespace mri::dfs {
+
+namespace {
+thread_local TransferLog* t_transfer_log = nullptr;
+}  // namespace
+
+TransferLog* current_transfer_log() { return t_transfer_log; }
+
+ScopedTransferLog::ScopedTransferLog(int node) : previous_(t_transfer_log) {
+  log_.node = node;
+  t_transfer_log = &log_;
+}
+
+ScopedTransferLog::~ScopedTransferLog() { t_transfer_log = previous_; }
 
 Dfs::Dfs(int num_datanodes, DfsConfig config, MetricsRegistry* metrics)
     : config_(config), metrics_(metrics) {
@@ -19,6 +33,19 @@ Dfs::Dfs(int num_datanodes, DfsConfig config, MetricsRegistry* metrics)
   }
   dead_.assign(static_cast<std::size_t>(num_datanodes), false);
   read_errors_.assign(static_cast<std::size_t>(num_datanodes), 0);
+}
+
+void Dfs::set_topology(std::shared_ptr<const net::Topology> topology) {
+  MRI_REQUIRE(topology == nullptr || !topology->racked() ||
+                  topology->num_hosts() == num_datanodes(),
+              "topology has " << topology->num_hosts() << " hosts but the DFS "
+                              << "has " << num_datanodes() << " datanodes");
+  topology_ = std::move(topology);
+}
+
+bool Dfs::racked_topology() const {
+  return topology_ != nullptr && topology_->racked() &&
+         topology_->num_hosts() == num_datanodes();
 }
 
 void Dfs::remove(const std::string& path, bool recursive) {
@@ -119,6 +146,21 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     base *= 1099511628211ull;
   }
 
+  // Rack-aware placement (HDFS default policy) and pipeline transfer
+  // recording only apply under a racked topology; the flat path below stays
+  // byte-for-byte what it always was.
+  const bool racked = racked_topology() && tier == StorageTier::kDisk;
+  const net::Topology* topo = racked ? topology_.get() : nullptr;
+  const bool rack_aware =
+      topo != nullptr && topo->options().rack_aware_placement;
+  TransferLog* log = racked ? current_transfer_log() : nullptr;
+  const int writer =
+      (log != nullptr && log->node >= 0 && log->node < num_datanodes())
+          ? log->node
+          : -1;
+  const bool writer_alive =
+      writer >= 0 && std::find(live.begin(), live.end(), writer) != live.end();
+
   std::vector<BlockLocation> locations;
   std::size_t offset = 0;
   // Split into blocks; zero-length files get zero blocks.
@@ -131,10 +173,64 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     loc.id = next_block_id_.fetch_add(1);
     loc.length = len;
     ++base;
-    for (int r = 0; r < repl; ++r) {
-      loc.replicas.push_back(
-          live[static_cast<std::size_t>(
-              (base + static_cast<std::uint64_t>(r)) % live.size())]);
+    if (rack_aware) {
+      // HDFS default policy: first replica on the writer (every client is a
+      // datanode here), second rack-local, third off-rack. Hash-pick within
+      // each candidate set so the layout stays a deterministic function of
+      // the path; fall back to any unused live node when a set is empty
+      // (single-rack clusters, mostly-dead racks).
+      const auto taken = [&loc](int n) {
+        return std::find(loc.replicas.begin(), loc.replicas.end(), n) !=
+               loc.replicas.end();
+      };
+      const auto pick = [&](const auto& eligible, std::uint64_t h) {
+        std::vector<int> cand;
+        for (int n : live) {
+          if (!taken(n) && eligible(n)) cand.push_back(n);
+        }
+        if (cand.empty()) {
+          for (int n : live) {
+            if (!taken(n)) cand.push_back(n);
+          }
+        }
+        MRI_CHECK(!cand.empty());
+        return cand[static_cast<std::size_t>(h % cand.size())];
+      };
+      const int first =
+          writer_alive ? writer
+                       : live[static_cast<std::size_t>(base % live.size())];
+      loc.replicas.push_back(first);
+      const int home_rack = topo->rack_of(first);
+      if (repl >= 2) {
+        loc.replicas.push_back(pick(
+            [&](int n) { return topo->rack_of(n) == home_rack; }, base + 1));
+      }
+      for (int r = 2; r < repl; ++r) {
+        loc.replicas.push_back(
+            pick([&](int n) { return topo->rack_of(n) != home_rack; },
+                 base + static_cast<std::uint64_t>(r)));
+      }
+    } else {
+      for (int r = 0; r < repl; ++r) {
+        loc.replicas.push_back(
+            live[static_cast<std::size_t>(
+                (base + static_cast<std::uint64_t>(r)) % live.size())]);
+      }
+    }
+    if (log != nullptr) {
+      // The write pipeline: the writer streams to the first replica, which
+      // forwards to the second, and so on. Without rack awareness the first
+      // replica usually isn't the writer's node — that extra hop is real
+      // network traffic the rack-aware policy exists to remove.
+      if (writer >= 0 && writer != loc.replicas.front()) {
+        log->transfers.push_back(net::Transfer{
+            writer, loc.replicas.front(), len, net::TransferKind::kWrite});
+      }
+      for (std::size_t r = 1; r < loc.replicas.size(); ++r) {
+        log->transfers.push_back(net::Transfer{loc.replicas[r - 1],
+                                               loc.replicas[r], len,
+                                               net::TransferKind::kWrite});
+      }
     }
     BlockData shared = payload;
     for (int node : loc.replicas) {
@@ -162,12 +258,15 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
 // ---------------------------------------------------------------------------
 // Reader
 
-Dfs::Reader::Reader(std::vector<BlockData> blocks, std::uint64_t size,
-                    IoStats* account, MetricsRegistry* metrics)
+Dfs::Reader::Reader(std::vector<BlockData> blocks, std::vector<int> sources,
+                    std::uint64_t size, IoStats* account,
+                    MetricsRegistry* metrics, bool record_transfers)
     : blocks_(std::move(blocks)),
+      sources_(std::move(sources)),
       size_(size),
       account_(account),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      record_transfers_(record_transfers) {}
 
 void Dfs::Reader::account(std::uint64_t bytes) {
   IoStats io;
@@ -178,12 +277,22 @@ void Dfs::Reader::account(std::uint64_t bytes) {
 }
 
 std::size_t Dfs::Reader::read(std::span<std::byte> dst) {
+  TransferLog* log = record_transfers_ ? current_transfer_log() : nullptr;
   std::size_t copied = 0;
   while (copied < dst.size() && position_ < size_) {
     const auto& block = *blocks_[block_index_];
     const std::size_t in_block = block.size() - block_offset_;
     const std::size_t want = std::min(dst.size() - copied, in_block);
     std::memcpy(dst.data() + copied, block.data() + block_offset_, want);
+    if (log != nullptr && want > 0 && sources_[block_index_] >= 0) {
+      // One transfer per (block, read) chunk: bytes flow from the replica
+      // this block was opened from to the reading task's node. The flow
+      // scheduler coalesces per endpoint pair; node-local chunks stay in
+      // the log too (they are disk traffic, charged at disk bandwidth).
+      log->transfers.push_back(net::Transfer{sources_[block_index_],
+                                             log->node, want,
+                                             net::TransferKind::kRead});
+    }
     copied += want;
     block_offset_ += want;
     position_ += want;
@@ -255,8 +364,9 @@ void Dfs::Reader::seek(std::uint64_t offset) {
   position_ = offset;
 }
 
-BlockData Dfs::read_replica(const BlockLocation& loc,
-                            const std::string& path) const {
+BlockData Dfs::read_replica(const BlockLocation& loc, const std::string& path,
+                            int* source) const {
+  if (source != nullptr) *source = -1;
   if (loc.replicas.empty()) {
     // Every replica died with its datanode (namenode repair keeps the block
     // registered precisely so this read fails fast and loudly).
@@ -264,11 +374,29 @@ BlockData Dfs::read_replica(const BlockLocation& loc,
         "block " + std::to_string(loc.id) + " of " + path +
         ": all replicas lost to dead datanodes; the data is unrecoverable");
   }
+  // Under a rack-aware topology HDFS reads the closest replica: node-local
+  // first, then rack-local, then anything live. The flat model keeps the
+  // placement order (bit-identical failover behaviour).
+  std::vector<int> order(loc.replicas.begin(), loc.replicas.end());
+  if (racked_topology() && topology_->options().rack_aware_placement) {
+    const TransferLog* log = current_transfer_log();
+    if (log != nullptr && log->node >= 0 && log->node < num_datanodes()) {
+      const int me = log->node;
+      const int my_rack = topology_->rack_of(me);
+      const auto distance = [&](int n) {
+        if (n == me) return 0;
+        return topology_->rack_of(n) == my_rack ? 1 : 2;
+      };
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return distance(a) < distance(b);
+      });
+    }
+  }
   int chosen = -1;
   int failed_over = 0;
   {
     std::lock_guard<std::mutex> lock(chaos_mu_);
-    for (int r : loc.replicas) {
+    for (int r : order) {
       const auto idx = static_cast<std::size_t>(r);
       if (dead_[idx]) continue;  // stale entry from an in-flight kill
       if (read_errors_[idx] > 0) {
@@ -294,19 +422,25 @@ BlockData Dfs::read_replica(const BlockLocation& loc,
     metrics_->increment("dfs_read_errors_survived",
                         static_cast<std::uint64_t>(failed_over));
   }
+  if (source != nullptr) *source = chosen;
   return datanodes_[static_cast<std::size_t>(chosen)]->get(loc.id);
 }
 
 Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
   const auto blocks = namenode_.file_blocks(path);
   std::vector<BlockData> data;
+  std::vector<int> sources;
   data.reserve(blocks.size());
+  sources.reserve(blocks.size());
   std::uint64_t size = 0;
   for (const auto& loc : blocks) {
-    data.push_back(read_replica(loc, path));
+    int src = -1;
+    data.push_back(read_replica(loc, path, &src));
+    sources.push_back(src);
     size += loc.length;
   }
-  return Reader(std::move(data), size, account, metrics_);
+  return Reader(std::move(data), std::move(sources), size, account, metrics_,
+                racked_topology());
 }
 
 // ---------------------------------------------------------------------------
@@ -324,8 +458,12 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
 
   // Re-replication target choice: the smallest-id live node not already
   // holding the block — deterministic, so same-seed runs place identical
-  // repair copies.
-  const auto replicate = [this](const BlockLocation& loc) -> int {
+  // repair copies. Under a rack-aware topology, prefer a target in the
+  // source replica's rack (keeps the copy close, like HDFS's rack-aware
+  // re-replication); the transfers are collected and flow-simulated below.
+  const net::Topology* topo = racked_topology() ? topology_.get() : nullptr;
+  std::vector<net::Transfer> repairs;
+  const auto replicate = [this, topo, &repairs](const BlockLocation& loc) -> int {
     int source = -1;
     int target = -1;
     {
@@ -337,19 +475,33 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
         }
       }
       if (source < 0) return -1;
+      const int source_rack =
+          (topo != nullptr && topo->options().rack_aware_placement)
+              ? topo->rack_of(source)
+              : -1;
+      int fallback = -1;
       for (std::size_t i = 0; i < dead_.size(); ++i) {
         if (dead_[i]) continue;
         const int candidate = static_cast<int>(i);
-        if (std::find(loc.replicas.begin(), loc.replicas.end(), candidate) ==
+        if (std::find(loc.replicas.begin(), loc.replicas.end(), candidate) !=
             loc.replicas.end()) {
+          continue;
+        }
+        if (fallback < 0) fallback = candidate;
+        if (source_rack < 0 || topo->rack_of(candidate) == source_rack) {
           target = candidate;
           break;
         }
       }
+      if (target < 0) target = fallback;
     }
     if (target < 0) return -1;
     datanodes_[static_cast<std::size_t>(target)]->put(
         loc.id, datanodes_[static_cast<std::size_t>(source)]->get(loc.id));
+    if (topo != nullptr) {
+      repairs.push_back(net::Transfer{source, target, loc.length,
+                                      net::TransferKind::kRepair});
+    }
     return target;
   };
 
@@ -361,6 +513,17 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
   out.re_replicated_bytes = repaired.re_replicated_bytes;
   out.re_replicated_blocks = repaired.re_replicated_blocks;
   out.blocks_lost = repaired.blocks_lost;
+  if (topo != nullptr && !repairs.empty()) {
+    // All repair streams start together when the loss is detected; their
+    // contended makespan on the racked fabric replaces the scalar
+    // bytes/bandwidth estimate the chaos engine would otherwise use.
+    std::vector<net::Flow> flows;
+    flows.reserve(repairs.size());
+    for (const net::Transfer& t : repairs) {
+      flows.push_back(net::Flow{t.src, t.dst, t.bytes, 0.0, -1});
+    }
+    out.re_replication_seconds = net::simulate_flows(*topo, flows).end_time;
+  }
 
   if (metrics_ != nullptr) {
     // Background datanode-to-datanode traffic (HDFS re-replication is not a

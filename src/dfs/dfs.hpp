@@ -25,10 +25,42 @@
 #include "dfs/block.hpp"
 #include "dfs/datanode.hpp"
 #include "dfs/namenode.hpp"
+#include "net/topology.hpp"
 #include "sim/chaos.hpp"
 #include "sim/metrics.hpp"
 
 namespace mri::dfs {
+
+/// Per-thread transfer recording for the flow-level network model. While a
+/// ScopedTransferLog is installed on a thread (the MapReduce runtime wraps
+/// each task body in one), every DFS read and write the thread performs
+/// appends the network transfers it implies — endpoints and bytes — so the
+/// scheduler can charge them through the flow simulator. Recording only
+/// happens when the Dfs has a racked topology; otherwise logs stay empty
+/// and the scalar accounting is untouched.
+struct TransferLog {
+  int node = -1;  // cluster node the logging task is pinned to
+  std::vector<net::Transfer> transfers;
+};
+
+/// RAII installer of the calling thread's TransferLog; restores the
+/// previous log on destruction, so nesting is safe.
+class ScopedTransferLog {
+ public:
+  explicit ScopedTransferLog(int node);
+  ~ScopedTransferLog();
+  ScopedTransferLog(const ScopedTransferLog&) = delete;
+  ScopedTransferLog& operator=(const ScopedTransferLog&) = delete;
+
+  TransferLog& log() { return log_; }
+
+ private:
+  TransferLog log_;
+  TransferLog* previous_;
+};
+
+/// The calling thread's installed TransferLog, or null when none is active.
+TransferLog* current_transfer_log();
 
 struct DfsConfig {
   std::size_t block_size = 64ull << 20;  // 64 MB, the Hadoop 1.x default
@@ -48,6 +80,19 @@ class Dfs {
 
   const DfsConfig& config() const { return config_; }
   int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+
+  /// Attaches a network topology. A racked topology with rack-aware
+  /// placement switches block placement to the HDFS default policy (first
+  /// replica on the writer's node, second rack-local, third off-rack), makes
+  /// reads prefer the closest live replica (node-local, then rack-local),
+  /// and routes re-replication repair traffic through the flow simulator.
+  /// Null or a flat topology keeps the original hash placement bit-
+  /// identically. Hand the same topology to the Cluster so the scheduler's
+  /// flow charging sees the endpoints recorded here.
+  void set_topology(std::shared_ptr<const net::Topology> topology);
+  const std::shared_ptr<const net::Topology>& topology() const {
+    return topology_;
+  }
 
   // -- namespace ----------------------------------------------------------
   void mkdirs(const std::string& path) { namenode_.mkdirs(path); }
@@ -124,17 +169,22 @@ class Dfs {
 
    private:
     friend class Dfs;
-    Reader(std::vector<BlockData> blocks, std::uint64_t size, IoStats* account,
-           MetricsRegistry* metrics);
+    Reader(std::vector<BlockData> blocks, std::vector<int> sources,
+           std::uint64_t size, IoStats* account, MetricsRegistry* metrics,
+           bool record_transfers);
     void account(std::uint64_t bytes);
 
     std::vector<BlockData> blocks_;
+    /// Datanode each block was read from (parallel to blocks_); feeds the
+    /// per-thread TransferLog when the topology is racked.
+    std::vector<int> sources_;
     std::uint64_t size_;
     std::uint64_t position_ = 0;
     std::size_t block_index_ = 0;
     std::uint64_t block_offset_ = 0;
     IoStats* account_;
     MetricsRegistry* metrics_;
+    bool record_transfers_;
   };
 
   Writer create(const std::string& path, IoStats* account = nullptr,
@@ -185,12 +235,19 @@ class Dfs {
               bool overwrite, IoStats* account, StorageTier tier);
 
   /// Picks the replica a read of `loc` uses: the first live replica whose
-  /// read-error budget is exhausted. Throws UnrecoverableBlock when every
-  /// replica is dead, DfsError when only injected-error copies remain.
-  BlockData read_replica(const BlockLocation& loc,
-                         const std::string& path) const;
+  /// read-error budget is exhausted, trying closest replicas first under a
+  /// rack-aware topology. Throws UnrecoverableBlock when every replica is
+  /// dead, DfsError when only injected-error copies remain. `source` (may
+  /// be null) receives the chosen datanode.
+  BlockData read_replica(const BlockLocation& loc, const std::string& path,
+                         int* source) const;
+
+  /// True when the attached topology is racked and sized for this DFS —
+  /// the gate for transfer recording and rack-aware behaviour.
+  bool racked_topology() const;
 
   DfsConfig config_;
+  std::shared_ptr<const net::Topology> topology_;
   MetricsRegistry* metrics_;
   NameNode namenode_;
   std::vector<std::unique_ptr<DataNode>> datanodes_;

@@ -12,6 +12,7 @@
 
 #include "dfs/dfs.hpp"
 #include "mapreduce/types.hpp"
+#include "net/topology.hpp"
 #include "sim/io_stats.hpp"
 
 namespace mri::mr {
@@ -25,7 +26,8 @@ class TaskContext {
         node_(node),
         num_map_tasks_(num_map_tasks),
         num_reduce_tasks_(num_reduce_tasks),
-        cluster_size_(cluster_size) {}
+        cluster_size_(cluster_size),
+        transfer_log_(node) {}
 
   TaskContext(const TaskContext&) = delete;
   TaskContext& operator=(const TaskContext&) = delete;
@@ -58,6 +60,16 @@ class TaskContext {
   const std::vector<KeyValue>& emitted() const { return emitted_; }
   std::vector<KeyValue> take_emitted() { return std::move(emitted_); }
 
+  /// Network transfers this task's DFS traffic implied (recorded only while
+  /// the filesystem has a racked topology; empty otherwise). The runtime
+  /// moves these into the scheduler attempt so flows get charged through
+  /// the network simulator. The context installs the log for its own
+  /// lifetime, which is exactly the task body — tasks run wholly on one
+  /// pool thread.
+  std::vector<net::Transfer> take_transfers() {
+    return std::move(transfer_log_.log().transfers);
+  }
+
  private:
   dfs::Dfs* fs_;
   int task_index_;
@@ -67,6 +79,7 @@ class TaskContext {
   int cluster_size_;
   IoStats io_;
   std::vector<KeyValue> emitted_;
+  dfs::ScopedTransferLog transfer_log_;
 };
 
 }  // namespace mri::mr

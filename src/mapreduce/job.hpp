@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mapreduce/context.hpp"
+#include "net/flow_sim.hpp"
 #include "sim/io_stats.hpp"
 #include "sim/trace.hpp"
 
@@ -83,6 +84,18 @@ struct JobResult {
   /// Per-attempt timelines from the scheduler (phase-relative seconds).
   std::vector<TaskTraceEvent> map_trace;
   std::vector<TaskTraceEvent> reduce_trace;
+  /// Flow-level network accounting, filled only when a racked topology is
+  /// attached to the cluster (empty/zero on flat runs). Link loads are
+  /// indexed by Topology link id; recovery waves fold into the map phase.
+  std::vector<net::LinkLoad> map_link_loads;
+  std::vector<net::LinkLoad> reduce_link_loads;
+  /// Recorded DFS/shuffle bytes split by how far they travelled.
+  std::uint64_t net_node_local_bytes = 0;
+  std::uint64_t net_rack_local_bytes = 0;
+  std::uint64_t net_cross_rack_bytes = 0;
+  /// Attempts dispatched inside (or outside) their task's home rack.
+  int rack_local_attempts = 0;
+  int cross_rack_attempts = 0;
   /// Run-relative start of this job on its pipeline's timeline (stamped by
   /// Pipeline::run; 0 for a job run outside a pipeline).
   double start_seconds = 0.0;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "mapreduce/scheduler.hpp"
 #include "mapreduce/shuffle.hpp"
+#include "net/topology.hpp"
 
 namespace mri::mr {
 
@@ -27,7 +29,8 @@ namespace {
 std::vector<Attempt> attempts_for(FailureInjector* failures,
                                   ChaosEngine* chaos, const std::string& job,
                                   int task, bool map_task,
-                                  const IoStats& success_io) {
+                                  const IoStats& success_io,
+                                  std::vector<net::Transfer> transfers) {
   std::vector<Attempt> attempts;
   int a = 0;
   const auto injected = [&](int attempt) {
@@ -42,11 +45,33 @@ std::vector<Attempt> attempts_for(FailureInjector* failures,
     ghost.io.mults = success_io.mults;
     ghost.io.adds = success_io.adds;
     ghost.failed = true;
+    // A ghost died before committing: it consumed the reads but none of the
+    // writes, so only the read transfers feed the flow model.
+    for (const net::Transfer& t : transfers) {
+      if (t.kind == net::TransferKind::kRead) ghost.transfers.push_back(t);
+    }
     attempts.push_back(ghost);
     ++a;
   }
-  attempts.push_back(Attempt{success_io, false});
+  Attempt success;
+  success.io = success_io;
+  success.transfers = std::move(transfers);
+  attempts.push_back(std::move(success));
   return attempts;
+}
+
+/// Folds one phase's per-link loads into a job-level accumulator (bytes and
+/// busy time add; peak utilization takes the max).
+void merge_link_loads(std::vector<net::LinkLoad>* into,
+                      const std::vector<net::LinkLoad>& from) {
+  if (from.empty()) return;
+  if (into->size() < from.size()) into->resize(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    (*into)[i].bytes += from[i].bytes;
+    (*into)[i].busy_seconds += from[i].busy_seconds;
+    (*into)[i].peak_utilization =
+        std::max((*into)[i].peak_utilization, from[i].peak_utilization);
+  }
 }
 
 }  // namespace
@@ -77,6 +102,8 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
   std::vector<IoStats> map_io(static_cast<std::size_t>(num_maps));
   std::vector<std::vector<KeyValue>> map_outputs(
       static_cast<std::size_t>(num_maps));
+  std::vector<std::vector<net::Transfer>> map_transfers(
+      static_cast<std::size_t>(num_maps));
 
   try {
     pool_->parallel_for(static_cast<std::size_t>(num_maps), [&](std::size_t t) {
@@ -90,6 +117,7 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
       mapper->map(task, input, ctx);
       map_io[t] = ctx.io();
       map_outputs[t] = ctx.take_emitted();
+      map_transfers[t] = ctx.take_transfers();
     });
   } catch (const Error& e) {
     throw JobError("map phase of job '" + spec.name + "' failed: " + e.what());
@@ -99,7 +127,8 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
   for (int t = 0; t < num_maps; ++t) {
     executed.map_attempts.push_back(
         attempts_for(failures_, chaos_, spec.name, t, true,
-                     map_io[static_cast<std::size_t>(t)]));
+                     map_io[static_cast<std::size_t>(t)],
+                     std::move(map_transfers[static_cast<std::size_t>(t)])));
   }
   for (const auto& task_attempts : executed.map_attempts) {
     for (const auto& attempt : task_attempts) {
@@ -122,6 +151,8 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
 
     const int num_reduces = spec.num_reduce_tasks;
     std::vector<IoStats> reduce_io(static_cast<std::size_t>(num_reduces));
+    std::vector<std::vector<net::Transfer>> reduce_transfers(
+        static_cast<std::size_t>(num_reduces));
     try {
       pool_->parallel_for(
           static_cast<std::size_t>(num_reduces), [&](std::size_t r) {
@@ -134,17 +165,42 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
               reducer->reduce(key, values, ctx);
             }
             reduce_io[r] = ctx.io();
+            reduce_transfers[r] = ctx.take_transfers();
           });
     } catch (const Error& e) {
       throw JobError("reduce phase of job '" + spec.name +
                      "' failed: " + e.what());
     }
 
+    // Under a racked topology each reducer's shuffle fetches become network
+    // flows: one transfer per remote map node it pulls partitions from.
+    // (Node-local fetches read from local disk and stay off the network,
+    // matching the scalar local/remote split above.)
+    {
+      const net::Topology* topo = cluster_->topology().get();
+      if (topo != nullptr && topo->racked() &&
+          topo->num_hosts() == cluster_->size()) {
+        for (int r = 0; r < num_reduces; ++r) {
+          const int reduce_node = r % cluster_->size();
+          for (const auto& [map_node, bytes] :
+               shuffled.fetch_sources[static_cast<std::size_t>(r)]) {
+            if (map_node == reduce_node || map_node < 0 || bytes == 0) {
+              continue;
+            }
+            reduce_transfers[static_cast<std::size_t>(r)].push_back(
+                net::Transfer{map_node, reduce_node, bytes,
+                              net::TransferKind::kShuffle});
+          }
+        }
+      }
+    }
+
     executed.reduce_attempts.reserve(static_cast<std::size_t>(num_reduces));
     for (int r = 0; r < num_reduces; ++r) {
-      executed.reduce_attempts.push_back(
-          attempts_for(failures_, chaos_, spec.name, r, false,
-                       reduce_io[static_cast<std::size_t>(r)]));
+      executed.reduce_attempts.push_back(attempts_for(
+          failures_, chaos_, spec.name, r, false,
+          reduce_io[static_cast<std::size_t>(r)],
+          std::move(reduce_transfers[static_cast<std::size_t>(r)])));
     }
     for (const auto& task_attempts : executed.reduce_attempts) {
       for (const auto& attempt : task_attempts) {
@@ -216,6 +272,12 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
     result.io += s.chaos_io;
     result.recovery_io += s.chaos_io;
     result.chaos_attempts_killed += s.chaos_attempts_killed;
+    // Flow-level network accounting (all zero on flat runs).
+    result.net_node_local_bytes += s.net_node_local_bytes;
+    result.net_rack_local_bytes += s.net_rack_local_bytes;
+    result.net_cross_rack_bytes += s.net_cross_rack_bytes;
+    result.rack_local_attempts += s.rack_local_attempts;
+    result.cross_rack_attempts += s.cross_rack_attempts;
   };
 
   // The map phase starts once the job is launched; the reduce phase once the
@@ -225,6 +287,7 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
   PhaseSchedule map_phase = schedule(executed.map_attempts, map_start, true);
   result.map_phase_seconds = map_phase.duration;
   charge_phase(map_phase);
+  merge_link_loads(&result.map_link_loads, map_phase.link_loads);
   result.map_trace = std::move(map_phase.trace);
 
   if (!executed.reduce_attempts.empty()) {
@@ -282,14 +345,17 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
           std::vector<std::vector<Attempt>> wave;
           wave.reserve(lost.size());
           for (const int t : lost) {
-            wave.push_back({Attempt{
-                executed.map_attempts[static_cast<std::size_t>(t)].back().io,
-                false}});
+            // The re-execution re-does the whole attempt, transfers
+            // included (endpoints stay as originally recorded — a fair
+            // approximation of re-reading the same replicas).
+            wave.push_back(
+                {executed.map_attempts[static_cast<std::size_t>(t)].back()});
           }
           const double wave_start =
               kills[k].at + model.failure_detection_seconds;
           PhaseSchedule wave_phase = schedule(wave, wave_start, true);
           charge_phase(wave_phase);
+          merge_link_loads(&result.map_link_loads, wave_phase.link_loads);
           std::vector<int> wave_attempts(lost.size(), 0);
           for (const TaskTraceEvent& ev : wave_phase.trace) {
             const int task = lost[static_cast<std::size_t>(ev.task)];
@@ -329,12 +395,14 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
           reduce_start - (map_start + result.map_phase_seconds);
       result.reduce_phase_seconds = reduce_phase.duration;
       charge_phase(reduce_phase);
+      merge_link_loads(&result.reduce_link_loads, reduce_phase.link_loads);
       result.reduce_trace = std::move(reduce_phase.trace);
     } else {
       PhaseSchedule reduce_phase =
           schedule(executed.reduce_attempts, reduce_start, true);
       result.reduce_phase_seconds = reduce_phase.duration;
       charge_phase(reduce_phase);
+      merge_link_loads(&result.reduce_link_loads, reduce_phase.link_loads);
       result.reduce_trace = std::move(reduce_phase.trace);
     }
   }

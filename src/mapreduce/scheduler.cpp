@@ -4,10 +4,14 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
 #include <queue>
+#include <set>
 #include <tuple>
+#include <utility>
 
 #include "common/error.hpp"
+#include "net/topology.hpp"
 
 namespace mri::mr {
 
@@ -132,7 +136,8 @@ PhaseSchedule schedule_phase(
              std::tie(other.free_time, other.node, other.id);
     }
   };
-  const int slots_per_node = cluster.cost_model().slots_per_node;
+  const CostModel& model = cluster.cost_model();
+  const int slots_per_node = model.slots_per_node;
   MRI_REQUIRE(slot_busy_until == nullptr ||
                   static_cast<int>(slot_busy_until->size()) >=
                       cluster.size() * slots_per_node,
@@ -171,40 +176,92 @@ PhaseSchedule schedule_phase(
     return speed;
   };
 
-  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
-  // Slots a fair-share lease withholds (busy offset of infinity) never enter
-  // the heap — this phase schedules as if they did not exist — and neither
-  // do slots of nodes that die before the slot would first free up.
-  std::vector<int> slots_on_node(static_cast<std::size_t>(cluster.size()), 0);
-  int live_slots = 0;
-  for (int node = 0; node < cluster.size(); ++node) {
-    for (int s = 0; s < slots_per_node; ++s) {
-      const int id = node * slots_per_node + s;
-      const double busy =
-          slot_busy_until != nullptr
-              ? (*slot_busy_until)[static_cast<std::size_t>(id)]
-              : 0.0;
-      if (std::isinf(busy)) continue;
-      if (kill_at[static_cast<std::size_t>(node)] <= busy) continue;
-      slots.push(Slot{busy, node, id});
-      ++slots_on_node[static_cast<std::size_t>(node)];
-      ++live_slots;
+  // -- flow-level network model (racked topologies only) -------------------
+  const net::Topology* topo = cluster.topology().get();
+  const bool racked = topo != nullptr && topo->racked() &&
+                      topo->num_hosts() == cluster.size();
+  const bool rack_aware = racked && topo->options().rack_aware_placement;
+
+  // Decompose every attempt's recorded transfers once: local/remote byte
+  // splits for the scalar leftovers, plus the attempt's flow set (coalesced
+  // per endpoint pair) and its uncontended (standalone) makespan.
+  struct AttemptNet {
+    std::uint64_t local_read = 0;  // same-node kRead bytes
+    std::uint64_t net_read = 0;    // cross-node kRead bytes
+    std::uint64_t net_write = 0;   // cross-node kWrite/kRepair bytes
+    std::vector<net::Flow> flows;  // coalesced by (src, dst), start = 0
+    double standalone = 0.0;       // makespan of `flows` run alone
+  };
+  std::vector<std::vector<AttemptNet>> nets;
+  bool any_flows = false;
+  if (racked) {
+    nets.resize(attempts_per_task.size());
+    for (std::size_t t = 0; t < attempts_per_task.size(); ++t) {
+      nets[t].resize(attempts_per_task[t].size());
+      for (std::size_t d = 0; d < attempts_per_task[t].size(); ++d) {
+        AttemptNet& n = nets[t][d];
+        std::map<std::pair<int, int>, std::uint64_t> by_pair;
+        for (const net::Transfer& tr : attempts_per_task[t][d].transfers) {
+          if (tr.bytes == 0) continue;
+          const bool crosses = tr.src >= 0 && tr.dst >= 0 && tr.src != tr.dst;
+          switch (tr.kind) {
+            case net::TransferKind::kRead:
+              (crosses ? n.net_read : n.local_read) += tr.bytes;
+              break;
+            case net::TransferKind::kWrite:
+            case net::TransferKind::kRepair:
+              if (crosses) n.net_write += tr.bytes;
+              break;
+            case net::TransferKind::kShuffle:
+              // Pure network time on top of the scalar terms (the scalar
+              // model never charged shuffle fetches to the task).
+              break;
+          }
+          if (crosses) by_pair[{tr.src, tr.dst}] += tr.bytes;
+        }
+        for (const auto& [pair, bytes] : by_pair) {
+          n.flows.push_back(
+              net::Flow{pair.first, pair.second, bytes, 0.0, -1});
+        }
+        if (!n.flows.empty()) {
+          n.standalone = net::simulate_flows(*topo, n.flows).end_time;
+          any_flows = true;
+        }
+      }
     }
   }
-  MRI_REQUIRE(live_slots > 0,
-              "no usable slots for this phase (every slot is withheld by the "
-              "fair-share lease or its node is dead); give the tenant a share "
-              "of the pool or keep at least one node alive");
-  // A failed attempt takes its whole node down (§7.4), not just the slot it
-  // ran on. Dead nodes' remaining slots stay in the heap and are discarded
-  // lazily when popped.
-  std::vector<bool> node_dead(static_cast<std::size_t>(cluster.size()), false);
-  const auto lose_node = [&](int node) {
-    if (node_dead[static_cast<std::size_t>(node)]) return;
-    node_dead[static_cast<std::size_t>(node)] = true;
-    live_slots -= slots_on_node[static_cast<std::size_t>(node)];
-    ++out.nodes_lost;
+
+  // Racked duration of one attempt: the scalar cost with the network terms
+  // carved out. Recorded transfers are charged as flows (`flow_seconds`);
+  // bytes with no recorded endpoints — ghost attempts carry only reads, and
+  // some master-side attribution lands on task IoStats — keep the scalar
+  // network charge. Attempts with no transfers at all cost exactly the
+  // scalar task_seconds.
+  const auto racked_seconds = [&](const Attempt& a, const AttemptNet& n,
+                                  double speed, double flow_seconds) {
+    if (a.transfers.empty()) return model.task_seconds(a.io, speed);
+    double t = model.task_overhead_seconds;
+    t += static_cast<double>(a.io.flops()) /
+         (model.flops_per_second * speed);
+    const std::uint64_t covered_read = n.local_read + n.net_read;
+    const std::uint64_t leftover_read =
+        a.io.bytes_read > covered_read ? a.io.bytes_read - covered_read : 0;
+    const std::uint64_t leftover_repl =
+        a.io.bytes_replicated > n.net_write
+            ? a.io.bytes_replicated - n.net_write
+            : 0;
+    t += static_cast<double>(n.local_read) / model.disk_bandwidth;
+    t += static_cast<double>(leftover_read) / model.network_bandwidth;
+    t += static_cast<double>(a.io.bytes_written) / model.disk_bandwidth;
+    t += static_cast<double>(leftover_repl) / model.network_bandwidth;
+    t += static_cast<double>(a.io.bytes_written_memory) /
+         model.memory_bandwidth;
+    t += flow_seconds;
+    return t;
   };
+
+  // Contended flow seconds per (task, data_index), filled between passes.
+  std::map<std::pair<int, int>, double> contended;
 
   struct Pending {
     int task;
@@ -213,95 +270,276 @@ PhaseSchedule schedule_phase(
                      // data entry under a fresh attempt number)
     double ready_time;  // failure-detection time for retries, 0 for fresh
   };
-  std::deque<Pending> queue;
-  for (std::size_t t = 0; t < attempts_per_task.size(); ++t) {
-    MRI_REQUIRE(!attempts_per_task[t].empty(),
-                "task " << t << " has no attempts");
-    queue.push_back(Pending{static_cast<int>(t), 0, 0, 0.0});
-  }
+  struct Placement {
+    int task;
+    int data_index;
+    int node;
+    double start;
+  };
+  struct PassState {
+    PhaseSchedule sched;
+    std::vector<TaskRecord> records;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> slots;
+    std::vector<bool> node_dead;
+    std::vector<Placement> placements;  // racked only, in placement order
+  };
 
-  std::vector<TaskRecord> records(attempts_per_task.size());
+  // One greedy FIFO pass over the phase — the original scalar loop,
+  // parameterized by the duration model. Racked runs take it twice: first
+  // with standalone flow times (to learn attempt starts), then with the
+  // contended times from the global flow simulation.
+  const auto run_pass = [&](bool use_contended) {
+    PassState st;
+    PhaseSchedule& o = st.sched;
 
-  while (!queue.empty()) {
-    Pending p = queue.front();
-    queue.pop_front();
-    MRI_CHECK_MSG(live_slots > 0,
-                  "all slots lost to failures; phase cannot finish");
-    Slot slot;
-    do {
-      MRI_CHECK_MSG(!slots.empty(),
+    // Slots a fair-share lease withholds (busy offset of infinity) never
+    // enter the heap — this phase schedules as if they did not exist — and
+    // neither do slots of nodes that die before the slot would first free
+    // up.
+    std::vector<int> slots_on_node(static_cast<std::size_t>(cluster.size()),
+                                   0);
+    int live_slots = 0;
+    for (int node = 0; node < cluster.size(); ++node) {
+      for (int s = 0; s < slots_per_node; ++s) {
+        const int id = node * slots_per_node + s;
+        const double busy =
+            slot_busy_until != nullptr
+                ? (*slot_busy_until)[static_cast<std::size_t>(id)]
+                : 0.0;
+        if (std::isinf(busy)) continue;
+        if (kill_at[static_cast<std::size_t>(node)] <= busy) continue;
+        st.slots.push(Slot{busy, node, id});
+        ++slots_on_node[static_cast<std::size_t>(node)];
+        ++live_slots;
+      }
+    }
+    MRI_REQUIRE(live_slots > 0,
+                "no usable slots for this phase (every slot is withheld by "
+                "the fair-share lease or its node is dead); give the tenant "
+                "a share of the pool or keep at least one node alive");
+    // A failed attempt takes its whole node down (§7.4), not just the slot
+    // it ran on. Dead nodes' remaining slots stay in the heap and are
+    // discarded lazily when popped.
+    st.node_dead.assign(static_cast<std::size_t>(cluster.size()), false);
+    const auto lose_node = [&](int node) {
+      if (st.node_dead[static_cast<std::size_t>(node)]) return;
+      st.node_dead[static_cast<std::size_t>(node)] = true;
+      live_slots -= slots_on_node[static_cast<std::size_t>(node)];
+      ++o.nodes_lost;
+    };
+
+    std::deque<Pending> queue;
+    for (std::size_t t = 0; t < attempts_per_task.size(); ++t) {
+      MRI_REQUIRE(!attempts_per_task[t].empty(),
+                  "task " << t << " has no attempts");
+      queue.push_back(Pending{static_cast<int>(t), 0, 0, 0.0});
+    }
+
+    st.records.assign(attempts_per_task.size(), TaskRecord{});
+
+    while (!queue.empty()) {
+      Pending p = queue.front();
+      queue.pop_front();
+      MRI_CHECK_MSG(live_slots > 0,
                     "all slots lost to failures; phase cannot finish");
-      slot = slots.top();
-      slots.pop();
-    } while (node_dead[static_cast<std::size_t>(slot.node)]);
+      Slot slot;
+      do {
+        MRI_CHECK_MSG(!st.slots.empty(),
+                      "all slots lost to failures; phase cannot finish");
+        slot = st.slots.top();
+        st.slots.pop();
+      } while (st.node_dead[static_cast<std::size_t>(slot.node)]);
 
-    const double start = std::max(slot.free_time, p.ready_time);
-    const double killed_at = kill_at[static_cast<std::size_t>(slot.node)];
-    if (start >= killed_at) {
-      // The node dies before this placement could begin: drop its slots and
-      // place the attempt elsewhere.
-      lose_node(slot.node);
-      queue.push_front(p);
-      continue;
+      // Rack-preferred dispatch: among live slots free at the same instant,
+      // take one in the task's home rack when there is one. Fresh first
+      // attempts only — retries go wherever a slot is, like the scalar
+      // model.
+      if (rack_aware && p.data_index == 0 && p.attempt == 0) {
+        const int home_rack = topo->rack_of(p.task % cluster.size());
+        if (topo->rack_of(slot.node) != home_rack) {
+          std::vector<Slot> ties;
+          while (!st.slots.empty()) {
+            const Slot s = st.slots.top();
+            if (st.node_dead[static_cast<std::size_t>(s.node)]) {
+              st.slots.pop();
+              continue;
+            }
+            if (s.free_time > slot.free_time) break;
+            st.slots.pop();
+            ties.push_back(s);
+          }
+          for (std::size_t i = 0; i < ties.size(); ++i) {
+            if (topo->rack_of(ties[i].node) == home_rack) {
+              std::swap(slot, ties[i]);
+              break;
+            }
+          }
+          for (const Slot& s : ties) st.slots.push(s);
+        }
+      }
+
+      const double start = std::max(slot.free_time, p.ready_time);
+      const double killed_at = kill_at[static_cast<std::size_t>(slot.node)];
+      if (start >= killed_at) {
+        // The node dies before this placement could begin: drop its slots
+        // and place the attempt elsewhere.
+        lose_node(slot.node);
+        queue.push_front(p);
+        continue;
+      }
+
+      const auto& attempt =
+          attempts_per_task[static_cast<std::size_t>(p.task)]
+                           [static_cast<std::size_t>(p.data_index)];
+      double duration;
+      if (racked) {
+        const AttemptNet& n = nets[static_cast<std::size_t>(p.task)]
+                                  [static_cast<std::size_t>(p.data_index)];
+        double flow_seconds = n.standalone;
+        if (use_contended) {
+          const auto it = contended.find({p.task, p.data_index});
+          if (it != contended.end()) flow_seconds = it->second;
+        }
+        duration = racked_seconds(attempt, n, chaos_speed(slot.node, start),
+                                  flow_seconds);
+      } else {
+        duration =
+            model.task_seconds(attempt.io, chaos_speed(slot.node, start));
+      }
+      double end = start + duration;
+      // The node dies mid-attempt: the attempt is killed at the outage and
+      // retried (same work) once the jobtracker notices, on a surviving
+      // node.
+      const bool chaos_killed = end > killed_at;
+      if (chaos_killed) end = killed_at;
+      o.duration = std::max(o.duration, end);
+      ++o.attempts_run;
+      if (racked) {
+        st.placements.push_back(
+            Placement{p.task, p.data_index, slot.node, start});
+        const int home = p.task % cluster.size();
+        if (topo->rack_of(slot.node) == topo->rack_of(home)) {
+          ++o.rack_local_attempts;
+        } else {
+          ++o.cross_rack_attempts;
+        }
+      }
+
+      TaskTraceEvent ev;
+      ev.task = p.task;
+      ev.attempt = p.attempt;
+      ev.node = slot.node;
+      ev.slot = slot.id;
+      ev.start = start;
+      ev.end = end;
+      ev.failed = attempt.failed || chaos_killed;
+      ev.chaos = chaos_killed;
+      o.trace.push_back(ev);
+
+      if (chaos_killed) {
+        lose_node(slot.node);
+        ++o.chaos_attempts_killed;
+        // The dead attempt's reads and compute were spent for nothing;
+        // charge them in full (the ghost-attempt convention — §7.4's worst
+        // case).
+        o.chaos_io.bytes_read += attempt.io.bytes_read;
+        o.chaos_io.bytes_transferred += attempt.io.bytes_transferred;
+        o.chaos_io.mults += attempt.io.mults;
+        o.chaos_io.adds += attempt.io.adds;
+        queue.push_back(Pending{
+            p.task, p.data_index, p.attempt + 1,
+            killed_at + detect_after[static_cast<std::size_t>(slot.node)]});
+      } else if (attempt.failed) {
+        // The node goes down with the attempt: every slot of the node is
+        // lost for the rest of the phase. The jobtracker only notices after
+        // the task timeout elapses (§7.4: the failed mapper "did not
+        // restart until one of the other mappers finished").
+        lose_node(slot.node);
+        queue.push_back(Pending{p.task, p.data_index + 1, p.attempt + 1,
+                                end + model.failure_detection_seconds});
+      } else {
+        st.slots.push(Slot{end, slot.node, slot.id});
+        TaskRecord& rec = st.records[static_cast<std::size_t>(p.task)];
+        rec.end = end;
+        rec.io = &attempt.io;
+        rec.task = p.task;
+        rec.attempts = p.attempt + 1;
+        rec.trace_index = static_cast<int>(o.trace.size()) - 1;
+      }
     }
+    return st;
+  };
 
-    const auto& attempt =
-        attempts_per_task[static_cast<std::size_t>(p.task)]
-                         [static_cast<std::size_t>(p.data_index)];
-    const double duration = cluster.cost_model().task_seconds(
-        attempt.io, chaos_speed(slot.node, start));
-    double end = start + duration;
-    // The node dies mid-attempt: the attempt is killed at the outage and
-    // retried (same work) once the jobtracker notices, on a surviving node.
-    const bool chaos_killed = end > killed_at;
-    if (chaos_killed) end = killed_at;
-    out.duration = std::max(out.duration, end);
-    ++out.attempts_run;
+  PassState final_pass;
+  if (racked && any_flows) {
+    // Pass A learns where and when every attempt lands with uncontended
+    // flow times; the global simulation then replays every attempt's flows
+    // from its pass-A start to find the contended completion; pass B
+    // re-places with those times. Chaos-retried attempts share one
+    // (task, data_index) flow set — the first placement defines its start.
+    const PassState first = run_pass(false);
+    struct FlowSpan {
+      std::pair<int, int> key;
+      std::size_t first_flow;
+      std::size_t count;
+      double start;
+    };
+    std::vector<net::Flow> flows;
+    std::vector<FlowSpan> spans;
+    std::set<std::pair<int, int>> seen;
+    for (const Placement& pl : first.placements) {
+      const auto key = std::make_pair(pl.task, pl.data_index);
+      if (!seen.insert(key).second) continue;
+      const AttemptNet& n = nets[static_cast<std::size_t>(pl.task)]
+                                [static_cast<std::size_t>(pl.data_index)];
+      if (n.flows.empty()) continue;
+      spans.push_back(FlowSpan{key, flows.size(), n.flows.size(), pl.start});
+      for (const net::Flow& f : n.flows) {
+        flows.push_back(net::Flow{f.src, f.dst, f.bytes, pl.start, -1});
+      }
+    }
+    const net::FlowSimResult sim = net::simulate_flows(*topo, flows);
+    for (const FlowSpan& s : spans) {
+      double finish = s.start;
+      for (std::size_t i = 0; i < s.count; ++i) {
+        finish = std::max(finish, sim.finish[s.first_flow + i]);
+      }
+      contended[s.key] = finish - s.start;
+    }
+    final_pass = run_pass(true);
+    final_pass.sched.link_loads = sim.links;
+  } else {
+    final_pass = run_pass(false);
+  }
 
-    TaskTraceEvent ev;
-    ev.task = p.task;
-    ev.attempt = p.attempt;
-    ev.node = slot.node;
-    ev.slot = slot.id;
-    ev.start = start;
-    ev.end = end;
-    ev.failed = attempt.failed || chaos_killed;
-    ev.chaos = chaos_killed;
-    out.trace.push_back(ev);
+  auto& slots = final_pass.slots;
+  auto& node_dead = final_pass.node_dead;
+  std::vector<TaskRecord>& records = final_pass.records;
+  out = std::move(final_pass.sched);
 
-    if (chaos_killed) {
-      lose_node(slot.node);
-      ++out.chaos_attempts_killed;
-      // The dead attempt's reads and compute were spent for nothing; charge
-      // them in full (the ghost-attempt convention — §7.4's worst case).
-      out.chaos_io.bytes_read += attempt.io.bytes_read;
-      out.chaos_io.bytes_transferred += attempt.io.bytes_transferred;
-      out.chaos_io.mults += attempt.io.mults;
-      out.chaos_io.adds += attempt.io.adds;
-      queue.push_back(
-          Pending{p.task, p.data_index, p.attempt + 1,
-                  killed_at + detect_after[static_cast<std::size_t>(slot.node)]});
-    } else if (attempt.failed) {
-      // The node goes down with the attempt: every slot of the node is lost
-      // for the rest of the phase. The jobtracker only notices after the
-      // task timeout elapses (§7.4: the failed mapper "did not restart until
-      // one of the other mappers finished").
-      lose_node(slot.node);
-      queue.push_back(Pending{
-          p.task, p.data_index + 1, p.attempt + 1,
-          end + cluster.cost_model().failure_detection_seconds});
-    } else {
-      slots.push(Slot{end, slot.node, slot.id});
-      TaskRecord& rec = records[static_cast<std::size_t>(p.task)];
-      rec.end = end;
-      rec.io = &attempt.io;
-      rec.task = p.task;
-      rec.attempts = p.attempt + 1;
-      rec.trace_index = static_cast<int>(out.trace.size()) - 1;
+  if (racked) {
+    // Byte-distance split of the recorded transfers, per final placement
+    // (chaos retries re-count their re-done traffic, like the scalar I/O
+    // accounting does).
+    for (const Placement& pl : final_pass.placements) {
+      const auto& transfers =
+          attempts_per_task[static_cast<std::size_t>(pl.task)]
+                           [static_cast<std::size_t>(pl.data_index)]
+                               .transfers;
+      for (const net::Transfer& tr : transfers) {
+        if (tr.src < 0 || tr.dst < 0) continue;
+        if (tr.src == tr.dst) {
+          out.net_node_local_bytes += tr.bytes;
+        } else if (topo->rack_of(tr.src) == topo->rack_of(tr.dst)) {
+          out.net_rack_local_bytes += tr.bytes;
+        } else {
+          out.net_cross_rack_bytes += tr.bytes;
+        }
+      }
     }
   }
 
-  if (cluster.cost_model().speculative_execution) {
+  if (model.speculative_execution) {
     std::vector<IdleSlot> idle;
     while (!slots.empty()) {
       const Slot s = slots.top();
@@ -313,6 +551,9 @@ PhaseSchedule schedule_phase(
       if (kill_at[static_cast<std::size_t>(s.node)] < never) continue;
       idle.push_back(IdleSlot{s.free_time, s.node, s.id});
     }
+    // Backups re-run the winner's footprint through the scalar model even
+    // under a racked topology: a speculative copy's flows are not part of
+    // the global simulation, so the scalar charge is the consistent bound.
     speculate(cluster, &records, std::move(idle), &out);
   }
   return out;

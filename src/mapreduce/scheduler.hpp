@@ -13,9 +13,11 @@
 // backups — is recorded as a TaskTraceEvent for the run report.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "net/flow_sim.hpp"
 #include "sim/cluster.hpp"
 #include "sim/io_stats.hpp"
 #include "sim/trace.hpp"
@@ -25,6 +27,11 @@ namespace mri::mr {
 struct Attempt {
   IoStats io;
   bool failed = false;  // injected failure: attempt dies, retry follows
+  /// Network transfers the attempt's DFS/shuffle traffic implies (recorded
+  /// by the runtime under a racked topology; empty on flat runs). When the
+  /// cluster carries a racked topology, the scheduler charges these through
+  /// the flow simulator instead of the scalar network term.
+  std::vector<net::Transfer> transfers;
 };
 
 /// One node death visible to a phase, in phase-relative seconds. `at <= 0`
@@ -75,6 +82,19 @@ struct PhaseSchedule {
   /// speculative copies (and originals beaten by their backup) are truncated
   /// at the winner's finish, so max end == duration.
   std::vector<TaskTraceEvent> trace;
+  /// Flow-level network accounting (racked topologies only; empty/zero
+  /// otherwise). `link_loads` is indexed by Topology link id and comes from
+  /// one global flow simulation of every recorded transfer at its attempt's
+  /// start time.
+  std::vector<net::LinkLoad> link_loads;
+  /// Recorded transfer bytes split by distance travelled.
+  std::uint64_t net_node_local_bytes = 0;
+  std::uint64_t net_rack_local_bytes = 0;
+  std::uint64_t net_cross_rack_bytes = 0;
+  /// Attempts dispatched inside (vs outside) the rack of their task's home
+  /// node (task % cluster size).
+  int rack_local_attempts = 0;
+  int cross_rack_attempts = 0;
 };
 
 /// Schedules `attempts_per_task[t]` = the ordered attempts of task t (zero or
@@ -95,6 +115,16 @@ struct PhaseSchedule {
 /// after the outage's detection delay, on surviving nodes) and remove the
 /// node's slots, and degrades slow a node's subsequent attempts. Throws
 /// when every slot is dead or withheld.
+///
+/// When the cluster carries a racked topology (Cluster::set_topology), the
+/// phase is costed with the flow-level network model instead of the scalar
+/// per-node bandwidth: a first greedy pass places attempts with their
+/// uncontended (standalone) flow times, one global max-min flow simulation
+/// replays every recorded transfer at its attempt's start, and a second
+/// greedy pass re-places with the contended flow times. Rack-aware
+/// dispatch additionally prefers a slot in the task's home rack among
+/// equally-free slots. A flat (or absent) topology takes the original
+/// single-pass scalar path bit-identically.
 PhaseSchedule schedule_phase(const Cluster& cluster,
                              const std::vector<std::vector<Attempt>>& attempts_per_task,
                              const std::vector<double>* slot_busy_until = nullptr,

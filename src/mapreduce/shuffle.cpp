@@ -17,6 +17,12 @@ ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
   MRI_REQUIRE(num_partitions >= 1, "shuffle needs >= 1 partition");
   ShuffleResult result;
   result.partitions.resize(static_cast<std::size_t>(num_partitions));
+  // Bytes each reduce partition pulls from each map node (ordered map keeps
+  // the flattened fetch lists in ascending node order, deterministically).
+  std::vector<std::map<int, std::uint64_t>> fetch_bytes;
+  if (cluster_size > 0) {
+    fetch_bytes.resize(static_cast<std::size_t>(num_partitions));
+  }
   for (std::size_t task = 0; task < map_outputs.size(); ++task) {
     const int map_node =
         cluster_size > 0 ? static_cast<int>(task) % cluster_size : -1;
@@ -35,8 +41,18 @@ ShuffleResult shuffle(std::vector<std::vector<KeyValue>> map_outputs,
       } else {
         result.remote_bytes += bytes;
       }
+      if (cluster_size > 0) {
+        fetch_bytes[static_cast<std::size_t>(p)][map_node] += bytes;
+      }
       result.partitions[static_cast<std::size_t>(p)][kv.key].push_back(
           std::move(kv.value));
+    }
+  }
+  if (cluster_size > 0) {
+    result.fetch_sources.resize(static_cast<std::size_t>(num_partitions));
+    for (std::size_t p = 0; p < fetch_bytes.size(); ++p) {
+      result.fetch_sources[p].assign(fetch_bytes[p].begin(),
+                                     fetch_bytes[p].end());
     }
   }
   return result;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "mapreduce/types.hpp"
@@ -24,6 +25,11 @@ struct ShuffleResult {
   /// is unknown and everything counts as remote.
   std::uint64_t local_bytes = 0;
   std::uint64_t remote_bytes = 0;
+  /// Per reduce partition: (map node, bytes) fetch list in ascending node
+  /// order — the endpoints of the reducer's shuffle fetches, for the
+  /// flow-level network model. Includes node-local contributions (the
+  /// reducer's own node); empty when cluster_size == 0.
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> fetch_sources;
 };
 
 /// The default partitioner: key mod num_partitions as a floor-mod, so a

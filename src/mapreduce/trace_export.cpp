@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "net/topology.hpp"
+
 namespace mri::mr {
+
+namespace {
+
+/// LinkLoad (simulator type) -> LinkReport (report type). Names are left
+/// empty in per-phase lanes; the run-level NetworkReport carries them.
+std::vector<LinkReport> to_link_reports(
+    const std::vector<net::LinkLoad>& loads) {
+  std::vector<LinkReport> out(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    out[i].bytes = loads[i].bytes;
+    out[i].busy_seconds = loads[i].busy_seconds;
+    out[i].peak_utilization = loads[i].peak_utilization;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
   std::vector<PhaseTrace> phases;
@@ -23,6 +42,7 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
       p.start = job.start_seconds + launch;
       p.duration = job.map_phase_seconds + job.recovery_seconds;
       p.events = job.map_trace;
+      p.link_loads = to_link_reports(job.map_link_loads);
       phases.push_back(std::move(p));
     }
     if (!job.reduce_trace.empty()) {
@@ -33,6 +53,7 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs) {
                 job.recovery_seconds;
       p.duration = job.reduce_phase_seconds;
       p.events = job.reduce_trace;
+      p.link_loads = to_link_reports(job.reduce_link_loads);
       phases.push_back(std::move(p));
     }
   }
@@ -91,6 +112,39 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
     // lane; the schedule may extend past the point the run ended.
     for (const ChaosEvent& e : chaos->events()) {
       if (e.at <= report.sim_seconds) report.chaos_events.push_back(e);
+    }
+  }
+  // Flow-level network section: configuration from the cluster's topology,
+  // per-link totals and locality counters summed over the jobs.
+  const net::Topology* topo = cluster.topology().get();
+  if (topo != nullptr && topo->racked()) {
+    report.network.enabled = true;
+    report.network.topology = "racked";
+    report.network.racks = topo->racks();
+    report.network.oversubscription = topo->options().oversubscription;
+    report.network.rack_aware_placement =
+        topo->options().rack_aware_placement;
+    report.network.links.resize(static_cast<std::size_t>(topo->num_links()));
+    for (int l = 0; l < topo->num_links(); ++l) {
+      report.network.links[static_cast<std::size_t>(l)].name =
+          topo->link_name(l);
+    }
+  }
+  for (const JobResult& job : jobs) {
+    report.network.node_local_bytes += job.net_node_local_bytes;
+    report.network.rack_local_bytes += job.net_rack_local_bytes;
+    report.network.cross_rack_bytes += job.net_cross_rack_bytes;
+    report.network.rack_local_attempts += job.rack_local_attempts;
+    report.network.cross_rack_attempts += job.cross_rack_attempts;
+    for (const auto* loads : {&job.map_link_loads, &job.reduce_link_loads}) {
+      for (std::size_t i = 0;
+           i < loads->size() && i < report.network.links.size(); ++i) {
+        LinkReport& l = report.network.links[i];
+        l.bytes += (*loads)[i].bytes;
+        l.busy_seconds += (*loads)[i].busy_seconds;
+        l.peak_utilization =
+            std::max(l.peak_utilization, (*loads)[i].peak_utilization);
+      }
     }
   }
   report.phases = phase_traces(jobs);

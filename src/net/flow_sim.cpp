@@ -1,0 +1,170 @@
+#include "net/flow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mri::net {
+
+namespace {
+
+struct ActiveFlow {
+  std::size_t index;       // into the input vector
+  double remaining;        // bytes left
+  double rate = 0.0;       // current max-min allocation (bytes/s)
+  std::vector<int> path;
+};
+
+/// Progressive filling: repeatedly find the tightest link (smallest fair
+/// share avail/count over its unset flows), freeze every unset flow crossing
+/// a link at that share, and subtract the frozen rates along their whole
+/// paths. Classic max-min; terminates because every round freezes >= 1 flow.
+void max_min_rates(const Topology& topo, std::vector<ActiveFlow>* active) {
+  const int num_links = topo.num_links();
+  std::vector<double> avail(static_cast<std::size_t>(num_links));
+  std::vector<int> count(static_cast<std::size_t>(num_links), 0);
+  for (int l = 0; l < num_links; ++l) {
+    avail[static_cast<std::size_t>(l)] = topo.link_capacity(l);
+  }
+  for (ActiveFlow& f : *active) {
+    f.rate = 0.0;
+    for (int l : f.path) ++count[static_cast<std::size_t>(l)];
+  }
+  std::vector<bool> frozen(active->size(), false);
+  std::size_t unset = active->size();
+  while (unset > 0) {
+    double share = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < num_links; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (count[li] > 0) {
+        share = std::min(share, avail[li] / static_cast<double>(count[li]));
+      }
+    }
+    MRI_CHECK_MSG(share < std::numeric_limits<double>::infinity(),
+                  "active flow crosses no links");
+    // Freeze every unset flow that crosses a bottleneck link (a link whose
+    // fair share equals the minimum, up to rounding).
+    const double cutoff = share * (1.0 + 1e-12);
+    bool froze = false;
+    for (std::size_t i = 0; i < active->size(); ++i) {
+      if (frozen[i]) continue;
+      ActiveFlow& f = (*active)[i];
+      bool bottlenecked = false;
+      for (int l : f.path) {
+        const auto li = static_cast<std::size_t>(l);
+        if (avail[li] / static_cast<double>(count[li]) <= cutoff) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      f.rate = share;
+      frozen[i] = true;
+      froze = true;
+      --unset;
+      for (int l : f.path) {
+        const auto li = static_cast<std::size_t>(l);
+        avail[li] -= share;
+        if (avail[li] < 0.0) avail[li] = 0.0;
+        --count[li];
+      }
+    }
+    MRI_CHECK_MSG(froze, "max-min filling made no progress");
+  }
+}
+
+}  // namespace
+
+FlowSimResult simulate_flows(const Topology& topology,
+                             const std::vector<Flow>& flows) {
+  MRI_REQUIRE(topology.racked(), "simulate_flows needs a racked topology");
+  FlowSimResult out;
+  out.finish.assign(flows.size(), 0.0);
+  out.links.assign(static_cast<std::size_t>(topology.num_links()), LinkLoad{});
+  if (flows.empty()) return out;
+
+  // Arrival order: (start, input index) — deterministic for equal starts.
+  std::vector<std::size_t> order(flows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (flows[a].start != flows[b].start) {
+      return flows[a].start < flows[b].start;
+    }
+    return a < b;
+  });
+
+  std::vector<ActiveFlow> active;
+  std::size_t next = 0;
+  double now = 0.0;
+  while (!active.empty() || next < order.size()) {
+    if (active.empty()) now = flows[order[next]].start;
+    // Admit every flow starting at or before `now`. Trivial flows (no
+    // network path) finish instantly; real flows charge their bytes to
+    // every link on their path on admission.
+    while (next < order.size() && flows[order[next]].start <= now) {
+      const std::size_t i = order[next];
+      ++next;
+      const Flow& f = flows[i];
+      MRI_REQUIRE(f.start >= 0.0, "flow start must be >= 0");
+      if (f.bytes == 0 || f.src == f.dst) {
+        out.finish[i] = f.start;
+        out.end_time = std::max(out.end_time, f.start);
+        continue;
+      }
+      ActiveFlow a;
+      a.index = i;
+      a.remaining = static_cast<double>(f.bytes);
+      a.path = topology.path(f.src, f.dst);
+      for (int l : a.path) {
+        out.links[static_cast<std::size_t>(l)].bytes += f.bytes;
+      }
+      active.push_back(std::move(a));
+    }
+    if (active.empty()) continue;
+
+    max_min_rates(topology, &active);
+
+    // Advance to the next event: the earliest flow completion or the next
+    // arrival, whichever is sooner.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow& f : active) {
+      dt = std::min(dt, f.remaining / f.rate);
+    }
+    if (next < order.size()) {
+      dt = std::min(dt, flows[order[next]].start - now);
+    }
+    MRI_CHECK_MSG(dt >= 0.0, "flow simulation time went backwards");
+
+    // Per-link utilization over this interval.
+    if (dt > 0.0) {
+      std::vector<double> link_rate(out.links.size(), 0.0);
+      for (const ActiveFlow& f : active) {
+        for (int l : f.path) link_rate[static_cast<std::size_t>(l)] += f.rate;
+      }
+      for (std::size_t l = 0; l < out.links.size(); ++l) {
+        if (link_rate[l] <= 0.0) continue;
+        out.links[l].busy_seconds += dt;
+        out.links[l].peak_utilization =
+            std::max(out.links[l].peak_utilization,
+                     link_rate[l] / topology.link_capacity(static_cast<int>(l)));
+      }
+    }
+
+    now += dt;
+    // Retire flows whose remaining bytes drain within this interval (with a
+    // relative tolerance so the completion that defined dt always retires).
+    for (std::size_t i = active.size(); i-- > 0;) {
+      ActiveFlow& f = active[i];
+      f.remaining -= f.rate * dt;
+      if (f.remaining <= 1e-6 * f.rate || f.remaining <= 1e-9) {
+        out.finish[f.index] = now;
+        out.end_time = std::max(out.end_time, now);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mri::net

@@ -1,0 +1,56 @@
+// Deterministic flow-level (fluid) network simulation with max-min fair
+// bandwidth sharing — the standard abstraction for datacenter "what does
+// this traffic matrix cost" questions (and the model replicant-opera's
+// Hadoop sort simulator uses).
+//
+// Each flow is a point-to-point transfer that crosses the links of its
+// topology path. Between events (a flow arriving or finishing) every active
+// flow gets its max-min fair rate: rates are grown together by progressive
+// filling until a link saturates, flows crossing that link freeze at the
+// fair share, and the rest keep growing. At each event the allocation is
+// recomputed from scratch — O(events x links x flows), plenty for the few
+// hundred flows a phase produces, and purely double-deterministic: the same
+// flow set always yields bit-identical finish times.
+//
+// Same-host flows (empty path) finish instantly: node-local traffic is disk
+// traffic, charged elsewhere by the cost model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mri::net {
+
+struct Flow {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  /// When the flow starts, in the caller's clock (phase-relative seconds).
+  double start = 0.0;
+  /// Caller-owned label (e.g. attempt index); FlowSim ignores it.
+  int tag = -1;
+};
+
+/// Per-link traffic totals over one simulation.
+struct LinkLoad {
+  std::uint64_t bytes = 0;        // total bytes that traversed the link
+  double busy_seconds = 0.0;      // time with at least one active flow
+  double peak_utilization = 0.0;  // max over time of (sum rates / capacity)
+};
+
+struct FlowSimResult {
+  /// Finish time per input flow (same order as the input). A zero-byte or
+  /// same-host flow finishes at its start time.
+  std::vector<double> finish;
+  std::vector<LinkLoad> links;  // indexed by Topology link id
+  double end_time = 0.0;        // max finish; 0 when there are no flows
+};
+
+/// Requires a racked topology. Flows with src == dst or bytes == 0 are
+/// legal and finish instantly at their start time.
+FlowSimResult simulate_flows(const Topology& topology,
+                             const std::vector<Flow>& flows);
+
+}  // namespace mri::net

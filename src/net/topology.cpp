@@ -1,0 +1,78 @@
+#include "net/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace mri::net {
+
+Topology::Topology(int num_hosts, double host_bandwidth,
+                   TopologyOptions options)
+    : options_(options), hosts_(num_hosts), host_bandwidth_(host_bandwidth) {
+  MRI_REQUIRE(num_hosts >= 1, "topology needs at least one host");
+  if (!racked()) return;
+  MRI_REQUIRE(host_bandwidth > 0.0,
+              "racked topology needs a positive host bandwidth");
+  MRI_REQUIRE(options_.racks >= 1 && options_.racks <= num_hosts,
+              "racks must be in [1, num_hosts]; got " << options_.racks
+                                                      << " for " << num_hosts
+                                                      << " hosts");
+  MRI_REQUIRE(options_.oversubscription > 0.0,
+              "oversubscription must be > 0");
+
+  const int R = options_.racks;
+  std::vector<int> hosts_in_rack(static_cast<std::size_t>(R), 0);
+  for (int h = 0; h < hosts_; ++h) {
+    ++hosts_in_rack[static_cast<std::size_t>(rack_of(h))];
+  }
+  capacity_.assign(static_cast<std::size_t>(2 * hosts_ + 2 * R), 0.0);
+  for (int h = 0; h < 2 * hosts_; ++h) {
+    capacity_[static_cast<std::size_t>(h)] = host_bandwidth_;
+  }
+  for (int r = 0; r < R; ++r) {
+    const double uplink = static_cast<double>(hosts_in_rack[
+                              static_cast<std::size_t>(r)]) *
+                          host_bandwidth_ / options_.oversubscription;
+    capacity_[static_cast<std::size_t>(2 * hosts_ + r)] = uplink;
+    capacity_[static_cast<std::size_t>(2 * hosts_ + R + r)] = uplink;
+  }
+}
+
+int Topology::rack_of(int host) const {
+  MRI_REQUIRE(host >= 0 && host < hosts_, "host " << host << " out of range");
+  if (!racked()) return 0;
+  return static_cast<int>(static_cast<long long>(host) * options_.racks /
+                          hosts_);
+}
+
+double Topology::link_capacity(int link) const {
+  MRI_REQUIRE(link >= 0 && link < num_links(),
+              "link " << link << " out of range");
+  return capacity_[static_cast<std::size_t>(link)];
+}
+
+std::string Topology::link_name(int link) const {
+  MRI_REQUIRE(link >= 0 && link < num_links(),
+              "link " << link << " out of range");
+  const int R = options_.racks;
+  if (link < hosts_) return "host" + std::to_string(link) + ":up";
+  if (link < 2 * hosts_) {
+    return "host" + std::to_string(link - hosts_) + ":down";
+  }
+  if (link < 2 * hosts_ + R) {
+    return "rack" + std::to_string(link - 2 * hosts_) + ":up";
+  }
+  return "rack" + std::to_string(link - 2 * hosts_ - R) + ":down";
+}
+
+std::vector<int> Topology::path(int src, int dst) const {
+  MRI_REQUIRE(racked(), "path() needs a racked topology");
+  MRI_REQUIRE(src >= 0 && src < hosts_ && dst >= 0 && dst < hosts_,
+              "path(" << src << ", " << dst << ") out of range");
+  if (src == dst) return {};
+  const int rs = rack_of(src);
+  const int rd = rack_of(dst);
+  if (rs == rd) return {src, hosts_ + dst};
+  return {src, 2 * hosts_ + rs, 2 * hosts_ + options_.racks + rd,
+          hosts_ + dst};
+}
+
+}  // namespace mri::net

@@ -1,0 +1,101 @@
+// Cluster network topology for the flow-level network model.
+//
+// The paper's shuffle-bound regions (Fig 6–8) were measured on EC2, where
+// the network is not a uniform pipe: hosts hang off top-of-rack switches
+// whose uplinks into the core are oversubscribed, so shuffle cost is set by
+// link contention, not by a per-node scalar bandwidth. Two topologies:
+//
+//   kFlat    — the original model: every transfer is charged at the scalar
+//              network_bandwidth by the cost model. No links, no flow
+//              simulation; code paths are bit-identical to the pre-topology
+//              scheduler, which is what the flat-reproduces-prior-PRs check
+//              in bench/net_sweep enforces.
+//   kRacked  — a two-tier tree: every host has a full-duplex access link of
+//              host_bandwidth into its rack's ToR switch; every rack has a
+//              full-duplex uplink into a non-blocking core sized at
+//              (hosts_in_rack x host_bandwidth) / oversubscription. An
+//              oversubscription of 1 makes the fabric non-blocking; 4:1 or
+//              8:1 reproduces the contended fabrics real Hadoop clusters
+//              ran on.
+//
+// Links are directed and indexed compactly so FlowSim can keep flat arrays:
+//   [0, H)        host h transmit (host -> ToR)
+//   [H, 2H)       host h receive  (ToR -> host)
+//   [2H, 2H+R)    rack r uplink   (ToR -> core)
+//   [2H+R, 2H+2R) rack r downlink (core -> ToR)
+// A same-rack transfer crosses {src up, dst down}; a cross-rack transfer
+// additionally crosses {src rack uplink, dst rack downlink}. Node-local
+// transfers (src == dst) cross nothing — they are disk traffic.
+//
+// Hosts map to racks contiguously (rack_of(h) = h * racks / hosts), so rack
+// sizes differ by at most one host and the mapping is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mri::net {
+
+enum class TopologyKind { kFlat, kRacked };
+
+struct TopologyOptions {
+  TopologyKind kind = TopologyKind::kFlat;
+  /// Number of ToR switches (racked only). Hosts are assigned contiguously.
+  int racks = 4;
+  /// Core oversubscription ratio: rack uplink capacity =
+  /// hosts_in_rack * host_bandwidth / oversubscription. 1.0 = non-blocking.
+  double oversubscription = 1.0;
+  /// HDFS-style rack awareness: writers keep the first replica local and the
+  /// second rack-local, reads prefer the closest replica, and the scheduler
+  /// prefers rack-local dispatch. Off = hash placement on a racked fabric,
+  /// the contended worst case bench/net_sweep contrasts against.
+  bool rack_aware_placement = true;
+};
+
+/// Why bytes crossed the network — used to split per-attempt byte accounting
+/// back out of the flow set (reads vs replication pipeline vs shuffle).
+enum class TransferKind { kRead, kWrite, kShuffle, kRepair };
+
+/// One point-to-point transfer recorded while a task (or the DFS repair
+/// path) runs: `bytes` moved from datanode `src` to `dst`. src == dst is
+/// node-local traffic that never leaves the host.
+struct Transfer {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  TransferKind kind = TransferKind::kRead;
+};
+
+class Topology {
+ public:
+  /// `host_bandwidth` is the access-link rate in bytes/second (the cost
+  /// model's network_bandwidth). Flat topologies keep no links.
+  Topology(int num_hosts, double host_bandwidth, TopologyOptions options = {});
+
+  bool racked() const { return options_.kind == TopologyKind::kRacked; }
+  int num_hosts() const { return hosts_; }
+  int racks() const { return racked() ? options_.racks : 1; }
+  double host_bandwidth() const { return host_bandwidth_; }
+  const TopologyOptions& options() const { return options_; }
+
+  int rack_of(int host) const;
+
+  /// Directed links; 0 for flat topologies.
+  int num_links() const { return static_cast<int>(capacity_.size()); }
+  double link_capacity(int link) const;
+  /// Stable human-readable name ("host3:up", "rack1:down") for reports.
+  std::string link_name(int link) const;
+
+  /// Links a src -> dst transfer crosses, in traversal order; empty when
+  /// src == dst. Requires a racked topology.
+  std::vector<int> path(int src, int dst) const;
+
+ private:
+  TopologyOptions options_;
+  int hosts_;
+  double host_bandwidth_;
+  std::vector<double> capacity_;  // empty for flat
+};
+
+}  // namespace mri::net

@@ -25,6 +25,19 @@ double trace_slot_seconds(const std::vector<TaskTraceEvent>& events) {
 
 }  // namespace
 
+double retry_backoff(const RetryPolicy& retry, int attempts_done) {
+  // Clamp multiplicatively at every step: the naive "multiply then clamp
+  // once" escalation overflows to +inf after ~700 doublings, and an infinite
+  // backoff wedges the retry queue forever. Once the cap is hit, further
+  // steps cannot change the answer, so return early.
+  double b = std::min(retry.backoff_seconds, retry.max_backoff_seconds);
+  for (int i = 1; i < attempts_done; ++i) {
+    if (b >= retry.max_backoff_seconds) return retry.max_backoff_seconds;
+    b = std::min(b * retry.backoff_multiplier, retry.max_backoff_seconds);
+  }
+  return b;
+}
+
 InversionService::InversionService(const Cluster* cluster, dfs::Dfs* fs,
                                    ThreadPool* pool, ServiceOptions options,
                                    FailureInjector* failures,
@@ -113,9 +126,7 @@ ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
 
   const RetryPolicy& retry = options_.retry;
   auto backoff_for = [&retry](int attempts_done) {
-    double b = retry.backoff_seconds;
-    for (int i = 1; i < attempts_done; ++i) b *= retry.backoff_multiplier;
-    return std::min(b, retry.max_backoff_seconds);
+    return retry_backoff(retry, attempts_done);
   };
 
   // Dispatch one queued request: place its whole pipeline on the timeline

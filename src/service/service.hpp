@@ -62,6 +62,13 @@ struct RetryPolicy {
   bool respect_deadline = true;
 };
 
+/// Backoff before retry attempt `attempts_done` (1 = first retry) under
+/// `retry`: backoff_seconds escalated by backoff_multiplier per prior
+/// attempt, clamped at max_backoff_seconds. The clamp is applied at every
+/// step, so extreme settings (hundreds of retries, large multipliers) can
+/// never overflow the double range to infinity mid-escalation.
+double retry_backoff(const RetryPolicy& retry, int attempts_done);
+
 struct ServiceOptions {
   /// Per-tenant fair-share weights (SlotPool::set_shares). Empty = no slot
   /// policy: one first-come first-served pool, every tenant weight 1 in the

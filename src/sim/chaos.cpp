@@ -178,7 +178,11 @@ void ChaosEngine::advance_to(double t) {
         stats_.re_replicated_bytes += outcome.re_replicated_bytes;
         stats_.re_replicated_blocks += outcome.re_replicated_blocks;
         stats_.blocks_lost += outcome.blocks_lost;
-        if (network_bandwidth_ > 0.0) {
+        if (outcome.re_replication_seconds > 0.0) {
+          // The DFS simulated the repair flows on the racked topology; its
+          // contended duration supersedes the scalar bytes/bandwidth model.
+          stats_.re_replication_seconds += outcome.re_replication_seconds;
+        } else if (network_bandwidth_ > 0.0) {
           stats_.re_replication_seconds +=
               static_cast<double>(outcome.re_replicated_bytes) /
               network_bandwidth_;

@@ -68,6 +68,10 @@ struct NodeKillOutcome {
   std::uint64_t re_replicated_bytes = 0;
   int re_replicated_blocks = 0;
   int blocks_lost = 0;
+  /// Simulated duration of the repair traffic when the DFS routed it
+  /// through the flow-level network model (racked topology); 0 means "not
+  /// flow-simulated" and the engine falls back to bytes / bandwidth.
+  double re_replication_seconds = 0.0;
 };
 
 /// Recovery totals the engine itself observed while applying events, plus

@@ -8,9 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/cost_model.hpp"
+
+namespace mri::net {
+class Topology;
+}  // namespace mri::net
 
 namespace mri {
 
@@ -27,9 +32,22 @@ class Cluster {
   /// Total concurrent task slots across the cluster.
   int total_slots() const { return size() * model_.slots_per_node; }
 
+  /// Attaches a network topology. Null or a flat topology keeps the scalar
+  /// network model (the scheduler's pre-topology code path, bit-identical);
+  /// a racked topology makes the scheduler charge network time through the
+  /// flow simulator. The same topology should be handed to the DFS
+  /// (Dfs::set_topology) so placement and transfer endpoints agree.
+  void set_topology(std::shared_ptr<const net::Topology> topology) {
+    topology_ = std::move(topology);
+  }
+  const std::shared_ptr<const net::Topology>& topology() const {
+    return topology_;
+  }
+
  private:
   CostModel model_;
   std::vector<double> speed_factors_;
+  std::shared_ptr<const net::Topology> topology_;
 };
 
 }  // namespace mri

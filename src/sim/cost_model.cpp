@@ -49,10 +49,20 @@ double CostModel::task_seconds(const IoStats& io, double speed_factor) const {
 }
 
 double CostModel::compute_seconds(const IoStats& io, double speed_factor) const {
-  const double read_bw = std::min(disk_bandwidth, network_bandwidth);
   double t = 0.0;
   t += static_cast<double>(io.flops()) / (flops_per_second * speed_factor);
-  t += static_cast<double>(io.bytes_read) / read_bw;
+  // Only the network-crossing part of the reads pays the network path.
+  // bytes_transferred counts remote reads plus the replication pipeline
+  // (charged separately below), so remote reads are transferred minus
+  // replicated, clamped into [0, bytes_read]; the rest of bytes_read is
+  // node-local and streams at disk bandwidth.
+  const std::uint64_t network_bytes =
+      io.bytes_transferred - std::min(io.bytes_transferred,
+                                      io.bytes_replicated);
+  const std::uint64_t remote_read = std::min(network_bytes, io.bytes_read);
+  const std::uint64_t local_read = io.bytes_read - remote_read;
+  t += static_cast<double>(local_read) / disk_bandwidth;
+  t += static_cast<double>(remote_read) / network_bandwidth;
   t += static_cast<double>(io.bytes_written) / disk_bandwidth;
   t += static_cast<double>(io.bytes_replicated) / network_bandwidth;
   t += static_cast<double>(io.bytes_written_memory) / memory_bandwidth;

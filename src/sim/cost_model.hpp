@@ -9,7 +9,10 @@
 //
 // Simulated time for a task is
 //     cpu   = flops / node_speed
-//   + read  = bytes_read / min(disk_bw, net_bw)   (HDFS reads are remote)
+//   + read  = local_read / disk_bw + remote_read / net_bw, where remote_read
+//             is the read share of bytes_transferred (transferred minus the
+//             replication pipeline, clamped to bytes_read) — node-local
+//             reads never touch the network
 //   + write = bytes_written / disk_bw + bytes_replicated / net_bw
 //   + task_overhead
 // and a job is launch_overhead + sum over task waves of the slowest task.

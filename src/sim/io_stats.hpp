@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "common/error.hpp"
+
 namespace mri {
 
 struct IoStats {
@@ -37,9 +39,23 @@ struct IoStats {
     return *this;
   }
 
-  /// Component-wise difference; used for stage splits (callers guarantee
-  /// the minuend dominates).
+  /// Component-wise difference; used for stage splits. The minuend must
+  /// dominate in every field — a stage split that doesn't is a bug, and
+  /// letting it wrap to ~2^64 poisons every downstream report, so each
+  /// field is checked loudly here instead.
   IoStats& operator-=(const IoStats& other) {
+    MRI_REQUIRE(bytes_written >= other.bytes_written,
+                "IoStats subtraction underflows bytes_written");
+    MRI_REQUIRE(bytes_read >= other.bytes_read,
+                "IoStats subtraction underflows bytes_read");
+    MRI_REQUIRE(bytes_transferred >= other.bytes_transferred,
+                "IoStats subtraction underflows bytes_transferred");
+    MRI_REQUIRE(bytes_replicated >= other.bytes_replicated,
+                "IoStats subtraction underflows bytes_replicated");
+    MRI_REQUIRE(bytes_written_memory >= other.bytes_written_memory,
+                "IoStats subtraction underflows bytes_written_memory");
+    MRI_REQUIRE(mults >= other.mults, "IoStats subtraction underflows mults");
+    MRI_REQUIRE(adds >= other.adds, "IoStats subtraction underflows adds");
     bytes_written -= other.bytes_written;
     bytes_read -= other.bytes_read;
     bytes_transferred -= other.bytes_transferred;

@@ -265,6 +265,35 @@ std::string run_report_json(const RunReport& report) {
   os << ",\"shuffle\":{\"local_bytes\":" << report.shuffle_local_bytes
      << ",\"remote_bytes\":" << report.shuffle_remote_bytes << "},";
   append_io(os, "dfs_io", report.dfs_io);
+  // Network keys are always present (stable schema); disabled with an empty
+  // link list on flat runs.
+  const NetworkReport& net = report.network;
+  os << ",\"network\":{\"enabled\":" << (net.enabled ? "true" : "false")
+     << ",\"topology\":\"" << json_escape(net.topology)
+     << "\",\"racks\":" << net.racks << ",\"oversubscription\":";
+  append_num(os, net.oversubscription);
+  os << ",\"rack_aware_placement\":"
+     << (net.rack_aware_placement ? "true" : "false")
+     << ",\"node_local_bytes\":" << net.node_local_bytes
+     << ",\"rack_local_bytes\":" << net.rack_local_bytes
+     << ",\"cross_rack_bytes\":" << net.cross_rack_bytes
+     << ",\"rack_local_attempts\":" << net.rack_local_attempts
+     << ",\"cross_rack_attempts\":" << net.cross_rack_attempts
+     << ",\"links\":[";
+  {
+    bool first_link = true;
+    for (const LinkReport& l : net.links) {
+      if (!first_link) os << ',';
+      first_link = false;
+      os << "{\"name\":\"" << json_escape(l.name) << "\",\"bytes\":" << l.bytes
+         << ",\"busy_seconds\":";
+      append_num(os, l.busy_seconds);
+      os << ",\"peak_utilization\":";
+      append_num(os, l.peak_utilization);
+      os << '}';
+    }
+  }
+  os << "]}";
   // Recovery keys are always present (stable schema); all zero and an
   // empty event list on chaos-free runs.
   const RecoveryReport& rec = report.recovery;
@@ -416,6 +445,7 @@ std::string chrome_trace_json(const RunReport& report) {
   constexpr int kMasterPid = 1000001;
   constexpr int kRequestsPid = 1000002;
   constexpr int kFaultsPid = 1000003;
+  constexpr int kNetworkPid = 1000004;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -540,6 +570,45 @@ std::string chrome_trace_json(const RunReport& report) {
         append_num(os, (e.end - e.start) * 1e6);
         os << ",\"args\":{\"task\":" << e.task << ",\"node\":" << e.node
            << "}}";
+      }
+    }
+  }
+  // Network lane: per phase, one span per link that carried traffic, over
+  // the phase's extent; args carry the link's bytes/busy/peak so hovering a
+  // span shows where the phase's traffic concentrated.
+  const bool any_link_loads = [&report] {
+    for (const PhaseTrace& phase : report.phases) {
+      for (const LinkReport& l : phase.link_loads) {
+        if (l.bytes > 0) return true;
+      }
+    }
+    return false;
+  }();
+  if (any_link_loads) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kNetworkPid
+       << ",\"args\":{\"name\":\"network\"}}";
+    for (const PhaseTrace& phase : report.phases) {
+      for (std::size_t i = 0; i < phase.link_loads.size(); ++i) {
+        const LinkReport& l = phase.link_loads[i];
+        if (l.bytes == 0) continue;
+        std::string name = l.name;
+        if (name.empty() && i < report.network.links.size()) {
+          name = report.network.links[i].name;
+        }
+        if (name.empty()) name = "link " + std::to_string(i);
+        os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(name) << "\",\"cat\""
+           << ":\"network\",\"pid\":" << kNetworkPid << ",\"tid\":" << i
+           << ",\"ts\":";
+        append_num(os, phase.start * 1e6);
+        os << ",\"dur\":";
+        append_num(os, phase.duration * 1e6);
+        os << ",\"args\":{\"bytes\":" << l.bytes << ",\"busy_seconds\":";
+        append_num(os, l.busy_seconds);
+        os << ",\"peak_utilization\":";
+        append_num(os, l.peak_utilization);
+        os << "}}";
       }
     }
   }

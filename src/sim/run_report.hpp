@@ -21,6 +21,37 @@
 
 namespace mri {
 
+/// One network link's traffic totals over a phase or a whole run, from the
+/// flow-level simulator (racked topologies only). Kept free of src/net types
+/// so report consumers need no network dependency; `name` may be empty in
+/// per-phase lanes (index into the run-level links gives it).
+struct LinkReport {
+  std::string name;
+  std::uint64_t bytes = 0;
+  double busy_seconds = 0.0;
+  double peak_utilization = 0.0;  // fraction of link capacity, in [0, 1]
+};
+
+/// Flow-level network accounting for the run. `enabled` is false (and
+/// everything zero/empty) unless a racked topology was attached to the
+/// cluster.
+struct NetworkReport {
+  bool enabled = false;
+  std::string topology = "flat";
+  int racks = 0;
+  double oversubscription = 1.0;
+  bool rack_aware_placement = false;
+  /// Recorded DFS/shuffle transfer bytes split by distance travelled.
+  std::uint64_t node_local_bytes = 0;
+  std::uint64_t rack_local_bytes = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  /// Task attempts dispatched inside (vs outside) their home rack.
+  int rack_local_attempts = 0;
+  int cross_rack_attempts = 0;
+  /// Per-link totals, indexed by topology link id.
+  std::vector<LinkReport> links;
+};
+
 /// One scheduled phase placed on the run timeline. Event times inside
 /// `events` are phase-relative; add `start` for run-relative times.
 struct PhaseTrace {
@@ -29,6 +60,8 @@ struct PhaseTrace {
   double start = 0.0;     // run-relative phase start (after job launch)
   double duration = 0.0;  // scheduler-reported phase duration
   std::vector<TaskTraceEvent> events;
+  /// Per-link loads of this phase (racked topologies only; else empty).
+  std::vector<LinkReport> link_loads;
 };
 
 /// Aggregates computed from one PhaseTrace by aggregate_run_report().
@@ -185,6 +218,9 @@ struct RunReport {
   /// seconds) — rendered as the Chrome trace's "faults" lane.
   RecoveryReport recovery;
   std::vector<ChaosEvent> chaos_events;
+  /// Flow-level network accounting (disabled/empty on flat runs); rendered
+  /// as the Chrome trace's "network" lane.
+  NetworkReport network;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites

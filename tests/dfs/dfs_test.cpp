@@ -185,5 +185,110 @@ TEST(Dfs, RenameVisibleToReaders) {
   EXPECT_FALSE(fs.exists("/tmp.part"));
 }
 
+// ---- rack-aware placement and transfer recording ----------------------------
+
+std::shared_ptr<const net::Topology> racked_topology_of(int hosts, int racks,
+                                                        bool rack_aware) {
+  net::TopologyOptions o;
+  o.kind = net::TopologyKind::kRacked;
+  o.racks = racks;
+  o.rack_aware_placement = rack_aware;
+  return std::make_shared<const net::Topology>(hosts, 100e6, o);
+}
+
+TEST(DfsRacked, HdfsDefaultPlacementWriterRackLocalOffRack) {
+  // 8 nodes over 4 racks (2 per rack). Writing from node 5 (rack 2) must
+  // put the first replica on the writer, the second in the writer's rack
+  // and the third outside it.
+  Dfs fs(8);
+  auto topo = racked_topology_of(8, 4, /*rack_aware=*/true);
+  fs.set_topology(topo);
+  ScopedTransferLog log(/*node=*/5);
+  fs.write_text("/placed", std::string(1000, 'p'));
+  const auto blocks = fs.file_blocks("/placed");
+  ASSERT_EQ(blocks.size(), 1u);
+  const auto& replicas = blocks[0].replicas;
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[0], 5);
+  EXPECT_EQ(topo->rack_of(replicas[1]), topo->rack_of(5));
+  EXPECT_NE(replicas[1], 5);
+  EXPECT_NE(topo->rack_of(replicas[2]), topo->rack_of(5));
+
+  // The write pipeline was recorded: writer -> r1 -> r2 (no extra hop to
+  // the first replica, it IS the writer's node).
+  const auto& transfers = log.log().transfers;
+  ASSERT_EQ(transfers.size(), 2u);
+  EXPECT_EQ(transfers[0].src, 5);
+  EXPECT_EQ(transfers[0].dst, replicas[1]);
+  EXPECT_EQ(transfers[0].kind, net::TransferKind::kWrite);
+  EXPECT_EQ(transfers[1].src, replicas[1]);
+  EXPECT_EQ(transfers[1].dst, replicas[2]);
+  EXPECT_EQ(transfers[0].bytes, 1000u);
+}
+
+TEST(DfsRacked, ClosestReplicaReadAndRecording) {
+  Dfs fs(8);
+  auto topo = racked_topology_of(8, 4, /*rack_aware=*/true);
+  fs.set_topology(topo);
+  {
+    ScopedTransferLog write_log(/*node=*/5);
+    fs.write_text("/near", std::string(500, 'n'));
+  }
+  // A reader on the writer's node sees a node-local copy (src == dst).
+  {
+    ScopedTransferLog read_log(/*node=*/5);
+    EXPECT_EQ(fs.read_text("/near").size(), 500u);
+    ASSERT_EQ(read_log.log().transfers.size(), 1u);
+    EXPECT_EQ(read_log.log().transfers[0].src, 5);
+    EXPECT_EQ(read_log.log().transfers[0].dst, 5);
+    EXPECT_EQ(read_log.log().transfers[0].kind, net::TransferKind::kRead);
+  }
+  // A reader elsewhere in rack 2 picks the rack-local replica over the
+  // off-rack one.
+  const int other_in_rack = 4;  // rack_of(4) == rack_of(5) == 2
+  {
+    ScopedTransferLog read_log(other_in_rack);
+    fs.read_text("/near");
+    ASSERT_EQ(read_log.log().transfers.size(), 1u);
+    const int src = read_log.log().transfers[0].src;
+    EXPECT_EQ(topo->rack_of(src), topo->rack_of(other_in_rack));
+  }
+}
+
+TEST(DfsRacked, FlatTopologyPlacementUnchanged) {
+  // A flat Topology attached to the DFS must not change placement: layouts
+  // are the same deterministic hash function of the path as with no
+  // topology at all, and nothing is recorded.
+  Dfs bare(6);
+  bare.write_text("/same", std::string(100, 's'));
+  Dfs flat(6);
+  flat.set_topology(std::make_shared<const net::Topology>(6, 100e6));
+  ScopedTransferLog log(/*node=*/2);
+  flat.write_text("/same", std::string(100, 's'));
+  EXPECT_EQ(bare.file_blocks("/same")[0].replicas,
+            flat.file_blocks("/same")[0].replicas);
+  EXPECT_TRUE(log.log().transfers.empty());
+}
+
+TEST(DfsRacked, KillSimulatesRepairFlowsAndPrefersSourceRack) {
+  // Under a racked topology the repair traffic is flow-simulated:
+  // re_replication_seconds must come back positive (engine stops falling
+  // back to bytes / bandwidth) and repaired blocks stay at full
+  // replication on live nodes.
+  Dfs fs(8);
+  fs.set_topology(racked_topology_of(8, 4, /*rack_aware=*/true));
+  {
+    ScopedTransferLog log(/*node=*/5);
+    fs.write_text("/repair", std::string(4000, 'r'));
+  }
+  const NodeKillOutcome outcome = fs.kill_datanode(5);
+  EXPECT_EQ(outcome.re_replicated_blocks, 1);
+  EXPECT_EQ(outcome.re_replicated_bytes, 4000u);
+  EXPECT_GT(outcome.re_replication_seconds, 0.0);
+  const auto replicas = fs.file_blocks("/repair")[0].replicas;
+  ASSERT_EQ(replicas.size(), 3u);
+  for (int r : replicas) EXPECT_NE(r, 5);
+}
+
 }  // namespace
 }  // namespace mri::dfs

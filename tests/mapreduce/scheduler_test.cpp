@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "common/error.hpp"
 #include "mapreduce/scheduler.hpp"
+#include "net/topology.hpp"
 
 namespace mri::mr {
 namespace {
@@ -257,6 +259,140 @@ TEST(SchedulerSpeculation, DeadNodeSlotsNotUsedForBackups) {
     }
   }
   expect_no_slot_overlap(s);
+}
+
+// ---- racked topology / flow-level network model -----------------------------
+
+std::shared_ptr<const net::Topology> make_topology(int hosts, int racks,
+                                                   double oversub,
+                                                   double bandwidth,
+                                                   bool rack_aware = true) {
+  net::TopologyOptions o;
+  o.kind = net::TopologyKind::kRacked;
+  o.racks = racks;
+  o.oversubscription = oversub;
+  o.rack_aware_placement = rack_aware;
+  return std::make_shared<const net::Topology>(hosts, bandwidth, o);
+}
+
+TEST(SchedulerRacked, FlatTopologyIsIdenticalToNoTopology) {
+  CostModel m = flat_model();
+  m.network_bandwidth = 50e6;
+  std::vector<std::vector<Attempt>> tasks(6, {ok_attempt(1'000'000'000)});
+  tasks[2] = {failed_attempt(400'000'000), ok_attempt(1'000'000'000)};
+
+  Cluster bare(4, m, /*seed=*/3);
+  const PhaseSchedule a = schedule_phase(bare, tasks);
+
+  Cluster with_flat(4, m, /*seed=*/3);
+  with_flat.set_topology(
+      std::make_shared<const net::Topology>(4, m.network_bandwidth));
+  const PhaseSchedule b = schedule_phase(with_flat, tasks);
+
+  EXPECT_EQ(a.duration, b.duration);  // bit-identical
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].start, b.trace[i].start);
+    EXPECT_EQ(a.trace[i].end, b.trace[i].end);
+    EXPECT_EQ(a.trace[i].node, b.trace[i].node);
+    EXPECT_EQ(a.trace[i].slot, b.trace[i].slot);
+  }
+  EXPECT_TRUE(b.link_loads.empty());
+  EXPECT_EQ(b.rack_local_attempts, 0);
+}
+
+TEST(SchedulerRacked, TransferlessAttemptsMatchScalarDurations) {
+  // Attempts without recorded transfers cost exactly model.task_seconds even
+  // under a racked topology: the racked path only changes how recorded
+  // network traffic is charged.
+  CostModel m = flat_model();
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+
+  Cluster bare(4, m, /*seed=*/3);
+  const PhaseSchedule a = schedule_phase(bare, tasks);
+  Cluster racked_cluster(4, m, /*seed=*/3);
+  racked_cluster.set_topology(
+      make_topology(4, 2, 4.0, m.network_bandwidth, /*rack_aware=*/false));
+  const PhaseSchedule b = schedule_phase(racked_cluster, tasks);
+  EXPECT_EQ(a.duration, b.duration);
+}
+
+TEST(SchedulerRacked, OversubscriptionStretchesCrossRackTransfers) {
+  // One task per node, each reading 90 MB from a node in the other rack.
+  // The scalar model charges 90 MB at network_bandwidth; under 9:1
+  // oversubscription the rack uplink (2 * bw / 9) is the bottleneck and the
+  // flow simulation must stretch the phase well past the scalar duration.
+  CostModel m = flat_model();
+  m.network_bandwidth = 100e6;
+  m.disk_bandwidth = 100e6;
+  const int n = 4;
+  std::vector<std::vector<Attempt>> tasks;
+  for (int t = 0; t < n; ++t) {
+    Attempt a = ok_attempt(1'000'000);
+    a.io.bytes_read = 90'000'000;
+    a.io.bytes_transferred = 90'000'000;
+    const int src = (t + 2) % n;  // other rack under 2 racks of 2
+    a.transfers.push_back(
+        {src, t, 90'000'000, net::TransferKind::kRead});
+    tasks.push_back({a});
+  }
+
+  Cluster flat_cluster(n, m, /*seed=*/5);
+  const PhaseSchedule flat = schedule_phase(flat_cluster, tasks);
+
+  Cluster contended(n, m, /*seed=*/5);
+  contended.set_topology(
+      make_topology(n, 2, 9.0, m.network_bandwidth, /*rack_aware=*/false));
+  const PhaseSchedule racked = schedule_phase(contended, tasks);
+
+  EXPECT_GT(racked.duration, 1.3 * flat.duration);
+  EXPECT_EQ(racked.cross_rack_attempts + racked.rack_local_attempts, n);
+  EXPECT_EQ(racked.net_cross_rack_bytes, 4u * 90'000'000u);
+  ASSERT_FALSE(racked.link_loads.empty());
+  // Rack uplinks (ids 2H..2H+R) saw the traffic and hit saturation.
+  const net::LinkLoad& up = racked.link_loads[2 * n];
+  EXPECT_GT(up.bytes, 0u);
+  EXPECT_NEAR(up.peak_utilization, 1.0, 1e-6);
+
+  // A non-blocking fabric (1:1) matches the scalar time: access links run
+  // at the same bandwidth the scalar model charges.
+  Cluster clean(n, m, /*seed=*/5);
+  clean.set_topology(
+      make_topology(n, 2, 1.0, m.network_bandwidth, /*rack_aware=*/false));
+  const PhaseSchedule smooth = schedule_phase(clean, tasks);
+  EXPECT_NEAR(smooth.duration, flat.duration, 1e-6 * flat.duration);
+}
+
+TEST(SchedulerRacked, RackAwareDispatchPrefersHomeRack) {
+  // 4 nodes, 2 racks, 1 slot each, 4 tasks: every task's home node (t % 4)
+  // is free at t=0, so rack-aware dispatch should land every fresh attempt
+  // in its home rack.
+  CostModel m = flat_model();
+  std::vector<std::vector<Attempt>> tasks(4, {ok_attempt(1'000'000'000)});
+  Cluster cluster(4, m, /*seed=*/7);
+  cluster.set_topology(
+      make_topology(4, 2, 4.0, m.network_bandwidth, /*rack_aware=*/true));
+  const PhaseSchedule s = schedule_phase(cluster, tasks);
+  EXPECT_EQ(s.rack_local_attempts, 4);
+  EXPECT_EQ(s.cross_rack_attempts, 0);
+  expect_no_slot_overlap(s);
+}
+
+TEST(SchedulerRacked, ByteDistanceSplitFollowsPlacement) {
+  // A single task with one node-local and one same-rack transfer; dispatch
+  // pins it to its home node (task 0 -> node 0, rack 0).
+  CostModel m = flat_model();
+  Attempt a = ok_attempt(1'000'000);
+  a.io.bytes_read = 30'000'000;
+  a.io.bytes_transferred = 10'000'000;
+  a.transfers.push_back({0, 0, 20'000'000, net::TransferKind::kRead});
+  a.transfers.push_back({1, 0, 10'000'000, net::TransferKind::kRead});
+  Cluster cluster(4, m, /*seed=*/7);
+  cluster.set_topology(make_topology(4, 2, 1.0, m.network_bandwidth));
+  const PhaseSchedule s = schedule_phase(cluster, {{a}});
+  EXPECT_EQ(s.net_node_local_bytes, 20'000'000u);
+  EXPECT_EQ(s.net_rack_local_bytes, 10'000'000u);
+  EXPECT_EQ(s.net_cross_rack_bytes, 0u);
 }
 
 // ---- fair-share slot pool ---------------------------------------------------

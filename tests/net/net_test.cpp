@@ -1,0 +1,204 @@
+// Topology geometry and flow-level max-min fair simulation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/flow_sim.hpp"
+#include "net/topology.hpp"
+
+namespace mri::net {
+namespace {
+
+constexpr double kBw = 100e6;  // 100 MB/s access links
+
+TopologyOptions racked(int racks, double oversub = 1.0) {
+  TopologyOptions o;
+  o.kind = TopologyKind::kRacked;
+  o.racks = racks;
+  o.oversubscription = oversub;
+  return o;
+}
+
+// ---- topology ---------------------------------------------------------------
+
+TEST(Topology, FlatHasNoLinks) {
+  const Topology t(8, kBw);
+  EXPECT_FALSE(t.racked());
+  EXPECT_EQ(t.num_links(), 0);
+  EXPECT_EQ(t.racks(), 1);
+  EXPECT_EQ(t.rack_of(0), 0);
+  EXPECT_EQ(t.rack_of(7), 0);
+}
+
+TEST(Topology, RackAssignmentIsContiguousAndBalanced) {
+  const Topology t(8, kBw, racked(4));
+  // 8 hosts over 4 racks: 2 per rack, contiguous.
+  for (int h = 0; h < 8; ++h) EXPECT_EQ(t.rack_of(h), h / 2);
+
+  // Uneven split: rack sizes differ by at most one and stay contiguous.
+  const Topology u(7, kBw, racked(3));
+  std::vector<int> count(3, 0);
+  int prev = 0;
+  for (int h = 0; h < 7; ++h) {
+    const int r = u.rack_of(h);
+    EXPECT_GE(r, prev);  // monotone => contiguous
+    prev = r;
+    ++count[r];
+  }
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GE(count[r], 2);
+    EXPECT_LE(count[r], 3);
+  }
+}
+
+TEST(Topology, LinkLayoutCapacitiesAndNames) {
+  const Topology t(8, kBw, racked(4, /*oversub=*/4.0));
+  ASSERT_EQ(t.num_links(), 2 * 8 + 2 * 4);
+  // Host access links at host bandwidth, both directions.
+  for (int h = 0; h < 16; ++h) EXPECT_EQ(t.link_capacity(h), kBw);
+  // Rack uplinks: 2 hosts/rack * 100 MB/s / 4:1 oversub = 50 MB/s.
+  for (int l = 16; l < 24; ++l) EXPECT_EQ(t.link_capacity(l), kBw / 2.0);
+  EXPECT_EQ(t.link_name(0), "host0:up");
+  EXPECT_EQ(t.link_name(8), "host0:down");
+  EXPECT_EQ(t.link_name(16), "rack0:up");
+  EXPECT_EQ(t.link_name(20), "rack0:down");
+  EXPECT_EQ(t.link_name(23), "rack3:down");
+}
+
+TEST(Topology, PathsByDistance) {
+  const Topology t(8, kBw, racked(4));
+  // Node-local: no links.
+  EXPECT_TRUE(t.path(3, 3).empty());
+  // Same rack (hosts 0 and 1 share rack 0): src up, dst down.
+  EXPECT_EQ(t.path(0, 1), (std::vector<int>{0, 8 + 1}));
+  // Cross rack (host 0 in rack 0 -> host 7 in rack 3): src up, rack 0
+  // uplink, rack 3 downlink, dst down.
+  EXPECT_EQ(t.path(0, 7), (std::vector<int>{0, 16 + 0, 20 + 3, 8 + 7}));
+}
+
+TEST(Topology, RejectsBadArguments) {
+  EXPECT_THROW(Topology(0, kBw), InvalidArgument);
+  EXPECT_THROW(Topology(4, kBw, racked(5)), InvalidArgument);
+  EXPECT_THROW(Topology(4, kBw, racked(2, 0.0)), InvalidArgument);
+  EXPECT_THROW(Topology(4, 0.0, racked(2)), InvalidArgument);
+  const Topology flat(4, kBw);
+  EXPECT_THROW(flat.path(0, 1), InvalidArgument);
+  EXPECT_THROW(flat.link_capacity(0), InvalidArgument);
+}
+
+// ---- flow simulation --------------------------------------------------------
+
+TEST(FlowSim, SingleFlowRunsAtAccessLinkRate) {
+  const Topology t(8, kBw, racked(4));
+  // 100 MB across a non-blocking fabric: bottleneck is the access link.
+  const FlowSimResult r = simulate_flows(t, {{0, 7, 100'000'000, 0.0}});
+  ASSERT_EQ(r.finish.size(), 1u);
+  EXPECT_NEAR(r.finish[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.end_time, 1.0, 1e-9);
+  // Every link on the path saw the bytes and full utilization.
+  for (int l : t.path(0, 7)) {
+    EXPECT_EQ(r.links[static_cast<std::size_t>(l)].bytes, 100'000'000u);
+    EXPECT_NEAR(r.links[static_cast<std::size_t>(l)].busy_seconds, 1.0, 1e-9);
+  }
+  EXPECT_NEAR(r.links[0].peak_utilization, 1.0, 1e-9);
+  // Rack 0's uplink has capacity 2 * kBw, so one flow fills half of it.
+  EXPECT_NEAR(r.links[16].peak_utilization, 0.5, 1e-9);
+}
+
+TEST(FlowSim, TwoFlowsShareACommonLinkFairly) {
+  const Topology t(8, kBw, racked(4));
+  // Both flows end at host 7: its receive link is the bottleneck, each flow
+  // gets kBw / 2, so 100 MB takes 2 s.
+  const FlowSimResult r = simulate_flows(
+      t, {{0, 7, 100'000'000, 0.0}, {2, 7, 100'000'000, 0.0}});
+  EXPECT_NEAR(r.finish[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.finish[1], 2.0, 1e-9);
+  // Disjoint-destination flows don't contend anywhere.
+  const FlowSimResult d = simulate_flows(
+      t, {{0, 6, 100'000'000, 0.0}, {2, 7, 100'000'000, 0.0}});
+  EXPECT_NEAR(d.finish[0], 1.0, 1e-9);
+  EXPECT_NEAR(d.finish[1], 1.0, 1e-9);
+}
+
+TEST(FlowSim, OversubscribedUplinkIsTheBottleneck) {
+  // 4:1 oversubscription: rack uplink = 2 hosts * kBw / 4 = kBw / 2. A
+  // single cross-rack flow is capped there -> 2 s for 100 MB.
+  const Topology t(8, kBw, racked(4, /*oversub=*/4.0));
+  const FlowSimResult r = simulate_flows(t, {{0, 7, 100'000'000, 0.0}});
+  EXPECT_NEAR(r.finish[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.links[16].peak_utilization, 1.0, 1e-9);
+  // Same-rack traffic never touches the uplink and is unaffected.
+  const FlowSimResult s = simulate_flows(t, {{0, 1, 100'000'000, 0.0}});
+  EXPECT_NEAR(s.finish[0], 1.0, 1e-9);
+}
+
+TEST(FlowSim, StaggeredArrivalReallocatesRates) {
+  const Topology t(8, kBw, racked(4));
+  // Flow A (0 -> 7) runs alone for 0.5 s (50 MB done), then shares host 7's
+  // receive link with flow B: A's remaining 50 MB at kBw/2 finishes at 1.5 s;
+  // B then takes the full link for its last 50 MB -> 2.0 s.
+  const FlowSimResult r = simulate_flows(
+      t, {{0, 7, 100'000'000, 0.0}, {2, 7, 100'000'000, 0.5}});
+  EXPECT_NEAR(r.finish[0], 1.5, 1e-9);
+  EXPECT_NEAR(r.finish[1], 2.0, 1e-9);
+}
+
+TEST(FlowSim, TrivialFlowsFinishAtTheirStart) {
+  const Topology t(4, kBw, racked(2));
+  const FlowSimResult r = simulate_flows(
+      t, {{1, 1, 100'000'000, 0.25}, {0, 3, 0, 0.75}});
+  EXPECT_EQ(r.finish[0], 0.25);
+  EXPECT_EQ(r.finish[1], 0.75);
+  EXPECT_EQ(r.end_time, 0.75);
+  for (const LinkLoad& l : r.links) EXPECT_EQ(l.bytes, 0u);
+}
+
+TEST(FlowSim, DeterministicAcrossRuns) {
+  const Topology t(16, kBw, racked(4, /*oversub=*/8.0));
+  std::vector<Flow> flows;
+  for (int i = 0; i < 48; ++i) {
+    Flow f;
+    f.src = i % 16;
+    f.dst = (i * 7 + 3) % 16;
+    f.bytes = 1'000'000ull * static_cast<std::uint64_t>(1 + i % 5);
+    f.start = 0.01 * static_cast<double>(i % 7);
+    flows.push_back(f);
+  }
+  const FlowSimResult a = simulate_flows(t, flows);
+  const FlowSimResult b = simulate_flows(t, flows);
+  ASSERT_EQ(a.finish.size(), b.finish.size());
+  for (std::size_t i = 0; i < a.finish.size(); ++i) {
+    EXPECT_EQ(a.finish[i], b.finish[i]);  // bit-identical
+  }
+  EXPECT_EQ(a.end_time, b.end_time);
+  for (std::size_t l = 0; l < a.links.size(); ++l) {
+    EXPECT_EQ(a.links[l].bytes, b.links[l].bytes);
+    EXPECT_EQ(a.links[l].busy_seconds, b.links[l].busy_seconds);
+    EXPECT_EQ(a.links[l].peak_utilization, b.links[l].peak_utilization);
+  }
+}
+
+TEST(FlowSim, ConservesBytesPerLink) {
+  const Topology t(8, kBw, racked(4, /*oversub=*/2.0));
+  const std::vector<Flow> flows = {
+      {0, 1, 10'000'000, 0.0},   // same rack
+      {0, 7, 20'000'000, 0.0},   // cross rack
+      {6, 7, 30'000'000, 0.1},   // same rack (6 and 7 share rack 3)
+  };
+  const FlowSimResult r = simulate_flows(t, flows);
+  // host0:up carries both of host 0's flows; host7:down both arrivals at 7.
+  EXPECT_EQ(r.links[0].bytes, 30'000'000u);
+  EXPECT_EQ(r.links[8 + 7].bytes, 50'000'000u);
+  // Only the cross-rack flow touches rack uplinks.
+  EXPECT_EQ(r.links[16].bytes, 20'000'000u);
+  EXPECT_EQ(r.links[20 + 3].bytes, 20'000'000u);
+}
+
+TEST(FlowSim, RequiresRackedTopology) {
+  const Topology flat(4, kBw);
+  EXPECT_THROW(simulate_flows(flat, {{0, 1, 1, 0.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mri::net

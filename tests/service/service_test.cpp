@@ -442,5 +442,43 @@ TEST(RequestTrace, RejectsMalformedInput) {
       InvalidArgument);
 }
 
+TEST(RetryBackoff, EscalatesAndClampsAtMax) {
+  RetryPolicy retry;
+  retry.backoff_seconds = 60.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_seconds = 900.0;
+  EXPECT_EQ(retry_backoff(retry, 1), 60.0);
+  EXPECT_EQ(retry_backoff(retry, 2), 120.0);
+  EXPECT_EQ(retry_backoff(retry, 3), 240.0);
+  EXPECT_EQ(retry_backoff(retry, 4), 480.0);
+  EXPECT_EQ(retry_backoff(retry, 5), 900.0);  // 960 clamped
+  EXPECT_EQ(retry_backoff(retry, 6), 900.0);
+}
+
+TEST(RetryBackoff, ExtremeSettingsNeverOverflowToInfinity) {
+  // The clamp applies at every escalation step, so even settings that would
+  // overflow a naive pow()-style escalation (10^1000 >> DBL_MAX) stay
+  // finite and exactly at the cap.
+  RetryPolicy retry;
+  retry.backoff_seconds = 1.0;
+  retry.backoff_multiplier = 10.0;
+  retry.max_backoff_seconds = 3600.0;
+  const double b = retry_backoff(retry, 1000);
+  EXPECT_TRUE(std::isfinite(b));
+  EXPECT_EQ(b, 3600.0);
+  // Multiplier 1 never escalates.
+  RetryPolicy flat;
+  flat.backoff_seconds = 5.0;
+  flat.backoff_multiplier = 1.0;
+  flat.max_backoff_seconds = 900.0;
+  EXPECT_EQ(retry_backoff(flat, 100), 5.0);
+  // A base already above the cap is clamped from the first retry on.
+  RetryPolicy high;
+  high.backoff_seconds = 100.0;
+  high.backoff_multiplier = 2.0;
+  high.max_backoff_seconds = 50.0;
+  EXPECT_EQ(retry_backoff(high, 1), 50.0);
+}
+
 }  // namespace
 }  // namespace mri::service

@@ -39,6 +39,80 @@ RunReport two_slot_run() {
   return r;
 }
 
+TEST(RunReport, PercentileEdgeCases) {
+  // Empty input is defined as 0 (no samples, no latency).
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  // q clamps to the extremes: q<=0 is the min, q>=1 the max.
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, -0.5), 1.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 1.0), 3.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 2.0), 3.0);
+  // Single element: every quantile is that element.
+  EXPECT_EQ(percentile({7.0}, 0.25), 7.0);
+  EXPECT_EQ(percentile({7.0}, 0.75), 7.0);
+  // Two elements interpolate linearly between closest ranks
+  // (numpy default): p50 of {10, 20} is 15, p25 is 12.5.
+  EXPECT_NEAR(percentile({20.0, 10.0}, 0.50), 15.0, 1e-12);
+  EXPECT_NEAR(percentile({20.0, 10.0}, 0.25), 12.5, 1e-12);
+  EXPECT_NEAR(percentile({20.0, 10.0}, 0.75), 17.5, 1e-12);
+  // Input order never matters (sorted internally, by value).
+  EXPECT_NEAR(percentile({1.0, 9.0, 5.0, 3.0, 7.0}, 0.5), 5.0, 1e-12);
+}
+
+TEST(RunReport, NetworkSectionAlwaysPresent) {
+  // The "network" object is part of the stable schema even on flat runs
+  // (enabled=false, empty links) so downstream parsers never branch.
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  const std::string json = run_report_json(r);
+  EXPECT_NE(json.find("\"network\":{\"enabled\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"topology\":\"flat\""), std::string::npos);
+  EXPECT_NE(json.find("\"links\":[]"), std::string::npos);
+
+  RunReport racked = two_slot_run();
+  racked.network.enabled = true;
+  racked.network.topology = "racked";
+  racked.network.racks = 2;
+  racked.network.oversubscription = 4.0;
+  racked.network.rack_aware_placement = true;
+  racked.network.node_local_bytes = 5;
+  racked.network.cross_rack_bytes = 9;
+  LinkReport link;
+  link.name = "rack0.up";
+  link.bytes = 42;
+  link.busy_seconds = 1.5;
+  link.peak_utilization = 0.75;
+  racked.network.links.push_back(link);
+  aggregate_run_report(&racked);
+  const std::string rj = run_report_json(racked);
+  EXPECT_NE(rj.find("\"network\":{\"enabled\":true"), std::string::npos);
+  EXPECT_NE(rj.find("\"topology\":\"racked\""), std::string::npos);
+  EXPECT_NE(rj.find("\"oversubscription\":4"), std::string::npos);
+  EXPECT_NE(rj.find("\"name\":\"rack0.up\""), std::string::npos);
+  EXPECT_NE(rj.find("\"bytes\":42"), std::string::npos);
+  EXPECT_NE(rj.find("\"cross_rack_bytes\":9"), std::string::npos);
+}
+
+TEST(RunReport, ChromeTraceNetworkLaneOnlyWhenLinksCarryBytes) {
+  RunReport flat = two_slot_run();
+  aggregate_run_report(&flat);
+  EXPECT_EQ(chrome_trace_json(flat).find("\"name\":\"network\""),
+            std::string::npos);
+
+  RunReport racked = two_slot_run();
+  LinkReport link;
+  link.name = "host0.up";
+  link.bytes = 1000;
+  link.busy_seconds = 0.5;
+  link.peak_utilization = 1.0;
+  racked.phases[0].link_loads.push_back(link);
+  aggregate_run_report(&racked);
+  const std::string json = chrome_trace_json(racked);
+  EXPECT_NE(json.find("\"name\":\"network\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"host0.up\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_utilization\":"), std::string::npos);
+}
+
 TEST(RunReport, AggregatesWavesUtilizationStragglers) {
   RunReport r = two_slot_run();
   aggregate_run_report(&r);

@@ -35,6 +35,70 @@ TEST(IoStats, Accumulates) {
   EXPECT_EQ(a.flops(), 311u);
 }
 
+TEST(IoStats, SubtractionUnderflowThrowsPerField) {
+  // A stage split whose minuend doesn't dominate is a bug; it must throw
+  // loudly instead of wrapping to ~2^64. Every field is checked.
+  const IoStats big{.bytes_written = 10,
+                    .bytes_read = 10,
+                    .bytes_transferred = 10,
+                    .bytes_replicated = 10,
+                    .bytes_written_memory = 10,
+                    .mults = 10,
+                    .adds = 10};
+  {
+    IoStats a = big;
+    IoStats b;
+    b.bytes_written = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  {
+    IoStats a = big;
+    IoStats b;
+    b.bytes_read = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  {
+    IoStats a = big;
+    IoStats b;
+    b.bytes_transferred = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  {
+    IoStats a = big;
+    IoStats b;
+    b.bytes_replicated = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  {
+    IoStats a = big;
+    IoStats b;
+    b.bytes_written_memory = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  {
+    IoStats a = big;
+    IoStats b;
+    b.mults = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  {
+    IoStats a = big;
+    IoStats b;
+    b.adds = 11;
+    EXPECT_THROW(a -= b, InvalidArgument);
+  }
+  // A failed subtraction must leave the minuend untouched.
+  IoStats a = big;
+  IoStats b;
+  b.adds = 11;
+  EXPECT_THROW(a -= b, InvalidArgument);
+  EXPECT_EQ(a, big);
+  // Exact equality subtracts to all-zero without throwing.
+  IoStats c = big;
+  c -= big;
+  EXPECT_EQ(c, IoStats{});
+}
+
 // ---- cost model ----------------------------------------------------------------
 
 TEST(CostModel, TaskSecondsComposition) {
@@ -46,11 +110,49 @@ TEST(CostModel, TaskSecondsComposition) {
   IoStats io;
   io.mults = 500'000'000;  // 0.5 s
   io.adds = 500'000'000;   // 0.5 s
-  io.bytes_read = 50'000'000;       // min(bw) = 50 MB/s -> 1 s
+  io.bytes_read = 50'000'000;       // no transfers -> local, 0.5 s at disk bw
   io.bytes_written = 100'000'000;   // 1 s at disk bw
   io.bytes_replicated = 50'000'000; // 1 s at net bw
-  EXPECT_NEAR(m.task_seconds(io), 1.0 + 1.0 + 1.0 + 1.0 + 1.0, 1e-9);
-  EXPECT_NEAR(m.compute_seconds(io), 4.0, 1e-9);
+  EXPECT_NEAR(m.task_seconds(io), 1.0 + 1.0 + 0.5 + 1.0 + 1.0, 1e-9);
+  EXPECT_NEAR(m.compute_seconds(io), 3.5, 1e-9);
+}
+
+TEST(CostModel, LocalReadsChargeDiskNotNetwork) {
+  // Regression: only the network-crossing part of bytes_read pays the
+  // network path. bytes_transferred counts remote reads + the replication
+  // pipeline, so remote reads are transferred - replicated, clamped into
+  // [0, bytes_read]; the rest of the reads stream at disk bandwidth.
+  CostModel m;
+  m.flops_per_second = 1e9;
+  m.disk_bandwidth = 100e6;
+  m.network_bandwidth = 25e6;
+  m.task_overhead_seconds = 0.0;
+
+  IoStats io;
+  io.bytes_read = 100'000'000;
+  io.bytes_transferred = 75'000'000;
+  io.bytes_replicated = 50'000'000;
+  // remote = 75 - 50 = 25 MB at net bw (1 s); local = 75 MB at disk bw
+  // (0.75 s); replication = 50 MB at net bw (2 s).
+  EXPECT_NEAR(m.compute_seconds(io), 1.0 + 0.75 + 2.0, 1e-9);
+
+  // Fully local read: everything at disk bandwidth.
+  IoStats local;
+  local.bytes_read = 100'000'000;
+  EXPECT_NEAR(m.compute_seconds(local), 1.0, 1e-9);
+
+  // Fully remote read: everything at network bandwidth.
+  IoStats remote;
+  remote.bytes_read = 100'000'000;
+  remote.bytes_transferred = 100'000'000;
+  EXPECT_NEAR(m.compute_seconds(remote), 4.0, 1e-9);
+
+  // Transfers beyond bytes_read (e.g. shuffle) never push the read charge
+  // past the bytes actually read.
+  IoStats over;
+  over.bytes_read = 50'000'000;
+  over.bytes_transferred = 200'000'000;
+  EXPECT_NEAR(m.compute_seconds(over), 2.0, 1e-9);
 }
 
 TEST(CostModel, SpeedFactorScalesCompute) {
@@ -85,6 +187,38 @@ TEST(CostModel, ScaledDownPreservesShape) {
 
   EXPECT_NEAR(small.task_seconds(io_small) * 64.0, full.task_seconds(io_full),
               1e-6 * full.task_seconds(io_full));
+}
+
+TEST(CostModel, ScaledDownIsExactOneOverSCubed) {
+  // For S = 4 every model parameter scales by an exact power of two, and
+  // the workload fields divide without remainder, so t_small == t_full/S^3
+  // holds to the last bit — not just to a tolerance.
+  const CostModel full = CostModel::ec2_medium();
+  const double s = 4.0;
+  const CostModel small = full.scaled_down(s);
+
+  EXPECT_EQ(small.disk_bandwidth, full.disk_bandwidth * 4.0);
+  EXPECT_EQ(small.network_bandwidth, full.network_bandwidth * 4.0);
+  EXPECT_EQ(small.job_launch_seconds, full.job_launch_seconds / 64.0);
+  EXPECT_EQ(small.task_overhead_seconds, full.task_overhead_seconds / 64.0);
+
+  IoStats io_full;
+  io_full.mults = 1ull << 40;
+  io_full.adds = 1ull << 40;
+  io_full.bytes_read = 1ull << 33;
+  io_full.bytes_written = 1ull << 31;
+  io_full.bytes_replicated = 1ull << 32;
+
+  IoStats io_small;
+  io_small.mults = io_full.mults / 64;
+  io_small.adds = io_full.adds / 64;
+  io_small.bytes_read = io_full.bytes_read / 16;
+  io_small.bytes_written = io_full.bytes_written / 16;
+  io_small.bytes_replicated = io_full.bytes_replicated / 16;
+
+  EXPECT_EQ(small.task_seconds(io_small) * 64.0, full.task_seconds(io_full));
+  EXPECT_EQ(small.compute_seconds(io_small) * 64.0,
+            full.compute_seconds(io_full));
 }
 
 TEST(CostModel, Presets) {
