@@ -1,11 +1,18 @@
 // mrinvert: a command-line matrix inverter backed by the MapReduce pipeline.
 //
 //   ./mrinvert_cli --input A.txt --output Ainv.txt [--nodes 8] [--nb 64]
-//                  [--engine auto|mapreduce|scalapack] [--spark] [--overlap]
-//                  [--trace-out trace.json] [--report-out report.json]
+//                  [--engine auto|mapreduce|spin|scalapack] [--cache-mb 256]
+//                  [--overlap] [--trace-out trace.json]
+//                  [--report-out report.json]
 //   ./mrinvert_cli --generate 256 --output Ainv.txt        # random input
 //   ./mrinvert_cli --serve requests.trace [--max-concurrent 2]
 //                  [--queue-depth 8] [--tenant-queue-limit 0]
+//                  [--memory-budget-mb 0]
+//
+// --engine spin selects the SPIN-style in-memory engine: intermediates live
+// in per-node block caches (--cache-mb per node), consumers read resident
+// inputs at memory bandwidth, and node kills recover by lineage
+// recomputation. --spark is the deprecated spelling of --engine spin.
 //
 // Reads a whitespace-separated text matrix from the local filesystem (the
 // paper's a.txt format), inverts it on a simulated cluster, writes the
@@ -199,7 +206,18 @@ int run_serve(const mri::CliOptions& cli) {
       static_cast<int>(cli.get_int("tenant-queue-limit", 0));
   options.inversion.nb = cli.get_int("nb", 0);
   if (options.inversion.nb <= 0) options.inversion.nb = 256;
-  options.inversion.in_memory_intermediates = cli.get_bool("spark", false);
+  if (cli.get_string("engine", "") == "spin" || cli.get_bool("spark", false)) {
+    options.inversion.engine = core::EngineKind::kSpin;
+  }
+  options.inversion.cache_capacity_bytes =
+      static_cast<std::uint64_t>(cli.get_int("cache-mb", 256)) << 20;
+  options.admission.memory_budget_bytes_per_tenant =
+      static_cast<std::uint64_t>(cli.get_int("memory-budget-mb", 0)) << 20;
+  MRI_REQUIRE(!cli.has("memory-budget-mb") ||
+                  options.inversion.spin(),
+              "--memory-budget-mb bounds tenants' in-memory intermediates, "
+              "which only the spin engine keeps; add --engine spin or drop "
+              "the budget");
   options.inversion.overlap_final_stage = cli.get_bool("overlap", false);
   options.inversion.work_dir = "/svc";
 
@@ -269,10 +287,12 @@ int main(int argc, char** argv) {
     MRI_REQUIRE(!cli.has("output"),
                 "--serve runs many inversions and writes no single inverse; "
                 "drop --output (use --report-out for the per-tenant report)");
-    MRI_REQUIRE(!cli.has("engine") || engine == "mapreduce",
+    MRI_REQUIRE(!cli.has("engine") || engine == "mapreduce" ||
+                    engine == "spin",
                 "--serve always drives the MapReduce pipeline (engine '"
                     << engine << "' cannot share the service's slot pool); "
-                    "drop --engine or pass --engine mapreduce");
+                    "drop --engine or pass --engine mapreduce (or spin for "
+                    "memory-tier intermediates)");
     return run_serve(cli);
   }
   MRI_REQUIRE(!(cli.has("overlap") && engine == "scalapack"),
@@ -282,7 +302,23 @@ int main(int argc, char** argv) {
   MRI_REQUIRE(!(cli.has("spark") && engine == "scalapack"),
               "--spark keeps MapReduce intermediates in memory, which "
               "--engine scalapack never writes; drop --spark or use "
-              "--engine mapreduce (or auto)");
+              "--engine spin");
+  MRI_REQUIRE(!(cli.has("spark") && engine == "spin"),
+              "--spark is the deprecated spelling of --engine spin; drop "
+              "--spark (you already selected the spin engine)");
+  MRI_REQUIRE(!(cli.has("cache-mb") && engine == "scalapack"),
+              "--cache-mb sizes the spin engine's per-node block cache, "
+              "which --engine scalapack never uses; drop --cache-mb or use "
+              "--engine spin");
+  MRI_REQUIRE(!cli.has("cache-mb") || engine == "spin" ||
+                  cli.get_bool("spark", false),
+              "--cache-mb sizes the spin engine's per-node block cache; add "
+              "--engine spin (Hadoop-style runs keep intermediates on "
+              "disk, not in a cache)");
+  MRI_REQUIRE(!cli.has("memory-budget-mb"),
+              "--memory-budget-mb is a --serve admission bound (per-tenant "
+              "in-memory footprint); single inversions have no tenants — "
+              "drop it or run --serve");
   MRI_REQUIRE(!(chaos_requested(cli) && engine == "scalapack"),
               "--kill-node/--chaos-* simulate node failures, and ScaLAPACK/"
               "MPI cannot survive one — a lost rank aborts the whole run "
@@ -310,8 +346,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mrinvert_cli (--input A.txt | --generate N) "
                  "[--output Ainv.txt] [--nodes N] [--nb N]\n"
-                 "       [--engine auto|mapreduce|scalapack] [--spark] "
-                 "[--overlap]\n"
+                 "       [--engine auto|mapreduce|spin|scalapack] "
+                 "[--cache-mb N] [--overlap]\n"
                  "       [--topology flat|racked] [--racks N] [--oversub X] "
                  "[--rack-aware 0|1]\n"
                  "       [--kill-node id@t[,id@t...]] [--chaos-seed N] "
@@ -332,10 +368,23 @@ int main(int argc, char** argv) {
 
   core::InversionOptions options;
   options.nb = cli.get_int("nb", std::max<Index>(32, a.rows() / 8));
-  options.in_memory_intermediates = cli.get_bool("spark", false);
+  if (cli.get_bool("spark", false)) {
+    std::printf("note: --spark is deprecated; use --engine spin (same "
+                "in-memory engine, now with a block cache and lineage "
+                "recovery)\n");
+    options.engine = core::EngineKind::kSpin;
+  }
+  options.cache_capacity_bytes =
+      static_cast<std::uint64_t>(cli.get_int("cache-mb", 256)) << 20;
   options.overlap_final_stage = cli.get_bool("overlap", false);
 
   std::string effective_engine = engine;
+  if (engine == "spin") {
+    // The spin engine rides the MapReduce pipeline; from here down it is
+    // the MapReduce path with the in-memory engine selected.
+    options.engine = core::EngineKind::kSpin;
+    effective_engine = "mapreduce";
+  }
   if (chaos && engine == "auto") {
     // The auto-picker compares fault-free predictions; chaos only makes
     // sense on the engine that can survive it.
@@ -348,6 +397,8 @@ int main(int argc, char** argv) {
   SimReport report;
   std::vector<mr::JobResult> jobs;
   std::vector<MasterSpan> master_spans;
+  engine::EngineStats engine_stats;
+  bool engine_active = false;
   if (effective_engine == "mapreduce") {
     core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics,
                                      chaos.get());
@@ -356,7 +407,20 @@ int main(int argc, char** argv) {
     report = r.report;
     jobs = std::move(r.jobs);
     master_spans = std::move(r.master_spans);
-    std::printf("engine: mapreduce (%d jobs)\n", report.jobs);
+    engine_active = r.engine_active;
+    engine_stats = std::move(r.engine_stats);
+    std::printf("engine: %s (%d jobs)\n",
+                options.spin() ? "spin" : "mapreduce", report.jobs);
+    if (engine_active) {
+      std::printf("spin engine: %llu cache hit(s), %llu eviction(s) (%s "
+                  "spilled), %d partition(s) recomputed in %d wave(s)\n",
+                  static_cast<unsigned long long>(engine_stats.cache.hits),
+                  static_cast<unsigned long long>(
+                      engine_stats.cache.evictions),
+                  format_bytes(engine_stats.cache.spilled_bytes).c_str(),
+                  engine_stats.partitions_recomputed,
+                  engine_stats.lineage_waves);
+    }
   } else if (engine == "scalapack") {
     auto r = scalapack::invert(a, cluster);
     inverse = std::move(r.inverse);
@@ -386,7 +450,8 @@ int main(int argc, char** argv) {
     } else {
       const RunReport run_report =
           mr::build_run_report(jobs, cluster, &metrics, master_spans,
-                               chaos.get());
+                               chaos.get(),
+                               engine_active ? &engine_stats : nullptr);
       if (!trace_out.empty()) {
         save_json(trace_out, chrome_trace_json(run_report));
         std::printf("chrome trace written to %s (load in chrome://tracing)\n",
@@ -415,6 +480,13 @@ int main(int argc, char** argv) {
                 rec.nodes_killed, recomputed,
                 format_bytes(rec.re_replicated_bytes).c_str(),
                 rec.blocks_lost);
+    if (rec.partitions_recomputed > 0) {
+      std::printf("lineage recovery         : %d partition(s) (%s) rebuilt "
+                  "in %d wave(s), %.3g s simulated recompute\n",
+                  rec.partitions_recomputed,
+                  format_bytes(rec.lineage_recomputed_bytes).c_str(),
+                  rec.lineage_waves, rec.lineage_recompute_seconds);
+    }
   }
 
   if (!output.empty()) {

@@ -1,5 +1,7 @@
 #include "core/inverter.hpp"
 
+#include <memory>
+
 #include "common/logging.hpp"
 #include "core/assemble.hpp"
 #include "core/inverse_job.hpp"
@@ -34,9 +36,25 @@ MapReduceInverter::Result MapReduceInverter::invert(
 
 MapReduceInverter::Result MapReduceInverter::invert_dfs(
     const std::string& input_path, const InversionOptions& options) {
-  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_, chaos_);
+  // RAII engine scope: the spin engine registers itself with the DFS (tier
+  // listener) and the chaos engine (lineage kill handler) for exactly this
+  // inversion, and restores both on destruction.
+  std::unique_ptr<engine::SpinEngine> spin;
+  if (options.spin()) {
+    spin = std::make_unique<engine::SpinEngine>(fs_, chaos_,
+                                                &cluster_->cost_model(),
+                                                metrics_,
+                                                options.cache_capacity_bytes);
+  }
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_, chaos_,
+                       spin.get());
   mr::Pipeline pipeline(&runner);
-  return invert_with(pipeline, input_path, options);
+  Result result = invert_with(pipeline, input_path, options);
+  if (spin != nullptr) {
+    result.engine_active = true;
+    result.engine_stats = spin->stats();
+  }
+  return result;
 }
 
 MapReduceInverter::Result MapReduceInverter::invert_on(
@@ -191,7 +209,15 @@ MapReduceInverter::SolveResult MapReduceInverter::solve(
   // One pipeline for the whole solve: the multiply is submitted against the
   // inversion's final job, so every job lives on the same cluster timeline
   // (no manual clock shifting) and can lease slots from the shared pool.
-  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_, chaos_);
+  std::unique_ptr<engine::SpinEngine> spin;
+  if (options.spin()) {
+    spin = std::make_unique<engine::SpinEngine>(fs_, chaos_,
+                                                &cluster_->cost_model(),
+                                                metrics_,
+                                                options.cache_capacity_bytes);
+  }
+  mr::JobRunner runner(cluster_, fs_, pool_, failures_, metrics_, chaos_,
+                       spin.get());
   mr::Pipeline pipeline(&runner);
   Result inv = invert_with(pipeline, input_path, options);
 

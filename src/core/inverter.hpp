@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "engine/spin_engine.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/pipeline.hpp"
 #include "core/options.hpp"
@@ -66,6 +67,13 @@ class MapReduceInverter {
     /// Handle of the final inversion job — dependency anchor for follow-on
     /// submissions on the same pipeline (solve() chains its multiply here).
     mr::JobHandle final_job;
+    /// SPIN engine observability: cache, spill, lineage-recovery totals and
+    /// trace events. Filled (and engine_active set) only when the run
+    /// selected the spin engine AND this inverter owned the pipeline
+    /// (invert/invert_dfs/solve); callers running invert_with on their own
+    /// pipeline own their own engine.
+    bool engine_active = false;
+    engine::EngineStats engine_stats;
   };
 
   /// Ingests `a` into the DFS and inverts it. Throws NumericalError if `a`

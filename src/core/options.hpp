@@ -1,12 +1,24 @@
 // Options for the MapReduce matrix inverter.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "dfs/dfs.hpp"
 #include "matrix/matrix.hpp"
 
 namespace mri::core {
+
+/// Execution engine for the inversion pipeline.
+///  * kHadoop: the paper's Hadoop 1.x model — every intermediate
+///    materializes on the replicated disk DFS between jobs.
+///  * kSpin: the SPIN-style in-memory engine (the §8 "implement on Spark"
+///    extension, first-class): intermediates live in a per-node block cache
+///    on the memory tier, consumers read cache-resident inputs at memory
+///    bandwidth (pipeline fusion), eviction spills LRU entries to local
+///    disk, and node kills recover by lineage recomputation instead of
+///    replication.
+enum class EngineKind { kHadoop, kSpin };
 
 struct InversionOptions {
   /// Largest block order LU-decomposed on the master node (the paper's nb;
@@ -31,18 +43,28 @@ struct InversionOptions {
   /// hold U untransposed and kernels pay the column-access memory penalty.
   bool transposed_u = true;
 
-  /// §8 future-work extension ("implement our technique on Spark"): keep
-  /// every intermediate result — partition pieces, L2'/U2 stripes, B tiles,
-  /// leaf factors, L⁻¹/U⁻¹ slices — in the unreplicated in-memory tier
-  /// instead of the replicated on-disk DFS. The input matrix and the final
-  /// inverse stay on disk. Fault tolerance then comes from lineage
-  /// (recompute), not replication, as in Spark's RDDs.
+  /// Execution engine (see EngineKind). kSpin keeps every intermediate
+  /// result — partition pieces, L2'/U2 stripes, B tiles, leaf factors,
+  /// L⁻¹/U⁻¹ slices — in the unreplicated in-memory tier; the input matrix
+  /// and the final inverse stay on disk.
+  EngineKind engine = EngineKind::kHadoop;
+
+  /// BlockCache capacity per node for the kSpin engine; 0 = unlimited.
+  std::uint64_t cache_capacity_bytes = 256ull << 20;
+
+  /// Deprecated spelling of `engine = kSpin` (the old `--spark` sketch):
+  /// kept so existing callers keep compiling; spin() folds it in.
   bool in_memory_intermediates = false;
 
-  /// Tier for intermediate files, derived from the flag above.
+  /// True when the SPIN-style in-memory engine is selected (via `engine`
+  /// or the legacy in_memory_intermediates flag).
+  bool spin() const {
+    return engine == EngineKind::kSpin || in_memory_intermediates;
+  }
+
+  /// Tier for intermediate files, derived from the engine selection.
   dfs::StorageTier intermediate_tier() const {
-    return in_memory_intermediates ? dfs::StorageTier::kMemory
-                                   : dfs::StorageTier::kDisk;
+    return spin() ? dfs::StorageTier::kMemory : dfs::StorageTier::kDisk;
   }
 
   /// Run the final §5.4 stage as three overlap-eligible jobs on the DAG

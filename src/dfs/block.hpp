@@ -16,6 +16,13 @@ namespace mri::dfs {
 using BlockId = std::uint64_t;
 using BlockData = std::shared_ptr<const std::vector<std::byte>>;
 
+/// Where a file's payload lives. kMemory models the §8 Spark-style
+/// extension: a single unreplicated in-memory copy (lineage, not
+/// replication, provides fault tolerance), charged at memory bandwidth on
+/// write. Tracked per file by the namenode; spill flips a file back to
+/// kDisk without moving its payload.
+enum class StorageTier { kDisk, kMemory };
+
 struct BlockLocation {
   BlockId id = 0;
   std::uint64_t length = 0;

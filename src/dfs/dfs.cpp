@@ -49,10 +49,16 @@ bool Dfs::racked_topology() const {
 }
 
 void Dfs::remove(const std::string& path, bool recursive) {
-  for (const auto& block : namenode_.remove(path, recursive)) {
+  TierListener* listener = tier_listener_.load(std::memory_order_acquire);
+  std::vector<std::string> removed_paths;
+  for (const auto& block : namenode_.remove(
+           path, recursive, listener != nullptr ? &removed_paths : nullptr)) {
     for (int node : block.replicas) {
       datanodes_[static_cast<std::size_t>(node)]->evict(block.id);
     }
+  }
+  if (listener != nullptr) {
+    for (const std::string& p : removed_paths) listener->on_remove(p);
   }
 }
 
@@ -115,7 +121,8 @@ Dfs::Writer Dfs::create(const std::string& path, IoStats* account,
 }
 
 void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
-                 bool overwrite, IoStats* account, StorageTier tier) {
+                 bool overwrite, IoStats* account, StorageTier tier,
+                 bool charge, bool notify) {
   const std::uint64_t total = buffer.size();
   // Replicas go to live nodes only; with no dead nodes this degenerates to
   // round-robin over all datanodes, bit-identical to the chaos-free layout.
@@ -160,6 +167,20 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
           : -1;
   const bool writer_alive =
       writer >= 0 && std::find(live.begin(), live.end(), writer) != live.end();
+  // Memory-tier placement is writer-local regardless of topology: the
+  // producing task keeps its output in its own node's memory (the SPIN
+  // model), which is what makes the consumer's node-local cache hit
+  // possible. Falls back to the hash policy when no task context is
+  // installed (driver-side writes) or the writer's node is dead.
+  TransferLog* any_log = current_transfer_log();
+  const int task_node =
+      (any_log != nullptr && any_log->node >= 0 &&
+       any_log->node < num_datanodes())
+          ? any_log->node
+          : -1;
+  const bool mem_local_write =
+      tier == StorageTier::kMemory && task_node >= 0 &&
+      std::find(live.begin(), live.end(), task_node) != live.end();
 
   std::vector<BlockLocation> locations;
   std::size_t offset = 0;
@@ -210,6 +231,8 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
             pick([&](int n) { return topo->rack_of(n) != home_rack; },
                  base + static_cast<std::uint64_t>(r)));
       }
+    } else if (mem_local_write) {
+      loc.replicas.push_back(task_node);  // repl == 1 on the memory tier
     } else {
       for (int r = 0; r < repl; ++r) {
         loc.replicas.push_back(
@@ -240,38 +263,58 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     offset += len;
   }
 
-  namenode_.commit_file(path, std::move(locations), overwrite);
+  const int home =
+      locations.empty() ? task_node : locations.front().replicas.front();
+  namenode_.commit_file(path, std::move(locations), overwrite, tier);
 
-  IoStats io;
-  if (tier == StorageTier::kMemory) {
-    io.bytes_written_memory = total;
-  } else {
-    io.bytes_written = total;
-    io.bytes_replicated =
-        total * static_cast<std::uint64_t>(std::max(repl - 1, 0));
-    io.bytes_transferred = io.bytes_replicated;
+  if (charge) {
+    IoStats io;
+    if (tier == StorageTier::kMemory) {
+      io.bytes_written_memory = total;
+    } else {
+      io.bytes_written = total;
+      io.bytes_replicated =
+          total * static_cast<std::uint64_t>(std::max(repl - 1, 0));
+      io.bytes_transferred = io.bytes_replicated;
+    }
+    if (account != nullptr) *account += io;
+    if (metrics_ != nullptr) metrics_->add_io(io);
   }
-  if (account != nullptr) *account += io;
-  if (metrics_ != nullptr) metrics_->add_io(io);
+
+  if (notify && tier == StorageTier::kMemory) {
+    // Fired outside every DFS lock; `account` already includes this write,
+    // so the listener's production-IoStats snapshot is the full task cost.
+    if (TierListener* listener = tier_listener_.load(std::memory_order_acquire)) {
+      listener->on_commit(path, tier, total, home,
+                          std::span<const std::byte>(buffer.data(),
+                                                     buffer.size()),
+                          account);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Reader
 
 Dfs::Reader::Reader(std::vector<BlockData> blocks, std::vector<int> sources,
-                    std::uint64_t size, IoStats* account,
-                    MetricsRegistry* metrics, bool record_transfers)
+                    std::vector<bool> mem_local, std::uint64_t size,
+                    IoStats* account, MetricsRegistry* metrics,
+                    bool record_transfers)
     : blocks_(std::move(blocks)),
       sources_(std::move(sources)),
+      mem_local_(std::move(mem_local)),
       size_(size),
       account_(account),
       metrics_(metrics),
       record_transfers_(record_transfers) {}
 
-void Dfs::Reader::account(std::uint64_t bytes) {
+void Dfs::Reader::account(std::uint64_t bytes, std::uint64_t memory_bytes) {
   IoStats io;
   io.bytes_read = bytes;
   io.bytes_transferred = bytes;  // HDFS read = remote read in the paper model
+  // Node-local memory-tier chunks are a cache hit: charged at memory
+  // bandwidth, no disk or network component.
+  io.bytes_read_memory = memory_bytes;
   if (account_ != nullptr) *account_ += io;
   if (metrics_ != nullptr) metrics_->add_io(io);
 }
@@ -279,11 +322,13 @@ void Dfs::Reader::account(std::uint64_t bytes) {
 std::size_t Dfs::Reader::read(std::span<std::byte> dst) {
   TransferLog* log = record_transfers_ ? current_transfer_log() : nullptr;
   std::size_t copied = 0;
+  std::uint64_t memory_bytes = 0;
   while (copied < dst.size() && position_ < size_) {
     const auto& block = *blocks_[block_index_];
     const std::size_t in_block = block.size() - block_offset_;
     const std::size_t want = std::min(dst.size() - copied, in_block);
     std::memcpy(dst.data() + copied, block.data() + block_offset_, want);
+    if (!mem_local_.empty() && mem_local_[block_index_]) memory_bytes += want;
     if (log != nullptr && want > 0 && sources_[block_index_] >= 0) {
       // One transfer per (block, read) chunk: bytes flow from the replica
       // this block was opened from to the reading task's node. The flow
@@ -301,7 +346,7 @@ std::size_t Dfs::Reader::read(std::span<std::byte> dst) {
       block_offset_ = 0;
     }
   }
-  if (copied > 0) account(copied);
+  if (copied > 0) account(copied - memory_bytes, memory_bytes);
   return copied;
 }
 
@@ -428,8 +473,15 @@ BlockData Dfs::read_replica(const BlockLocation& loc, const std::string& path,
 
 Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
   const auto blocks = namenode_.file_blocks(path);
+  const StorageTier tier = namenode_.file_tier(path);
+  TransferLog* log = current_transfer_log();
+  const int me =
+      (log != nullptr && log->node >= 0 && log->node < num_datanodes())
+          ? log->node
+          : -1;
   std::vector<BlockData> data;
   std::vector<int> sources;
+  std::vector<bool> mem_local;
   data.reserve(blocks.size());
   sources.reserve(blocks.size());
   std::uint64_t size = 0;
@@ -437,10 +489,56 @@ Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
     int src = -1;
     data.push_back(read_replica(loc, path, &src));
     sources.push_back(src);
+    // A memory-tier block on the reader's own node streams at memory
+    // bandwidth (the cache hit the SPIN engine exists to create); remote
+    // memory blocks still pay the network fetch.
+    if (tier == StorageTier::kMemory && src >= 0 && src == me) {
+      if (mem_local.empty()) mem_local.assign(blocks.size(), false);
+      mem_local[sources.size() - 1] = true;
+    }
     size += loc.length;
   }
-  return Reader(std::move(data), std::move(sources), size, account, metrics_,
-                racked_topology());
+  if (TierListener* listener = tier_listener_.load(std::memory_order_acquire)) {
+    // Record the task's read-set for lineage (per-thread, so deterministic
+    // under any task interleaving), then let the engine bump cache recency.
+    if (log != nullptr) log->read_paths.push_back(normalize(path));
+    listener->on_open(normalize(path), tier, size);
+  }
+  return Reader(std::move(data), std::move(sources), std::move(mem_local),
+                size, account, metrics_, racked_topology());
+}
+
+void Dfs::spill_to_disk(const std::string& path, IoStats* account) {
+  const std::string norm = normalize(path);
+  MRI_REQUIRE(namenode_.file_tier(norm) == StorageTier::kMemory,
+              "spill_to_disk(" << norm << "): file is not memory-tier");
+  namenode_.set_file_tier(norm, StorageTier::kDisk);
+  IoStats io;
+  io.bytes_spilled = namenode_.file_size(norm);
+  if (account != nullptr) *account += io;
+  if (metrics_ != nullptr) {
+    metrics_->add_io(io);
+    metrics_->increment("dfs_files_spilled");
+    metrics_->increment("dfs_bytes_spilled", io.bytes_spilled);
+  }
+}
+
+void Dfs::restore_file(const std::string& path,
+                       std::span<const std::byte> payload, StorageTier tier) {
+  const std::string norm = normalize(path);
+  if (namenode_.exists(norm)) {
+    // Drop the empty-replica skeleton (and any surviving replicas of a
+    // partially lost file) without firing on_remove: the engine drives this
+    // restore and keeps its lineage record alive.
+    for (const auto& block : namenode_.remove(norm, false, nullptr)) {
+      for (int n : block.replicas) {
+        datanodes_[static_cast<std::size_t>(n)]->evict(block.id);
+      }
+    }
+  }
+  std::vector<std::byte> buffer(payload.begin(), payload.end());
+  commit(norm, std::move(buffer), /*overwrite=*/false, /*account=*/nullptr,
+         tier, /*charge=*/false, /*notify=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -513,6 +611,7 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
   out.re_replicated_bytes = repaired.re_replicated_bytes;
   out.re_replicated_blocks = repaired.re_replicated_blocks;
   out.blocks_lost = repaired.blocks_lost;
+  out.lost_files = repaired.lost_files;
   if (topo != nullptr && !repairs.empty()) {
     // All repair streams start together when the loss is detected; their
     // contended makespan on the racked fabric replaces the scalar

@@ -41,6 +41,11 @@ namespace mri::dfs {
 struct TransferLog {
   int node = -1;  // cluster node the logging task is pinned to
   std::vector<net::Transfer> transfers;
+  /// Paths this task opened, in open order. Recorded only while a
+  /// TierListener is installed (the SPIN engine uses them as the lineage
+  /// read-set of the producing task). Per-thread, so recording is
+  /// deterministic regardless of task interleaving.
+  std::vector<std::string> read_paths;
 };
 
 /// RAII installer of the calling thread's TransferLog; restores the
@@ -67,11 +72,24 @@ struct DfsConfig {
   int replication = 3;                   // the paper uses the HDFS default
 };
 
-/// Where a file's payload lives. kMemory models the §8 Spark-style
-/// extension: a single unreplicated in-memory copy (lineage, not
-/// replication, provides fault tolerance), charged at memory bandwidth on
-/// write; reads are still remote fetches.
-enum class StorageTier { kDisk, kMemory };
+/// Observer of memory-tier lifecycle events, implemented by the engine layer
+/// (BlockCache + LineageGraph) so the DFS stays ignorant of caching policy.
+/// on_commit fires after a kMemory file commits (never for kDisk), outside
+/// any DFS lock; `payload` views the committed bytes and is only valid for
+/// the duration of the call; `task_io` is the writing task's accounting
+/// (already including this write) or null. on_open fires for every open
+/// while a listener is installed; on_remove per removed file path.
+class TierListener {
+ public:
+  virtual ~TierListener() = default;
+  virtual void on_commit(const std::string& path, StorageTier tier,
+                         std::uint64_t size, int node,
+                         std::span<const std::byte> payload,
+                         const IoStats* task_io) = 0;
+  virtual void on_open(const std::string& path, StorageTier tier,
+                       std::uint64_t size) = 0;
+  virtual void on_remove(const std::string& path) = 0;
+};
 
 class Dfs {
  public:
@@ -170,14 +188,18 @@ class Dfs {
    private:
     friend class Dfs;
     Reader(std::vector<BlockData> blocks, std::vector<int> sources,
-           std::uint64_t size, IoStats* account, MetricsRegistry* metrics,
-           bool record_transfers);
-    void account(std::uint64_t bytes);
+           std::vector<bool> mem_local, std::uint64_t size, IoStats* account,
+           MetricsRegistry* metrics, bool record_transfers);
+    void account(std::uint64_t bytes, std::uint64_t memory_bytes);
 
     std::vector<BlockData> blocks_;
     /// Datanode each block was read from (parallel to blocks_); feeds the
     /// per-thread TransferLog when the topology is racked.
     std::vector<int> sources_;
+    /// Per-block: true when the block is memory-tier AND resident on the
+    /// reading task's own node — those chunks stream at memory bandwidth
+    /// (bytes_read_memory) instead of the remote-read path.
+    std::vector<bool> mem_local_;
     std::uint64_t size_;
     std::uint64_t position_ = 0;
     std::size_t block_index_ = 0;
@@ -190,6 +212,32 @@ class Dfs {
   Writer create(const std::string& path, IoStats* account = nullptr,
                 bool overwrite = false, StorageTier tier = StorageTier::kDisk);
   Reader open(const std::string& path, IoStats* account = nullptr) const;
+
+  /// The tier a committed file lives on.
+  StorageTier file_tier(const std::string& path) const {
+    return namenode_.file_tier(path);
+  }
+
+  /// Demotes a memory-tier file to disk under cache pressure. The single
+  /// replica stays on its datanode (now modelled as that node's local disk);
+  /// the payload bytes are charged as bytes_spilled to `account` (may be
+  /// null) and the global metrics. Requires the file to be memory-tier.
+  void spill_to_disk(const std::string& path, IoStats* account = nullptr);
+
+  /// Recommits a file the engine recomputed from lineage after a node loss:
+  /// replaces whatever (possibly empty-replica) block skeleton remains,
+  /// without charging write IoStats and without notifying the TierListener
+  /// (the engine drives this and does its own accounting). Placement uses
+  /// the normal deterministic policy over live nodes.
+  void restore_file(const std::string& path, std::span<const std::byte> payload,
+                    StorageTier tier);
+
+  /// Installs (or clears, with null) the engine-layer observer of memory-
+  /// tier commits, opens and removes. The listener must outlive every DFS
+  /// operation that can fire it.
+  void set_tier_listener(TierListener* listener) {
+    tier_listener_.store(listener, std::memory_order_release);
+  }
 
   // -- convenience --------------------------------------------------------
   void write_doubles(const std::string& path, std::span<const double> values,
@@ -232,7 +280,8 @@ class Dfs {
 
  private:
   void commit(const std::string& path, std::vector<std::byte> buffer,
-              bool overwrite, IoStats* account, StorageTier tier);
+              bool overwrite, IoStats* account, StorageTier tier,
+              bool charge = true, bool notify = true);
 
   /// Picks the replica a read of `loc` uses: the first live replica whose
   /// read-error budget is exhausted, trying closest replicas first under a
@@ -251,6 +300,7 @@ class Dfs {
   MetricsRegistry* metrics_;
   NameNode namenode_;
   std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::atomic<TierListener*> tier_listener_{nullptr};
   std::atomic<BlockId> next_block_id_{1};
   mutable std::mutex chaos_mu_;  // guards dead_ and read_errors_
   std::vector<bool> dead_;

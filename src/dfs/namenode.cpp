@@ -42,7 +42,8 @@ void NameNode::mkdirs(const std::string& path) {
 }
 
 void NameNode::commit_file(const std::string& raw_path,
-                           std::vector<BlockLocation> blocks, bool overwrite) {
+                           std::vector<BlockLocation> blocks, bool overwrite,
+                           StorageTier tier) {
   const std::string path = normalize(raw_path);
   MRI_REQUIRE(path != "/", "cannot create a file at the root path");
   std::lock_guard<std::mutex> lock(mu_);
@@ -60,7 +61,26 @@ void NameNode::commit_file(const std::string& raw_path,
   file->size = 0;
   for (const auto& b : blocks) file->size += b.length;
   file->blocks = std::move(blocks);
+  file->tier = tier;
   dir->children.emplace(name, std::move(file));
+}
+
+StorageTier NameNode::file_tier(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Inode* node = find(normalize(path));
+  if (node == nullptr || node->is_dir) {
+    throw DfsError("no such file: " + normalize(path));
+  }
+  return node->tier;
+}
+
+void NameNode::set_file_tier(const std::string& path, StorageTier tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Inode* node = find(normalize(path));
+  if (node == nullptr || node->is_dir) {
+    throw DfsError("no such file: " + normalize(path));
+  }
+  node->tier = tier;
 }
 
 bool NameNode::exists(const std::string& path) const {
@@ -110,13 +130,17 @@ std::vector<std::string> NameNode::list(const std::string& dir) const {
   return names;  // std::map keeps them sorted
 }
 
-void NameNode::collect_blocks(const Inode& node,
-                              std::vector<BlockLocation>* out) {
+void NameNode::collect_files(const Inode& node, const std::string& path,
+                             std::vector<BlockLocation>* blocks,
+                             std::vector<std::string>* paths) {
   if (!node.is_dir) {
-    out->insert(out->end(), node.blocks.begin(), node.blocks.end());
+    blocks->insert(blocks->end(), node.blocks.begin(), node.blocks.end());
+    if (paths != nullptr) paths->push_back(path);
     return;
   }
-  for (const auto& [name, child] : node.children) collect_blocks(*child, out);
+  for (const auto& [name, child] : node.children) {
+    collect_files(*child, path + "/" + name, blocks, paths);
+  }
 }
 
 std::size_t NameNode::count_files(const Inode& node) {
@@ -126,8 +150,9 @@ std::size_t NameNode::count_files(const Inode& node) {
   return n;
 }
 
-std::vector<BlockLocation> NameNode::remove(const std::string& raw_path,
-                                            bool recursive) {
+std::vector<BlockLocation> NameNode::remove(
+    const std::string& raw_path, bool recursive,
+    std::vector<std::string>* removed_paths) {
   const std::string path = normalize(raw_path);
   MRI_REQUIRE(path != "/", "refusing to remove the DFS root");
   std::lock_guard<std::mutex> lock(mu_);
@@ -140,7 +165,7 @@ std::vector<BlockLocation> NameNode::remove(const std::string& raw_path,
     throw DfsError("directory not empty (pass recursive=true): " + path);
   }
   std::vector<BlockLocation> removed;
-  collect_blocks(*victim, &removed);
+  collect_files(*victim, path, &removed, removed_paths);
   dir->children.erase(it);
   return removed;
 }
@@ -170,10 +195,11 @@ std::size_t NameNode::file_count() const {
 }
 
 void NameNode::repair_inode(
-    Inode* inode, int node, int target_replication,
+    Inode* inode, const std::string& path, int node, int target_replication,
     const std::function<int(const BlockLocation&)>& replicate,
     BlockRepairSummary* out) {
   if (!inode->is_dir) {
+    bool had_loss = false;
     for (BlockLocation& loc : inode->blocks) {
       auto it = std::find(loc.replicas.begin(), loc.replicas.end(), node);
       if (it == loc.replicas.end()) continue;
@@ -182,6 +208,7 @@ void NameNode::repair_inode(
         // Last replica gone: keep the block registered so reads fail fast
         // with UnrecoverableBlock rather than "no such file".
         ++out->blocks_lost;
+        had_loss = true;
         continue;
       }
       while (static_cast<int>(loc.replicas.size()) < target_replication) {
@@ -192,10 +219,12 @@ void NameNode::repair_inode(
         out->re_replicated_bytes += loc.length;
       }
     }
+    if (had_loss) out->lost_files.push_back(path);
     return;
   }
   for (auto& [name, child] : inode->children) {
-    repair_inode(child.get(), node, target_replication, replicate, out);
+    repair_inode(child.get(), path + "/" + name, node, target_replication,
+                 replicate, out);
   }
 }
 
@@ -205,7 +234,7 @@ BlockRepairSummary NameNode::repair_after_node_loss(
   MRI_REQUIRE(target_replication >= 1, "target replication must be >= 1");
   std::lock_guard<std::mutex> lock(mu_);
   BlockRepairSummary out;
-  repair_inode(root_.get(), node, target_replication, replicate, &out);
+  repair_inode(root_.get(), "", node, target_replication, replicate, &out);
   return out;
 }
 

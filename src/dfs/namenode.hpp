@@ -21,6 +21,10 @@ struct BlockRepairSummary {
   std::uint64_t re_replicated_bytes = 0;
   int re_replicated_blocks = 0;
   int blocks_lost = 0;
+  /// Paths of files that lost at least one block entirely (every replica
+  /// dead). The engine layer uses these to trigger lineage recomputation of
+  /// memory-tier intermediates instead of fail-fast.
+  std::vector<std::string> lost_files;
 };
 
 class NameNode {
@@ -34,7 +38,14 @@ class NameNode {
   /// created implicitly (matching HDFS create semantics). Overwrite of an
   /// existing file is an error unless `overwrite`.
   void commit_file(const std::string& path, std::vector<BlockLocation> blocks,
-                   bool overwrite = false);
+                   bool overwrite = false,
+                   StorageTier tier = StorageTier::kDisk);
+
+  /// The tier the file was committed on (or moved to by set_file_tier).
+  StorageTier file_tier(const std::string& path) const;
+  /// Retiers a file in place — spill (memory -> disk) leaves the payload on
+  /// the same datanode; only the accounting model for future reads changes.
+  void set_file_tier(const std::string& path, StorageTier tier);
 
   bool exists(const std::string& path) const;
   bool is_directory(const std::string& path) const;
@@ -48,9 +59,12 @@ class NameNode {
 
   /// Removes a file, or a directory (recursively when `recursive`).
   /// Returns the block locations of every removed file so the caller can
-  /// evict them from datanodes.
+  /// evict them from datanodes; `removed_paths` (may be null) receives the
+  /// full path of every removed file for cache/lineage invalidation.
   std::vector<BlockLocation> remove(const std::string& path,
-                                    bool recursive = false);
+                                    bool recursive = false,
+                                    std::vector<std::string>* removed_paths =
+                                        nullptr);
 
   /// Atomic rename of a file or directory.
   void rename(const std::string& from, const std::string& to);
@@ -76,14 +90,18 @@ class NameNode {
     std::map<std::string, std::unique_ptr<Inode>> children;  // dirs only
     std::vector<BlockLocation> blocks;                       // files only
     std::uint64_t size = 0;
+    StorageTier tier = StorageTier::kDisk;                   // files only
   };
 
   Inode* find(const std::string& path) const;
   Inode* find_or_create_dir(const std::string& path);
-  static void repair_inode(Inode* inode, int node, int target_replication,
+  static void repair_inode(Inode* inode, const std::string& path, int node,
+                           int target_replication,
                            const std::function<int(const BlockLocation&)>& replicate,
                            BlockRepairSummary* out);
-  static void collect_blocks(const Inode& node, std::vector<BlockLocation>* out);
+  static void collect_files(const Inode& node, const std::string& path,
+                            std::vector<BlockLocation>* blocks,
+                            std::vector<std::string>* paths);
   static std::size_t count_files(const Inode& node);
 
   mutable std::mutex mu_;

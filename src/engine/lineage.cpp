@@ -1,0 +1,56 @@
+#include "engine/lineage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mri::engine {
+
+void LineageGraph::record(const std::string& path, LineageRecord rec) {
+  int depth = 1;
+  for (const std::string& in : rec.inputs) {
+    if (in == path) continue;  // self-reads (overwrite patterns) do not nest
+    auto it = records_.find(in);
+    if (it != records_.end()) depth = std::max(depth, it->second.depth + 1);
+  }
+  rec.depth = depth;
+  records_[path] = std::move(rec);
+}
+
+void LineageGraph::erase(const std::string& path) { records_.erase(path); }
+
+bool LineageGraph::tracked(const std::string& path) const {
+  return records_.count(path) != 0;
+}
+
+LineageRecord LineageGraph::get(const std::string& path) const {
+  auto it = records_.find(path);
+  MRI_REQUIRE(it != records_.end(), "no lineage record for " << path);
+  return it->second;
+}
+
+void LineageGraph::mark_spilled(const std::string& path) {
+  auto it = records_.find(path);
+  if (it != records_.end()) it->second.on_memory_tier = false;
+}
+
+std::size_t LineageGraph::size() const { return records_.size(); }
+
+std::vector<std::vector<std::string>> LineageGraph::plan_waves(
+    const std::vector<std::string>& lost) const {
+  std::map<int, std::vector<std::string>> by_depth;
+  for (const std::string& path : lost) {
+    auto it = records_.find(path);
+    if (it == records_.end()) continue;
+    by_depth[it->second.depth].push_back(path);
+  }
+  std::vector<std::vector<std::string>> waves;
+  waves.reserve(by_depth.size());
+  for (auto& [depth, paths] : by_depth) {
+    std::sort(paths.begin(), paths.end());
+    waves.push_back(std::move(paths));
+  }
+  return waves;
+}
+
+}  // namespace mri::engine

@@ -81,6 +81,10 @@ struct JobResult {
   int chaos_attempts_killed = 0;
   IoStats recovery_io;
   double recovery_seconds = 0.0;
+  /// SPIN engine only: seconds this job waited for lineage recomputation of
+  /// a prior kill to finish before its map phase could start (0 without an
+  /// engine or when recovery completed earlier).
+  double lineage_stall_seconds = 0.0;
   /// Per-attempt timelines from the scheduler (phase-relative seconds).
   std::vector<TaskTraceEvent> map_trace;
   std::vector<TaskTraceEvent> reduce_trace;

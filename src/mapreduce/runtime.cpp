@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "engine/spin_engine.hpp"
 #include "mapreduce/scheduler.hpp"
 #include "mapreduce/shuffle.hpp"
 #include "net/topology.hpp"
@@ -13,9 +14,9 @@ namespace mri::mr {
 
 JobRunner::JobRunner(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
                      FailureInjector* failures, MetricsRegistry* metrics,
-                     ChaosEngine* chaos)
+                     ChaosEngine* chaos, engine::SpinEngine* engine)
     : cluster_(cluster), fs_(fs), pool_(pool), failures_(failures),
-      metrics_(metrics), chaos_(chaos) {
+      metrics_(metrics), chaos_(chaos), engine_(engine) {
   MRI_REQUIRE(cluster != nullptr && fs != nullptr && pool != nullptr,
               "JobRunner needs a cluster, a DFS and a thread pool");
 }
@@ -97,6 +98,11 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
   MRI_DEBUG() << "job " << spec.name << ": " << result.map_tasks << " maps, "
               << result.reduce_tasks << " reduces";
 
+  // Engine job boundary BEFORE any task reads: the eviction pass may spill
+  // memory-tier files to disk, and this job's opens must see the new tier.
+  IoStats engine_spill;
+  if (engine_ != nullptr) engine_spill = engine_->begin_job(spec.name);
+
   // ---- map phase (real execution) ----------------------------------------
   const int num_maps = result.map_tasks;
   std::vector<IoStats> map_io(static_cast<std::size_t>(num_maps));
@@ -122,6 +128,12 @@ ExecutedJob JobRunner::execute(const JobSpec& spec) {
   } catch (const Error& e) {
     throw JobError("map phase of job '" + spec.name + "' failed: " + e.what());
   }
+
+  // Spill cost rides the first map task's successful attempt so it lands on
+  // the simulated timeline through the same memory_tier_seconds conversion
+  // as every other memory-tier byte (satellite-1 consistency). Ghost
+  // attempts never copy it (they only re-do reads and flops).
+  if (num_maps > 0) map_io[0] += engine_spill;
 
   executed.map_attempts.reserve(static_cast<std::size_t>(num_maps));
   for (int t = 0; t < num_maps; ++t) {
@@ -283,7 +295,17 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
   // The map phase starts once the job is launched; the reduce phase once the
   // last map attempt finished. Each phase leases the pool at its own start
   // so it sees exactly the slots concurrent jobs still occupy then.
-  const double map_start = start_seconds + launch;
+  double map_start = start_seconds + launch;
+  if (engine_ != nullptr) {
+    // Lineage recovery from an earlier kill occupies the surviving slots;
+    // a job launched before it completes waits for its inputs to be
+    // rebuilt (the SPIN analogue of the reduce-phase recovery stall).
+    const double available = engine_->recovery_available_at();
+    if (available > map_start) {
+      result.lineage_stall_seconds = available - map_start;
+      map_start = available;
+    }
+  }
   PhaseSchedule map_phase = schedule(executed.map_attempts, map_start, true);
   result.map_phase_seconds = map_phase.duration;
   charge_phase(map_phase);
@@ -407,8 +429,9 @@ JobResult JobRunner::finish(ExecutedJob executed, SlotPool* pool,
     }
   }
 
-  result.sim_seconds = launch + result.map_phase_seconds +
-                       result.recovery_seconds + result.reduce_phase_seconds;
+  result.sim_seconds = launch + result.lineage_stall_seconds +
+                       result.map_phase_seconds + result.recovery_seconds +
+                       result.reduce_phase_seconds;
 
   // Apply DFS-side consequences (block loss, re-replication) of every chaos
   // event up to this job's end before the next job executes its reads.

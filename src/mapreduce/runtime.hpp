@@ -26,6 +26,10 @@
 #include "sim/failure.hpp"
 #include "sim/metrics.hpp"
 
+namespace mri::engine {
+class SpinEngine;
+}
+
 namespace mri::mr {
 
 /// A job whose real work (map, shuffle, reduce, DFS writes) has completed
@@ -47,9 +51,14 @@ class JobRunner {
   /// node before the reduce phase consumed them, and advances the engine to
   /// the job's end so DFS-side consequences (block loss, re-replication)
   /// land before the next job reads.
+  /// With a SPIN `engine` attached, execute() opens every job through
+  /// engine::SpinEngine::begin_job (cache epoch + eviction pass; the spill
+  /// accounting rides the job's first map attempt), and finish() stalls a
+  /// job whose start predates the engine's lineage-recovery completion.
   JobRunner(const Cluster* cluster, dfs::Dfs* fs, ThreadPool* pool,
             FailureInjector* failures = nullptr,
-            MetricsRegistry* metrics = nullptr, ChaosEngine* chaos = nullptr);
+            MetricsRegistry* metrics = nullptr, ChaosEngine* chaos = nullptr,
+            engine::SpinEngine* engine = nullptr);
 
   /// Runs the job to completion. Throws JobError if a task throws.
   /// Equivalent to finish(execute(spec)) — the job owns an idle cluster.
@@ -84,6 +93,7 @@ class JobRunner {
   FailureInjector* failures_;
   MetricsRegistry* metrics_;
   ChaosEngine* chaos_;
+  engine::SpinEngine* engine_;
 };
 
 }  // namespace mri::mr

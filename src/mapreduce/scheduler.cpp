@@ -83,6 +83,7 @@ void speculate(const Cluster& cluster, std::vector<TaskRecord>* tasks,
     // loses; only the winning copy's (already-counted) output commits.
     out->speculative_io.bytes_read += t->io->bytes_read;
     out->speculative_io.bytes_transferred += t->io->bytes_transferred;
+    out->speculative_io.bytes_read_memory += t->io->bytes_read_memory;
     out->speculative_io.mults += t->io->mults;
     out->speculative_io.adds += t->io->adds;
 
@@ -254,8 +255,7 @@ PhaseSchedule schedule_phase(
     t += static_cast<double>(leftover_read) / model.network_bandwidth;
     t += static_cast<double>(a.io.bytes_written) / model.disk_bandwidth;
     t += static_cast<double>(leftover_repl) / model.network_bandwidth;
-    t += static_cast<double>(a.io.bytes_written_memory) /
-         model.memory_bandwidth;
+    t += model.memory_tier_seconds(a.io);
     t += flow_seconds;
     return t;
   };

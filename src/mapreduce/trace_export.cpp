@@ -64,7 +64,8 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
                            const Cluster& cluster,
                            const MetricsRegistry* metrics,
                            const std::vector<MasterSpan>& master_spans,
-                           const ChaosEngine* chaos) {
+                           const ChaosEngine* chaos,
+                           const engine::EngineStats* engine_stats) {
   RunReport report;
   report.total_slots = cluster.total_slots();
   report.jobs = static_cast<int>(jobs.size());
@@ -108,6 +109,12 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
     report.recovery.re_replication_seconds = stats.re_replication_seconds;
     report.recovery.request_retries = stats.request_retries;
     report.recovery.requests_unrecoverable = stats.requests_unrecoverable;
+    report.recovery.partitions_recomputed = stats.partitions_recomputed;
+    report.recovery.lineage_waves = stats.lineage_waves;
+    report.recovery.lineage_recompute_seconds =
+        stats.lineage_recompute_seconds;
+    report.recovery.lineage_recomputed_bytes =
+        stats.lineage_recomputed_bytes;
     // Only events that actually fired within the run belong on the faults
     // lane; the schedule may extend past the point the run ended.
     for (const ChaosEvent& e : chaos->events()) {
@@ -145,6 +152,50 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
         l.peak_utilization =
             std::max(l.peak_utilization, (*loads)[i].peak_utilization);
       }
+    }
+  }
+  // SPIN engine section: totals copied over, event lanes laid onto the run
+  // timeline. A spill happens inside SpinEngine::begin_job of the admitting
+  // job, so its marker lands at that job's map-phase start (the launch
+  // remainder mirrors phase_traces' formula).
+  if (engine_stats != nullptr) {
+    const engine::EngineStats& es = *engine_stats;
+    report.engine.enabled = true;
+    report.engine.cache_insertions = es.cache.insertions;
+    report.engine.cache_evictions = es.cache.evictions;
+    report.engine.cache_hits = es.cache.hits;
+    report.engine.cache_resident_bytes = es.cache.resident_bytes;
+    report.engine.cache_peak_resident_bytes = es.cache.peak_resident_bytes;
+    report.engine.spilled_bytes = es.cache.spilled_bytes;
+    report.engine.tracked_partitions = es.tracked_partitions;
+    report.engine.partitions_recomputed = es.partitions_recomputed;
+    report.engine.lineage_waves = es.lineage_waves;
+    report.engine.recompute_seconds = es.recompute_seconds;
+    report.engine.recomputed_bytes = es.recomputed_bytes;
+    for (const JobResult& job : jobs) {
+      report.engine.lineage_stall_seconds += job.lineage_stall_seconds;
+    }
+    for (const engine::SpillEvent& s : es.spills) {
+      EngineSpillSpan span;
+      if (s.job_ordinal >= 1 && s.job_ordinal <= jobs.size()) {
+        const JobResult& job = jobs[s.job_ordinal - 1];
+        const double launch = std::max(
+            0.0, job.sim_seconds - job.map_phase_seconds -
+                     job.recovery_seconds - job.reduce_phase_seconds);
+        span.at = job.start_seconds + launch;
+      }
+      span.path = s.path;
+      span.bytes = s.bytes;
+      report.engine.spills.push_back(std::move(span));
+    }
+    for (const engine::RecomputeEvent& r : es.recomputes) {
+      EngineRecomputeSpan span;
+      span.at = r.at;
+      span.duration = r.duration;
+      span.wave = r.wave;
+      span.path = r.path;
+      span.bytes = r.bytes;
+      report.engine.recomputes.push_back(std::move(span));
     }
   }
   report.phases = phase_traces(jobs);

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "engine/spin_engine.hpp"
 #include "mapreduce/job.hpp"
 #include "sim/cluster.hpp"
 #include "sim/metrics.hpp"
@@ -23,10 +24,16 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs);
 /// `chaos` (optional) fills report.recovery — job-side fields summed from
 /// the JobResults, DFS/service-side fields from the engine's RecoveryStats —
 /// and report.chaos_events with the events that fired within the run.
-RunReport build_run_report(const std::vector<JobResult>& jobs,
-                           const Cluster& cluster,
-                           const MetricsRegistry* metrics,
-                           const std::vector<MasterSpan>& master_spans = {},
-                           const ChaosEngine* chaos = nullptr);
+/// `engine_stats` (optional, SPIN runs) fills report.engine: cache/lineage
+/// totals plus the spill and recompute event lanes — spill events carry a
+/// 1-based job ordinal that is mapped onto the admitting job's map-phase
+/// start (ordinals align with `jobs` order: every job calls
+/// SpinEngine::begin_job exactly once, in execution order).
+RunReport build_run_report(
+    const std::vector<JobResult>& jobs, const Cluster& cluster,
+    const MetricsRegistry* metrics,
+    const std::vector<MasterSpan>& master_spans = {},
+    const ChaosEngine* chaos = nullptr,
+    const engine::EngineStats* engine_stats = nullptr);
 
 }  // namespace mri::mr

@@ -104,6 +104,19 @@ ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
     return 1;
   };
 
+  // Memory-budget admission (spin engine only): an order-n inversion keeps
+  // roughly the partition pieces, the L/U factors and the inverse slices on
+  // the memory tier at once — estimate 3 matrices of n² doubles. The charge
+  // is held from admission until the request leaves the system.
+  auto memory_footprint = [&](const InversionRequest& r) -> std::uint64_t {
+    if (!options_.inversion.spin() ||
+        options_.admission.memory_budget_bytes_per_tenant == 0) {
+      return 0;
+    }
+    const std::uint64_t n = static_cast<std::uint64_t>(r.order);
+    return 3 * n * n * sizeof(double);
+  };
+
   out.stats.resize(n);
   std::vector<mr::JobResult> all_jobs;
   std::vector<MasterSpan> all_master_spans;
@@ -217,6 +230,7 @@ ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
         ++out.unrecoverable;
         if (chaos_ != nullptr) chaos_->note_request_unrecoverable();
         slot_pool.release(r.tenant);
+        admission.release_memory(r.tenant, memory_footprint(r));
         out.makespan = std::max(out.makespan, now);
         MRI_WARN() << "service: r" << id << " (" << r.tenant
                    << ") abandoned after " << attempt[id] << " attempt(s): "
@@ -270,6 +284,8 @@ ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
       if (chaos_ != nullptr) chaos_->advance_to(clock);
       const std::size_t id = running[done].id;
       slot_pool.release(requests[id].tenant);
+      admission.release_memory(requests[id].tenant,
+                               memory_footprint(requests[id]));
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(done));
       dispatch_all(clock);
       continue;
@@ -294,7 +310,7 @@ ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
     stat.weight = weight_of(r.tenant);
     stat.arrival = r.arrival_seconds;
     stat.deadline_seconds = r.deadline_seconds;
-    if (admission.try_admit(r.tenant)) {
+    if (admission.try_admit(r.tenant, memory_footprint(r))) {
       // The tenant has work in the system from now until completion; its
       // share stops being borrowable (work-conserving redistribution).
       slot_pool.acquire(r.tenant);

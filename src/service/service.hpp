@@ -85,7 +85,12 @@ struct ServiceOptions {
   /// Template inversion options for every request. work_dir becomes the
   /// per-request directory "<work_dir>/r<id>" ("<work_dir>/r<id>a<k>" for
   /// retry attempt k); nb is the default for requests that don't set their
-  /// own.
+  /// own. Selecting the spin engine here puts every request's intermediates
+  /// on the memory tier and enables memory-budget admission (see
+  /// AdmissionOptions::memory_budget_bytes_per_tenant); lineage recovery is
+  /// a per-pipeline concern the service does not yet wire into its
+  /// concurrent dispatch loop — chaos losses of memory-tier intermediates
+  /// fall back to the existing service-level retry path.
   core::InversionOptions inversion;
 };
 

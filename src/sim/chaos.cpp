@@ -117,6 +117,17 @@ double ChaosEngine::speed_factor(int node, double t) const {
 
 void ChaosEngine::set_kill_handler(KillHandler handler) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (handler) {
+    kill_handler_ = [h = std::move(handler)](int node, double) {
+      return h(node);
+    };
+  } else {
+    kill_handler_ = nullptr;
+  }
+}
+
+void ChaosEngine::set_kill_handler(TimedKillHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
   kill_handler_ = std::move(handler);
 }
 
@@ -139,7 +150,7 @@ void ChaosEngine::advance_to(double t) {
     std::size_t index;
   };
   std::vector<Due> due;
-  KillHandler kill;
+  TimedKillHandler kill;
   ReadErrorHandler read_error;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -172,12 +183,16 @@ void ChaosEngine::advance_to(double t) {
     switch (d.event.kind) {
       case ChaosEventKind::kKillNode: {
         NodeKillOutcome outcome;
-        if (kill) outcome = kill(d.event.node);
+        if (kill) outcome = kill(d.event.node, d.event.at);
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.nodes_killed;
         stats_.re_replicated_bytes += outcome.re_replicated_bytes;
         stats_.re_replicated_blocks += outcome.re_replicated_blocks;
         stats_.blocks_lost += outcome.blocks_lost;
+        stats_.partitions_recomputed += outcome.partitions_recomputed;
+        stats_.lineage_waves += outcome.lineage_waves;
+        stats_.lineage_recompute_seconds += outcome.recompute_seconds;
+        stats_.lineage_recomputed_bytes += outcome.recomputed_bytes;
         if (outcome.re_replication_seconds > 0.0) {
           // The DFS simulated the repair flows on the racked topology; its
           // contended duration supersedes the scalar bytes/bandwidth model.

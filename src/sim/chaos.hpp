@@ -72,6 +72,18 @@ struct NodeKillOutcome {
   /// through the flow-level network model (racked topology); 0 means "not
   /// flow-simulated" and the engine falls back to bytes / bandwidth.
   double re_replication_seconds = 0.0;
+  /// Files that lost every replica of at least one block with this kill
+  /// (reported by the DFS; the SPIN engine recomputes the lineage-tracked
+  /// ones instead of letting reads hit UnrecoverableBlock).
+  std::vector<std::string> lost_files;
+  /// Lineage-recovery totals, filled by the SPIN engine's kill handler
+  /// (which wraps the DFS handler): partitions it rebuilt by re-running the
+  /// producing tasks, how many dependency waves that took, and the
+  /// simulated cost of those waves.
+  int partitions_recomputed = 0;
+  int lineage_waves = 0;
+  double recompute_seconds = 0.0;
+  std::uint64_t recomputed_bytes = 0;
 };
 
 /// Recovery totals the engine itself observed while applying events, plus
@@ -90,6 +102,12 @@ struct RecoveryStats {
   double re_replication_seconds = 0.0;
   int request_retries = 0;
   int requests_unrecoverable = 0;
+  /// Lineage-recovery aggregates across all kills (SPIN engine only; all
+  /// zero under the replication-based recovery path).
+  int partitions_recomputed = 0;
+  int lineage_waves = 0;
+  double lineage_recompute_seconds = 0.0;
+  std::uint64_t lineage_recomputed_bytes = 0;
 };
 
 /// A task-level failure rule, retained from the original FailureInjector:
@@ -140,9 +158,14 @@ class ChaosEngine {
   /// datanode dead, re-replicate, report totals). Installed by
   /// Dfs::bind_chaos(); the Dfs must outlive the engine's last advance_to().
   using KillHandler = std::function<NodeKillOutcome(int node)>;
+  /// Kill handler that also receives the event's simulated time — the SPIN
+  /// engine needs `at` to stamp when recomputed partitions become readable
+  /// again. An untimed KillHandler is wrapped into this form internally.
+  using TimedKillHandler = std::function<NodeKillOutcome(int node, double at)>;
   /// Handler for kBlockReadError events (arms one failing read on a node).
   using ReadErrorHandler = std::function<void(int node)>;
   void set_kill_handler(KillHandler handler);
+  void set_kill_handler(TimedKillHandler handler);
   void set_read_error_handler(ReadErrorHandler handler);
   /// Network bandwidth used to convert re-replicated bytes into
   /// re_replication_seconds (0 leaves the seconds at 0).
@@ -181,7 +204,7 @@ class ChaosEngine {
   mutable std::mutex mu_;
   ChaosOptions options_;
   std::vector<Scheduled> events_;  // insertion order; applied in (at, order)
-  KillHandler kill_handler_;
+  TimedKillHandler kill_handler_;
   ReadErrorHandler read_error_handler_;
   double network_bandwidth_ = 0.0;
   RecoveryStats stats_;

@@ -65,8 +65,14 @@ double CostModel::compute_seconds(const IoStats& io, double speed_factor) const 
   t += static_cast<double>(remote_read) / network_bandwidth;
   t += static_cast<double>(io.bytes_written) / disk_bandwidth;
   t += static_cast<double>(io.bytes_replicated) / network_bandwidth;
-  t += static_cast<double>(io.bytes_written_memory) / memory_bandwidth;
+  t += memory_tier_seconds(io);
   return t;
+}
+
+double CostModel::memory_tier_seconds(const IoStats& io) const {
+  return static_cast<double>(io.bytes_written_memory + io.bytes_read_memory) /
+             memory_bandwidth +
+         static_cast<double>(io.bytes_spilled) / disk_bandwidth;
 }
 
 }  // namespace mri

@@ -79,6 +79,13 @@ struct CostModel {
   /// the master node (the leaf LU decompositions), which is not a task.
   double compute_seconds(const IoStats& io, double speed_factor = 1.0) const;
 
+  /// Seconds spent on the in-memory intermediate tier: cache-resident writes
+  /// and node-local reads stream at memory bandwidth, spilled bytes pay the
+  /// disk path. The SINGLE conversion point for the memory tier — both
+  /// compute_seconds and the scheduler's racked flow accounting call this,
+  /// so attempt timing and cost-model totals cannot drift apart.
+  double memory_tier_seconds(const IoStats& io) const;
+
   /// Exact rescaling for running the paper's experiments on matrices shrunk
   /// by a linear factor S (n_sim = n_paper / S, nb_sim = nb_paper / S).
   /// Flops shrink by S³ but bytes only by S², so making I/O S× cheaper and

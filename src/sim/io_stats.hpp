@@ -10,6 +10,12 @@
 //   bytes_replicated   extra copies written for fault tolerance (repl - 1)
 //   bytes_written_memory  writes to the in-memory tier (the §8 Spark-style
 //                      extension): no disk, no replication pipeline
+//   bytes_read_memory  node-local reads served straight from the memory tier
+//                      (SPIN-style cache hits); charged at memory bandwidth
+//                      instead of the paper's remote-HDFS-read model
+//   bytes_spilled      memory-tier bytes evicted to disk under cache
+//                      pressure; charged at disk bandwidth on top of the
+//                      original memory write
 //   mults / adds       floating-point multiply / add operations
 #pragma once
 
@@ -25,6 +31,8 @@ struct IoStats {
   std::uint64_t bytes_transferred = 0;
   std::uint64_t bytes_replicated = 0;
   std::uint64_t bytes_written_memory = 0;
+  std::uint64_t bytes_read_memory = 0;
+  std::uint64_t bytes_spilled = 0;
   std::uint64_t mults = 0;
   std::uint64_t adds = 0;
 
@@ -34,6 +42,8 @@ struct IoStats {
     bytes_transferred += other.bytes_transferred;
     bytes_replicated += other.bytes_replicated;
     bytes_written_memory += other.bytes_written_memory;
+    bytes_read_memory += other.bytes_read_memory;
+    bytes_spilled += other.bytes_spilled;
     mults += other.mults;
     adds += other.adds;
     return *this;
@@ -54,6 +64,10 @@ struct IoStats {
                 "IoStats subtraction underflows bytes_replicated");
     MRI_REQUIRE(bytes_written_memory >= other.bytes_written_memory,
                 "IoStats subtraction underflows bytes_written_memory");
+    MRI_REQUIRE(bytes_read_memory >= other.bytes_read_memory,
+                "IoStats subtraction underflows bytes_read_memory");
+    MRI_REQUIRE(bytes_spilled >= other.bytes_spilled,
+                "IoStats subtraction underflows bytes_spilled");
     MRI_REQUIRE(mults >= other.mults, "IoStats subtraction underflows mults");
     MRI_REQUIRE(adds >= other.adds, "IoStats subtraction underflows adds");
     bytes_written -= other.bytes_written;
@@ -61,6 +75,8 @@ struct IoStats {
     bytes_transferred -= other.bytes_transferred;
     bytes_replicated -= other.bytes_replicated;
     bytes_written_memory -= other.bytes_written_memory;
+    bytes_read_memory -= other.bytes_read_memory;
+    bytes_spilled -= other.bytes_spilled;
     mults -= other.mults;
     adds -= other.adds;
     return *this;

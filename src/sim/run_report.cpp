@@ -242,6 +242,8 @@ void append_io(std::ostringstream& os, const char* key, const IoStats& io) {
      << ",\"bytes_transferred\":" << io.bytes_transferred
      << ",\"bytes_replicated\":" << io.bytes_replicated
      << ",\"bytes_written_memory\":" << io.bytes_written_memory
+     << ",\"bytes_read_memory\":" << io.bytes_read_memory
+     << ",\"bytes_spilled\":" << io.bytes_spilled
      << ",\"mults\":" << io.mults << ",\"adds\":" << io.adds << '}';
 }
 
@@ -310,9 +312,60 @@ std::string run_report_json(const RunReport& report) {
   os << ",\"recovery_seconds\":";
   append_num(os, rec.recovery_seconds);
   os << ",\"request_retries\":" << rec.request_retries
-     << ",\"requests_unrecoverable\":" << rec.requests_unrecoverable << ',';
+     << ",\"requests_unrecoverable\":" << rec.requests_unrecoverable
+     << ",\"partitions_recomputed\":" << rec.partitions_recomputed
+     << ",\"lineage_waves\":" << rec.lineage_waves
+     << ",\"lineage_recompute_seconds\":";
+  append_num(os, rec.lineage_recompute_seconds);
+  os << ",\"lineage_recomputed_bytes\":" << rec.lineage_recomputed_bytes
+     << ',';
   append_io(os, "recovery_io", rec.recovery_io);
-  os << "},\"chaos_events\":[";
+  os << '}';
+  // Engine keys are always present (stable schema); disabled with empty
+  // event lists on Hadoop-style disk-tier runs.
+  const EngineReport& eng = report.engine;
+  os << ",\"engine\":{\"enabled\":" << (eng.enabled ? "true" : "false")
+     << ",\"cache\":{\"insertions\":" << eng.cache_insertions
+     << ",\"evictions\":" << eng.cache_evictions
+     << ",\"hits\":" << eng.cache_hits
+     << ",\"resident_bytes\":" << eng.cache_resident_bytes
+     << ",\"peak_resident_bytes\":" << eng.cache_peak_resident_bytes
+     << ",\"spilled_bytes\":" << eng.spilled_bytes
+     << "},\"tracked_partitions\":" << eng.tracked_partitions
+     << ",\"partitions_recomputed\":" << eng.partitions_recomputed
+     << ",\"lineage_waves\":" << eng.lineage_waves
+     << ",\"recompute_seconds\":";
+  append_num(os, eng.recompute_seconds);
+  os << ",\"recomputed_bytes\":" << eng.recomputed_bytes
+     << ",\"lineage_stall_seconds\":";
+  append_num(os, eng.lineage_stall_seconds);
+  os << ",\"spills\":[";
+  {
+    bool first_spill = true;
+    for (const EngineSpillSpan& s : eng.spills) {
+      if (!first_spill) os << ',';
+      first_spill = false;
+      os << "{\"at\":";
+      append_num(os, s.at);
+      os << ",\"path\":\"" << json_escape(s.path) << "\",\"bytes\":" << s.bytes
+         << '}';
+    }
+  }
+  os << "],\"recomputes\":[";
+  {
+    bool first_rc = true;
+    for (const EngineRecomputeSpan& r : eng.recomputes) {
+      if (!first_rc) os << ',';
+      first_rc = false;
+      os << "{\"at\":";
+      append_num(os, r.at);
+      os << ",\"duration\":";
+      append_num(os, r.duration);
+      os << ",\"wave\":" << r.wave << ",\"path\":\"" << json_escape(r.path)
+         << "\",\"bytes\":" << r.bytes << '}';
+    }
+  }
+  os << "]},\"chaos_events\":[";
   bool first_event = true;
   for (const ChaosEvent& e : report.chaos_events) {
     if (!first_event) os << ',';
@@ -446,6 +499,7 @@ std::string chrome_trace_json(const RunReport& report) {
   constexpr int kRequestsPid = 1000002;
   constexpr int kFaultsPid = 1000003;
   constexpr int kNetworkPid = 1000004;
+  constexpr int kEnginePid = 1000005;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -610,6 +664,32 @@ std::string chrome_trace_json(const RunReport& report) {
         append_num(os, l.peak_utilization);
         os << "}}";
       }
+    }
+  }
+  // Engine lane: cache spills as instant markers (tid 0) and lineage
+  // recomputations as spans stacked by recovery wave (tid 1 + wave), so a
+  // node kill's rebuild reads next to the faults lane it responds to.
+  if (!report.engine.spills.empty() || !report.engine.recomputes.empty()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kEnginePid
+       << ",\"args\":{\"name\":\"engine\"}}";
+    for (const EngineSpillSpan& s : report.engine.spills) {
+      os << ",{\"ph\":\"i\",\"name\":\"spill " << json_escape(s.path)
+         << "\",\"cat\":\"engine\",\"pid\":" << kEnginePid
+         << ",\"tid\":0,\"ts\":";
+      append_num(os, s.at * 1e6);
+      os << ",\"s\":\"t\",\"args\":{\"bytes\":" << s.bytes << "}}";
+    }
+    for (const EngineRecomputeSpan& r : report.engine.recomputes) {
+      os << ",{\"ph\":\"X\",\"name\":\"recompute " << json_escape(r.path)
+         << "\",\"cat\":\"engine\",\"pid\":" << kEnginePid
+         << ",\"tid\":" << 1 + r.wave << ",\"ts\":";
+      append_num(os, r.at * 1e6);
+      os << ",\"dur\":";
+      append_num(os, r.duration * 1e6);
+      os << ",\"args\":{\"wave\":" << r.wave << ",\"bytes\":" << r.bytes
+         << "}}";
     }
   }
   for (const PhaseTrace& phase : report.phases) {

@@ -177,6 +177,56 @@ struct RecoveryReport {
   IoStats recovery_io;  // wasted + re-done task footprint (included in io)
   int request_retries = 0;
   int requests_unrecoverable = 0;
+  /// SPIN-engine lineage recovery (zero unless the in-memory engine handled
+  /// a node kill): memory-tier partitions rebuilt by recomputation, the
+  /// ascending-depth waves that rebuilt them, and the simulated re-execution
+  /// cost — the in-memory counterpart of re_replicated_bytes/seconds.
+  int partitions_recomputed = 0;
+  int lineage_waves = 0;
+  double lineage_recompute_seconds = 0.0;
+  std::uint64_t lineage_recomputed_bytes = 0;
+};
+
+/// One cache eviction spilled to local disk, on the run timeline (`at` is
+/// the start of the map phase of the job whose admission evicted it).
+struct EngineSpillSpan {
+  double at = 0.0;
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// One memory-tier partition rebuilt from lineage after a node kill.
+struct EngineRecomputeSpan {
+  double at = 0.0;        // when the partition's recovery wave starts
+  double duration = 0.0;  // the producing task's simulated re-run time
+  int wave = 0;           // 0-based ascending-depth wave index
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// SPIN-style in-memory engine accounting: block-cache behaviour, lineage
+/// tracking and recovery totals. `enabled` is false (everything zero/empty)
+/// on Hadoop-style disk-tier runs. Kept free of src/engine types so report
+/// consumers need no engine dependency.
+struct EngineReport {
+  bool enabled = false;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+  /// Consumer-side touches of resident entries — the reads that stream at
+  /// memory bandwidth (pipeline fusion between producer and consumer jobs).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_resident_bytes = 0;  // at end of run
+  std::uint64_t cache_peak_resident_bytes = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t tracked_partitions = 0;  // lineage records live at end of run
+  int partitions_recomputed = 0;
+  int lineage_waves = 0;
+  double recompute_seconds = 0.0;
+  std::uint64_t recomputed_bytes = 0;
+  /// Job map-phase stalls waiting for lineage recovery (summed over jobs).
+  double lineage_stall_seconds = 0.0;
+  std::vector<EngineSpillSpan> spills;
+  std::vector<EngineRecomputeSpan> recomputes;
 };
 
 struct RunReport {
@@ -221,6 +271,9 @@ struct RunReport {
   /// Flow-level network accounting (disabled/empty on flat runs); rendered
   /// as the Chrome trace's "network" lane.
   NetworkReport network;
+  /// SPIN in-memory engine accounting (disabled/empty on disk-tier runs);
+  /// rendered as the Chrome trace's "engine" lane.
+  EngineReport engine;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites
