@@ -4,6 +4,8 @@
 //                  [--engine auto|mapreduce|spin|scalapack] [--cache-mb 256]
 //                  [--overlap] [--trace-out trace.json]
 //                  [--report-out report.json]
+//                  [--storage-policy replicate|ec] [--ec k,m]
+//                  [--hot-cache-mb N]
 //   ./mrinvert_cli --generate 256 --output Ainv.txt        # random input
 //   ./mrinvert_cli --serve requests.trace [--max-concurrent 2]
 //                  [--queue-depth 8] [--tenant-queue-limit 0]
@@ -23,6 +25,13 @@
 // --serve replays a request-trace file (tenants + timed inversion requests;
 // see examples/sample_requests.trace) through the multi-tenant inversion
 // service: admission control, fair-share slots, per-tenant SLO percentiles.
+//
+// --storage-policy ec stores disk-tier DFS files as Reed-Solomon(k,m)
+// stripes (--ec k,m, default 6,3) instead of 3x replication: (k+m)/k
+// physical overhead, degraded reads decode lost cells from any k survivors,
+// and node kills repair by reconstruction instead of re-replication.
+// --hot-cache-mb N pins the hottest transposed-U factors in a namenode
+// cache so repeated re-reads skip the datanodes entirely.
 //
 // Chaos flags (both modes; the §7.4 fault-tolerance story):
 //   --kill-node id@t[,id@t...]   kill worker nodes at simulated seconds t
@@ -103,6 +112,42 @@ void attach_topology(const mri::CliOptions& cli, mri::Cluster* cluster,
               "placement %s\n",
               opts.racks, opts.oversubscription,
               opts.rack_aware_placement ? "on" : "off");
+}
+
+// Builds the DFS configuration from --storage-policy/--ec/--hot-cache-mb.
+// EC parameters get friendly CLI errors here; the Dfs constructor re-checks
+// the same invariants.
+mri::dfs::DfsConfig build_dfs_config(const mri::CliOptions& cli, int nodes) {
+  using namespace mri;
+  dfs::DfsConfig config;
+  const std::string policy = cli.get_string("storage-policy", "replicate");
+  if (policy == "ec" || policy == "erasure_coded") {
+    config.storage_policy = dfs::StoragePolicy::kErasureCoded;
+  } else {
+    MRI_REQUIRE(policy == "replicate", "unknown --storage-policy '"
+                                           << policy
+                                           << "'; use replicate or ec");
+    MRI_REQUIRE(!cli.has("ec"),
+                "--ec k,m shapes the erasure-coded stripe, but the storage "
+                "policy is replicate; add --storage-policy ec or drop --ec");
+  }
+  if (cli.has("ec")) {
+    config.ec = dfs::parse_ec_params(cli.get_string("ec", ""));
+  }
+  if (config.storage_policy == dfs::StoragePolicy::kErasureCoded) {
+    MRI_REQUIRE(config.ec.cells() <= nodes,
+                "--ec " << config.ec.k << "," << config.ec.m
+                        << " spreads " << config.ec.cells()
+                        << " cells over distinct nodes, but --nodes "
+                        << nodes << " is smaller; lower k+m or add nodes");
+    std::printf("storage: erasure-coded RS(%d,%d) stripes (%.2fx physical "
+                "overhead vs 3x replication)\n",
+                config.ec.k, config.ec.m,
+                static_cast<double>(config.ec.cells()) / config.ec.k);
+  }
+  config.hot_cache_bytes =
+      static_cast<std::uint64_t>(cli.get_int("hot-cache-mb", 0)) << 20;
+  return config;
 }
 
 // Builds the chaos engine from the --chaos-*/--kill-node flags; null when
@@ -191,11 +236,14 @@ int run_serve(const mri::CliOptions& cli) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 8));
   MetricsRegistry metrics;
   Cluster cluster(nodes, CostModel::ec2_medium());
-  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  dfs::Dfs fs(nodes, build_dfs_config(cli, nodes), &metrics);
   attach_topology(cli, &cluster, &fs);
   ThreadPool pool(4);
   std::unique_ptr<ChaosEngine> chaos = build_chaos_engine(cli, nodes);
-  if (chaos) fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth);
+  if (chaos) {
+    fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth,
+                  &cluster.cost_model());
+  }
 
   service::ServiceOptions options;
   options.shares = trace.shares;
@@ -329,6 +377,12 @@ int main(int argc, char** argv) {
               "--topology racked models DFS and shuffle flows, which "
               "--engine scalapack never produces; drop --topology or use "
               "--engine mapreduce (or auto)");
+  MRI_REQUIRE(!((cli.get_string("storage-policy", "replicate") != "replicate"
+                 || cli.has("ec")) &&
+                engine == "scalapack"),
+              "--storage-policy ec stripes DFS blocks, which --engine "
+              "scalapack never writes (it runs on MPI ranks, not the DFS); "
+              "drop the EC flags or use --engine mapreduce (or auto)");
 
   Matrix a;
   if (cli.has("generate")) {
@@ -350,6 +404,8 @@ int main(int argc, char** argv) {
                  "[--cache-mb N] [--overlap]\n"
                  "       [--topology flat|racked] [--racks N] [--oversub X] "
                  "[--rack-aware 0|1]\n"
+                 "       [--storage-policy replicate|ec] [--ec k,m] "
+                 "[--hot-cache-mb N]\n"
                  "       [--kill-node id@t[,id@t...]] [--chaos-seed N] "
                  "[--chaos-mtbf S]\n"
                  "       mrinvert_cli --serve requests.trace "
@@ -360,11 +416,14 @@ int main(int argc, char** argv) {
 
   MetricsRegistry metrics;
   Cluster cluster(nodes, CostModel::ec2_medium());
-  dfs::Dfs fs(nodes, dfs::DfsConfig{}, &metrics);
+  dfs::Dfs fs(nodes, build_dfs_config(cli, nodes), &metrics);
   attach_topology(cli, &cluster, &fs);
   ThreadPool pool(4);
   std::unique_ptr<ChaosEngine> chaos = build_chaos_engine(cli, nodes);
-  if (chaos) fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth);
+  if (chaos) {
+    fs.bind_chaos(chaos.get(), cluster.cost_model().network_bandwidth,
+                  &cluster.cost_model());
+  }
 
   core::InversionOptions options;
   options.nb = cli.get_int("nb", std::max<Index>(32, a.rows() / 8));
@@ -451,7 +510,7 @@ int main(int argc, char** argv) {
       const RunReport run_report =
           mr::build_run_report(jobs, cluster, &metrics, master_spans,
                                chaos.get(),
-                               engine_active ? &engine_stats : nullptr);
+                               engine_active ? &engine_stats : nullptr, &fs);
       if (!trace_out.empty()) {
         save_json(trace_out, chrome_trace_json(run_report));
         std::printf("chrome trace written to %s (load in chrome://tracing)\n",
@@ -480,6 +539,12 @@ int main(int argc, char** argv) {
                 rec.nodes_killed, recomputed,
                 format_bytes(rec.re_replicated_bytes).c_str(),
                 rec.blocks_lost);
+    if (rec.ec_cells_reconstructed > 0) {
+      std::printf("ec reconstruction        : %d cell(s) (%s) decoded back "
+                  "from surviving stripe cells\n",
+                  rec.ec_cells_reconstructed,
+                  format_bytes(rec.ec_reconstructed_bytes).c_str());
+    }
     if (rec.partitions_recomputed > 0) {
       std::printf("lineage recovery         : %d partition(s) (%s) rebuilt "
                   "in %d wave(s), %.3g s simulated recompute\n",

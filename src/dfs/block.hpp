@@ -26,8 +26,24 @@ enum class StorageTier { kDisk, kMemory };
 struct BlockLocation {
   BlockId id = 0;
   std::uint64_t length = 0;
-  /// Datanode indices holding a replica (first = primary).
+  /// Datanode indices holding a replica (first = primary). For an
+  /// erasure-coded block (one block = one RS stripe) the vector instead has
+  /// exactly ec_k + ec_m entries: slot i names the node holding stripe cell
+  /// i (first ec_k data cells, then ec_m parity cells). Slot position IS the
+  /// cell identity, so a lost cell is marked with -1, never erased.
   std::vector<int> replicas;
+  /// RS stripe shape; 0,0 means a plain replicated block.
+  int ec_k = 0;
+  int ec_m = 0;
+
+  bool is_ec() const { return ec_k > 0; }
+  /// Per-cell payload length: the block payload split into ec_k equal cells
+  /// (last one zero-padded to this size).
+  std::uint64_t cell_bytes() const {
+    return is_ec() ? (length + static_cast<std::uint64_t>(ec_k) - 1) /
+                         static_cast<std::uint64_t>(ec_k)
+                   : length;
+  }
 };
 
 }  // namespace mri::dfs

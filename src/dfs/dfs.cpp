@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "common/error.hpp"
+#include "dfs/ec/rs_codec.hpp"
 #include "dfs/path.hpp"
 #include "net/flow_sim.hpp"
 
@@ -27,6 +29,17 @@ Dfs::Dfs(int num_datanodes, DfsConfig config, MetricsRegistry* metrics)
   MRI_REQUIRE(num_datanodes >= 1, "DFS needs at least one datanode");
   MRI_REQUIRE(config.replication >= 1, "replication must be >= 1");
   MRI_REQUIRE(config.block_size >= 1, "block size must be >= 1");
+  if (config.storage_policy == StoragePolicy::kErasureCoded) {
+    MRI_REQUIRE(config.ec.k >= 1 && config.ec.m >= 1,
+                "erasure coding needs k >= 1 and m >= 1, got RS("
+                    << config.ec.k << "," << config.ec.m << ")");
+    MRI_REQUIRE(config.ec.cells() <= num_datanodes,
+                "erasure coding RS(" << config.ec.k << "," << config.ec.m
+                                     << ") needs k + m = " << config.ec.cells()
+                                     << " datanodes to spread a stripe, but "
+                                        "the cluster has only "
+                                     << num_datanodes);
+  }
   datanodes_.reserve(static_cast<std::size_t>(num_datanodes));
   for (int i = 0; i < num_datanodes; ++i) {
     datanodes_.push_back(std::make_unique<DataNode>(i));
@@ -50,12 +63,23 @@ bool Dfs::racked_topology() const {
 
 void Dfs::remove(const std::string& path, bool recursive) {
   TierListener* listener = tier_listener_.load(std::memory_order_acquire);
+  const bool want_paths =
+      listener != nullptr || config_.hot_cache_bytes > 0;
   std::vector<std::string> removed_paths;
   for (const auto& block : namenode_.remove(
-           path, recursive, listener != nullptr ? &removed_paths : nullptr)) {
+           path, recursive, want_paths ? &removed_paths : nullptr)) {
     for (int node : block.replicas) {
+      if (node < 0) continue;  // lost EC cell sentinel
       datanodes_[static_cast<std::size_t>(node)]->evict(block.id);
     }
+  }
+  if (config_.hot_cache_bytes > 0) {
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    bool changed = false;
+    for (const std::string& p : removed_paths) {
+      changed = hot_candidates_.erase(p) > 0 || changed;
+    }
+    if (changed) recompute_hot_residents_locked();
   }
   if (listener != nullptr) {
     for (const std::string& p : removed_paths) listener->on_remove(p);
@@ -182,6 +206,28 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
       tier == StorageTier::kMemory && task_node >= 0 &&
       std::find(live.begin(), live.end(), task_node) != live.end();
 
+  // Erasure coding applies to disk-tier files only; memory-tier copies keep
+  // the SPIN single-copy model (lineage, not parity, recovers them).
+  const bool ec_file = tier == StorageTier::kDisk &&
+                       config_.storage_policy == StoragePolicy::kErasureCoded;
+  if (ec_file) {
+    MRI_CHECK_MSG(static_cast<int>(live.size()) >= config_.ec.cells(),
+                  "cannot stripe " << path << " as RS(" << config_.ec.k << ","
+                                   << config_.ec.m << "): only " << live.size()
+                                   << " datanodes are alive but a stripe "
+                                      "needs " << config_.ec.cells());
+  }
+  std::optional<ec::RsCodec> codec;
+  if (ec_file) codec.emplace(config_.ec.k, config_.ec.m);
+  std::uint64_t parity_bytes = 0;     // m parity cells per stripe, on disk
+  std::uint64_t redundancy_net = 0;   // (k+m-1) cells per stripe, pipelined
+  // Hot-block cache candidacy: disk-tier files named like the repeatedly
+  // re-read factors. The full-block payloads are retained namenode-side.
+  const bool hot_candidate =
+      config_.hot_cache_bytes > 0 && tier == StorageTier::kDisk &&
+      basename(path).rfind(config_.hot_file_prefix, 0) == 0;
+  std::vector<BlockData> full_blocks;
+
   std::vector<BlockLocation> locations;
   std::size_t offset = 0;
   // Split into blocks; zero-length files get zero blocks.
@@ -194,6 +240,94 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     loc.id = next_block_id_.fetch_add(1);
     loc.length = len;
     ++base;
+    if (ec_file) {
+      // One block = one RS stripe: k data cells (zero-padded to equal
+      // length) plus m parity cells, each on its own node.
+      loc.ec_k = config_.ec.k;
+      loc.ec_m = config_.ec.m;
+      const int cells = config_.ec.cells();
+      const auto cell_len = static_cast<std::size_t>(loc.cell_bytes());
+      std::vector<BlockData> cell_payloads;
+      cell_payloads.reserve(static_cast<std::size_t>(cells));
+      std::vector<const std::uint8_t*> data_ptrs;
+      for (int i = 0; i < loc.ec_k; ++i) {
+        auto cell =
+            std::make_shared<std::vector<std::byte>>(cell_len, std::byte{0});
+        const std::size_t begin = static_cast<std::size_t>(i) * cell_len;
+        if (begin < len) {
+          std::memcpy(cell->data(), buffer.data() + offset + begin,
+                      std::min(cell_len, len - begin));
+        }
+        data_ptrs.push_back(
+            reinterpret_cast<const std::uint8_t*>(cell->data()));
+        cell_payloads.push_back(std::move(cell));
+      }
+      for (const auto& p : codec->encode(data_ptrs, cell_len)) {
+        auto cell = std::make_shared<std::vector<std::byte>>(cell_len);
+        std::memcpy(cell->data(), p.data(), cell_len);
+        cell_payloads.push_back(std::move(cell));
+      }
+      // Placement: every cell on a distinct node. Rack-aware: first cell
+      // writer-local (reads of healthy stripes start with a local cell),
+      // the rest round-robin across the other racks so any single rack
+      // loss costs at most a few cells per stripe. Flat: k+m consecutive
+      // live nodes from the path hash.
+      if (rack_aware) {
+        const int first =
+            writer_alive ? writer
+                         : live[static_cast<std::size_t>(base % live.size())];
+        loc.replicas.push_back(first);
+        const int home_rack = topo->rack_of(first);
+        std::map<int, std::vector<int>> by_rack;
+        for (int n : live) {
+          if (n != first) by_rack[topo->rack_of(n)].push_back(n);
+        }
+        std::vector<int> rack_order;
+        rack_order.reserve(by_rack.size());
+        for (const auto& [r, nodes] : by_rack) rack_order.push_back(r);
+        const auto past_home = std::upper_bound(rack_order.begin(),
+                                                rack_order.end(), home_rack);
+        std::rotate(rack_order.begin(), past_home, rack_order.end());
+        std::map<int, std::size_t> cursor;
+        while (static_cast<int>(loc.replicas.size()) < cells) {
+          bool progress = false;
+          for (int r : rack_order) {
+            if (static_cast<int>(loc.replicas.size()) == cells) break;
+            const auto& nodes = by_rack[r];
+            std::size_t& next = cursor[r];
+            if (next < nodes.size()) {
+              loc.replicas.push_back(nodes[next++]);
+              progress = true;
+            }
+          }
+          MRI_CHECK(progress);  // live >= cells, so nodes can't run out
+        }
+      } else {
+        for (int i = 0; i < cells; ++i) {
+          loc.replicas.push_back(live[static_cast<std::size_t>(
+              (base + static_cast<std::uint64_t>(i)) % live.size())]);
+        }
+      }
+      if (log != nullptr && writer >= 0) {
+        // EC writes stream cells from the client in a star, not a pipeline.
+        for (int holder : loc.replicas) {
+          if (holder == writer) continue;
+          log->transfers.push_back(net::Transfer{
+              writer, holder, cell_len, net::TransferKind::kWrite});
+        }
+      }
+      for (int i = 0; i < cells; ++i) {
+        datanodes_[static_cast<std::size_t>(loc.replicas[
+            static_cast<std::size_t>(i)])]
+            ->put(loc.id, cell_payloads[static_cast<std::size_t>(i)]);
+      }
+      parity_bytes += static_cast<std::uint64_t>(loc.ec_m) * cell_len;
+      redundancy_net += static_cast<std::uint64_t>(cells - 1) * cell_len;
+      if (hot_candidate) full_blocks.push_back(payload);
+      locations.push_back(std::move(loc));
+      offset += len;
+      continue;
+    }
     if (rack_aware) {
       // HDFS default policy: first replica on the writer (every client is a
       // datanode here), second rack-local, third off-rack. Hash-pick within
@@ -259,18 +393,34 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     for (int node : loc.replicas) {
       datanodes_[static_cast<std::size_t>(node)]->put(loc.id, shared);
     }
+    if (hot_candidate) full_blocks.push_back(payload);
     locations.push_back(std::move(loc));
     offset += len;
   }
 
   const int home =
       locations.empty() ? task_node : locations.front().replicas.front();
+  const std::uint64_t stripes = locations.size();
   namenode_.commit_file(path, std::move(locations), overwrite, tier);
+
+  if (hot_candidate) {
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    hot_candidates_[path] = HotFile{total, std::move(full_blocks)};
+    recompute_hot_residents_locked();
+  }
 
   if (charge) {
     IoStats io;
     if (tier == StorageTier::kMemory) {
       io.bytes_written_memory = total;
+    } else if (ec_file) {
+      // Logical data at disk bandwidth, parity cells as extra disk traffic,
+      // and the (k+m-1) remote cells per stripe as pipelined network — the
+      // EC analogue of replication's (repl-1) full copies.
+      io.bytes_written = total;
+      io.bytes_parity = parity_bytes;
+      io.bytes_replicated = redundancy_net;
+      io.bytes_transferred = redundancy_net;
     } else {
       io.bytes_written = total;
       io.bytes_replicated =
@@ -278,7 +428,12 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
       io.bytes_transferred = io.bytes_replicated;
     }
     if (account != nullptr) *account += io;
-    if (metrics_ != nullptr) metrics_->add_io(io);
+    if (metrics_ != nullptr) {
+      metrics_->add_io(io);
+      if (ec_file && stripes > 0) {
+        metrics_->increment("dfs_ec_stripes_written", stripes);
+      }
+    }
   }
 
   if (notify && tier == StorageTier::kMemory) {
@@ -471,6 +626,120 @@ BlockData Dfs::read_replica(const BlockLocation& loc, const std::string& path,
   return datanodes_[static_cast<std::size_t>(chosen)]->get(loc.id);
 }
 
+BlockData Dfs::read_stripe(const BlockLocation& loc, const std::string& path,
+                           IoStats* account) const {
+  const int cells = loc.ec_k + loc.ec_m;
+  MRI_CHECK_MSG(static_cast<int>(loc.replicas.size()) == cells,
+                "EC block " << loc.id << " of " << path << " has "
+                            << loc.replicas.size() << " cell slots, expected "
+                            << cells);
+  const auto cell_len = static_cast<std::size_t>(loc.cell_bytes());
+  // Cell availability under the chaos lock; an armed read error on a cell's
+  // node knocks that cell out of this read (cell-level failover — the
+  // stripe decodes around it from the other survivors).
+  std::vector<char> available(static_cast<std::size_t>(cells), 0);
+  int live = 0;
+  int failed_over = 0;
+  {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    for (int i = 0; i < cells; ++i) {
+      const int holder = loc.replicas[static_cast<std::size_t>(i)];
+      if (holder < 0 || dead_[static_cast<std::size_t>(holder)]) continue;
+      if (read_errors_[static_cast<std::size_t>(holder)] > 0) {
+        --read_errors_[static_cast<std::size_t>(holder)];
+        ++failed_over;
+        continue;
+      }
+      available[static_cast<std::size_t>(i)] = 1;
+      ++live;
+    }
+  }
+  if (live < loc.ec_k) {
+    if (failed_over > 0) {
+      throw DfsError("read of EC block " + std::to_string(loc.id) + " of " +
+                     path + " has only " + std::to_string(live) + " of " +
+                     std::to_string(loc.ec_k) +
+                     " required cells after injected read errors; transient "
+                     "— retry the read");
+    }
+    throw UnrecoverableBlock(
+        "EC block " + std::to_string(loc.id) + " of " + path + ": only " +
+        std::to_string(live) + " of " + std::to_string(cells) +
+        " stripe cells survive but decoding needs " +
+        std::to_string(loc.ec_k) + "; the data is unrecoverable");
+  }
+  if (failed_over > 0 && metrics_ != nullptr) {
+    metrics_->increment("dfs_read_errors_survived",
+                        static_cast<std::uint64_t>(failed_over));
+  }
+  // Fetch the first k available cells in slot order — data cells first, so
+  // a healthy stripe is a plain concatenation with no decode.
+  std::vector<const std::uint8_t*> cell_ptrs(static_cast<std::size_t>(cells),
+                                             nullptr);
+  std::vector<BlockData> pins;  // keep fetched payloads alive
+  std::vector<int> chosen;
+  for (int i = 0; i < cells && static_cast<int>(chosen.size()) < loc.ec_k;
+       ++i) {
+    if (!available[static_cast<std::size_t>(i)]) continue;
+    BlockData cell = datanodes_[static_cast<std::size_t>(
+                                    loc.replicas[static_cast<std::size_t>(i)])]
+                         ->get(loc.id);
+    cell_ptrs[static_cast<std::size_t>(i)] =
+        reinterpret_cast<const std::uint8_t*>(cell->data());
+    pins.push_back(std::move(cell));
+    chosen.push_back(i);
+  }
+  std::vector<int> missing_data;
+  for (int i = 0; i < loc.ec_k; ++i) {
+    if (cell_ptrs[static_cast<std::size_t>(i)] == nullptr) {
+      missing_data.push_back(i);
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> rebuilt;
+  if (!missing_data.empty()) {
+    const ec::RsCodec codec(loc.ec_k, loc.ec_m);
+    rebuilt = codec.reconstruct(cell_ptrs, cell_len, missing_data);
+  }
+  // Reassemble the logical block payload from the k data cells.
+  auto out = std::make_shared<std::vector<std::byte>>(
+      static_cast<std::size_t>(loc.length));
+  std::size_t pos = 0;
+  std::size_t next_rebuilt = 0;
+  for (int i = 0; i < loc.ec_k && pos < loc.length; ++i) {
+    const std::uint8_t* src = cell_ptrs[static_cast<std::size_t>(i)];
+    if (src == nullptr) src = rebuilt[next_rebuilt++].data();
+    const std::size_t take =
+        std::min(cell_len, static_cast<std::size_t>(loc.length) - pos);
+    std::memcpy(out->data() + pos, src, take);
+    pos += take;
+  }
+  // Under a racked topology the k cell fetches are recorded as read
+  // transfers at open time (striped readers fetch whole cells); the Reader
+  // then charges the scalar bytes without re-recording (source = -1).
+  if (racked_topology()) {
+    TransferLog* log = current_transfer_log();
+    if (log != nullptr && log->node >= 0 && log->node < num_datanodes()) {
+      for (int i : chosen) {
+        log->transfers.push_back(
+            net::Transfer{loc.replicas[static_cast<std::size_t>(i)], log->node,
+                          cell_len, net::TransferKind::kRead});
+      }
+    }
+  }
+  if (!missing_data.empty()) {
+    // Degraded read: same bytes fetched as a healthy one (k cells either
+    // way), but the lost data cells had to be decoded — charge the decode
+    // output at ec_decode_bandwidth via bytes_reconstructed.
+    IoStats io;
+    io.degraded_reads = 1;
+    io.bytes_reconstructed =
+        static_cast<std::uint64_t>(missing_data.size()) * cell_len;
+    if (account != nullptr) *account += io;
+    if (metrics_ != nullptr) metrics_->add_io(io);
+  }
+  return out;
+}
+
 Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
   const auto blocks = namenode_.file_blocks(path);
   const StorageTier tier = namenode_.file_tier(path);
@@ -485,7 +754,37 @@ Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
   data.reserve(blocks.size());
   sources.reserve(blocks.size());
   std::uint64_t size = 0;
+  // Namenode hot-block cache: a resident file is served from the
+  // namenode's own copy — charged like any remote read, but immune to lost
+  // cells/replicas and never paying the degraded-decode path.
+  if (config_.hot_cache_bytes > 0) {
+    const std::string norm = normalize(path);
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    auto it = hot_candidates_.find(norm);
+    if (it != hot_candidates_.end() && hot_resident_.count(norm) > 0) {
+      ++hot_hits_;
+      hot_hit_bytes_ += it->second.size;
+      if (metrics_ != nullptr) {
+        metrics_->increment("dfs_hot_cache_hits");
+        metrics_->increment("dfs_hot_cache_hit_bytes", it->second.size);
+      }
+      if (TierListener* listener =
+              tier_listener_.load(std::memory_order_acquire)) {
+        if (log != nullptr) log->read_paths.push_back(norm);
+        listener->on_open(norm, tier, it->second.size);
+      }
+      std::vector<int> no_sources(it->second.blocks.size(), -1);
+      return Reader(it->second.blocks, std::move(no_sources), {},
+                    it->second.size, account, metrics_, racked_topology());
+    }
+  }
   for (const auto& loc : blocks) {
+    if (loc.is_ec()) {
+      data.push_back(read_stripe(loc, path, account));
+      sources.push_back(-1);  // transfers recorded per cell at open time
+      size += loc.length;
+      continue;
+    }
     int src = -1;
     data.push_back(read_replica(loc, path, &src));
     sources.push_back(src);
@@ -532,6 +831,7 @@ void Dfs::restore_file(const std::string& path,
     // restore and keeps its lineage record alive.
     for (const auto& block : namenode_.remove(norm, false, nullptr)) {
       for (int n : block.replicas) {
+        if (n < 0) continue;  // lost EC cell sentinel
         datanodes_[static_cast<std::size_t>(n)]->evict(block.id);
       }
     }
@@ -544,7 +844,7 @@ void Dfs::restore_file(const std::string& path,
 // ---------------------------------------------------------------------------
 // Failures
 
-NodeKillOutcome Dfs::kill_datanode(int node) {
+NodeKillOutcome Dfs::kill_datanode(int node, double at) {
   MRI_REQUIRE(node >= 0 && node < num_datanodes(),
               "kill_datanode(" << node << ") on a DFS with "
                                << num_datanodes() << " datanodes");
@@ -561,7 +861,64 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
   // re-replication); the transfers are collected and flow-simulated below.
   const net::Topology* topo = racked_topology() ? topology_.get() : nullptr;
   std::vector<net::Transfer> repairs;
-  const auto replicate = [this, topo, &repairs](const BlockLocation& loc) -> int {
+  std::uint64_t ec_fanin_bytes = 0;  // survivor-cell reads feeding decodes
+  // Erasure-coded reconstruction of stripe cell `cell`: decode it from the
+  // first k surviving cells onto the smallest-id live node not already
+  // holding a cell of the stripe (k-cell fan-in traffic + decode CPU,
+  // priced below), replacing the replicated copy path.
+  const auto reconstruct = [this, topo, &repairs, &ec_fanin_bytes](
+                               const BlockLocation& loc, int cell) -> int {
+    int target = -1;
+    {
+      std::lock_guard<std::mutex> lock(chaos_mu_);
+      std::vector<char> holds(dead_.size(), 0);
+      for (int holder : loc.replicas) {
+        if (holder >= 0) holds[static_cast<std::size_t>(holder)] = 1;
+      }
+      for (std::size_t i = 0; i < dead_.size(); ++i) {
+        if (!dead_[i] && !holds[i]) {
+          target = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (target < 0) return -1;  // nowhere to rebuild; stay degraded
+    const auto cell_len = static_cast<std::size_t>(loc.cell_bytes());
+    std::vector<const std::uint8_t*> cell_ptrs(loc.replicas.size(), nullptr);
+    std::vector<BlockData> pins;
+    std::vector<int> used;
+    for (std::size_t slot = 0;
+         slot < loc.replicas.size() &&
+         static_cast<int>(used.size()) < loc.ec_k;
+         ++slot) {
+      const int holder = loc.replicas[slot];
+      if (holder < 0) continue;
+      BlockData d = datanodes_[static_cast<std::size_t>(holder)]->get(loc.id);
+      cell_ptrs[slot] = reinterpret_cast<const std::uint8_t*>(d->data());
+      pins.push_back(std::move(d));
+      used.push_back(static_cast<int>(slot));
+    }
+    if (static_cast<int>(used.size()) < loc.ec_k) return -1;
+    const ec::RsCodec codec(loc.ec_k, loc.ec_m);
+    auto rebuilt = codec.reconstruct(cell_ptrs, cell_len, {cell});
+    auto payload = std::make_shared<std::vector<std::byte>>(cell_len);
+    std::memcpy(payload->data(), rebuilt.front().data(), cell_len);
+    datanodes_[static_cast<std::size_t>(target)]->put(loc.id,
+                                                      std::move(payload));
+    for (int slot : used) {
+      const int holder = loc.replicas[static_cast<std::size_t>(slot)];
+      if (topo != nullptr) {
+        repairs.push_back(net::Transfer{holder, target, cell_len,
+                                        net::TransferKind::kRepair});
+      }
+      ec_fanin_bytes += cell_len;
+    }
+    return target;
+  };
+  const auto replicate = [this, topo, &repairs,
+                          &reconstruct](const BlockLocation& loc,
+                                        int cell) -> int {
+    if (cell >= 0) return reconstruct(loc, cell);
     int source = -1;
     int target = -1;
     {
@@ -612,7 +969,36 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
   out.re_replicated_blocks = repaired.re_replicated_blocks;
   out.blocks_lost = repaired.blocks_lost;
   out.lost_files = repaired.lost_files;
-  if (topo != nullptr && !repairs.empty()) {
+  out.ec_cells_reconstructed = repaired.ec_cells_reconstructed;
+  out.ec_reconstructed_bytes = repaired.ec_reconstructed_bytes;
+  if (repaired.ec_cells_reconstructed > 0) {
+    // EC reconstruction happened: combine replica copies, the k-cell
+    // fan-ins and the decode CPU into one repair duration so the chaos
+    // engine's stretch accounting sees the whole recovery, not just the
+    // copy traffic. (The pure-replication branch below is left untouched so
+    // default runs stay bit-identical.)
+    double seconds = 0.0;
+    if (topo != nullptr && !repairs.empty()) {
+      std::vector<net::Flow> flows;
+      flows.reserve(repairs.size());
+      for (const net::Transfer& t : repairs) {
+        flows.push_back(net::Flow{t.src, t.dst, t.bytes, 0.0, -1});
+      }
+      seconds = net::simulate_flows(*topo, flows).end_time;
+    } else if (chaos_network_bandwidth_ > 0.0) {
+      seconds =
+          static_cast<double>(out.re_replicated_bytes + ec_fanin_bytes) /
+          chaos_network_bandwidth_;
+    }
+    if (cost_model_ != nullptr) {
+      seconds += cost_model_->ec_decode_seconds(out.ec_reconstructed_bytes);
+    }
+    out.re_replication_seconds = seconds;
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    storage_events_.push_back(StorageReconstructionEvent{
+        at, node, out.ec_cells_reconstructed, out.ec_reconstructed_bytes,
+        seconds});
+  } else if (topo != nullptr && !repairs.empty()) {
     // All repair streams start together when the loss is detected; their
     // contended makespan on the racked fabric replaces the scalar
     // bytes/bandwidth estimate the chaos engine would otherwise use.
@@ -626,16 +1012,24 @@ NodeKillOutcome Dfs::kill_datanode(int node) {
 
   if (metrics_ != nullptr) {
     // Background datanode-to-datanode traffic (HDFS re-replication is not a
-    // client read): network copies only, no client-side bytes_read.
+    // client read): network copies only, no client-side bytes_read. EC
+    // reconstruction adds its survivor-cell fan-in as network traffic and
+    // the rebuilt cells as decode output.
     IoStats io;
     io.bytes_replicated = out.re_replicated_bytes;
-    io.bytes_transferred = out.re_replicated_bytes;
+    io.bytes_transferred = out.re_replicated_bytes + ec_fanin_bytes;
+    io.bytes_reconstructed = out.ec_reconstructed_bytes;
     metrics_->add_io(io);
     metrics_->increment("dfs_nodes_killed");
     metrics_->increment("dfs_blocks_re_replicated",
                         static_cast<std::uint64_t>(out.re_replicated_blocks));
     metrics_->increment("dfs_blocks_lost",
                         static_cast<std::uint64_t>(out.blocks_lost));
+    if (out.ec_cells_reconstructed > 0) {
+      metrics_->increment(
+          "dfs_ec_cells_reconstructed",
+          static_cast<std::uint64_t>(out.ec_cells_reconstructed));
+    }
   }
   return out;
 }
@@ -666,11 +1060,15 @@ void Dfs::inject_read_error(int node, int count) {
   read_errors_[static_cast<std::size_t>(node)] += count;
 }
 
-void Dfs::bind_chaos(ChaosEngine* chaos, double network_bandwidth) {
+void Dfs::bind_chaos(ChaosEngine* chaos, double network_bandwidth,
+                     const CostModel* cost_model) {
   MRI_REQUIRE(chaos != nullptr, "bind_chaos() needs a chaos engine");
-  chaos->set_kill_handler([this](int node) { return kill_datanode(node); });
+  chaos->set_kill_handler(ChaosEngine::TimedKillHandler(
+      [this](int node, double at) { return kill_datanode(node, at); }));
   chaos->set_read_error_handler([this](int node) { inject_read_error(node); });
   if (network_bandwidth > 0.0) chaos->set_network_bandwidth(network_bandwidth);
+  chaos_network_bandwidth_ = network_bandwidth;
+  cost_model_ = cost_model;
 }
 
 // ---------------------------------------------------------------------------
@@ -703,6 +1101,37 @@ std::uint64_t Dfs::physical_bytes_stored() const {
   std::uint64_t total = 0;
   for (const auto& node : datanodes_) total += node->bytes_stored();
   return total;
+}
+
+std::vector<StorageReconstructionEvent> Dfs::storage_events() const {
+  std::lock_guard<std::mutex> lock(storage_mu_);
+  return storage_events_;
+}
+
+void Dfs::recompute_hot_residents_locked() const {
+  hot_resident_.clear();
+  hot_resident_bytes_ = 0;
+  // Greedy admission over candidate paths in sorted (map) order: a pure
+  // function of the candidate set, independent of commit interleaving — the
+  // property that keeps same-seed runs bit-identical under task-thread
+  // races. (Hot files are written and read in different phases, so the set
+  // is stable by the time the hits matter.)
+  for (const auto& [path, file] : hot_candidates_) {
+    if (hot_resident_bytes_ + file.size > config_.hot_cache_bytes) continue;
+    hot_resident_.insert(path);
+    hot_resident_bytes_ += file.size;
+  }
+}
+
+HotCacheStats Dfs::hot_cache_stats() const {
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  HotCacheStats s;
+  s.capacity_bytes = config_.hot_cache_bytes;
+  s.resident_bytes = hot_resident_bytes_;
+  s.resident_files = static_cast<int>(hot_resident_.size());
+  s.hits = hot_hits_;
+  s.hit_bytes = hot_hit_bytes_;
+  return s;
 }
 
 }  // namespace mri::dfs

@@ -22,11 +22,16 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <set>
+
 #include "dfs/block.hpp"
 #include "dfs/datanode.hpp"
+#include "dfs/ec/policy.hpp"
 #include "dfs/namenode.hpp"
 #include "net/topology.hpp"
 #include "sim/chaos.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
 
 namespace mri::dfs {
@@ -70,6 +75,41 @@ TransferLog* current_transfer_log();
 struct DfsConfig {
   std::size_t block_size = 64ull << 20;  // 64 MB, the Hadoop 1.x default
   int replication = 3;                   // the paper uses the HDFS default
+  /// Storage policy for newly committed disk-tier files. Memory-tier files
+  /// (single copy, lineage-recovered) and spilled files are never striped.
+  /// The default, kReplicate, keeps every pre-EC run bit-identical.
+  StoragePolicy storage_policy = StoragePolicy::kReplicate;
+  /// Stripe shape when storage_policy == kErasureCoded.
+  EcParams ec;
+  /// Namenode hot-block cache capacity in bytes; 0 disables the cache (the
+  /// default — cache-off runs are bit-identical to pre-cache builds). Files
+  /// whose basename starts with hot_file_prefix are cache candidates;
+  /// residency is a greedy sweep over candidate paths in sorted order, so
+  /// it is independent of commit interleaving. Resident files are served
+  /// from the namenode's copy: reads cost the same as a remote read but
+  /// survive lost cells/replicas and never pay the degraded-decode path —
+  /// built for the repeatedly re-read transposed-U factors.
+  std::uint64_t hot_cache_bytes = 0;
+  std::string hot_file_prefix = "ut";
+};
+
+/// One erasure-coded reconstruction burst: a node death that rebuilt lost
+/// stripe cells from k survivors (feeds the run report's storage lane).
+struct StorageReconstructionEvent {
+  double at = 0.0;  // simulated time of the node kill
+  int node = -1;    // the node that died
+  int cells = 0;    // stripe cells rebuilt
+  std::uint64_t bytes = 0;   // bytes of rebuilt cell payload
+  double seconds = 0.0;      // simulated duration of the whole repair
+};
+
+/// Namenode hot-block cache occupancy and hit totals.
+struct HotCacheStats {
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  int resident_files = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t hit_bytes = 0;
 };
 
 /// Observer of memory-tier lifecycle events, implemented by the engine layer
@@ -249,9 +289,25 @@ class Dfs {
   std::string read_text(const std::string& path,
                         IoStats* account = nullptr) const;
 
-  /// Physical bytes resident across all datanodes (includes replication —
-  /// replicas share payload in memory but are accounted at full size here).
+  /// Physical bytes resident across all datanodes (includes replication and
+  /// parity — replicas share payload in memory but are accounted at full
+  /// size here; EC files store k data + m parity cells).
   std::uint64_t physical_bytes_stored() const;
+
+  /// Logical bytes registered in the namespace (sum of file sizes) —
+  /// independent of replication factor and parity overhead. The ratio
+  /// physical_bytes_stored() / logical_bytes_stored() is the storage
+  /// overhead the run report surfaces.
+  std::uint64_t logical_bytes_stored() const {
+    return namenode_.total_logical_bytes();
+  }
+
+  /// Erasure-coded reconstruction bursts applied so far (one per node kill
+  /// that rebuilt at least one stripe cell), in kill order.
+  std::vector<StorageReconstructionEvent> storage_events() const;
+
+  /// Hot-block cache occupancy and hit totals (all zero when disabled).
+  HotCacheStats hot_cache_stats() const;
 
   // -- failures (chaos engine wiring) --------------------------------------
 
@@ -259,11 +315,15 @@ class Dfs {
   /// under-replicated live block is re-replicated onto surviving nodes
   /// (smallest-id eligible node first; deterministic), and blocks whose
   /// last replica died become unrecoverable — reads of their files throw
-  /// UnrecoverableBlock instead of hanging or returning zeros. New writes
-  /// place replicas on live nodes only. Idempotent per node. Returns the
-  /// re-replication totals; the same traffic is charged to the
-  /// MetricsRegistry as background bytes_replicated.
-  NodeKillOutcome kill_datanode(int node);
+  /// UnrecoverableBlock instead of hanging or returning zeros. For
+  /// erasure-coded files, reconstruction replaces re-replication: each lost
+  /// stripe cell is decoded from k survivors onto a new node (k-cell fan-in
+  /// traffic, flow-simulated under a racked topology, plus decode CPU via
+  /// the bound CostModel), and a stripe is unrecoverable only when fewer
+  /// than k cells survive. New writes place replicas on live nodes only.
+  /// Idempotent per node. Returns the combined repair totals; `at` is the
+  /// simulated kill time stamped on the storage reconstruction event.
+  NodeKillOutcome kill_datanode(int node, double at = 0.0);
   bool datanode_dead(int node) const;
   int live_datanodes() const;
 
@@ -275,8 +335,11 @@ class Dfs {
 
   /// Installs this filesystem as `chaos`'s kill and read-error handler and
   /// hands it `network_bandwidth` for re-replication-seconds accounting.
+  /// `cost_model` (may be null; must outlive the Dfs if given) prices the
+  /// decode CPU of erasure-coded reconstruction into the repair seconds.
   /// The filesystem must outlive the engine's last advance_to().
-  void bind_chaos(ChaosEngine* chaos, double network_bandwidth = 0.0);
+  void bind_chaos(ChaosEngine* chaos, double network_bandwidth = 0.0,
+                  const CostModel* cost_model = nullptr);
 
  private:
   void commit(const std::string& path, std::vector<std::byte> buffer,
@@ -290,6 +353,19 @@ class Dfs {
   /// be null) receives the chosen datanode.
   BlockData read_replica(const BlockLocation& loc, const std::string& path,
                          int* source) const;
+
+  /// Reads one erasure-coded stripe: fetches the first k available cells
+  /// (data cells first — a fully healthy stripe is a plain concatenation),
+  /// decodes any missing data cells from the survivors (a degraded read,
+  /// charged as bytes_reconstructed + degraded_reads), and returns the
+  /// reassembled block payload. An armed read error on a cell's node marks
+  /// that cell unavailable for this read (failover, like the replicated
+  /// path). Throws UnrecoverableBlock when fewer than k cells survive.
+  BlockData read_stripe(const BlockLocation& loc, const std::string& path,
+                        IoStats* account) const;
+
+  /// Re-runs the greedy residency sweep; call with hot_mu_ held.
+  void recompute_hot_residents_locked() const;
 
   /// True when the attached topology is racked and sized for this DFS —
   /// the gate for transfer recording and rack-aware behaviour.
@@ -305,6 +381,23 @@ class Dfs {
   mutable std::mutex chaos_mu_;  // guards dead_ and read_errors_
   std::vector<bool> dead_;
   mutable std::vector<int> read_errors_;  // per-node armed failing reads
+
+  const CostModel* cost_model_ = nullptr;  // set by bind_chaos
+  double chaos_network_bandwidth_ = 0.0;   // set by bind_chaos
+  mutable std::mutex storage_mu_;  // guards storage_events_
+  std::vector<StorageReconstructionEvent> storage_events_;
+
+  // Namenode hot-block cache (see DfsConfig::hot_cache_bytes).
+  struct HotFile {
+    std::uint64_t size = 0;
+    std::vector<BlockData> blocks;  // full-block payloads, in file order
+  };
+  mutable std::mutex hot_mu_;
+  std::map<std::string, HotFile> hot_candidates_;  // sorted: residency order
+  mutable std::set<std::string> hot_resident_;
+  mutable std::uint64_t hot_resident_bytes_ = 0;
+  mutable std::uint64_t hot_hits_ = 0;
+  mutable std::uint64_t hot_hit_bytes_ = 0;
 };
 
 }  // namespace mri::dfs

@@ -1,0 +1,65 @@
+#include "dfs/ec/gf256.hpp"
+
+#include "common/error.hpp"
+
+namespace mri::dfs::ec {
+
+namespace {
+
+// exp/log tables for generator 2 modulo 0x11d. exp_ is doubled so
+// exp_[log a + log b] never needs an explicit mod-255 reduction.
+struct Gf256Tables {
+  std::uint8_t exp_[512];
+  std::uint8_t log_[256];
+  Gf256Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+    log_[0] = 0;  // log(0) is undefined; callers never look it up
+  }
+};
+
+const Gf256Tables& tables() {
+  static const Gf256Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Gf256Tables& t = tables();
+  return t.exp_[t.log_[a] + t.log_[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  MRI_REQUIRE(a != 0, "GF(2^8): zero has no multiplicative inverse");
+  const Gf256Tables& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  return gf_mul(a, gf_inv(b));
+}
+
+void gf_mul_add(std::uint8_t coeff, const std::uint8_t* src, std::uint8_t* dst,
+                std::size_t len) {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const Gf256Tables& t = tables();
+  const int log_c = t.log_[coeff];
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp_[log_c + t.log_[s]];
+  }
+}
+
+}  // namespace mri::dfs::ec

@@ -1,0 +1,62 @@
+// Per-file storage policy: plain replication (the HDFS default the rest of
+// the simulator was built around) vs Reed–Solomon erasure-coded stripes
+// (HDFS-EC style). The policy lives in DfsConfig and applies to disk-tier
+// files written after it is set; memory-tier cached copies and spill files
+// always use replication so the SPIN-style engine semantics are unchanged.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mri::dfs {
+
+enum class StoragePolicy {
+  kReplicate,     // N full copies of every block (DfsConfig::replication).
+  kErasureCoded,  // RS(k, m) stripes: k data + m parity cells per block.
+};
+
+/// Reed–Solomon stripe shape. Defaults to the HDFS-EC flagship RS(6,3)
+/// profile: 1.5x physical overhead, survives any 3 cell losses.
+struct EcParams {
+  int k = 6;
+  int m = 3;
+
+  int cells() const { return k + m; }
+};
+
+/// Parse "k,m" (as passed to --ec). Throws InvalidArgument with an
+/// actionable message on malformed input; range checks against the cluster
+/// size happen at the CLI layer where the node count is known.
+inline EcParams parse_ec_params(const std::string& spec) {
+  const auto comma = spec.find(',');
+  MRI_REQUIRE(comma != std::string::npos,
+              "--ec expects \"k,m\" (e.g. --ec 6,3), got \"" << spec << "\"");
+  EcParams p;
+  try {
+    std::size_t used = 0;
+    p.k = std::stoi(spec.substr(0, comma), &used);
+    MRI_REQUIRE(used == comma, "--ec: data-cell count is not a number in \""
+                                   << spec << "\"");
+    const std::string m_part = spec.substr(comma + 1);
+    p.m = std::stoi(m_part, &used);
+    MRI_REQUIRE(used == m_part.size(),
+                "--ec: parity-cell count is not a number in \"" << spec << "\"");
+  } catch (const std::invalid_argument&) {
+    throw InvalidArgument("--ec expects integers \"k,m\" (e.g. --ec 6,3), got \"" +
+                          spec + "\"");
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument("--ec values out of range in \"" + spec + "\"");
+  }
+  MRI_REQUIRE(p.k >= 1, "--ec: k must be >= 1, got " << p.k);
+  MRI_REQUIRE(p.m >= 1, "--ec: m must be >= 1, got " << p.m);
+  MRI_REQUIRE(p.cells() <= 256,
+              "--ec: k + m must be <= 256 over GF(2^8), got " << p.cells());
+  return p;
+}
+
+inline const char* to_string(StoragePolicy p) {
+  return p == StoragePolicy::kErasureCoded ? "erasure_coded" : "replicate";
+}
+
+}  // namespace mri::dfs

@@ -196,11 +196,44 @@ std::size_t NameNode::file_count() const {
 
 void NameNode::repair_inode(
     Inode* inode, const std::string& path, int node, int target_replication,
-    const std::function<int(const BlockLocation&)>& replicate,
+    const std::function<int(const BlockLocation&, int cell)>& replicate,
     BlockRepairSummary* out) {
   if (!inode->is_dir) {
     bool had_loss = false;
     for (BlockLocation& loc : inode->blocks) {
+      if (loc.is_ec()) {
+        // Slot order is cell identity: mark this node's cells lost in place
+        // instead of erasing them.
+        int newly_lost = 0;
+        for (int& holder : loc.replicas) {
+          if (holder == node) {
+            holder = -1;
+            ++newly_lost;
+          }
+        }
+        int live = 0;
+        for (int holder : loc.replicas) live += holder >= 0 ? 1 : 0;
+        if (live < loc.ec_k) {
+          if (newly_lost > 0 && live + newly_lost >= loc.ec_k) {
+            // Fewer than k survivors: the stripe is undecodable, gone for
+            // good. Only the kill that crossed the threshold reports it.
+            ++out->blocks_lost;
+            had_loss = true;
+          }
+          continue;
+        }
+        // Rebuild every hole (including ones left by earlier kills that
+        // found no eligible target) while the stripe is still decodable.
+        for (std::size_t cell = 0; cell < loc.replicas.size(); ++cell) {
+          if (loc.replicas[cell] >= 0) continue;
+          const int placed = replicate(loc, static_cast<int>(cell));
+          if (placed < 0) continue;  // no eligible node; stay degraded
+          loc.replicas[cell] = placed;
+          ++out->ec_cells_reconstructed;
+          out->ec_reconstructed_bytes += loc.cell_bytes();
+        }
+        continue;
+      }
       auto it = std::find(loc.replicas.begin(), loc.replicas.end(), node);
       if (it == loc.replicas.end()) continue;
       loc.replicas.erase(it);
@@ -212,7 +245,7 @@ void NameNode::repair_inode(
         continue;
       }
       while (static_cast<int>(loc.replicas.size()) < target_replication) {
-        const int placed = replicate(loc);
+        const int placed = replicate(loc, -1);
         if (placed < 0) break;  // no eligible node left; stay under-replicated
         loc.replicas.push_back(placed);
         ++out->re_replicated_blocks;
@@ -230,12 +263,24 @@ void NameNode::repair_inode(
 
 BlockRepairSummary NameNode::repair_after_node_loss(
     int node, int target_replication,
-    const std::function<int(const BlockLocation&)>& replicate) {
+    const std::function<int(const BlockLocation&, int cell)>& replicate) {
   MRI_REQUIRE(target_replication >= 1, "target replication must be >= 1");
   std::lock_guard<std::mutex> lock(mu_);
   BlockRepairSummary out;
   repair_inode(root_.get(), "", node, target_replication, replicate, &out);
   return out;
+}
+
+std::uint64_t NameNode::sum_file_bytes(const Inode& node) {
+  if (!node.is_dir) return node.size;
+  std::uint64_t n = 0;
+  for (const auto& [name, child] : node.children) n += sum_file_bytes(*child);
+  return n;
+}
+
+std::uint64_t NameNode::total_logical_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_file_bytes(*root_);
 }
 
 }  // namespace mri::dfs

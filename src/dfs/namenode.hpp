@@ -21,9 +21,15 @@ struct BlockRepairSummary {
   std::uint64_t re_replicated_bytes = 0;
   int re_replicated_blocks = 0;
   int blocks_lost = 0;
+  /// Erasure-coded stripe cells rebuilt by decode from k survivors (counted
+  /// separately from re_replicated_* — reconstruction reads k cells to
+  /// rewrite one, replication copies one replica verbatim).
+  int ec_cells_reconstructed = 0;
+  std::uint64_t ec_reconstructed_bytes = 0;
   /// Paths of files that lost at least one block entirely (every replica
-  /// dead). The engine layer uses these to trigger lineage recomputation of
-  /// memory-tier intermediates instead of fail-fast.
+  /// dead, or fewer than k cells of a stripe surviving). The engine layer
+  /// uses these to trigger lineage recomputation of memory-tier
+  /// intermediates instead of fail-fast.
   std::vector<std::string> lost_files;
 };
 
@@ -72,17 +78,25 @@ class NameNode {
   /// Number of files in the whole namespace (used by §6.1 tests).
   std::size_t file_count() const;
 
+  /// Sum of file sizes across the namespace: the logical bytes stored,
+  /// independent of replication factor or parity overhead.
+  std::uint64_t total_logical_bytes() const;
+
   /// Node-loss repair (HDFS block management): removes `node` from every
   /// file's replica lists, then restores each under-replicated block toward
-  /// `target_replication` by calling `replicate(loc)`, which copies the
-  /// payload from a surviving replica of `loc` to a new node and returns
-  /// that node's id (or -1 when no eligible node is left — the block stays
-  /// under-replicated). Blocks whose last replica died remain registered
-  /// with an empty replica list so reads surface UnrecoverableBlock instead
-  /// of "no such file". Runs atomically under the namespace lock.
+  /// `target_replication` by calling `replicate(loc, cell)`, which copies
+  /// the payload from a surviving replica of `loc` (cell == -1, plain
+  /// replication) or reconstructs stripe cell `cell` from k survivors
+  /// (erasure-coded blocks) onto a new node and returns that node's id (or
+  /// -1 when no eligible node is left — the block stays degraded). For EC
+  /// blocks the dead node's slots are set to -1 (slot order is cell
+  /// identity) and every hole is rebuilt while >= k cells survive; with
+  /// fewer survivors the stripe is lost. Blocks whose last replica died
+  /// remain registered so reads surface UnrecoverableBlock instead of "no
+  /// such file". Runs atomically under the namespace lock.
   BlockRepairSummary repair_after_node_loss(
       int node, int target_replication,
-      const std::function<int(const BlockLocation&)>& replicate);
+      const std::function<int(const BlockLocation&, int cell)>& replicate);
 
  private:
   struct Inode {
@@ -95,10 +109,11 @@ class NameNode {
 
   Inode* find(const std::string& path) const;
   Inode* find_or_create_dir(const std::string& path);
-  static void repair_inode(Inode* inode, const std::string& path, int node,
-                           int target_replication,
-                           const std::function<int(const BlockLocation&)>& replicate,
-                           BlockRepairSummary* out);
+  static void repair_inode(
+      Inode* inode, const std::string& path, int node, int target_replication,
+      const std::function<int(const BlockLocation&, int cell)>& replicate,
+      BlockRepairSummary* out);
+  static std::uint64_t sum_file_bytes(const Inode& node);
   static void collect_files(const Inode& node, const std::string& path,
                             std::vector<BlockLocation>* blocks,
                             std::vector<std::string>* paths);

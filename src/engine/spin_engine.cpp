@@ -30,8 +30,8 @@ SpinEngine::~SpinEngine() {
     // Put back the plain replication-based handler Dfs::bind_chaos installs
     // so later kills (after this inversion) keep HDFS semantics.
     dfs::Dfs* fs = fs_;
-    chaos_->set_kill_handler(
-        ChaosEngine::KillHandler([fs](int node) { return fs->kill_datanode(node); }));
+    chaos_->set_kill_handler(ChaosEngine::TimedKillHandler(
+        [fs](int node, double at) { return fs->kill_datanode(node, at); }));
   }
 }
 
@@ -118,7 +118,7 @@ void SpinEngine::on_remove(const std::string& path) {
 NodeKillOutcome SpinEngine::on_kill(int node, double at) {
   // DFS-side repair first: replicated disk data re-replicates as before;
   // single-replica memory/spilled files on the node come back as lost.
-  NodeKillOutcome out = fs_->kill_datanode(node);
+  NodeKillOutcome out = fs_->kill_datanode(node, at);
   std::vector<std::vector<std::string>> waves;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -255,6 +255,8 @@ PhaseSchedule schedule_phase(
     t += static_cast<double>(leftover_read) / model.network_bandwidth;
     t += static_cast<double>(a.io.bytes_written) / model.disk_bandwidth;
     t += static_cast<double>(leftover_repl) / model.network_bandwidth;
+    t += static_cast<double>(a.io.bytes_parity) / model.disk_bandwidth;
+    t += model.ec_decode_seconds(a.io.bytes_reconstructed);
     t += model.memory_tier_seconds(a.io);
     t += flow_seconds;
     return t;

@@ -65,7 +65,8 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
                            const MetricsRegistry* metrics,
                            const std::vector<MasterSpan>& master_spans,
                            const ChaosEngine* chaos,
-                           const engine::EngineStats* engine_stats) {
+                           const engine::EngineStats* engine_stats,
+                           const dfs::Dfs* fs) {
   RunReport report;
   report.total_slots = cluster.total_slots();
   report.jobs = static_cast<int>(jobs.size());
@@ -115,6 +116,8 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
         stats.lineage_recompute_seconds;
     report.recovery.lineage_recomputed_bytes =
         stats.lineage_recomputed_bytes;
+    report.recovery.ec_cells_reconstructed = stats.ec_cells_reconstructed;
+    report.recovery.ec_reconstructed_bytes = stats.ec_reconstructed_bytes;
     // Only events that actually fired within the run belong on the faults
     // lane; the schedule may extend past the point the run ended.
     for (const ChaosEvent& e : chaos->events()) {
@@ -196,6 +199,46 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
       span.path = r.path;
       span.bytes = r.bytes;
       report.engine.recomputes.push_back(std::move(span));
+    }
+  }
+  // Storage section: policy/footprint from the filesystem, traffic totals
+  // from the DFS-side metrics, repair lane from the kill-path events.
+  if (fs != nullptr) {
+    StorageReport& sto = report.storage;
+    sto.policy = dfs::to_string(fs->config().storage_policy);
+    if (fs->config().storage_policy == dfs::StoragePolicy::kErasureCoded) {
+      sto.ec_k = fs->config().ec.k;
+      sto.ec_m = fs->config().ec.m;
+    }
+    sto.logical_bytes = fs->logical_bytes_stored();
+    sto.physical_bytes = fs->physical_bytes_stored();
+    sto.physical_overhead =
+        sto.logical_bytes > 0
+            ? static_cast<double>(sto.physical_bytes) /
+                  static_cast<double>(sto.logical_bytes)
+            : 0.0;
+    sto.parity_bytes = report.dfs_io.bytes_parity;
+    sto.reconstructed_bytes = report.dfs_io.bytes_reconstructed;
+    sto.degraded_reads = report.dfs_io.degraded_reads;
+    auto counter = [&report](const char* name) -> std::uint64_t {
+      const auto it = report.counters.find(name);
+      return it != report.counters.end() ? it->second : 0;
+    };
+    sto.cells_reconstructed = counter("dfs_ec_cells_reconstructed");
+    const dfs::HotCacheStats hot = fs->hot_cache_stats();
+    sto.hot_cache_capacity_bytes = hot.capacity_bytes;
+    sto.hot_cache_resident_bytes = hot.resident_bytes;
+    sto.hot_cache_resident_files = hot.resident_files;
+    sto.hot_cache_hits = hot.hits;
+    sto.hot_cache_hit_bytes = hot.hit_bytes;
+    for (const dfs::StorageReconstructionEvent& e : fs->storage_events()) {
+      StorageReconstruction r;
+      r.at = e.at;
+      r.node = e.node;
+      r.cells = e.cells;
+      r.bytes = e.bytes;
+      r.seconds = e.seconds;
+      sto.reconstructions.push_back(std::move(r));
     }
   }
   report.phases = phase_traces(jobs);

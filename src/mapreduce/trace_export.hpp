@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "dfs/dfs.hpp"
 #include "engine/spin_engine.hpp"
 #include "mapreduce/job.hpp"
 #include "sim/cluster.hpp"
@@ -29,11 +30,15 @@ std::vector<PhaseTrace> phase_traces(const std::vector<JobResult>& jobs);
 /// 1-based job ordinal that is mapped onto the admitting job's map-phase
 /// start (ordinals align with `jobs` order: every job calls
 /// SpinEngine::begin_job exactly once, in execution order).
+/// `fs` (optional) fills report.storage: the configured storage policy,
+/// logical vs physical footprint, EC/reconstruction totals, the stripe-repair
+/// event lane and the namenode hot-block cache counters.
 RunReport build_run_report(
     const std::vector<JobResult>& jobs, const Cluster& cluster,
     const MetricsRegistry* metrics,
     const std::vector<MasterSpan>& master_spans = {},
     const ChaosEngine* chaos = nullptr,
-    const engine::EngineStats* engine_stats = nullptr);
+    const engine::EngineStats* engine_stats = nullptr,
+    const dfs::Dfs* fs = nullptr);
 
 }  // namespace mri::mr

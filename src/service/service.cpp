@@ -329,7 +329,8 @@ ServiceResult InversionService::run(std::vector<InversionRequest> requests) {
   MRI_CHECK_MSG(queue.empty(), "service loop ended with queued requests");
 
   out.report = mr::build_run_report(all_jobs, *cluster_, metrics_,
-                                    all_master_spans, chaos_);
+                                    all_master_spans, chaos_,
+                                    /*engine_stats=*/nullptr, fs_);
   aggregate_tenant_reports(&out.report, out.stats);
   return out;
 }

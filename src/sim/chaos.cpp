@@ -193,6 +193,8 @@ void ChaosEngine::advance_to(double t) {
         stats_.lineage_waves += outcome.lineage_waves;
         stats_.lineage_recompute_seconds += outcome.recompute_seconds;
         stats_.lineage_recomputed_bytes += outcome.recomputed_bytes;
+        stats_.ec_cells_reconstructed += outcome.ec_cells_reconstructed;
+        stats_.ec_reconstructed_bytes += outcome.ec_reconstructed_bytes;
         if (outcome.re_replication_seconds > 0.0) {
           // The DFS simulated the repair flows on the racked topology; its
           // contended duration supersedes the scalar bytes/bandwidth model.

@@ -84,6 +84,11 @@ struct NodeKillOutcome {
   int lineage_waves = 0;
   double recompute_seconds = 0.0;
   std::uint64_t recomputed_bytes = 0;
+  /// Erasure-coded reconstruction totals for this kill: lost stripe cells
+  /// rebuilt from k survivors (EC files repair by decode fan-in instead of
+  /// replica copy; both are folded into re_replication_seconds).
+  int ec_cells_reconstructed = 0;
+  std::uint64_t ec_reconstructed_bytes = 0;
 };
 
 /// Recovery totals the engine itself observed while applying events, plus
@@ -108,6 +113,10 @@ struct RecoveryStats {
   int lineage_waves = 0;
   double lineage_recompute_seconds = 0.0;
   std::uint64_t lineage_recomputed_bytes = 0;
+  /// Erasure-coded cell reconstructions across all kills (zero on pure
+  /// replication runs).
+  int ec_cells_reconstructed = 0;
+  std::uint64_t ec_reconstructed_bytes = 0;
 };
 
 /// A task-level failure rule, retained from the original FailureInjector:

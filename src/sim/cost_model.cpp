@@ -37,6 +37,7 @@ CostModel CostModel::scaled_down(double linear_factor) const {
   m.disk_bandwidth *= linear_factor;
   m.network_bandwidth *= linear_factor;
   m.memory_bandwidth *= linear_factor;
+  m.ec_decode_bandwidth *= linear_factor;
   m.job_launch_seconds /= s3;
   m.task_overhead_seconds /= s3;
   m.message_latency_seconds /= s3;
@@ -65,6 +66,8 @@ double CostModel::compute_seconds(const IoStats& io, double speed_factor) const 
   t += static_cast<double>(remote_read) / network_bandwidth;
   t += static_cast<double>(io.bytes_written) / disk_bandwidth;
   t += static_cast<double>(io.bytes_replicated) / network_bandwidth;
+  t += static_cast<double>(io.bytes_parity) / disk_bandwidth;
+  t += ec_decode_seconds(io.bytes_reconstructed);
   t += memory_tier_seconds(io);
   return t;
 }
@@ -73,6 +76,10 @@ double CostModel::memory_tier_seconds(const IoStats& io) const {
   return static_cast<double>(io.bytes_written_memory + io.bytes_read_memory) /
              memory_bandwidth +
          static_cast<double>(io.bytes_spilled) / disk_bandwidth;
+}
+
+double CostModel::ec_decode_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / ec_decode_bandwidth;
 }
 
 }  // namespace mri

@@ -34,6 +34,12 @@ struct CostModel {
   /// Effective memory-store bandwidth for the in-memory intermediate tier
   /// (the §8 Spark-style extension).
   double memory_bandwidth = 3.0e9;
+  /// Reed–Solomon decode throughput for rebuilding lost erasure-coded cells
+  /// (bytes of reconstructed output per second). Table-driven GF(2^8)
+  /// decode runs at a few GB/s per core on commodity hardware (ISA-L /
+  /// Jerasure ballpark); degraded reads and node-loss reconstruction charge
+  /// bytes_reconstructed at this rate.
+  double ec_decode_bandwidth = 2.0e9;
   /// Constant cost of launching one MapReduce job (scheduling, JVM spin-up).
   double job_launch_seconds = 15.0;
   /// Per-task-attempt overhead (task setup, heartbeat granularity).
@@ -85,6 +91,12 @@ struct CostModel {
   /// compute_seconds and the scheduler's racked flow accounting call this,
   /// so attempt timing and cost-model totals cannot drift apart.
   double memory_tier_seconds(const IoStats& io) const;
+
+  /// CPU seconds to Reed–Solomon-decode `bytes` of lost cell data. The
+  /// SINGLE conversion point for EC decode cost — compute_seconds, the
+  /// scheduler's racked flow accounting and Dfs node-loss reconstruction
+  /// all call this.
+  double ec_decode_seconds(std::uint64_t bytes) const;
 
   /// Exact rescaling for running the paper's experiments on matrices shrunk
   /// by a linear factor S (n_sim = n_paper / S, nb_sim = nb_paper / S).

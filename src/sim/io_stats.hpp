@@ -16,6 +16,14 @@
 //   bytes_spilled      memory-tier bytes evicted to disk under cache
 //                      pressure; charged at disk bandwidth on top of the
 //                      original memory write
+//   bytes_parity       Reed–Solomon parity cells written for erasure-coded
+//                      files (the EC analogue of bytes_replicated's extra
+//                      copies); charged at disk bandwidth
+//   bytes_reconstructed  bytes of lost EC cells rebuilt by decode, either on
+//                      a degraded read or during node-loss reconstruction;
+//                      charged at the CostModel's ec_decode_bandwidth
+//   degraded_reads     number of EC stripe reads that had to decode around
+//                      at least one lost cell
 //   mults / adds       floating-point multiply / add operations
 #pragma once
 
@@ -33,6 +41,9 @@ struct IoStats {
   std::uint64_t bytes_written_memory = 0;
   std::uint64_t bytes_read_memory = 0;
   std::uint64_t bytes_spilled = 0;
+  std::uint64_t bytes_parity = 0;
+  std::uint64_t bytes_reconstructed = 0;
+  std::uint64_t degraded_reads = 0;
   std::uint64_t mults = 0;
   std::uint64_t adds = 0;
 
@@ -44,6 +55,9 @@ struct IoStats {
     bytes_written_memory += other.bytes_written_memory;
     bytes_read_memory += other.bytes_read_memory;
     bytes_spilled += other.bytes_spilled;
+    bytes_parity += other.bytes_parity;
+    bytes_reconstructed += other.bytes_reconstructed;
+    degraded_reads += other.degraded_reads;
     mults += other.mults;
     adds += other.adds;
     return *this;
@@ -68,6 +82,12 @@ struct IoStats {
                 "IoStats subtraction underflows bytes_read_memory");
     MRI_REQUIRE(bytes_spilled >= other.bytes_spilled,
                 "IoStats subtraction underflows bytes_spilled");
+    MRI_REQUIRE(bytes_parity >= other.bytes_parity,
+                "IoStats subtraction underflows bytes_parity");
+    MRI_REQUIRE(bytes_reconstructed >= other.bytes_reconstructed,
+                "IoStats subtraction underflows bytes_reconstructed");
+    MRI_REQUIRE(degraded_reads >= other.degraded_reads,
+                "IoStats subtraction underflows degraded_reads");
     MRI_REQUIRE(mults >= other.mults, "IoStats subtraction underflows mults");
     MRI_REQUIRE(adds >= other.adds, "IoStats subtraction underflows adds");
     bytes_written -= other.bytes_written;
@@ -77,6 +97,9 @@ struct IoStats {
     bytes_written_memory -= other.bytes_written_memory;
     bytes_read_memory -= other.bytes_read_memory;
     bytes_spilled -= other.bytes_spilled;
+    bytes_parity -= other.bytes_parity;
+    bytes_reconstructed -= other.bytes_reconstructed;
+    degraded_reads -= other.degraded_reads;
     mults -= other.mults;
     adds -= other.adds;
     return *this;

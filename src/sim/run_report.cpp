@@ -244,6 +244,9 @@ void append_io(std::ostringstream& os, const char* key, const IoStats& io) {
      << ",\"bytes_written_memory\":" << io.bytes_written_memory
      << ",\"bytes_read_memory\":" << io.bytes_read_memory
      << ",\"bytes_spilled\":" << io.bytes_spilled
+     << ",\"bytes_parity\":" << io.bytes_parity
+     << ",\"bytes_reconstructed\":" << io.bytes_reconstructed
+     << ",\"degraded_reads\":" << io.degraded_reads
      << ",\"mults\":" << io.mults << ",\"adds\":" << io.adds << '}';
 }
 
@@ -318,7 +321,8 @@ std::string run_report_json(const RunReport& report) {
      << ",\"lineage_recompute_seconds\":";
   append_num(os, rec.lineage_recompute_seconds);
   os << ",\"lineage_recomputed_bytes\":" << rec.lineage_recomputed_bytes
-     << ',';
+     << ",\"ec_cells_reconstructed\":" << rec.ec_cells_reconstructed
+     << ",\"ec_reconstructed_bytes\":" << rec.ec_reconstructed_bytes << ',';
   append_io(os, "recovery_io", rec.recovery_io);
   os << '}';
   // Engine keys are always present (stable schema); disabled with empty
@@ -363,6 +367,39 @@ std::string run_report_json(const RunReport& report) {
       append_num(os, r.duration);
       os << ",\"wave\":" << r.wave << ",\"path\":\"" << json_escape(r.path)
          << "\",\"bytes\":" << r.bytes << '}';
+    }
+  }
+  os << "]}";
+  // Storage keys are always present (stable schema); on replicated runs the
+  // policy is "replicate" and every EC/cache counter is zero.
+  const StorageReport& sto = report.storage;
+  os << ",\"storage\":{\"policy\":\"" << json_escape(sto.policy)
+     << "\",\"ec_k\":" << sto.ec_k << ",\"ec_m\":" << sto.ec_m
+     << ",\"logical_bytes\":" << sto.logical_bytes
+     << ",\"physical_bytes\":" << sto.physical_bytes
+     << ",\"physical_overhead\":";
+  append_num(os, sto.physical_overhead);
+  os << ",\"parity_bytes\":" << sto.parity_bytes
+     << ",\"reconstructed_bytes\":" << sto.reconstructed_bytes
+     << ",\"degraded_reads\":" << sto.degraded_reads
+     << ",\"cells_reconstructed\":" << sto.cells_reconstructed
+     << ",\"hot_cache\":{\"capacity_bytes\":" << sto.hot_cache_capacity_bytes
+     << ",\"resident_bytes\":" << sto.hot_cache_resident_bytes
+     << ",\"resident_files\":" << sto.hot_cache_resident_files
+     << ",\"hits\":" << sto.hot_cache_hits
+     << ",\"hit_bytes\":" << sto.hot_cache_hit_bytes
+     << "},\"reconstructions\":[";
+  {
+    bool first_rcn = true;
+    for (const StorageReconstruction& r : sto.reconstructions) {
+      if (!first_rcn) os << ',';
+      first_rcn = false;
+      os << "{\"at\":";
+      append_num(os, r.at);
+      os << ",\"node\":" << r.node << ",\"cells\":" << r.cells
+         << ",\"bytes\":" << r.bytes << ",\"seconds\":";
+      append_num(os, r.seconds);
+      os << '}';
     }
   }
   os << "]},\"chaos_events\":[";
@@ -500,6 +537,7 @@ std::string chrome_trace_json(const RunReport& report) {
   constexpr int kFaultsPid = 1000003;
   constexpr int kNetworkPid = 1000004;
   constexpr int kEnginePid = 1000005;
+  constexpr int kStoragePid = 1000006;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -690,6 +728,27 @@ std::string chrome_trace_json(const RunReport& report) {
       append_num(os, r.duration * 1e6);
       os << ",\"args\":{\"wave\":" << r.wave << ",\"bytes\":" << r.bytes
          << "}}";
+    }
+  }
+  // Storage lane: one span per EC stripe reconstruction, stacked in kill
+  // order, so decode-based repair reads next to the faults lane that
+  // triggered it.
+  if (!report.storage.reconstructions.empty()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kStoragePid
+       << ",\"args\":{\"name\":\"storage\"}}";
+    int lane = 0;
+    for (const StorageReconstruction& r : report.storage.reconstructions) {
+      os << ",{\"ph\":\"X\",\"name\":\"reconstruct node " << r.node
+         << "\",\"cat\":\"storage\",\"pid\":" << kStoragePid
+         << ",\"tid\":" << lane << ",\"ts\":";
+      append_num(os, r.at * 1e6);
+      os << ",\"dur\":";
+      append_num(os, r.seconds * 1e6);
+      os << ",\"args\":{\"node\":" << r.node << ",\"cells\":" << r.cells
+         << ",\"bytes\":" << r.bytes << "}}";
+      ++lane;
     }
   }
   for (const PhaseTrace& phase : report.phases) {

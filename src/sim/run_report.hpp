@@ -185,6 +185,11 @@ struct RecoveryReport {
   int lineage_waves = 0;
   double lineage_recompute_seconds = 0.0;
   std::uint64_t lineage_recomputed_bytes = 0;
+  /// Erasure-coded stripe repair after node kills (zero on replicated runs):
+  /// cells rebuilt by decoding k survivors, and the bytes they restored —
+  /// the EC counterpart of re_replicated_blocks/bytes.
+  int ec_cells_reconstructed = 0;
+  std::uint64_t ec_reconstructed_bytes = 0;
 };
 
 /// One cache eviction spilled to local disk, on the run timeline (`at` is
@@ -227,6 +232,46 @@ struct EngineReport {
   double lineage_stall_seconds = 0.0;
   std::vector<EngineSpillSpan> spills;
   std::vector<EngineRecomputeSpan> recomputes;
+};
+
+/// One erasure-coded stripe repair after a node kill, on the run timeline:
+/// `cells` cells decoded back from k survivors and re-placed, costing
+/// `seconds` (k-survivor fan-in through the network model + decode CPU).
+struct StorageReconstruction {
+  double at = 0.0;
+  int node = 0;  // the killed node whose cells were rebuilt
+  int cells = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+};
+
+/// DFS storage-policy accounting: logical vs physical footprint, parity and
+/// reconstruction traffic, and the namenode hot-block cache. Always present
+/// in the report (stable schema); on replicated runs `policy` is "replicate",
+/// ec_k/ec_m are zero and every EC counter stays zero. Kept free of src/dfs
+/// types so report consumers need no DFS dependency.
+struct StorageReport {
+  std::string policy = "replicate";
+  int ec_k = 0;
+  int ec_m = 0;
+  /// Bytes of file content the namespace holds vs bytes actually resident
+  /// on datanodes (replicas or data+parity cells); overhead is their ratio.
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t physical_bytes = 0;
+  double physical_overhead = 0.0;  // physical / logical (0 when no data)
+  /// DFS-side EC traffic totals (from the MetricsRegistry).
+  std::uint64_t parity_bytes = 0;
+  std::uint64_t reconstructed_bytes = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t cells_reconstructed = 0;
+  /// Namenode hot-block cache (zero when disabled).
+  std::uint64_t hot_cache_capacity_bytes = 0;
+  std::uint64_t hot_cache_resident_bytes = 0;
+  std::uint64_t hot_cache_resident_files = 0;
+  std::uint64_t hot_cache_hits = 0;
+  std::uint64_t hot_cache_hit_bytes = 0;
+  /// Stripe repairs after node kills, in kill order.
+  std::vector<StorageReconstruction> reconstructions;
 };
 
 struct RunReport {
@@ -274,6 +319,9 @@ struct RunReport {
   /// SPIN in-memory engine accounting (disabled/empty on disk-tier runs);
   /// rendered as the Chrome trace's "engine" lane.
   EngineReport engine;
+  /// DFS storage-policy accounting (all-zero EC fields on replicated runs);
+  /// rendered as the Chrome trace's "storage" lane.
+  StorageReport storage;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites
