@@ -1,9 +1,16 @@
-// google-benchmark microbenchmarks of the kernels and substrates: the dense
-// multiply variants (§6.3), the single-node LU (Algorithm 1), triangular
-// inversion (Eq. 4), the substitution solves (Eq. 6) and the DFS data path.
+// google-benchmark microbenchmarks of the kernel engine and substrates:
+// dense GEMM per backend (naive/tiled/simd/threaded), the transposed-B
+// variant (§6.3), blocked TRSM, the single-node LU (Algorithm 1),
+// triangular inversion (Eq. 4) and the DFS data path.
+//
+// Run with --benchmark_format=json for machine-readable per-backend
+// GFLOP/s: items_processed counts n³ multiply-adds, so items_per_second is
+// directly comparable across backends (the kernels-smoke CI job asserts the
+// selected non-naive backend reaches >= 3x naive on the 1024² GEMM).
 #include <benchmark/benchmark.h>
 
 #include "dfs/dfs.hpp"
+#include "linalg/kernels/kernel.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/triangular.hpp"
 #include "matrix/generate.hpp"
@@ -12,32 +19,61 @@
 namespace mri {
 namespace {
 
-void BM_MultiplyIkj(benchmark::State& state) {
+void BM_Gemm(benchmark::State& state, kernels::Backend backend) {
   const Index n = state.range(0);
   const Matrix a = random_matrix(n, 1);
   const Matrix b = random_matrix(n, 2);
-  for (auto _ : state) benchmark::DoNotOptimize(multiply(a, b));
+  MatmulOptions opts;
+  opts.backend = backend;
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b, opts));
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MultiplyIkj)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, naive, kernels::Backend::kNaive)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gemm, tiled, kernels::Backend::kTiled)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gemm, simd, kernels::Backend::kSimd)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gemm, threaded, kernels::Backend::kThreaded)
+    ->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
-void BM_MultiplyNaiveIjk(benchmark::State& state) {
-  const Index n = state.range(0);
-  const Matrix a = random_matrix(n, 1);
-  const Matrix b = random_matrix(n, 2);
-  for (auto _ : state) benchmark::DoNotOptimize(multiply_naive_ijk(a, b));
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_MultiplyNaiveIjk)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_MultiplyTransposedB(benchmark::State& state) {
+void BM_GemmTransposedB(benchmark::State& state, kernels::Backend backend) {
   const Index n = state.range(0);
   const Matrix a = random_matrix(n, 1);
   const Matrix bt = random_matrix(n, 2);
-  for (auto _ : state) benchmark::DoNotOptimize(multiply_transposed_b(a, bt));
+  MatmulOptions opts;
+  opts.backend = backend;
+  opts.transposed_b = true;
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, bt, opts));
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MultiplyTransposedB)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_GemmTransposedB, naive, kernels::Backend::kNaive)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GemmTransposedB, tiled, kernels::Backend::kTiled)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GemmTransposedB, simd, kernels::Backend::kSimd)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_TrsmLowerLeft(benchmark::State& state, kernels::Backend backend) {
+  const Index n = state.range(0);
+  Matrix l = random_matrix(n, n, 4, -1, 1);
+  for (Index i = 0; i < n; ++i) l(i, i) = 2.0 + static_cast<double>(i % 3);
+  const Matrix b = random_matrix(n, n, 5, -1, 1);
+  kernels::KernelContext ctx;
+  ctx.backend = backend;
+  for (auto _ : state) {
+    Matrix x = b;
+    ctx.trsm_lower_left(false, n, n, l.data().data(), n, x.data().data(), n);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 2);
+}
+BENCHMARK_CAPTURE(BM_TrsmLowerLeft, naive, kernels::Backend::kNaive)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrsmLowerLeft, tiled, kernels::Backend::kTiled)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrsmLowerLeft, simd, kernels::Backend::kSimd)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_LuDecompose(benchmark::State& state) {
   const Index n = state.range(0);
@@ -45,7 +81,7 @@ void BM_LuDecompose(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(lu_decompose(a));
   state.SetItemsProcessed(state.iterations() * n * n * n / 3);
 }
-BENCHMARK(BM_LuDecompose)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_LuDecompose)->Arg(64)->Arg(256)->Arg(512);
 
 void BM_InvertLower(benchmark::State& state) {
   const Index n = state.range(0);

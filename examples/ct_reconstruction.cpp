@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   Matrix s(n, 1);
   for (Index i = 0; i < pixels; ++i)
     for (Index j = 0; j < pixels; ++j) s(i * pixels + j, 0) = phantom(i, j);
-  const Matrix t = multiply(projection, s);
+  const Matrix t = matmul(projection, s);
 
   // Reconstruct: S = M⁻¹ · T.
   MetricsRegistry metrics;
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   core::InversionOptions options;
   options.nb = std::max<Index>(32, n / 8);
   const auto result = inverter.invert(projection, options);
-  const Matrix reconstructed_flat = multiply(result.inverse, t);
+  const Matrix reconstructed_flat = matmul(result.inverse, t);
 
   double max_err = 0.0;
   for (Index k = 0; k < n; ++k)

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   const QrResult qr = qr_decompose(random_matrix(n, /*seed=*/11));
   Matrix d(n, n);
   for (Index i = 0; i < n; ++i) d(i, i) = static_cast<double>(i + 1);
-  const Matrix a = multiply(multiply(qr.q, d), transpose(qr.q));
+  const Matrix a = matmul(matmul(qr.q, d), transpose(qr.q));
   Matrix shifted = a;
   for (Index i = 0; i < n; ++i) shifted(i, i) -= mu;
 

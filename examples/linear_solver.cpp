@@ -39,12 +39,12 @@ int main(int argc, char** argv) {
   const auto result = inverter.invert(a, options);
 
   // x = A⁻¹ · B for all right-hand sides at once.
-  const Matrix x = multiply(result.inverse, b);
+  const Matrix x = matmul(result.inverse, b);
 
   // Verify against direct LU solves and against the defining equation.
   const Matrix direct = solve_matrix(a, b);
   const double vs_direct = max_abs_diff(x, direct);
-  const double residual = max_abs_diff(multiply(a, x), b);
+  const double residual = max_abs_diff(matmul(a, x), b);
 
   std::printf("simulated inversion time : %.1f s (%d jobs)\n",
               result.report.sim_seconds, result.report.jobs);

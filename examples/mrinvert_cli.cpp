@@ -6,6 +6,9 @@
 //                  [--report-out report.json]
 //                  [--storage-policy replicate|ec] [--ec k,m]
 //                  [--hot-cache-mb N]
+//                  [--kernel-backend naive|tiled|simd|threaded]
+//                  [--solve B.txt] [--multiply-strategy wrap|multiround]
+//                  [--replication r]
 //   ./mrinvert_cli --generate 256 --output Ainv.txt        # random input
 //   ./mrinvert_cli --serve requests.trace [--max-concurrent 2]
 //                  [--queue-depth 8] [--tenant-queue-limit 0]
@@ -15,6 +18,18 @@
 // in per-node block caches (--cache-mb per node), consumers read resident
 // inputs at memory bandwidth, and node kills recover by lineage
 // recomputation. --spark is the deprecated spelling of --engine spin.
+//
+// --kernel-backend selects the process-wide GEMM/TRSM implementation every
+// dense kernel dispatches through (default: simd when the CPU has AVX2+FMA,
+// else tiled). Simulated accounting is backend-independent; only wall-clock
+// speed changes.
+//
+// --solve B.txt solves A·X = B: the pipeline inverts A, then multiplies
+// X = A⁻¹·B with MapReduce jobs scheduled by --multiply-strategy — wrap
+// (the paper's §6.2 block wrap, one job) or multiround (the
+// replication-parameterized multi-round scheme: --replication r segments
+// per task per round, ceil(m0/r) chained jobs trading rounds for per-task
+// memory).
 //
 // Reads a whitespace-separated text matrix from the local filesystem (the
 // paper's a.txt format), inverts it on a simulated cluster, writes the
@@ -48,6 +63,8 @@
 #include "common/cli.hpp"
 #include "common/units.hpp"
 #include "core/adaptive.hpp"
+#include "core/multiply_strategy.hpp"
+#include "linalg/kernels/kernel.hpp"
 #include "mapreduce/trace_export.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
@@ -148,6 +165,55 @@ mri::dfs::DfsConfig build_dfs_config(const mri::CliOptions& cli, int nodes) {
   config.hot_cache_bytes =
       static_cast<std::uint64_t>(cli.get_int("hot-cache-mb", 0)) << 20;
   return config;
+}
+
+// Applies --kernel-backend to the process-wide kernel default (both run
+// modes): every GEMM/TRSM in the run dispatches through the selected
+// backend. Unavailable backends get a friendly error instead of a silent
+// fallback.
+void apply_kernel_backend_flag(const mri::CliOptions& cli) {
+  using namespace mri;
+  if (!cli.has("kernel-backend")) return;
+  const std::string name = cli.get_string("kernel-backend", "");
+  kernels::Backend backend;
+  MRI_REQUIRE(kernels::parse_backend(name, &backend),
+              "unknown --kernel-backend '"
+                  << name << "'; use naive (ijk baseline), tiled "
+                  "(cache-blocked), simd (AVX2+FMA) or threaded");
+  MRI_REQUIRE(kernels::backend_available(backend),
+              "--kernel-backend " << name
+                                  << " needs AVX2+FMA, which this CPU does "
+                                     "not report; use tiled (cache-blocked "
+                                     "scalar, auto-vectorized) instead");
+  kernels::set_default_backend(backend);
+}
+
+// Builds the multiply-strategy selection from --multiply-strategy and
+// --replication (both run modes). Flag combinations are validated here with
+// actionable errors; the engine-compatibility checks live at the call sites
+// (serve never runs ScaLAPACK, main refuses the combination explicitly).
+mri::core::MultiplyStrategyOptions build_multiply_options(
+    const mri::CliOptions& cli) {
+  using namespace mri;
+  core::MultiplyStrategyOptions opts;
+  const std::string name = cli.get_string("multiply-strategy", "wrap");
+  MRI_REQUIRE(core::parse_multiply_strategy(name, &opts.strategy),
+              "unknown --multiply-strategy '"
+                  << name << "'; use wrap (the paper's §6.2 block wrap, one "
+                  "job) or multiround (replication-parameterized multi-round "
+                  "multiply, ceil(m0/r) chained jobs)");
+  if (cli.has("replication")) {
+    MRI_REQUIRE(opts.strategy == core::MultiplyStrategyKind::kMultiRound,
+                "--replication r sets how many k-segments a multiround "
+                "reduce task accumulates per round; add --multiply-strategy "
+                "multiround or drop --replication");
+    opts.replication = static_cast<int>(cli.get_int("replication", 1));
+    MRI_REQUIRE(opts.replication >= 1,
+                "--replication must be >= 1, got "
+                    << opts.replication << " (r = segments per task per "
+                    "round; r >= m0 degenerates to a single round)");
+  }
+  return opts;
 }
 
 // Builds the chaos engine from the --chaos-*/--kill-node flags; null when
@@ -267,6 +333,7 @@ int run_serve(const mri::CliOptions& cli) {
               "which only the spin engine keeps; add --engine spin or drop "
               "the budget");
   options.inversion.overlap_final_stage = cli.get_bool("overlap", false);
+  options.inversion.multiply = build_multiply_options(cli);
   options.inversion.work_dir = "/svc";
 
   std::printf("serving %zu requests from %zu tenants (%s) on %d nodes: "
@@ -277,7 +344,20 @@ int run_serve(const mri::CliOptions& cli) {
 
   service::InversionService svc(&cluster, &fs, &pool, options, nullptr,
                                 &metrics, chaos.get());
-  const service::ServiceResult result = svc.run(trace.requests);
+  const kernels::KernelCounters kernel_before = kernels::counters_snapshot();
+  service::ServiceResult result = svc.run(trace.requests);
+  const kernels::KernelCounters kernel_delta =
+      kernels::counters_snapshot() - kernel_before;
+  result.report.kernel.backend =
+      kernels::backend_name(kernels::default_backend());
+  result.report.kernel.multiply_strategy =
+      core::multiply_strategy_name(options.inversion.multiply.strategy);
+  result.report.kernel.replication = options.inversion.multiply.replication;
+  result.report.kernel.gemm_calls = kernel_delta.gemm_calls;
+  result.report.kernel.trsm_calls = kernel_delta.trsm_calls;
+  result.report.kernel.kernel_flops = kernel_delta.flops;
+  result.report.kernel.kernel_seconds = kernel_delta.seconds;
+  result.report.kernel.achieved_gflops = kernel_delta.gflops();
 
   std::printf("%-12s %6s %8s %8s %12s %10s %10s %10s %6s\n", "tenant",
               "weight", "admitted", "rejected", "slot-sec", "p50 (s)",
@@ -324,8 +404,12 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 8));
   const std::string engine = cli.get_string("engine", "auto");
   const std::string output = cli.get_string("output", "");
+  apply_kernel_backend_flag(cli);
 
   if (cli.has("serve")) {
+    MRI_REQUIRE(!cli.has("solve"),
+                "--serve takes its workload from the trace file and runs "
+                "inversions only; drop --solve");
     // Single-inversion flags make no sense against a request trace; reject
     // them with a pointer at the right alternative instead of ignoring them.
     MRI_REQUIRE(!cli.has("input") && !cli.has("generate"),
@@ -383,6 +467,14 @@ int main(int argc, char** argv) {
               "--storage-policy ec stripes DFS blocks, which --engine "
               "scalapack never writes (it runs on MPI ranks, not the DFS); "
               "drop the EC flags or use --engine mapreduce (or auto)");
+  MRI_REQUIRE(!((cli.has("multiply-strategy") || cli.has("replication")) &&
+                engine == "scalapack"),
+              "--multiply-strategy/--replication schedule MapReduce multiply "
+              "jobs, which --engine scalapack never runs; drop the multiply "
+              "flags or use --engine mapreduce (or auto)");
+  MRI_REQUIRE(!(cli.has("solve") && engine == "scalapack"),
+              "--solve runs X = A^-1*B as MapReduce multiply jobs after the "
+              "inversion; drop --solve or use --engine mapreduce (or auto)");
 
   Matrix a;
   if (cli.has("generate")) {
@@ -406,6 +498,10 @@ int main(int argc, char** argv) {
                  "[--rack-aware 0|1]\n"
                  "       [--storage-policy replicate|ec] [--ec k,m] "
                  "[--hot-cache-mb N]\n"
+                 "       [--kernel-backend naive|tiled|simd|threaded] "
+                 "[--solve B.txt]\n"
+                 "       [--multiply-strategy wrap|multiround] "
+                 "[--replication r]\n"
                  "       [--kill-node id@t[,id@t...]] [--chaos-seed N] "
                  "[--chaos-mtbf S]\n"
                  "       mrinvert_cli --serve requests.trace "
@@ -436,6 +532,8 @@ int main(int argc, char** argv) {
   options.cache_capacity_bytes =
       static_cast<std::uint64_t>(cli.get_int("cache-mb", 256)) << 20;
   options.overlap_final_stage = cli.get_bool("overlap", false);
+  options.multiply = build_multiply_options(cli);
+  const bool solving = cli.has("solve");
 
   std::string effective_engine = engine;
   if (engine == "spin") {
@@ -451,14 +549,40 @@ int main(int argc, char** argv) {
                 "ScaLAPACK candidate cannot survive node loss)\n");
     effective_engine = "mapreduce";
   }
+  if (solving && effective_engine != "mapreduce") {
+    std::printf("note: --solve runs its multiply jobs on the MapReduce "
+                "pipeline; forcing the MapReduce engine\n");
+    effective_engine = "mapreduce";
+  }
 
-  Matrix inverse;
+  Matrix inverse;  // --solve: holds X instead of A^-1
+  Matrix rhs;      // --solve: the right-hand side B
   SimReport report;
   std::vector<mr::JobResult> jobs;
   std::vector<MasterSpan> master_spans;
   engine::EngineStats engine_stats;
+  core::MultiplyPlan multiply_plan;
   bool engine_active = false;
-  if (effective_engine == "mapreduce") {
+  const kernels::KernelCounters kernel_before = kernels::counters_snapshot();
+  if (effective_engine == "mapreduce" && solving) {
+    rhs = load_text_file(cli.get_string("solve", ""));
+    core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics,
+                                     chaos.get());
+    auto r = inverter.solve(a, rhs, options);
+    inverse = std::move(r.x);
+    report = r.report;
+    jobs = std::move(r.jobs);
+    master_spans = std::move(r.master_spans);
+    multiply_plan = r.multiply_plan;
+    std::printf("engine: %s (%d jobs)\n",
+                options.spin() ? "spin" : "mapreduce", report.jobs);
+    std::printf("multiply strategy: %s (%d round(s) of %d segment(s), "
+                "replication %d, peak task footprint %s)\n",
+                core::multiply_strategy_name(options.multiply.strategy),
+                multiply_plan.rounds, multiply_plan.segments,
+                multiply_plan.replication,
+                format_bytes(multiply_plan.peak_task_bytes).c_str());
+  } else if (effective_engine == "mapreduce") {
     core::MapReduceInverter inverter(&cluster, &fs, &pool, nullptr, &metrics,
                                      chaos.get());
     auto r = inverter.invert(a, options);
@@ -500,6 +624,20 @@ int main(int argc, char** argv) {
                 r.prediction.scalapack_seconds);
   }
 
+  const kernels::KernelCounters kernel_delta =
+      kernels::counters_snapshot() - kernel_before;
+  if (effective_engine == "mapreduce") {
+    // Wall-clock kernel identity: printed (and kept in the in-memory
+    // report) for CostModel calibration, never in the JSON export.
+    std::printf("kernel: %s backend, %.3g GFLOP/s achieved over %llu GEMM + "
+                "%llu TRSM call(s) (CostModel assumes %.3g FLOP/s)\n",
+                kernels::backend_name(kernels::default_backend()),
+                kernel_delta.gflops(),
+                static_cast<unsigned long long>(kernel_delta.gemm_calls),
+                static_cast<unsigned long long>(kernel_delta.trsm_calls),
+                cluster.cost_model().flops_per_second);
+  }
+
   const std::string trace_out = cli.get_string("trace-out", "");
   const std::string report_out = cli.get_string("report-out", "");
   if (!trace_out.empty() || !report_out.empty()) {
@@ -507,10 +645,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "note: no task traces (engine did not run "
                            "MapReduce jobs); skipping trace/report export\n");
     } else {
-      const RunReport run_report =
+      RunReport run_report =
           mr::build_run_report(jobs, cluster, &metrics, master_spans,
                                chaos.get(),
                                engine_active ? &engine_stats : nullptr, &fs);
+      run_report.kernel.backend =
+          kernels::backend_name(kernels::default_backend());
+      run_report.kernel.multiply_strategy =
+          core::multiply_strategy_name(options.multiply.strategy);
+      run_report.kernel.replication = multiply_plan.replication;
+      run_report.kernel.multiply_rounds = multiply_plan.rounds;
+      run_report.kernel.gemm_calls = kernel_delta.gemm_calls;
+      run_report.kernel.trsm_calls = kernel_delta.trsm_calls;
+      run_report.kernel.kernel_flops = kernel_delta.flops;
+      run_report.kernel.kernel_seconds = kernel_delta.seconds;
+      run_report.kernel.achieved_gflops = kernel_delta.gflops();
       if (!trace_out.empty()) {
         save_json(trace_out, chrome_trace_json(run_report));
         std::printf("chrome trace written to %s (load in chrome://tracing)\n",
@@ -523,8 +672,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const double residual = inversion_residual(a, inverse);
-  std::printf("residual max|I - A*Ainv| : %.3g\n", residual);
+  const double residual = solving ? max_abs_diff(matmul(a, inverse), rhs)
+                                  : inversion_residual(a, inverse);
+  std::printf("residual %s : %.3g\n",
+              solving ? "max|A*X - B|      " : "max|I - A*Ainv|", residual);
   std::printf("simulated time           : %s on %d nodes\n",
               format_duration(report.sim_seconds).c_str(), nodes);
   std::printf("data moved               : %s read, %s written\n",
@@ -556,7 +707,8 @@ int main(int argc, char** argv) {
 
   if (!output.empty()) {
     save_text_file(output, inverse);
-    std::printf("inverse written to %s\n", output.c_str());
+    std::printf("%s written to %s\n", solving ? "solution X" : "inverse",
+                output.c_str());
   }
   return residual < 1e-5 ? 0 : 1;
 }

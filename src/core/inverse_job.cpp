@@ -247,7 +247,7 @@ class InverseReducer : public mr::Reducer {
       }
     }
 
-    Matrix product = multiply(u_rows, l_cols);
+    Matrix product = matmul(u_rows, l_cols);
     // Exact work of the triangular product: row r of U⁻¹ has nonzeros at
     // columns >= r, column k of L⁻¹ at rows >= k, so the inner product for
     // (r, k) runs over n - max(r, k) terms (this is the paper's (1/3)n³

@@ -229,7 +229,8 @@ MapReduceInverter::SolveResult MapReduceInverter::solve(
   SolveResult result;
   result.x = mapreduce_multiply(&pipeline, fs_, cluster_->size(), inv.inverse,
                                 b, options.work_dir, control_files,
-                                inv.final_job);
+                                options.multiply, inv.final_job,
+                                &result.multiply_plan);
   pipeline.run_all();
   result.report = inv.report;
   result.report.sim_seconds = pipeline.total_sim_seconds();

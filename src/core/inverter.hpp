@@ -21,6 +21,7 @@
 #include "engine/spin_engine.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/pipeline.hpp"
+#include "core/multiply_job.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "dfs/dfs.hpp"
@@ -86,14 +87,18 @@ class MapReduceInverter {
 
   struct SolveResult {
     Matrix x;
-    SimReport report;  // inversion pipeline + the multiply job
-    std::vector<mr::JobResult> jobs;  // inversion jobs + the multiply job
+    SimReport report;  // inversion pipeline + the multiply job(s)
+    std::vector<mr::JobResult> jobs;  // inversion jobs + the multiply job(s)
     std::vector<MasterSpan> master_spans;  // master work on the same timeline
+    /// Schedule the multiply strategy executed (rounds, grid, peak task
+    /// bytes) — options.multiply picks the strategy.
+    MultiplyPlan multiply_plan;
   };
 
   /// Solves A·X = B (the paper's §1 headline application) by inverting A
-  /// with the pipeline and multiplying X = A⁻¹·B with a block-wrapped
-  /// MapReduce multiply job.
+  /// with the pipeline and multiplying X = A⁻¹·B with the MapReduce
+  /// multiply strategy selected by options.multiply (§6.2 block wrap by
+  /// default, or the multi-round scheme).
   SolveResult solve(const Matrix& a, const Matrix& b,
                     const InversionOptions& options = {});
 

@@ -1,6 +1,9 @@
 #include "core/multiply_job.hpp"
 
+#include <algorithm>
+
 #include "dfs/path.hpp"
+#include "linalg/kernels/kernel.hpp"
 #include "matrix/dfs_io.hpp"
 #include "matrix/ops.hpp"
 
@@ -36,14 +39,70 @@ class MultiplyReducer : public mr::Reducer {
     const Matrix b_cols =
         c.b.read_block(task.fs(), 0, c.b.rows(), cols.begin, cols.end,
                        &task.io());
-    const Matrix block = multiply(a_rows, b_cols);
-    task.add_flops(multiply_cost(rows.count(), c.a.cols(), cols.count()));
+    const Matrix block = matmul(a_rows, b_cols);
+    task.add_flops(kernels::kernel_cost(kernels::default_backend(),
+                                        rows.count(), c.a.cols(),
+                                        cols.count()));
     write_matrix(task.fs(), dfs::join(c.dir, "MUL/C." + std::to_string(t)),
                  block, &task.io(), c.tier);
   }
 
  private:
   MultiplyJobContextPtr ctx_;
+};
+
+std::string carry_path(const MultiplyJobContext& c, int t, int round) {
+  return dfs::join(c.dir,
+                   "MULR/C." + std::to_string(t) + "." + std::to_string(round));
+}
+
+class MultiRoundReducer : public mr::Reducer {
+ public:
+  MultiRoundReducer(MultiplyJobContextPtr ctx, int round)
+      : ctx_(std::move(ctx)), round_(round) {}
+
+  void reduce(std::int64_t key, const std::vector<std::string>& /*values*/,
+              mr::TaskContext& task) override {
+    if (key != task.task_index()) return;
+    const MultiplyJobContext& c = *ctx_;
+    const int t = task.task_index();
+    const RowRange rows = stripe(c.a.rows(), c.grid_rows, t / c.grid_cols);
+    const RowRange cols = stripe(c.b.cols(), c.grid_cols, t % c.grid_cols);
+    if (rows.count() == 0 || cols.count() == 0) return;
+
+    const int r = std::max(1, c.strategy.replication);
+    const int s0 = round_ * r;
+    const int s1 = std::min(c.segments, s0 + r);
+
+    // The carry tile is the partial sum over segments [0, s0) written by the
+    // previous round; round 0 starts from zero.
+    Matrix acc = round_ == 0
+                     ? Matrix(rows.count(), cols.count())
+                     : read_matrix(task.fs(), carry_path(c, t, round_ - 1),
+                                   &task.io());
+    for (int s = s0; s < s1; ++s) {
+      const RowRange seg = stripe(c.a.cols(), c.segments, s);
+      if (seg.count() == 0) continue;
+      const Matrix a_blk = c.a.read_block(task.fs(), rows.begin, rows.end,
+                                          seg.begin, seg.end, &task.io());
+      const Matrix b_blk = c.b.read_block(task.fs(), seg.begin, seg.end,
+                                          cols.begin, cols.end, &task.io());
+      matmul_into(a_blk, b_blk, &acc, kernels::GemmMode::kAccumulate);
+      task.add_flops(kernels::kernel_cost(kernels::default_backend(),
+                                          rows.count(), seg.count(),
+                                          cols.count()));
+    }
+
+    const bool last = round_ == c.rounds - 1;
+    const std::string out = last
+                                ? dfs::join(c.dir, "MUL/C." + std::to_string(t))
+                                : carry_path(c, t, round_);
+    write_matrix(task.fs(), out, acc, &task.io(), c.tier);
+  }
+
+ private:
+  MultiplyJobContextPtr ctx_;
+  int round_;
 };
 
 }  // namespace
@@ -92,58 +151,21 @@ mr::JobSpec make_multiply_job(MultiplyJobContextPtr ctx,
   return spec;
 }
 
-Matrix mapreduce_multiply(mr::Pipeline* pipeline, dfs::Dfs* fs, int m0,
-                          const Matrix& a, const Matrix& b,
-                          const std::string& work_dir,
-                          std::vector<std::string> control_files,
-                          mr::JobHandle after) {
-  MRI_REQUIRE(pipeline != nullptr && fs != nullptr, "null pipeline/fs");
-  // Ingest the operands pre-striped for the block wrap (the §5.2 storage
-  // discipline: a reducer's stripe lives in its own files, so nobody reads
-  // whole operands): A as f1 row stripes, B as f2 column stripes.
-  const BlockWrapFactors f = block_wrap_factors(m0);
-  const std::string mul_in = dfs::join(work_dir, "MULIN");
-  if (fs->exists(mul_in)) fs->remove(mul_in, /*recursive=*/true);
-
-  std::vector<Tile> a_tiles;
-  for (int s = 0; s < f.f1; ++s) {
-    const RowRange r = stripe(a.rows(), f.f1, s);
-    if (r.count() == 0) continue;
-    Tile t;
-    t.path = dfs::join(mul_in, "a." + std::to_string(s));
-    t.r0 = r.begin;
-    t.r1 = r.end;
-    t.c0 = 0;
-    t.c1 = a.cols();
-    write_matrix(*fs, t.path, a.block(r.begin, r.end, 0, a.cols()));
-    a_tiles.push_back(std::move(t));
-  }
-  std::vector<Tile> b_tiles;
-  for (int s = 0; s < f.f2; ++s) {
-    const RowRange c = stripe(b.cols(), f.f2, s);
-    if (c.count() == 0) continue;
-    Tile t;
-    t.path = dfs::join(mul_in, "b." + std::to_string(s));
-    t.r0 = 0;
-    t.r1 = b.rows();
-    t.c0 = c.begin;
-    t.c1 = c.end;
-    write_matrix(*fs, t.path, b.block(0, b.rows(), c.begin, c.end));
-    b_tiles.push_back(std::move(t));
-  }
-
-  auto ctx = std::make_shared<MultiplyJobContext>();
-  ctx->a = TileSet(a.rows(), a.cols(), std::move(a_tiles));
-  ctx->b = TileSet(b.rows(), b.cols(), std::move(b_tiles));
-  ctx->dir = work_dir;
-  ctx->m0 = m0;
-  plan_multiply_job(ctx.get());
-  if (fs->exists(dfs::join(work_dir, "MUL"))) {
-    fs->remove(dfs::join(work_dir, "MUL"), /*recursive=*/true);
-  }
-  pipeline->wait(pipeline->submit(
-      make_multiply_job(ctx, std::move(control_files), "multiply"), {after}));
-  return ctx->c_out.read_all(*fs);
+mr::JobSpec make_multiply_round_job(MultiplyJobContextPtr ctx, int round,
+                                    std::vector<std::string> control_files,
+                                    std::string job_name) {
+  MRI_REQUIRE(ctx != nullptr, "null multiply context");
+  MRI_REQUIRE(round >= 0 && round < ctx->rounds,
+              "round " << round << " out of range [0, " << ctx->rounds << ")");
+  mr::JobSpec spec;
+  spec.name = std::move(job_name);
+  spec.input_files = std::move(control_files);
+  spec.num_reduce_tasks = ctx->grid_rows * ctx->grid_cols;
+  spec.mapper_factory = [] { return std::make_unique<MultiplyMapper>(); };
+  spec.reducer_factory = [ctx, round] {
+    return std::make_unique<MultiRoundReducer>(ctx, round);
+  };
+  return spec;
 }
 
 }  // namespace mri::core

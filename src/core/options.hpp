@@ -20,6 +20,26 @@ namespace mri::core {
 ///    replication.
 enum class EngineKind { kHadoop, kSpin };
 
+/// How a distributed multiply is scheduled across jobs.
+///  * kWrap: the paper's §6.2 block wrap — one job, an f1 x f2 reducer grid,
+///    each reducer reading whole (n/f1 + n/f2)-sized operand slabs.
+///  * kMultiRound: replication-parameterized multi-round multiplication (the
+///    space-round tradeoff of arXiv 1111.2228 / 1408.2858): the k dimension
+///    is cut into m0 segments and each reduce task accumulates r segments
+///    per round onto a carry tile, over ceil(m0 / r) chained jobs. Smaller r
+///    means less operand data per task per round (less memory) but more
+///    rounds, more job-launch overhead and extra carry-tile shuffle bytes;
+///    r = m0 degenerates to the wrap's single round.
+enum class MultiplyStrategyKind { kWrap, kMultiRound };
+
+struct MultiplyStrategyOptions {
+  MultiplyStrategyKind strategy = MultiplyStrategyKind::kWrap;
+  /// kMultiRound only: replication factor r — how many k-segments one
+  /// reduce task holds in memory per round (clamped to [1, m0] at plan
+  /// time). Ignored by kWrap.
+  int replication = 1;
+};
+
 struct InversionOptions {
   /// Largest block order LU-decomposed on the master node (the paper's nb;
   /// 3200 in its EC2 experiments, chosen so the master's LU time roughly
@@ -76,6 +96,11 @@ struct InversionOptions {
   /// engines like Spark get much of their win here). Off by default to
   /// reproduce the paper's one-job-at-a-time timeline exactly.
   bool overlap_final_stage = false;
+
+  /// Scheduling of the standalone distributed multiply (solve()'s
+  /// X = A⁻¹·B): the §6.2 block wrap by default, or the multi-round
+  /// space-saving scheme (see MultiplyStrategyKind).
+  MultiplyStrategyOptions multiply;
 
   /// DFS working directory (the paper's "Root").
   std::string work_dir = "/Root";

@@ -1,0 +1,66 @@
+// Internal backend entry points behind KernelContext. Each gemm_* computes
+// the same C op= A·B (or A·Bᵀ) contract as KernelContext::gemm/gemm_bt on
+// raw row-major buffers; none of them touch the process-global counters —
+// counting and timing happen once at the public dispatch layer so a blocked
+// TRSM's internal trailing-update GEMMs are not double-billed.
+#pragma once
+
+#include "linalg/kernels/kernel.hpp"
+
+namespace mri::kernels::detail {
+
+/// True when the CPU supports the AVX2+FMA microkernel.
+bool simd_supported();
+
+/// Maps a requested backend to one that can execute here: kSimd degrades to
+/// kTiled on CPUs without AVX2+FMA; kThreaded resolves its serial worker
+/// backend the same way.
+Backend resolve(Backend backend);
+
+void gemm_naive(GemmMode mode, std::int64_t m, std::int64_t n, std::int64_t k,
+                const double* a, std::int64_t lda, const double* b,
+                std::int64_t ldb, double* c, std::int64_t ldc);
+void gemm_tiled(GemmMode mode, std::int64_t m, std::int64_t n, std::int64_t k,
+                const double* a, std::int64_t lda, const double* b,
+                std::int64_t ldb, double* c, std::int64_t ldc);
+/// Requires simd_supported(); AVX2+FMA 4x8 register-blocked microkernel.
+void gemm_simd(GemmMode mode, std::int64_t m, std::int64_t n, std::int64_t k,
+               const double* a, std::int64_t lda, const double* b,
+               std::int64_t ldb, double* c, std::int64_t ldc);
+/// Row-partitioned std::thread fan-out over `serial` (kTiled or kSimd).
+/// Chunk boundaries are aligned so every row takes the same code path it
+/// would serially — results are bitwise identical to the serial backend.
+void gemm_threaded(Backend serial, int threads, GemmMode mode, std::int64_t m,
+                   std::int64_t n, std::int64_t k, const double* a,
+                   std::int64_t lda, const double* b, std::int64_t ldb,
+                   double* c, std::int64_t ldc);
+
+void gemm_bt_naive(GemmMode mode, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const double* a, std::int64_t lda,
+                   const double* bt, std::int64_t ldbt, double* c,
+                   std::int64_t ldc);
+void gemm_bt_tiled(GemmMode mode, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const double* a, std::int64_t lda,
+                   const double* bt, std::int64_t ldbt, double* c,
+                   std::int64_t ldc);
+void gemm_bt_simd(GemmMode mode, std::int64_t m, std::int64_t n,
+                  std::int64_t k, const double* a, std::int64_t lda,
+                  const double* bt, std::int64_t ldbt, double* c,
+                  std::int64_t ldc);
+void gemm_bt_threaded(Backend serial, int threads, GemmMode mode,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      const double* a, std::int64_t lda, const double* bt,
+                      std::int64_t ldbt, double* c, std::int64_t ldc);
+
+/// Counter-free dispatch (public KernelContext methods and blocked TRSM
+/// trailing updates route here).
+void dispatch_gemm(Backend backend, int threads, GemmMode mode, std::int64_t m,
+                   std::int64_t n, std::int64_t k, const double* a,
+                   std::int64_t lda, const double* b, std::int64_t ldb,
+                   double* c, std::int64_t ldc);
+void dispatch_gemm_bt(Backend backend, int threads, GemmMode mode,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      const double* a, std::int64_t lda, const double* bt,
+                      std::int64_t ldbt, double* c, std::int64_t ldc);
+
+}  // namespace mri::kernels::detail

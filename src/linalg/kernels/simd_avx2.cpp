@@ -1,0 +1,226 @@
+// AVX2+FMA register-blocked GEMM microkernels. Compiled with per-function
+// target attributes (the translation unit itself needs no -mavx2, so the
+// binary still runs on any x86-64) and selected only when
+// __builtin_cpu_supports reports the features at runtime; non-x86 builds
+// and pre-AVX2 CPUs fall back to the tiled backend.
+#include "linalg/kernels/detail.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MRI_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace mri::kernels::detail {
+
+#ifdef MRI_KERNELS_X86
+
+namespace {
+
+constexpr std::int64_t kKc = 256;  // depth per block (B panel rows in L2)
+constexpr std::int64_t kNc = 256;  // columns per block (multiple of 8)
+
+// How a microkernel's accumulated product lands in C. kAssign over multiple
+// depth blocks becomes kStore for the first block and kAdd for the rest, so
+// the mode is applied exactly once.
+enum class StoreOp { kStore, kAdd, kSub };
+
+StoreOp store_op(GemmMode mode, bool first_depth_block) {
+  switch (mode) {
+    case GemmMode::kAssign:
+      return first_depth_block ? StoreOp::kStore : StoreOp::kAdd;
+    case GemmMode::kAccumulate: return StoreOp::kAdd;
+    case GemmMode::kSubtract: return StoreOp::kSub;
+  }
+  return StoreOp::kAdd;
+}
+
+// C[0:4, 0:8] op= A[0:4, p0:p1] · B[p0:p1, 0:8]; pointers pre-offset to the
+// block corner. Eight ymm accumulators live across the whole depth loop.
+__attribute__((target("avx2,fma"))) void kernel_4x8(
+    const double* a, std::int64_t lda, const double* b, std::int64_t ldb,
+    double* c, std::int64_t ldc, std::int64_t p0, std::int64_t p1,
+    StoreOp op) {
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+  __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+  for (std::int64_t p = p0; p < p1; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(b + p * ldb);
+    const __m256d b1 = _mm256_loadu_pd(b + p * ldb + 4);
+    __m256d av = _mm256_broadcast_sd(a + 0 * lda + p);
+    acc00 = _mm256_fmadd_pd(av, b0, acc00);
+    acc01 = _mm256_fmadd_pd(av, b1, acc01);
+    av = _mm256_broadcast_sd(a + 1 * lda + p);
+    acc10 = _mm256_fmadd_pd(av, b0, acc10);
+    acc11 = _mm256_fmadd_pd(av, b1, acc11);
+    av = _mm256_broadcast_sd(a + 2 * lda + p);
+    acc20 = _mm256_fmadd_pd(av, b0, acc20);
+    acc21 = _mm256_fmadd_pd(av, b1, acc21);
+    av = _mm256_broadcast_sd(a + 3 * lda + p);
+    acc30 = _mm256_fmadd_pd(av, b0, acc30);
+    acc31 = _mm256_fmadd_pd(av, b1, acc31);
+  }
+  const __m256d accs[4][2] = {
+      {acc00, acc01}, {acc10, acc11}, {acc20, acc21}, {acc30, acc31}};
+  for (int r = 0; r < 4; ++r) {
+    double* cr = c + r * ldc;
+    switch (op) {
+      case StoreOp::kStore:
+        _mm256_storeu_pd(cr, accs[r][0]);
+        _mm256_storeu_pd(cr + 4, accs[r][1]);
+        break;
+      case StoreOp::kAdd:
+        _mm256_storeu_pd(cr,
+                         _mm256_add_pd(_mm256_loadu_pd(cr), accs[r][0]));
+        _mm256_storeu_pd(
+            cr + 4, _mm256_add_pd(_mm256_loadu_pd(cr + 4), accs[r][1]));
+        break;
+      case StoreOp::kSub:
+        _mm256_storeu_pd(cr,
+                         _mm256_sub_pd(_mm256_loadu_pd(cr), accs[r][0]));
+        _mm256_storeu_pd(
+            cr + 4, _mm256_sub_pd(_mm256_loadu_pd(cr + 4), accs[r][1]));
+        break;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+}
+
+// C[0:2, 0:2] block of A · Bᵀ: vector dot products over the contiguous
+// depth dimension, horizontal-summed once at the end.
+__attribute__((target("avx2,fma"))) void kernel_bt_2x2(
+    GemmMode mode, std::int64_t k, const double* a0, const double* a1,
+    const double* bt0, const double* bt1, double* c0, double* c1) {
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  std::int64_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const __m256d av0 = _mm256_loadu_pd(a0 + p);
+    const __m256d av1 = _mm256_loadu_pd(a1 + p);
+    const __m256d bv0 = _mm256_loadu_pd(bt0 + p);
+    const __m256d bv1 = _mm256_loadu_pd(bt1 + p);
+    acc00 = _mm256_fmadd_pd(av0, bv0, acc00);
+    acc01 = _mm256_fmadd_pd(av0, bv1, acc01);
+    acc10 = _mm256_fmadd_pd(av1, bv0, acc10);
+    acc11 = _mm256_fmadd_pd(av1, bv1, acc11);
+  }
+  double s00 = hsum(acc00), s01 = hsum(acc01);
+  double s10 = hsum(acc10), s11 = hsum(acc11);
+  for (; p < k; ++p) {
+    s00 += a0[p] * bt0[p];
+    s01 += a0[p] * bt1[p];
+    s10 += a1[p] * bt0[p];
+    s11 += a1[p] * bt1[p];
+  }
+  switch (mode) {
+    case GemmMode::kAssign:
+      c0[0] = s00;
+      c0[1] = s01;
+      c1[0] = s10;
+      c1[1] = s11;
+      break;
+    case GemmMode::kAccumulate:
+      c0[0] += s00;
+      c0[1] += s01;
+      c1[0] += s10;
+      c1[1] += s11;
+      break;
+    case GemmMode::kSubtract:
+      c0[0] -= s00;
+      c0[1] -= s01;
+      c1[0] -= s10;
+      c1[1] -= s11;
+      break;
+  }
+}
+
+}  // namespace
+
+bool simd_supported() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+void gemm_simd(GemmMode mode, std::int64_t m, std::int64_t n, std::int64_t k,
+               const double* a, std::int64_t lda, const double* b,
+               std::int64_t ldb, double* c, std::int64_t ldc) {
+  const std::int64_t i_main = m & ~std::int64_t{3};
+  const std::int64_t j_main = n & ~std::int64_t{7};
+  for (std::int64_t jc = 0; jc < j_main; jc += kNc) {
+    const std::int64_t jc1 = std::min<std::int64_t>(jc + kNc, j_main);
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t pc1 = std::min<std::int64_t>(pc + kKc, k);
+      const StoreOp op = store_op(mode, pc == 0);
+      for (std::int64_t i0 = 0; i0 < i_main; i0 += 4) {
+        for (std::int64_t j0 = jc; j0 < jc1; j0 += 8) {
+          kernel_4x8(a + i0 * lda, lda, b + j0, ldb, c + i0 * ldc + j0, ldc,
+                     pc, pc1, op);
+        }
+      }
+    }
+  }
+  // Edge strips run through the tiled backend (different summation order
+  // than the 8-wide lanes, but each element is still deterministic).
+  if (j_main < n) {
+    gemm_tiled(mode, i_main, n - j_main, k, a, lda, b + j_main, ldb,
+               c + j_main, ldc);
+  }
+  if (i_main < m) {
+    gemm_tiled(mode, m - i_main, n, k, a + i_main * lda, lda, b, ldb,
+               c + i_main * ldc, ldc);
+  }
+}
+
+void gemm_bt_simd(GemmMode mode, std::int64_t m, std::int64_t n,
+                  std::int64_t k, const double* a, std::int64_t lda,
+                  const double* bt, std::int64_t ldbt, double* c,
+                  std::int64_t ldc) {
+  const std::int64_t i_main = m & ~std::int64_t{1};
+  const std::int64_t j_main = n & ~std::int64_t{1};
+  for (std::int64_t i0 = 0; i0 < i_main; i0 += 2) {
+    const double* a0 = a + i0 * lda;
+    const double* a1 = a0 + lda;
+    double* c0 = c + i0 * ldc;
+    double* c1 = c0 + ldc;
+    for (std::int64_t j0 = 0; j0 < j_main; j0 += 2) {
+      kernel_bt_2x2(mode, k, a0, a1, bt + j0 * ldbt, bt + (j0 + 1) * ldbt,
+                    c0 + j0, c1 + j0);
+    }
+  }
+  if (j_main < n) {
+    gemm_bt_tiled(mode, i_main, n - j_main, k, a, lda, bt + j_main * ldbt,
+                  ldbt, c + j_main, ldc);
+  }
+  if (i_main < m) {
+    gemm_bt_tiled(mode, m - i_main, n, k, a + i_main * lda, lda, bt, ldbt,
+                  c + i_main * ldc, ldc);
+  }
+}
+
+#else  // !MRI_KERNELS_X86
+
+bool simd_supported() { return false; }
+
+void gemm_simd(GemmMode mode, std::int64_t m, std::int64_t n, std::int64_t k,
+               const double* a, std::int64_t lda, const double* b,
+               std::int64_t ldb, double* c, std::int64_t ldc) {
+  gemm_tiled(mode, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_bt_simd(GemmMode mode, std::int64_t m, std::int64_t n,
+                  std::int64_t k, const double* a, std::int64_t lda,
+                  const double* bt, std::int64_t ldbt, double* c,
+                  std::int64_t ldc) {
+  gemm_bt_tiled(mode, m, n, k, a, lda, bt, ldbt, c, ldc);
+}
+
+#endif  // MRI_KERNELS_X86
+
+}  // namespace mri::kernels::detail

@@ -10,7 +10,7 @@ Matrix invert_via_lu(const Matrix& a) {
   const Matrix l_inv = invert_lower(lu.unit_lower());
   const Matrix u_inv = invert_upper_via_transpose(lu.upper());
   // A⁻¹ = U⁻¹ L⁻¹ P: column k of U⁻¹L⁻¹ lands at column S[k].
-  return lu.perm.apply_to_columns(multiply(u_inv, l_inv));
+  return lu.perm.apply_to_columns(matmul(u_inv, l_inv));
 }
 
 Matrix solve_matrix(const Matrix& a, const Matrix& b) {

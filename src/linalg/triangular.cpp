@@ -1,5 +1,6 @@
 #include "linalg/triangular.hpp"
 
+#include "linalg/kernels/kernel.hpp"
 #include "matrix/ops.hpp"
 
 namespace mri {
@@ -86,20 +87,12 @@ Matrix solve_lower(const Matrix& l, const Matrix& b) {
   check_lower(l);
   MRI_REQUIRE(l.rows() == b.rows(), "solve_lower shape mismatch: "
                                         << l.rows() << " vs " << b.rows());
-  const Index n = l.rows(), m = b.cols();
+  // Forward substitution as a blocked TRSM through the kernel engine: the
+  // bulk of the work becomes GEMM trailing updates on the selected backend.
   Matrix x = b;
-  for (Index i = 0; i < n; ++i) {
-    double* xi = x.row(i).data();
-    const double* li = l.row(i).data();
-    for (Index k = 0; k < i; ++k) {
-      const double lik = li[k];
-      if (lik == 0.0) continue;
-      const double* xk = x.row(k).data();
-      for (Index j = 0; j < m; ++j) xi[j] -= lik * xk[j];
-    }
-    const double inv_d = 1.0 / li[i];
-    for (Index j = 0; j < m; ++j) xi[j] *= inv_d;
-  }
+  kernels::KernelContext ctx;
+  ctx.trsm_lower_left(/*unit_diag=*/false, l.rows(), b.cols(),
+                      l.data().data(), l.cols(), x.data().data(), x.cols());
   return x;
 }
 
@@ -127,17 +120,13 @@ Matrix solve_upper_right_from_transpose(const Matrix& ut, const Matrix& b) {
               "solve_upper_right_from_transpose shape mismatch: " << ut.rows()
                                                                   << " vs "
                                                                   << b.cols());
-  const Index n = ut.rows(), rows = b.rows();
+  // Right-solve against the transposed-stored factor: the kernel TRSM's
+  // trailing updates stream rows of Uᵀ (gemm_bt), preserving the §6.3
+  // layout argument on every backend.
   Matrix x = b;
-  for (Index i = 0; i < rows; ++i) {
-    double* xi = x.row(i).data();
-    for (Index j = 0; j < n; ++j) {
-      const double* utj = ut.row(j).data();  // row j of Uᵀ = column j of U
-      double sum = xi[j];
-      for (Index k = 0; k < j; ++k) sum -= xi[k] * utj[k];
-      xi[j] = sum / utj[j];
-    }
-  }
+  kernels::KernelContext ctx;
+  ctx.trsm_upper_right_from_transpose(b.rows(), ut.rows(), ut.data().data(),
+                                      ut.cols(), x.data().data(), x.cols());
   return x;
 }
 

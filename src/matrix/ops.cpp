@@ -6,70 +6,45 @@ namespace mri {
 
 namespace {
 
-void check_multiply_shapes(const Matrix& a, const Matrix& b) {
-  MRI_REQUIRE(a.cols() == b.rows(), "multiply shape mismatch: "
-                                        << a.rows() << "x" << a.cols() << " · "
-                                        << b.rows() << "x" << b.cols());
+void check_matmul_shapes(const Matrix& a, const Matrix& b,
+                         const MatmulOptions& opts) {
+  if (opts.transposed_b) {
+    MRI_REQUIRE(a.cols() == b.cols(), "matmul shape mismatch: "
+                                          << a.rows() << "x" << a.cols()
+                                          << " · (" << b.rows() << "x"
+                                          << b.cols() << ")^T");
+  } else {
+    MRI_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch: "
+                                          << a.rows() << "x" << a.cols()
+                                          << " · " << b.rows() << "x"
+                                          << b.cols());
+  }
 }
 
 }  // namespace
 
-Matrix multiply(const Matrix& a, const Matrix& b) {
-  check_multiply_shapes(a, b);
-  Matrix c(a.rows(), b.cols());
-  multiply_accumulate(a, b, &c);
+Matrix matmul(const Matrix& a, const Matrix& b, const MatmulOptions& opts) {
+  check_matmul_shapes(a, b, opts);
+  Matrix c(a.rows(), opts.transposed_b ? b.rows() : b.cols());
+  matmul_into(a, b, &c, kernels::GemmMode::kAssign, opts);
   return c;
 }
 
-void multiply_accumulate(const Matrix& a, const Matrix& b, Matrix* c) {
-  check_multiply_shapes(a, b);
-  MRI_REQUIRE(c->rows() == a.rows() && c->cols() == b.cols(),
+void matmul_into(const Matrix& a, const Matrix& b, Matrix* c,
+                 kernels::GemmMode mode, const MatmulOptions& opts) {
+  check_matmul_shapes(a, b, opts);
+  MRI_REQUIRE(c != nullptr, "null matmul output");
+  const Index out_cols = opts.transposed_b ? b.rows() : b.cols();
+  MRI_REQUIRE(c->rows() == a.rows() && c->cols() == out_cols,
               "accumulator shape mismatch");
-  const Index n = a.rows(), k_max = a.cols(), m = b.cols();
-  for (Index i = 0; i < n; ++i) {
-    double* ci = c->row(i).data();
-    const double* ai = a.row(i).data();
-    for (Index k = 0; k < k_max; ++k) {
-      const double aik = ai[k];
-      if (aik == 0.0) continue;  // triangular operands are half zeros
-      const double* bk = b.row(k).data();
-      for (Index j = 0; j < m; ++j) ci[j] += aik * bk[j];
-    }
+  kernels::KernelContext ctx{opts.backend, opts.threads};
+  if (opts.transposed_b) {
+    ctx.gemm_bt(mode, a.rows(), b.rows(), a.cols(), a.data().data(), a.cols(),
+                b.data().data(), b.cols(), c->data().data(), c->cols());
+  } else {
+    ctx.gemm(mode, a.rows(), b.cols(), a.cols(), a.data().data(), a.cols(),
+             b.data().data(), b.cols(), c->data().data(), c->cols());
   }
-}
-
-Matrix multiply_naive_ijk(const Matrix& a, const Matrix& b) {
-  check_multiply_shapes(a, b);
-  const Index n = a.rows(), k_max = a.cols(), m = b.cols();
-  Matrix c(n, m);
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j < m; ++j) {
-      double sum = 0.0;
-      for (Index k = 0; k < k_max; ++k) sum += a(i, k) * b(k, j);
-      c(i, j) = sum;
-    }
-  }
-  return c;
-}
-
-Matrix multiply_transposed_b(const Matrix& a, const Matrix& bt) {
-  MRI_REQUIRE(a.cols() == bt.cols(), "multiply_transposed_b shape mismatch: "
-                                         << a.rows() << "x" << a.cols()
-                                         << " · (" << bt.rows() << "x"
-                                         << bt.cols() << ")^T");
-  const Index n = a.rows(), k_max = a.cols(), m = bt.rows();
-  Matrix c(n, m);
-  for (Index i = 0; i < n; ++i) {
-    const double* ai = a.row(i).data();
-    double* ci = c.row(i).data();
-    for (Index j = 0; j < m; ++j) {
-      const double* btj = bt.row(j).data();
-      double sum = 0.0;
-      for (Index k = 0; k < k_max; ++k) sum += ai[k] * btj[k];
-      ci[j] = sum;
-    }
-  }
-  return c;
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
@@ -120,7 +95,7 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
 double inversion_residual(const Matrix& a, const Matrix& a_inv) {
   MRI_REQUIRE(a.square() && a.same_shape(a_inv),
               "inversion_residual expects square same-shape matrices");
-  return max_abs_diff(Matrix::identity(a.rows()), multiply(a, a_inv));
+  return max_abs_diff(Matrix::identity(a.rows()), matmul(a, a_inv));
 }
 
 double frobenius_norm(const Matrix& a) {

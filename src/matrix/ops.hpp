@@ -1,32 +1,67 @@
-// Dense matrix kernels.
+// Dense matrix operations over the kernel engine.
 //
-// Three multiplication variants exist deliberately:
-//  * multiply()              — cache-friendly i-k-j loop order (the default);
-//  * multiply_naive_ijk()    — textbook dot-product order that walks columns
-//                              of B; used by the §6.3 ablation to show the
-//                              page/TLB-miss penalty the paper describes;
-//  * multiply_transposed_b() — A · Bᵀrow-major, i.e. B is stored transposed,
-//                              the paper's "storing transposed U" layout.
-// All variants produce bit-identical results for the same operand values is
-// NOT guaranteed (summation order differs); tests compare with tolerances.
+// Multiplication goes through ONE entry point, matmul(), which dispatches
+// into src/linalg/kernels by enum-selected backend (naive | tiled | simd |
+// threaded; see kernels/kernel.hpp for what each means). The historical
+// free functions — multiply(), multiply_naive_ijk(), multiply_transposed_b(),
+// multiply_accumulate() — survive as thin deprecated wrappers that pin the
+// backend matching their old loop order, so the §6.3 ablation keeps its
+// cache-hostile baseline.
+//
+// Different backends may round differently (summation order), so results
+// are NOT bitwise identical across backends; each backend is individually
+// deterministic and tests compare across backends with tolerances.
 #pragma once
 
+#include "linalg/kernels/kernel.hpp"
 #include "matrix/matrix.hpp"
 #include "sim/io_stats.hpp"
 
 namespace mri {
 
+/// How matmul() runs: which kernel backend executes the flops, whether the
+/// second operand is stored transposed (the paper's §6.3 transposed-U
+/// layout), and the kThreaded worker count.
+struct MatmulOptions {
+  kernels::Backend backend = kernels::default_backend();
+  /// `b` holds Bᵀ row-major: rows of `b` are columns of the logical B.
+  bool transposed_b = false;
+  /// kThreaded only: workers per call (0 = hardware_concurrency).
+  int threads = 0;
+};
+
+/// C = A · B (or A · Bᵀ with opts.transposed_b) through the selected kernel.
+Matrix matmul(const Matrix& a, const Matrix& b, const MatmulOptions& opts = {});
+
+/// C op= A · B into an existing matrix of matching shape (kAssign /
+/// kAccumulate / kSubtract).
+void matmul_into(const Matrix& a, const Matrix& b, Matrix* c,
+                 kernels::GemmMode mode = kernels::GemmMode::kAccumulate,
+                 const MatmulOptions& opts = {});
+
 /// C = A · B (ikj order, row-streaming).
-Matrix multiply(const Matrix& a, const Matrix& b);
+[[deprecated("use matmul()")]]
+inline Matrix multiply(const Matrix& a, const Matrix& b) {
+  return matmul(a, b);
+}
 
 /// C = A · B with the naive ijk dot-product order (column walks over B).
-Matrix multiply_naive_ijk(const Matrix& a, const Matrix& b);
+[[deprecated("use matmul() with Backend::kNaive")]]
+inline Matrix multiply_naive_ijk(const Matrix& a, const Matrix& b) {
+  return matmul(a, b, {.backend = kernels::Backend::kNaive});
+}
 
 /// C = A · Bᵀ where bt holds Bᵀ row-major (so rows of bt are columns of B).
-Matrix multiply_transposed_b(const Matrix& a, const Matrix& bt);
+[[deprecated("use matmul() with MatmulOptions::transposed_b")]]
+inline Matrix multiply_transposed_b(const Matrix& a, const Matrix& bt) {
+  return matmul(a, bt, {.transposed_b = true});
+}
 
 /// C += A · B into an existing accumulator (shapes must match).
-void multiply_accumulate(const Matrix& a, const Matrix& b, Matrix* c);
+[[deprecated("use matmul_into()")]]
+inline void multiply_accumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  matmul_into(a, b, c);
+}
 
 /// Returns A + B / A - B.
 Matrix add(const Matrix& a, const Matrix& b);
@@ -50,12 +85,9 @@ double inversion_residual(const Matrix& a, const Matrix& a_inv);
 double frobenius_norm(const Matrix& a);
 
 /// Flop cost of a dense (r x k) · (k x c) multiply, for IoStats accounting.
+[[deprecated("use kernels::kernel_cost(variant, r, k, c)")]]
 inline IoStats multiply_cost(Index r, Index k, Index c) {
-  IoStats io;
-  io.mults = static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(k) *
-             static_cast<std::uint64_t>(c);
-  io.adds = io.mults;
-  return io;
+  return kernels::kernel_cost(kernels::Backend::kTiled, r, k, c);
 }
 
 }  // namespace mri

@@ -402,7 +402,20 @@ std::string run_report_json(const RunReport& report) {
       os << '}';
     }
   }
-  os << "]},\"chaos_events\":[";
+  os << "]}";
+  // Kernel keys are always present (stable schema). Wall-clock kernel
+  // timings (kernel_seconds / achieved_gflops) are intentionally NOT
+  // emitted: they vary per host, and same-seed reports must stay
+  // bit-identical.
+  const KernelReport& ker = report.kernel;
+  os << ",\"kernel\":{\"backend\":\"" << json_escape(ker.backend)
+     << "\",\"multiply_strategy\":\"" << json_escape(ker.multiply_strategy)
+     << "\",\"replication\":" << ker.replication
+     << ",\"multiply_rounds\":" << ker.multiply_rounds
+     << ",\"gemm_calls\":" << ker.gemm_calls
+     << ",\"trsm_calls\":" << ker.trsm_calls
+     << ",\"kernel_flops\":" << ker.kernel_flops << '}';
+  os << ",\"chaos_events\":[";
   bool first_event = true;
   for (const ChaosEvent& e : report.chaos_events) {
     if (!first_event) os << ',';

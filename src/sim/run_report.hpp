@@ -274,6 +274,27 @@ struct StorageReport {
   std::vector<StorageReconstruction> reconstructions;
 };
 
+/// Compute-kernel engine accounting: which GEMM/TRSM backend and multiply
+/// strategy the run used, and the kernel work it executed. Always present
+/// in the report (stable schema); defaults describe a run that did no
+/// kernel work on the default configuration. Kept free of src/linalg types
+/// so report consumers need no kernel dependency.
+struct KernelReport {
+  std::string backend;  // "naive" | "tiled" | "simd" | "threaded"
+  std::string multiply_strategy = "wrap";
+  int replication = 1;
+  int multiply_rounds = 1;
+  std::uint64_t gemm_calls = 0;
+  std::uint64_t trsm_calls = 0;
+  std::uint64_t kernel_flops = 0;
+  /// Wall-clock spent inside kernels and the implied GFLOP/s — real-machine
+  /// measurements (for CostModel calibration), NOT simulation outputs.
+  /// Deliberately EXCLUDED from run_report_json() so same-seed reports stay
+  /// bit-identical across hosts and runs.
+  double kernel_seconds = 0.0;
+  double achieved_gflops = 0.0;
+};
+
 struct RunReport {
   double sim_seconds = 0.0;
   IoStats io;  // full run footprint (includes speculative re-work)
@@ -322,6 +343,9 @@ struct RunReport {
   /// DFS storage-policy accounting (all-zero EC fields on replicated runs);
   /// rendered as the Chrome trace's "storage" lane.
   StorageReport storage;
+  /// Kernel-engine identity and work totals (default-constructed when the
+  /// caller didn't sample the kernel counters).
+  KernelReport kernel;
 };
 
 /// Fills `phase_reports` and `failure_timeline` from `phases`; overwrites

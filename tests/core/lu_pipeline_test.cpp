@@ -52,7 +52,7 @@ void expect_factors(const dfs::Dfs& fs, const LuNode& node, const Matrix& a,
   const Matrix l = assemble_l(fs, node);
   const Matrix ut = assemble_ut(fs, node);
   const Matrix pa = node.perm.apply_to_rows(a);
-  EXPECT_LT(max_abs_diff(multiply(l, transpose(ut)), pa), tol);
+  EXPECT_LT(max_abs_diff(matmul(l, transpose(ut)), pa), tol);
   // L unit lower; Uᵀ lower.
   for (Index i = 0; i < l.rows(); ++i) {
     EXPECT_EQ(l(i, i), 1.0);

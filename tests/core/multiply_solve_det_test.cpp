@@ -47,7 +47,7 @@ TEST_P(MultiplySweep, MatchesSerial) {
   const Matrix b = random_matrix(k, c, /*seed=*/k + c + 1, -1, 1);
   const Matrix product = mapreduce_multiply(&fx.pipeline, &fx.fs, m0, a, b,
                                             "/Root", fx.control_files);
-  EXPECT_LT(max_abs_diff(product, multiply(a, b)), 1e-10);
+  EXPECT_LT(max_abs_diff(product, matmul(a, b)), 1e-10);
   EXPECT_EQ(fx.pipeline.job_count(), 1);
 }
 
@@ -93,7 +93,7 @@ TEST(Solve, MatchesDirectSolve) {
   InversionOptions opts;
   opts.nb = 12;
   const auto result = inverter.solve(a, b, opts);
-  EXPECT_LT(max_abs_diff(multiply(a, result.x), b), 1e-8);
+  EXPECT_LT(max_abs_diff(matmul(a, result.x), b), 1e-8);
   // Inversion jobs (2^d + 1 with d = ceil(log2(48/12)) = 2) + one multiply.
   EXPECT_EQ(result.report.jobs, total_job_count(48, 12) + 1);
 }

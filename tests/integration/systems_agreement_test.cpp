@@ -90,7 +90,7 @@ TEST(SystemsAgreement, InverseIterationApplication) {
   const QrResult qr = qr_decompose(random_matrix(n, /*seed=*/23));
   Matrix d(n, n);
   for (Index i = 0; i < n; ++i) d(i, i) = static_cast<double>(i + 1);
-  const Matrix a = multiply(multiply(qr.q, d), transpose(qr.q));
+  const Matrix a = matmul(matmul(qr.q, d), transpose(qr.q));
 
   // Target the eigenvalue 1 (nearest to mu = 1.3; contraction ratio 0.43).
   const double mu = 1.3;

@@ -51,9 +51,9 @@ TEST(Qr, DecompositionProperties) {
   const Matrix a = random_matrix(20, /*seed=*/6);
   const QrResult qr = qr_decompose(a);
   // A = QR.
-  EXPECT_LT(max_abs_diff(multiply(qr.q, qr.r), a), 1e-10);
+  EXPECT_LT(max_abs_diff(matmul(qr.q, qr.r), a), 1e-10);
   // Q orthogonal.
-  EXPECT_LT(max_abs_diff(multiply(qr.q, transpose(qr.q)), Matrix::identity(20)),
+  EXPECT_LT(max_abs_diff(matmul(qr.q, transpose(qr.q)), Matrix::identity(20)),
             1e-11);
   // R upper triangular.
   for (Index i = 1; i < 20; ++i)
@@ -91,14 +91,14 @@ TEST(Solve, MatrixSolve) {
   const Matrix a = random_matrix(12, /*seed=*/8);
   const Matrix b = random_matrix(12, 3, /*seed=*/9, -1, 1);
   const Matrix x = solve_matrix(a, b);
-  EXPECT_LT(max_abs_diff(multiply(a, x), b), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(a, x), b), 1e-9);
 }
 
 TEST(Solve, InverseViaLuSatisfiesBothSides) {
   const Matrix a = random_matrix(20, /*seed=*/10);
   const Matrix inv = invert_via_lu(a);
-  EXPECT_LT(max_abs_diff(multiply(a, inv), Matrix::identity(20)), 1e-9);
-  EXPECT_LT(max_abs_diff(multiply(inv, a), Matrix::identity(20)), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(a, inv), Matrix::identity(20)), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(inv, a), Matrix::identity(20)), 1e-9);
 }
 
 }  // namespace

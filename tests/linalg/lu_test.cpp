@@ -15,7 +15,7 @@ namespace {
 void expect_reconstructs(const Matrix& a, double tol) {
   const LuResult lu = lu_decompose(a);
   const Matrix pa = lu.perm.apply_to_rows(a);
-  EXPECT_LT(max_abs_diff(multiply(lu.unit_lower(), lu.upper()), pa), tol);
+  EXPECT_LT(max_abs_diff(matmul(lu.unit_lower(), lu.upper()), pa), tol);
 }
 
 TEST(Lu, KnownTwoByTwo) {

@@ -15,8 +15,8 @@ TEST_P(TriangularSweep, LowerInverse) {
   const Index n = GetParam();
   const Matrix l = random_unit_lower_triangular(n, /*seed=*/n);
   const Matrix inv = invert_lower(l);
-  EXPECT_LT(max_abs_diff(multiply(l, inv), Matrix::identity(n)), 1e-9);
-  EXPECT_LT(max_abs_diff(multiply(inv, l), Matrix::identity(n)), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(l, inv), Matrix::identity(n)), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(inv, l), Matrix::identity(n)), 1e-9);
 }
 
 TEST_P(TriangularSweep, UpperInverseBothWays) {
@@ -25,7 +25,7 @@ TEST_P(TriangularSweep, UpperInverseBothWays) {
   const Matrix via_t = invert_upper_via_transpose(u);
   const Matrix direct = invert_upper_direct(u);
   EXPECT_LT(max_abs_diff(via_t, direct), 1e-9);
-  EXPECT_LT(max_abs_diff(multiply(u, via_t), Matrix::identity(n)), 1e-8);
+  EXPECT_LT(max_abs_diff(matmul(u, via_t), Matrix::identity(n)), 1e-8);
 }
 
 TEST_P(TriangularSweep, SolveLower) {
@@ -33,7 +33,7 @@ TEST_P(TriangularSweep, SolveLower) {
   const Matrix l = random_unit_lower_triangular(n, /*seed=*/n + 2);
   const Matrix b = random_matrix(n, 5, /*seed=*/n + 3, -1, 1);
   const Matrix x = solve_lower(l, b);
-  EXPECT_LT(max_abs_diff(multiply(l, x), b), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(l, x), b), 1e-9);
 }
 
 TEST_P(TriangularSweep, SolveUpperRight) {
@@ -41,7 +41,7 @@ TEST_P(TriangularSweep, SolveUpperRight) {
   const Matrix u = random_upper_triangular(n, /*seed=*/n + 4);
   const Matrix b = random_matrix(5, n, /*seed=*/n + 5, -1, 1);
   const Matrix x = solve_upper_right(u, b);
-  EXPECT_LT(max_abs_diff(multiply(x, u), b), 1e-8);
+  EXPECT_LT(max_abs_diff(matmul(x, u), b), 1e-8);
   // Transposed-layout variant agrees.
   const Matrix xt = solve_upper_right_from_transpose(transpose(u), b);
   EXPECT_LT(max_abs_diff(x, xt), 1e-10);
@@ -53,7 +53,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, TriangularSweep,
 TEST(Triangular, NonUnitLowerDiagonal) {
   Matrix l(2, 2, {2, 0, 3, 4});
   const Matrix inv = invert_lower(l);
-  EXPECT_LT(max_abs_diff(multiply(l, inv), Matrix::identity(2)), 1e-15);
+  EXPECT_LT(max_abs_diff(matmul(l, inv), Matrix::identity(2)), 1e-15);
   EXPECT_DOUBLE_EQ(inv(0, 0), 0.5);
   EXPECT_DOUBLE_EQ(inv(1, 1), 0.25);
 }

@@ -7,32 +7,39 @@
 namespace mri {
 namespace {
 
-TEST(Ops, MultiplyKnownValues) {
+TEST(Ops, MatmulKnownValues) {
   Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
   Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
-  Matrix c = multiply(a, b);
+  Matrix c = matmul(a, b);
   EXPECT_EQ(c, Matrix(2, 2, {58, 64, 139, 154}));
 }
 
-TEST(Ops, MultiplyShapeMismatchThrows) {
-  EXPECT_THROW(multiply(Matrix(2, 3), Matrix(2, 3)), InvalidArgument);
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), InvalidArgument);
+  MatmulOptions bt;
+  bt.transposed_b = true;
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(5, 4), bt), InvalidArgument);
 }
 
-TEST(Ops, MultiplyByIdentity) {
+TEST(Ops, MatmulByIdentity) {
   const Matrix a = random_matrix(17, 23, /*seed=*/1, -5, 5);
-  EXPECT_LT(max_abs_diff(multiply(a, Matrix::identity(23)), a), 1e-12);
-  EXPECT_LT(max_abs_diff(multiply(Matrix::identity(17), a), a), 1e-12);
+  EXPECT_LT(max_abs_diff(matmul(a, Matrix::identity(23)), a), 1e-12);
+  EXPECT_LT(max_abs_diff(matmul(Matrix::identity(17), a), a), 1e-12);
 }
 
 class MultiplyVariants : public ::testing::TestWithParam<Index> {};
 
-TEST_P(MultiplyVariants, AllKernelsAgree) {
+TEST_P(MultiplyVariants, AllBackendsAgree) {
   const Index n = GetParam();
   const Matrix a = random_matrix(n, n + 3, /*seed=*/n, -1, 1);
   const Matrix b = random_matrix(n + 3, n + 1, /*seed=*/n + 99, -1, 1);
-  const Matrix fast = multiply(a, b);
-  const Matrix naive = multiply_naive_ijk(a, b);
-  const Matrix via_t = multiply_transposed_b(a, transpose(b));
+  const Matrix fast = matmul(a, b);
+  MatmulOptions naive_opts;
+  naive_opts.backend = kernels::Backend::kNaive;
+  const Matrix naive = matmul(a, b, naive_opts);
+  MatmulOptions bt_opts;
+  bt_opts.transposed_b = true;
+  const Matrix via_t = matmul(a, transpose(b), bt_opts);
   EXPECT_LT(max_abs_diff(fast, naive), 1e-10 * static_cast<double>(n));
   EXPECT_LT(max_abs_diff(fast, via_t), 1e-10 * static_cast<double>(n));
 }
@@ -47,8 +54,7 @@ TEST_P(MultiplyProperties, Associativity) {
   const Matrix a = random_matrix(9, 7, seed, -1, 1);
   const Matrix b = random_matrix(7, 11, seed + 1, -1, 1);
   const Matrix c = random_matrix(11, 5, seed + 2, -1, 1);
-  EXPECT_LT(max_abs_diff(multiply(multiply(a, b), c),
-                         multiply(a, multiply(b, c))),
+  EXPECT_LT(max_abs_diff(matmul(matmul(a, b), c), matmul(a, matmul(b, c))),
             1e-11);
 }
 
@@ -57,8 +63,8 @@ TEST_P(MultiplyProperties, TransposeOfProduct) {
   const Matrix a = random_matrix(8, 6, seed, -1, 1);
   const Matrix b = random_matrix(6, 10, seed + 5, -1, 1);
   // (AB)^T = B^T A^T
-  EXPECT_LT(max_abs_diff(transpose(multiply(a, b)),
-                         multiply(transpose(b), transpose(a))),
+  EXPECT_LT(max_abs_diff(transpose(matmul(a, b)),
+                         matmul(transpose(b), transpose(a))),
             1e-12);
 }
 
@@ -67,22 +73,70 @@ TEST_P(MultiplyProperties, DistributesOverAddition) {
   const Matrix a = random_matrix(6, 6, seed, -1, 1);
   const Matrix b = random_matrix(6, 6, seed + 1, -1, 1);
   const Matrix c = random_matrix(6, 6, seed + 2, -1, 1);
-  EXPECT_LT(max_abs_diff(multiply(a, add(b, c)),
-                         add(multiply(a, b), multiply(a, c))),
+  EXPECT_LT(max_abs_diff(matmul(a, add(b, c)),
+                         add(matmul(a, b), matmul(a, c))),
             1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiplyProperties,
                          ::testing::Range<std::uint64_t>(0, 10));
 
-TEST(Ops, MultiplyAccumulate) {
+TEST(Ops, MatmulIntoAccumulates) {
   const Matrix a = random_matrix(5, 5, 1, -1, 1);
   const Matrix b = random_matrix(5, 5, 2, -1, 1);
   Matrix c = random_matrix(5, 5, 3, -1, 1);
-  const Matrix expected = add(c, multiply(a, b));
-  multiply_accumulate(a, b, &c);
+  const Matrix expected = add(c, matmul(a, b));
+  matmul_into(a, b, &c);
   EXPECT_LT(max_abs_diff(c, expected), 1e-12);
 }
+
+TEST(Ops, MatmulIntoModes) {
+  const Matrix a = random_matrix(4, 6, 11, -1, 1);
+  const Matrix b = random_matrix(6, 3, 12, -1, 1);
+  const Matrix product = matmul(a, b);
+  Matrix c = random_matrix(4, 3, 13, -1, 1);
+  const Matrix orig = c;
+  matmul_into(a, b, &c, kernels::GemmMode::kAssign);
+  EXPECT_LT(max_abs_diff(c, product), 1e-12);
+  c = orig;
+  matmul_into(a, b, &c, kernels::GemmMode::kSubtract);
+  EXPECT_LT(max_abs_diff(c, subtract(orig, product)), 1e-12);
+}
+
+TEST(Ops, MatmulIntoShapeMismatchThrows) {
+  const Matrix a = random_matrix(4, 6, 14, -1, 1);
+  const Matrix b = random_matrix(6, 3, 15, -1, 1);
+  Matrix wrong(3, 3);
+  EXPECT_THROW(matmul_into(a, b, &wrong), InvalidArgument);
+}
+
+// The pre-kernel-engine free functions survive as deprecated inline
+// wrappers; they must keep producing the same numbers as the matmul()
+// entry point they forward to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Ops, DeprecatedWrappersForwardToMatmul) {
+  const Matrix a = random_matrix(7, 9, 21, -1, 1);
+  const Matrix b = random_matrix(9, 5, 22, -1, 1);
+  EXPECT_EQ(multiply(a, b), matmul(a, b));
+  MatmulOptions naive_opts;
+  naive_opts.backend = kernels::Backend::kNaive;
+  EXPECT_EQ(multiply_naive_ijk(a, b), matmul(a, b, naive_opts));
+  MatmulOptions bt_opts;
+  bt_opts.transposed_b = true;
+  const Matrix bt = transpose(b);
+  EXPECT_EQ(multiply_transposed_b(a, bt), matmul(a, bt, bt_opts));
+  Matrix c1 = random_matrix(7, 5, 23, -1, 1);
+  Matrix c2 = c1;
+  multiply_accumulate(a, b, &c1);
+  matmul_into(a, b, &c2);
+  EXPECT_EQ(c1, c2);
+  const IoStats legacy = multiply_cost(3, 4, 5);
+  const IoStats now = kernels::kernel_cost(kernels::Backend::kTiled, 3, 4, 5);
+  EXPECT_EQ(legacy.mults, now.mults);
+  EXPECT_EQ(legacy.adds, now.adds);
+}
+#pragma GCC diagnostic pop
 
 TEST(Ops, AddSubtractRoundTrip) {
   const Matrix a = random_matrix(7, 9, 4, -1, 1);
@@ -125,10 +179,19 @@ TEST(Ops, InversionResidualDetectsWrongInverse) {
   EXPECT_GT(inversion_residual(a, Matrix::identity(2)), 1.0);
 }
 
-TEST(Ops, MultiplyCostCountsFlops) {
-  const IoStats io = multiply_cost(3, 4, 5);
+TEST(Ops, KernelCostCountsFlops) {
+  const IoStats io = kernels::kernel_cost(kernels::Backend::kNaive, 3, 4, 5);
   EXPECT_EQ(io.mults, 60u);
   EXPECT_EQ(io.adds, 60u);
+  // Backend-independent by design: simulated accounting must not depend on
+  // which kernel executed the flops.
+  for (const kernels::Backend b :
+       {kernels::Backend::kTiled, kernels::Backend::kSimd,
+        kernels::Backend::kThreaded}) {
+    const IoStats other = kernels::kernel_cost(b, 3, 4, 5);
+    EXPECT_EQ(other.mults, io.mults);
+    EXPECT_EQ(other.adds, io.adds);
+  }
 }
 
 }  // namespace

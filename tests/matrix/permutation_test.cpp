@@ -33,14 +33,14 @@ TEST(Permutation, SwapMatchesPivoting) {
 TEST(Permutation, RowApplicationMatchesMatrixForm) {
   Permutation p(std::vector<Index>{2, 0, 3, 1});
   const Matrix a = random_matrix(4, 5, 2, -1, 1);
-  EXPECT_LT(max_abs_diff(p.apply_to_rows(a), multiply(p.to_matrix(), a)),
+  EXPECT_LT(max_abs_diff(p.apply_to_rows(a), matmul(p.to_matrix(), a)),
             1e-15);
 }
 
 TEST(Permutation, ColumnApplicationMatchesMatrixForm) {
   Permutation p(std::vector<Index>{2, 0, 3, 1});
   const Matrix x = random_matrix(5, 4, 3, -1, 1);
-  EXPECT_LT(max_abs_diff(p.apply_to_columns(x), multiply(x, p.to_matrix())),
+  EXPECT_LT(max_abs_diff(p.apply_to_columns(x), matmul(x, p.to_matrix())),
             1e-15);
 }
 
@@ -66,7 +66,7 @@ TEST(Permutation, ConcatIsBlockDiagonal) {
 TEST(Permutation, PermutationMatrixIsOrthogonal) {
   Permutation p(std::vector<Index>{3, 1, 4, 0, 2});
   const Matrix pm = p.to_matrix();
-  EXPECT_LT(max_abs_diff(multiply(pm, transpose(pm)), Matrix::identity(5)),
+  EXPECT_LT(max_abs_diff(matmul(pm, transpose(pm)), Matrix::identity(5)),
             1e-15);
 }
 
