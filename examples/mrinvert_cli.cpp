@@ -56,6 +56,21 @@
 //   --chaos-horizon S            sampling horizon (default 86400)
 // The run completes with a correct inverse despite the losses; the report's
 // "recovery" section counts re-executed tasks and re-replicated blocks.
+//
+// Integrity flags (silent-corruption chaos and its defenses):
+//   --corrupt-block id@t[,...]   silently flip bits in one block copy on
+//                                node id at simulated seconds t
+//   --bitrot-rate R              seeded background corruption, expected
+//                                events/node/second (needs --chaos-seed)
+//   --verify-checksums on|off    CRC32C blocks on write, verify on read,
+//                                read-repair from a good copy (default off)
+//   --scrub-interval S           background scrubber walks every block copy
+//                                each S simulated seconds (needs
+//                                --verify-checksums on)
+// With verification off a corrupted read silently serves rotten bytes and
+// the residual blows up; with it on every corruption is detected and
+// repaired (replica copy, EC decode, or lineage recompute) and the inverse
+// stays at machine epsilon. The report's "integrity" section has the counts.
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -97,7 +112,8 @@ void save_json(const std::string& path, const std::string& json) {
 
 bool chaos_requested(const mri::CliOptions& cli) {
   return cli.has("chaos-seed") || cli.has("kill-node") ||
-         cli.has("chaos-mtbf");
+         cli.has("chaos-mtbf") || cli.has("corrupt-block") ||
+         cli.has("bitrot-rate") || cli.has("scrub-interval");
 }
 
 // Builds the network topology from --topology/--racks/--oversub/--rack-aware
@@ -164,6 +180,22 @@ mri::dfs::DfsConfig build_dfs_config(const mri::CliOptions& cli, int nodes) {
   }
   config.hot_cache_bytes =
       static_cast<std::uint64_t>(cli.get_int("hot-cache-mb", 0)) << 20;
+  if (cli.has("verify-checksums")) {
+    const std::string verify = cli.get_string("verify-checksums", "");
+    MRI_REQUIRE(verify == "on" || verify == "off",
+                "unknown --verify-checksums '" << verify
+                                               << "'; use on or off");
+    config.verify_checksums = (verify == "on");
+  }
+  if (cli.has("scrub-interval")) {
+    MRI_REQUIRE(config.verify_checksums,
+                "--scrub-interval drives the background checksum scrubber, "
+                "which needs checksums to verify; add --verify-checksums on");
+    config.scrub_interval_seconds = cli.get_double("scrub-interval", 0.0);
+    MRI_REQUIRE(config.scrub_interval_seconds > 0.0,
+                "--scrub-interval must be positive seconds, got "
+                    << config.scrub_interval_seconds);
+  }
   return config;
 }
 
@@ -233,12 +265,23 @@ std::unique_ptr<mri::ChaosEngine> build_chaos_engine(
   MRI_REQUIRE(opts.horizon_seconds > 0.0,
               "--chaos-horizon must be positive, got "
                   << opts.horizon_seconds);
+  opts.bitrot_rate = cli.get_double("bitrot-rate", 0.0);
   auto engine = std::make_unique<ChaosEngine>(opts);
   if (cli.has("chaos-mtbf")) {
     MRI_REQUIRE(opts.mtbf_seconds > 0.0,
                 "--chaos-mtbf must be positive seconds, got "
                     << opts.mtbf_seconds);
     engine->sample_faults(nodes);
+  }
+  if (cli.has("bitrot-rate")) {
+    MRI_REQUIRE(cli.has("chaos-seed"),
+                "--bitrot-rate samples a random corruption schedule and "
+                "needs --chaos-seed N to make it reproducible; add "
+                "--chaos-seed");
+    MRI_REQUIRE(opts.bitrot_rate > 0.0,
+                "--bitrot-rate must be positive (expected corruptions per "
+                "node per simulated second), got " << opts.bitrot_rate);
+    engine->sample_bitrot(nodes);
   }
 
   const std::string spec = cli.get_string("kill-node", "");
@@ -279,6 +322,45 @@ std::unique_ptr<mri::ChaosEngine> build_chaos_engine(
     event.kind = ChaosEventKind::kKillNode;
     event.at = at;
     event.node = node;
+    engine->add_event(event);
+  }
+
+  const std::string corrupt_spec = cli.get_string("corrupt-block", "");
+  std::istringstream corrupt_tokens(corrupt_spec);
+  while (std::getline(corrupt_tokens, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t at_pos = token.find('@');
+    int node = -1;
+    double at = -1.0;
+    try {
+      node = std::stoi(token.substr(0, at_pos));
+      if (at_pos != std::string::npos) at = std::stod(token.substr(at_pos + 1));
+    } catch (const std::exception&) {
+      MRI_REQUIRE(false, "cannot parse --corrupt-block entry '"
+                             << token << "'; expected id@seconds (3@120) or "
+                                "a bare node id with --chaos-seed");
+    }
+    MRI_REQUIRE(node >= 0 && node < nodes,
+                "--corrupt-block " << node << " is outside the cluster; "
+                                      "--nodes " << nodes
+                                   << " has node ids 0.." << nodes - 1);
+    if (at_pos == std::string::npos) {
+      MRI_REQUIRE(cli.has("chaos-seed"),
+                  "--corrupt-block "
+                      << node
+                      << " has no corruption time; give one explicitly "
+                         "(--corrupt-block " << node
+                      << "@3600) or add --chaos-seed N to sample a "
+                         "deterministic time");
+      at = engine->sample_kill_time(node);
+    }
+    MRI_REQUIRE(at >= 0.0, "--corrupt-block " << node << "@" << at
+                                              << ": time must be >= 0");
+    ChaosEvent event;
+    event.kind = ChaosEventKind::kCorruptBlock;
+    event.at = at;
+    event.node = node;
+    event.salt = 0;  // explicit events prefer a primary copy
     engine->add_event(event);
   }
   return engine;
@@ -451,6 +533,13 @@ int main(int argc, char** argv) {
               "--memory-budget-mb is a --serve admission bound (per-tenant "
               "in-memory footprint); single inversions have no tenants — "
               "drop it or run --serve");
+  MRI_REQUIRE(!((cli.has("corrupt-block") || cli.has("bitrot-rate") ||
+                 cli.has("scrub-interval") || cli.has("verify-checksums")) &&
+                engine == "scalapack"),
+              "--corrupt-block/--bitrot-rate/--verify-checksums/"
+              "--scrub-interval exercise DFS block integrity, and --engine "
+              "scalapack never touches the DFS (it runs on MPI ranks); drop "
+              "the integrity flags or use --engine mapreduce (or auto)");
   MRI_REQUIRE(!(chaos_requested(cli) && engine == "scalapack"),
               "--kill-node/--chaos-* simulate node failures, and ScaLAPACK/"
               "MPI cannot survive one — a lost rank aborts the whole run "
@@ -504,6 +593,9 @@ int main(int argc, char** argv) {
                  "[--replication r]\n"
                  "       [--kill-node id@t[,id@t...]] [--chaos-seed N] "
                  "[--chaos-mtbf S]\n"
+                 "       [--corrupt-block id@t[,...]] [--bitrot-rate R] "
+                 "[--verify-checksums on|off]\n"
+                 "       [--scrub-interval S]\n"
                  "       mrinvert_cli --serve requests.trace "
                  "[--max-concurrent N] [--queue-depth N]\n");
     return 2;
@@ -702,6 +794,27 @@ int main(int argc, char** argv) {
                   rec.partitions_recomputed,
                   format_bytes(rec.lineage_recomputed_bytes).c_str(),
                   rec.lineage_waves, rec.lineage_recompute_seconds);
+    }
+    const dfs::IntegrityStats integrity = fs.integrity_stats();
+    if (integrity.corruptions_injected > 0 || integrity.scrub_passes > 0) {
+      std::printf("integrity                : %lld corruption(s) injected, "
+                  "%lld detected, %lld repaired (%lld copy / %lld ec / %lld "
+                  "lineage)\n",
+                  static_cast<long long>(integrity.corruptions_injected),
+                  static_cast<long long>(integrity.corruptions_detected),
+                  static_cast<long long>(integrity.cells_repaired_copy +
+                                         integrity.cells_repaired_ec +
+                                         integrity.cells_repaired_lineage),
+                  static_cast<long long>(integrity.cells_repaired_copy),
+                  static_cast<long long>(integrity.cells_repaired_ec),
+                  static_cast<long long>(integrity.cells_repaired_lineage));
+    }
+    if (integrity.scrub_passes > 0) {
+      std::printf("scrubber                 : %lld pass(es), %s scanned, "
+                  "%.3g s simulated scrub time\n",
+                  static_cast<long long>(integrity.scrub_passes),
+                  format_bytes(integrity.scrub_bytes_scanned).c_str(),
+                  integrity.scrub_seconds);
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "dfs/ec/rs_codec.hpp"
+#include "dfs/integrity/crc32c.hpp"
 #include "dfs/path.hpp"
 #include "net/flow_sim.hpp"
 
@@ -29,6 +30,11 @@ Dfs::Dfs(int num_datanodes, DfsConfig config, MetricsRegistry* metrics)
   MRI_REQUIRE(num_datanodes >= 1, "DFS needs at least one datanode");
   MRI_REQUIRE(config.replication >= 1, "replication must be >= 1");
   MRI_REQUIRE(config.block_size >= 1, "block size must be >= 1");
+  MRI_REQUIRE(config.scrub_interval_seconds >= 0.0,
+              "scrub interval must be >= 0");
+  MRI_REQUIRE(config.scrub_interval_seconds == 0.0 || config.verify_checksums,
+              "the background scrubber verifies checksums, so "
+              "scrub_interval_seconds needs verify_checksums on");
   if (config.storage_policy == StoragePolicy::kErasureCoded) {
     MRI_REQUIRE(config.ec.k >= 1 && config.ec.m >= 1,
                 "erasure coding needs k >= 1 and m >= 1, got RS("
@@ -68,6 +74,7 @@ void Dfs::remove(const std::string& path, bool recursive) {
   std::vector<std::string> removed_paths;
   for (const auto& block : namenode_.remove(
            path, recursive, want_paths ? &removed_paths : nullptr)) {
+    checksums_.forget(block.id);
     for (int node : block.replicas) {
       if (node < 0) continue;  // lost EC cell sentinel
       datanodes_[static_cast<std::size_t>(node)]->evict(block.id);
@@ -227,6 +234,11 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
       config_.hot_cache_bytes > 0 && tier == StorageTier::kDisk &&
       basename(path).rfind(config_.hot_file_prefix, 0) == 0;
   std::vector<BlockData> full_blocks;
+  std::vector<BlockId> full_block_ids;
+  // Write-path checksumming (HDFS computes block checksums client-side on
+  // write): one CRC32C per replicated block, one per EC cell.
+  std::uint64_t checksummed_bytes = 0;
+  std::int64_t checksummed_cells = 0;
 
   std::vector<BlockLocation> locations;
   std::size_t offset = 0;
@@ -321,9 +333,22 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
             static_cast<std::size_t>(i)])]
             ->put(loc.id, cell_payloads[static_cast<std::size_t>(i)]);
       }
+      if (config_.verify_checksums) {
+        std::vector<std::uint32_t> cell_crcs;
+        cell_crcs.reserve(cell_payloads.size());
+        for (const auto& cp : cell_payloads) {
+          cell_crcs.push_back(crc32c(std::span<const std::byte>(*cp)));
+        }
+        checksums_.record(loc.id, std::move(cell_crcs));
+        checksummed_cells += cells;
+        checksummed_bytes += static_cast<std::uint64_t>(cells) * cell_len;
+      }
       parity_bytes += static_cast<std::uint64_t>(loc.ec_m) * cell_len;
       redundancy_net += static_cast<std::uint64_t>(cells - 1) * cell_len;
-      if (hot_candidate) full_blocks.push_back(payload);
+      if (hot_candidate) {
+        full_blocks.push_back(payload);
+        full_block_ids.push_back(loc.id);
+      }
       locations.push_back(std::move(loc));
       offset += len;
       continue;
@@ -393,7 +418,16 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
     for (int node : loc.replicas) {
       datanodes_[static_cast<std::size_t>(node)]->put(loc.id, shared);
     }
-    if (hot_candidate) full_blocks.push_back(payload);
+    if (config_.verify_checksums) {
+      checksums_.record(loc.id,
+                        {crc32c(std::span<const std::byte>(*payload))});
+      ++checksummed_cells;
+      checksummed_bytes += len;
+    }
+    if (hot_candidate) {
+      full_blocks.push_back(payload);
+      full_block_ids.push_back(loc.id);
+    }
     locations.push_back(std::move(loc));
     offset += len;
   }
@@ -405,8 +439,14 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
 
   if (hot_candidate) {
     std::lock_guard<std::mutex> lock(hot_mu_);
-    hot_candidates_[path] = HotFile{total, std::move(full_blocks)};
+    hot_candidates_[path] =
+        HotFile{total, std::move(full_blocks), std::move(full_block_ids), {}};
     recompute_hot_residents_locked();
+  }
+
+  if (checksummed_cells > 0) {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    integrity_.cells_checksummed += checksummed_cells;
   }
 
   if (charge) {
@@ -427,6 +467,7 @@ void Dfs::commit(const std::string& path, std::vector<std::byte> buffer,
           total * static_cast<std::uint64_t>(std::max(repl - 1, 0));
       io.bytes_transferred = io.bytes_replicated;
     }
+    io.bytes_checksummed = checksummed_bytes;
     if (account != nullptr) *account += io;
     if (metrics_ != nullptr) {
       metrics_->add_io(io);
@@ -623,6 +664,24 @@ BlockData Dfs::read_replica(const BlockLocation& loc, const std::string& path,
                         static_cast<std::uint64_t>(failed_over));
   }
   if (source != nullptr) *source = chosen;
+  if (auto mark = checksums_.corrupt_mark(loc.id, chosen)) {
+    if (!config_.verify_checksums) {
+      // Silent corruption doing its job: the read *succeeds*, with wrong
+      // bytes (a deterministic bit-flipped view of the payload).
+      return corrupt_copy(
+          datanodes_[static_cast<std::size_t>(chosen)]->get(loc.id),
+          mark->salt);
+    }
+    // Verification catches the mismatch before any bytes reach the caller:
+    // read-repair the copy in place from a healthy source, then serve the
+    // pristine payload. Replica *selection* deliberately ignores corruption
+    // marks — routing around a corrupt copy would make the served source
+    // (and the transfer log) depend on how repairs race with concurrent
+    // readers, breaking bit-identical same-seed reports.
+    repair_corrupt_copy(loc, path, namenode_.file_tier(path), chosen, -1,
+                        mark->at, /*by_scrubber=*/false, nullptr);
+  }
+  if (config_.verify_checksums) verify_copy(loc, chosen, -1);
   return datanodes_[static_cast<std::size_t>(chosen)]->get(loc.id);
 }
 
@@ -638,6 +697,12 @@ BlockData Dfs::read_stripe(const BlockLocation& loc, const std::string& path,
   // node knocks that cell out of this read (cell-level failover — the
   // stripe decodes around it from the other survivors).
   std::vector<char> available(static_cast<std::size_t>(cells), 0);
+  // Cells that failed checksum verification this read (verification on
+  // only): excluded from availability exactly like a dead holder, so the
+  // stripe decodes around them from clean survivors — detection turns a
+  // silent corruption into an ordinary degraded read. Repaired below, after
+  // the read completes.
+  std::vector<std::pair<int, CorruptMark>> corrupt_cells;
   int live = 0;
   int failed_over = 0;
   {
@@ -650,9 +715,25 @@ BlockData Dfs::read_stripe(const BlockLocation& loc, const std::string& path,
         ++failed_over;
         continue;
       }
+      if (config_.verify_checksums) {
+        if (auto mark = checksums_.corrupt_mark(loc.id, holder)) {
+          corrupt_cells.emplace_back(i, *mark);
+          continue;
+        }
+      }
       available[static_cast<std::size_t>(i)] = 1;
       ++live;
     }
+  }
+  if (live < loc.ec_k && !corrupt_cells.empty() && failed_over == 0) {
+    // Fewer than k clean cells remain: there is no clean source to decode
+    // from, and verification refuses to serve bytes it knows are bad.
+    throw UnrecoverableBlock(
+        "EC block " + std::to_string(loc.id) + " of " + path + ": " +
+        std::to_string(corrupt_cells.size()) +
+        " stripe cells failed checksum verification and only " +
+        std::to_string(live) + " clean cells remain but decoding needs " +
+        std::to_string(loc.ec_k) + "; the data is unrecoverable");
   }
   if (live < loc.ec_k) {
     if (failed_over > 0) {
@@ -684,6 +765,12 @@ BlockData Dfs::read_stripe(const BlockLocation& loc, const std::string& path,
     BlockData cell = datanodes_[static_cast<std::size_t>(
                                     loc.replicas[static_cast<std::size_t>(i)])]
                          ->get(loc.id);
+    // With verification off a corrupt cell is still "available" — the fetch
+    // succeeds and silently delivers the bit-flipped view.
+    if (auto mark = checksums_.corrupt_mark(
+            loc.id, loc.replicas[static_cast<std::size_t>(i)])) {
+      cell = corrupt_copy(cell, mark->salt);
+    }
     cell_ptrs[static_cast<std::size_t>(i)] =
         reinterpret_cast<const std::uint8_t*>(cell->data());
     pins.push_back(std::move(cell));
@@ -737,6 +824,27 @@ BlockData Dfs::read_stripe(const BlockLocation& loc, const std::string& path,
     if (account != nullptr) *account += io;
     if (metrics_ != nullptr) metrics_->add_io(io);
   }
+  if (config_.verify_checksums) {
+    // Checksum CPU for the k cells this read actually served.
+    const auto vbytes = static_cast<std::uint64_t>(chosen.size()) * cell_len;
+    {
+      std::lock_guard<std::mutex> lock(integrity_mu_);
+      integrity_.cells_verified += static_cast<std::int64_t>(chosen.size());
+      integrity_.bytes_verified += vbytes;
+    }
+    IoStats io;
+    io.bytes_checksummed = vbytes;
+    if (account != nullptr) *account += io;
+    if (metrics_ != nullptr) metrics_->add_io(io);
+    // Read-repair the cells verification knocked out of this read: decode
+    // already proved the stripe has k clean survivors, so re-materialize
+    // each bad cell in place (EC stripes are disk-tier by construction).
+    for (const auto& [slot, mark] : corrupt_cells) {
+      repair_corrupt_copy(loc, path, StorageTier::kDisk,
+                          loc.replicas[static_cast<std::size_t>(slot)], slot,
+                          mark.at, /*by_scrubber=*/false, nullptr);
+    }
+  }
   return out;
 }
 
@@ -761,7 +869,11 @@ Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
     const std::string norm = normalize(path);
     std::lock_guard<std::mutex> lock(hot_mu_);
     auto it = hot_candidates_.find(norm);
-    if (it != hot_candidates_.end() && hot_resident_.count(norm) > 0) {
+    if (it != hot_candidates_.end() && hot_resident_.count(norm) > 0 &&
+        // A poisoned entry must not out-serve verification: skip the hit and
+        // fall through to the datanode path, whose read-repair also clears
+        // the cache poison (the staleness bug this gate closes).
+        !(config_.verify_checksums && !it->second.corrupt.empty())) {
       ++hot_hits_;
       hot_hit_bytes_ += it->second.size;
       if (metrics_ != nullptr) {
@@ -773,8 +885,31 @@ Dfs::Reader Dfs::open(const std::string& path, IoStats* account) const {
         if (log != nullptr) log->read_paths.push_back(norm);
         listener->on_open(norm, tier, it->second.size);
       }
-      std::vector<int> no_sources(it->second.blocks.size(), -1);
-      return Reader(it->second.blocks, std::move(no_sources), {},
+      std::vector<BlockData> served = it->second.blocks;
+      if (!it->second.corrupt.empty()) {
+        // Verification off: the cache mirrors its corrupted replica, so the
+        // hit silently serves the bit-flipped view.
+        for (std::size_t i = 0; i < served.size(); ++i) {
+          auto cit = it->second.corrupt.find(it->second.ids[i]);
+          if (cit != it->second.corrupt.end()) {
+            served[i] = corrupt_copy(served[i], cit->second);
+          }
+        }
+      } else if (config_.verify_checksums) {
+        // Clean hit with verification on still pays the checksum CPU.
+        {
+          std::lock_guard<std::mutex> ilock(integrity_mu_);
+          integrity_.cells_verified +=
+              static_cast<std::int64_t>(served.size());
+          integrity_.bytes_verified += it->second.size;
+        }
+        IoStats io;
+        io.bytes_checksummed = it->second.size;
+        if (account != nullptr) *account += io;
+        if (metrics_ != nullptr) metrics_->add_io(io);
+      }
+      std::vector<int> no_sources(served.size(), -1);
+      return Reader(std::move(served), std::move(no_sources), {},
                     it->second.size, account, metrics_, racked_topology());
     }
   }
@@ -830,6 +965,7 @@ void Dfs::restore_file(const std::string& path,
     // partially lost file) without firing on_remove: the engine drives this
     // restore and keeps its lineage record alive.
     for (const auto& block : namenode_.remove(norm, false, nullptr)) {
+      checksums_.forget(block.id);
       for (int n : block.replicas) {
         if (n < 0) continue;  // lost EC cell sentinel
         datanodes_[static_cast<std::size_t>(n)]->evict(block.id);
@@ -964,6 +1100,40 @@ NodeKillOutcome Dfs::kill_datanode(int node, double at) {
       namenode_.repair_after_node_loss(node, config_.replication, replicate);
   datanodes_[static_cast<std::size_t>(node)]->clear();
 
+  // Copies that died with the node take their rot with them: clear their
+  // corrupt marks, and drop any hot-cache poison whose block no longer has
+  // a corrupted live copy, so neither the datanode path nor the cache keeps
+  // serving a corruption that no longer exists on disk. The hot entries
+  // themselves stay — the namenode's cached payloads are unchanged by
+  // re-replication/reconstruction and are the one copy that outlives even
+  // total replica loss.
+  bool marks_cleared = false;
+  for (const auto& [block, holder] : checksums_.corrupt_copies()) {
+    if (holder != node) continue;
+    checksums_.clear_corrupt(block, holder);
+    marks_cleared = true;
+  }
+  if (marks_cleared && config_.hot_cache_bytes > 0) {
+    const auto live_marks = checksums_.corrupt_copies();
+    const auto still_marked = [&live_marks](BlockId block) {
+      for (const auto& mark : live_marks) {
+        if (mark.first == block) return true;
+      }
+      return false;
+    };
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    for (auto& entry : hot_candidates_) {
+      auto& poisoned = entry.second.corrupt;
+      for (auto it = poisoned.begin(); it != poisoned.end();) {
+        if (still_marked(it->first)) {
+          ++it;
+        } else {
+          it = poisoned.erase(it);
+        }
+      }
+    }
+  }
+
   NodeKillOutcome out;
   out.re_replicated_bytes = repaired.re_replicated_bytes;
   out.re_replicated_blocks = repaired.re_replicated_blocks;
@@ -1066,9 +1236,286 @@ void Dfs::bind_chaos(ChaosEngine* chaos, double network_bandwidth,
   chaos->set_kill_handler(ChaosEngine::TimedKillHandler(
       [this](int node, double at) { return kill_datanode(node, at); }));
   chaos->set_read_error_handler([this](int node) { inject_read_error(node); });
+  chaos->set_corrupt_handler([this](int node, double at, std::uint64_t salt) {
+    corrupt_block(node, at, salt);
+  });
+  chaos->set_scrub_handler([this](double t) { scrub_to(t); });
   if (network_bandwidth > 0.0) chaos->set_network_bandwidth(network_bandwidth);
   chaos_network_bandwidth_ = network_bandwidth;
   cost_model_ = cost_model;
+}
+
+// ---------------------------------------------------------------------------
+// Integrity
+
+void Dfs::corrupt_block(int node, double at, std::uint64_t salt) {
+  MRI_REQUIRE(node >= 0 && node < num_datanodes(),
+              "corrupt_block(" << node << ") on a DFS with "
+                               << num_datanodes() << " datanodes");
+  {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    if (dead_[static_cast<std::size_t>(node)]) return;
+  }
+  // Candidate copies on this node. `primary` marks a copy a healthy read
+  // actually serves (first replica of a replicated block, data cell of a
+  // stripe), so explicit events poison bytes a reader will see rather than
+  // a passive redundancy copy.
+  // Block numbering follows commit order, which races across task threads,
+  // so nothing here may depend on ids: the pick orders by (bytes, path,
+  // block index) and the salt hashes the path — both stable across runs.
+  struct Candidate {
+    BlockId id = 0;
+    std::uint64_t bytes = 0;
+    bool primary = false;
+    std::string path;
+    int index = 0;  // position of the block within its file
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& file : namenode_.snapshot_files()) {
+    int index = 0;
+    for (const auto& loc : file.blocks) {
+      if (loc.is_ec()) {
+        for (std::size_t slot = 0; slot < loc.replicas.size(); ++slot) {
+          if (loc.replicas[slot] != node) continue;
+          candidates.push_back(Candidate{loc.id, loc.cell_bytes(),
+                                         static_cast<int>(slot) < loc.ec_k,
+                                         file.path, index});
+        }
+        ++index;
+        continue;
+      }
+      for (std::size_t r = 0; r < loc.replicas.size(); ++r) {
+        if (loc.replicas[r] != node) continue;
+        candidates.push_back(
+            Candidate{loc.id, loc.length, r == 0, file.path, index});
+      }
+      ++index;
+    }
+  }
+  if (candidates.empty()) return;
+  const Candidate* pick = nullptr;
+  std::uint64_t eff_salt = salt;
+  if (salt == 0) {
+    // Explicit --corrupt-block event: the node's largest primary copy
+    // (ties: first in path then file order) — matrix data, not a tiny
+    // metadata file.
+    bool any_primary = false;
+    for (const auto& c : candidates) any_primary = any_primary || c.primary;
+    for (const auto& c : candidates) {
+      if (any_primary && !c.primary) continue;
+      if (pick == nullptr || c.bytes > pick->bytes ||
+          (c.bytes == pick->bytes &&
+           (c.path < pick->path ||
+            (c.path == pick->path && c.index < pick->index)))) {
+        pick = &c;
+      }
+    }
+    // Deterministic per-victim bit pattern; | 1 keeps the salt nonzero.
+    std::uint64_t hash = 1469598103934665603ull;  // FNV-1a over the path
+    for (const char ch : pick->path) {
+      hash = (hash ^ static_cast<unsigned char>(ch)) * 1099511628211ull;
+    }
+    hash ^= static_cast<std::uint64_t>(pick->index) * 0x100000001b3ull;
+    eff_salt = (0x9e3779b97f4a7c15ull ^ hash ^
+                (static_cast<std::uint64_t>(node) + 1ull)) |
+               1ull;
+  } else {
+    // Background bit-rot: the salt doubles as the (already seeded) pick.
+    pick = &candidates[static_cast<std::size_t>(salt % candidates.size())];
+  }
+  // First corruption wins; a repeat hit on an already-bad copy is a no-op
+  // so corruptions_injected == corruptions the reader can observe.
+  if (!checksums_.mark_corrupt(pick->id, node, eff_salt, at)) return;
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    ++integrity_.corruptions_injected;
+  }
+  if (config_.hot_cache_bytes > 0) {
+    // The cached copy rots with its replica until a repair clears it.
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    auto it = hot_candidates_.find(pick->path);
+    if (it != hot_candidates_.end()) it->second.corrupt[pick->id] = eff_salt;
+  }
+}
+
+bool Dfs::verify_copy(const BlockLocation& loc, int node, int slot) const {
+  BlockData data = datanodes_[static_cast<std::size_t>(node)]->get(loc.id);
+  const auto len = static_cast<std::uint64_t>(data->size());
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    ++integrity_.cells_verified;
+    integrity_.bytes_verified += len;
+  }
+  if (metrics_ != nullptr) {
+    IoStats io;
+    io.bytes_checksummed = len;
+    metrics_->add_io(io);
+  }
+  const auto expected = checksums_.expected(loc.id, slot < 0 ? 0 : slot);
+  if (!expected) return false;  // committed before checksumming was enabled
+  // Recompute the CRC over the bytes a read would actually serve: the
+  // pristine payload, or its bit-flipped overlay when the copy is marked.
+  BlockData served = data;
+  if (auto mark = checksums_.corrupt_mark(loc.id, node)) {
+    served = corrupt_copy(data, mark->salt);
+  }
+  return crc32c(std::span<const std::byte>(*served)) != *expected;
+}
+
+double Dfs::repair_corrupt_copy(const BlockLocation& loc,
+                                const std::string& path, StorageTier tier,
+                                int node, int slot, double at,
+                                bool by_scrubber,
+                                std::vector<net::Transfer>* flows) const {
+  // The clear doubles as the claim: under racing readers exactly one caller
+  // gets true, so every corruption is detected, repaired and counted once.
+  if (!checksums_.clear_corrupt(loc.id, node)) return 0.0;
+  const std::string norm = normalize(path);
+  double seconds = 0.0;
+  const char* kind = "copy";
+  std::uint64_t bytes = loc.length;
+  IoStats io;
+  TierListener* listener = tier_listener_.load(std::memory_order_acquire);
+  if (tier == StorageTier::kMemory) {
+    // Single-copy memory tier: no replica or parity to copy from — the
+    // engine recomputes the partition from lineage. Without an engine the
+    // repair is free in time (the pristine in-sim payload simply stops
+    // being served corrupted).
+    kind = "lineage";
+    seconds = listener != nullptr ? listener->on_corrupt(norm, at) : 0.0;
+  } else if (loc.is_ec()) {
+    // Decode the bad cell from k clean survivors and ship it back.
+    kind = "ec";
+    bytes = loc.cell_bytes();
+    io.bytes_reconstructed = bytes;
+    io.bytes_transferred = bytes;
+  } else {
+    // Re-materialize the block from a healthy replica.
+    io.bytes_replicated = loc.length;
+    io.bytes_transferred = loc.length;
+  }
+  if (metrics_ != nullptr &&
+      (io.bytes_transferred > 0 || io.bytes_reconstructed > 0)) {
+    metrics_->add_io(io);
+  }
+  if (flows != nullptr && racked_topology() && tier != StorageTier::kMemory) {
+    // Repair traffic crosses the fabric from the first live healthy holder.
+    int repair_source = -1;
+    {
+      std::lock_guard<std::mutex> lock(chaos_mu_);
+      for (int holder : loc.replicas) {
+        if (holder < 0 || holder == node) continue;
+        if (dead_[static_cast<std::size_t>(holder)]) continue;
+        repair_source = holder;
+        break;
+      }
+    }
+    if (repair_source >= 0) {
+      flows->push_back(
+          net::Transfer{repair_source, node, bytes, net::TransferKind::kRepair});
+    }
+  }
+  if (config_.hot_cache_bytes > 0) {
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    auto it = hot_candidates_.find(norm);
+    if (it != hot_candidates_.end()) it->second.corrupt.erase(loc.id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    ++integrity_.corruptions_detected;
+    ++integrity_.cells_quarantined;
+    if (std::strcmp(kind, "ec") == 0) {
+      ++integrity_.cells_repaired_ec;
+    } else if (std::strcmp(kind, "lineage") == 0) {
+      ++integrity_.cells_repaired_lineage;
+    } else {
+      ++integrity_.cells_repaired_copy;
+    }
+    integrity_.repairs.push_back(IntegrityRepairEvent{
+        at, node, norm, slot < 0 ? 0 : slot, bytes, kind, by_scrubber});
+  }
+  return seconds;
+}
+
+void Dfs::scrub_to(double now) {
+  if (!config_.verify_checksums || config_.scrub_interval_seconds <= 0.0) {
+    return;
+  }
+  if (next_scrub_at_ == 0.0) next_scrub_at_ = config_.scrub_interval_seconds;
+  while (next_scrub_at_ <= now) {
+    run_scrub_pass(next_scrub_at_);
+    next_scrub_at_ += config_.scrub_interval_seconds;
+  }
+}
+
+void Dfs::run_scrub_pass(double at) {
+  std::vector<net::Transfer> flows;
+  std::map<int, std::uint64_t> node_bytes;
+  std::uint64_t scanned = 0;
+  std::uint64_t repair_bytes = 0;
+  std::int64_t cells = 0;
+  std::int64_t repaired = 0;
+  double lineage_seconds = 0.0;
+  for (const auto& file : namenode_.snapshot_files()) {
+    for (const auto& loc : file.blocks) {
+      for (std::size_t s = 0; s < loc.replicas.size(); ++s) {
+        const int holder = loc.replicas[s];
+        if (holder < 0) continue;  // lost EC cell sentinel
+        {
+          std::lock_guard<std::mutex> lock(chaos_mu_);
+          if (dead_[static_cast<std::size_t>(holder)]) continue;
+        }
+        const std::uint64_t len = loc.is_ec() ? loc.cell_bytes() : loc.length;
+        const int slot = loc.is_ec() ? static_cast<int>(s) : -1;
+        node_bytes[holder] += len;
+        scanned += len;
+        ++cells;
+        if (verify_copy(loc, holder, slot)) {
+          lineage_seconds += repair_corrupt_copy(loc, file.path, file.tier,
+                                                 holder, slot, at,
+                                                 /*by_scrubber=*/true, &flows);
+          ++repaired;
+          repair_bytes += len;
+        }
+      }
+    }
+  }
+  // Pass duration: every node scrubs its own copies in parallel at disk
+  // bandwidth (the slowest node paces the pass), plus the checksum CPU over
+  // everything scanned, plus repair traffic — flow-simulated across the
+  // racked fabric when one is attached — and any lineage recomputes.
+  double pass_seconds = lineage_seconds;
+  if (cost_model_ != nullptr) {
+    std::uint64_t max_node_bytes = 0;
+    for (const auto& [n, b] : node_bytes) {
+      max_node_bytes = std::max(max_node_bytes, b);
+    }
+    pass_seconds +=
+        static_cast<double>(max_node_bytes) / cost_model_->disk_bandwidth +
+        cost_model_->checksum_seconds(scanned);
+  }
+  if (!flows.empty() && racked_topology()) {
+    std::vector<net::Flow> nf;
+    nf.reserve(flows.size());
+    for (const net::Transfer& t : flows) {
+      nf.push_back(net::Flow{t.src, t.dst, t.bytes, 0.0, -1});
+    }
+    pass_seconds += net::simulate_flows(*topology_, nf).end_time;
+  } else if (repair_bytes > 0 && chaos_network_bandwidth_ > 0.0) {
+    pass_seconds +=
+        static_cast<double>(repair_bytes) / chaos_network_bandwidth_;
+  }
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  ++integrity_.scrub_passes;
+  integrity_.scrub_bytes_scanned += scanned;
+  integrity_.scrub_seconds += pass_seconds;
+  integrity_.scrubs.push_back(
+      ScrubPassEvent{at, pass_seconds, scanned, cells, repaired});
+}
+
+IntegrityStats Dfs::integrity_stats() const {
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  return integrity_;
 }
 
 // ---------------------------------------------------------------------------

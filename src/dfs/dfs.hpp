@@ -28,6 +28,7 @@
 #include "dfs/block.hpp"
 #include "dfs/datanode.hpp"
 #include "dfs/ec/policy.hpp"
+#include "dfs/integrity/checksum_store.hpp"
 #include "dfs/namenode.hpp"
 #include "net/topology.hpp"
 #include "sim/chaos.hpp"
@@ -91,6 +92,19 @@ struct DfsConfig {
   /// built for the repeatedly re-read transposed-U factors.
   std::uint64_t hot_cache_bytes = 0;
   std::string hot_file_prefix = "ut";
+  /// End-to-end data integrity: compute per-cell CRC32C checksums on the
+  /// write path (charged as checksum CPU), verify them on every read, and
+  /// read-repair copies that fail verification. Off by default — an off run
+  /// does no checksum work at all, keeping pre-integrity reports
+  /// bit-identical, and silently serves whatever bytes a corrupted copy
+  /// holds (the failure mode this subsystem exists to close).
+  bool verify_checksums = false;
+  /// Background scrubber period in simulated seconds; 0 disables. Each
+  /// multiple of the interval crossed by a chaos advance (job/phase
+  /// boundary) triggers one pass that re-verifies every live block cell at
+  /// disk bandwidth and proactively repairs corrupt copies. Requires
+  /// verify_checksums.
+  double scrub_interval_seconds = 0.0;
 };
 
 /// One erasure-coded reconstruction burst: a node death that rebuilt lost
@@ -129,6 +143,18 @@ class TierListener {
   virtual void on_open(const std::string& path, StorageTier tier,
                        std::uint64_t size) = 0;
   virtual void on_remove(const std::string& path) = 0;
+  /// A memory-tier partition of `path` failed checksum verification at
+  /// simulated time `at`. The engine recomputes it from lineage (SPIN-style
+  /// — memory-tier files have one copy and no parity, so recomputation IS
+  /// the repair path) and returns the simulated seconds that recompute
+  /// cost; the DFS then clears the corruption. Default: no engine, repair
+  /// is free in time and the pristine in-sim payload simply stops being
+  /// served corrupted.
+  virtual double on_corrupt(const std::string& path, double at) {
+    (void)path;
+    (void)at;
+    return 0.0;
+  }
 };
 
 class Dfs {
@@ -333,6 +359,32 @@ class Dfs {
   /// when the node held the only live copy.
   void inject_read_error(int node, int count = 1);
 
+  /// Silently corrupts one block copy on `node` at simulated time `at`
+  /// (kCorruptBlock semantics: reads of the copy *succeed* with wrong
+  /// bytes). salt == 0 picks the node's largest block (ties: smallest id) —
+  /// explicit --corrupt-block events target matrix data, not tiny metadata
+  /// files; a nonzero salt (background bit-rot) picks among the node's
+  /// copies deterministically and seeds the bit-flip pattern. A hot-cached
+  /// copy of the same block rots with it (the cache holds a copy of the
+  /// corrupted replica). No-op when the node is dead or holds nothing.
+  void corrupt_block(int node, double at, std::uint64_t salt = 0);
+
+  /// Runs background scrubber passes for every multiple of
+  /// scrub_interval_seconds crossed in (last scrub, now]. Each pass walks
+  /// every live block cell, re-verifies its checksum (scan time = slowest
+  /// node's bytes at disk bandwidth + checksum CPU via the bound
+  /// CostModel), and repairs corrupt copies proactively — replica copy for
+  /// replicated blocks, decode fan-in (flow-simulated under a racked
+  /// topology) for EC cells, lineage recomputation via the TierListener for
+  /// memory-tier partitions. Driver-thread only (invoked from
+  /// ChaosEngine::advance_to at job/phase boundaries). No-op unless
+  /// verify_checksums and a positive interval are configured.
+  void scrub_to(double now);
+
+  /// Integrity counters and event lanes (all zero when verification is
+  /// off and no corruption was injected).
+  IntegrityStats integrity_stats() const;
+
   /// Installs this filesystem as `chaos`'s kill and read-error handler and
   /// hands it `network_bandwidth` for re-replication-seconds accounting.
   /// `cost_model` (may be null; must outlive the Dfs if given) prices the
@@ -367,6 +419,28 @@ class Dfs {
   /// Re-runs the greedy residency sweep; call with hot_mu_ held.
   void recompute_hot_residents_locked() const;
 
+  /// Repairs one corrupt copy: clears the (block, node) mark and the hot-
+  /// cache salt, records the repair event and charges its traffic. The
+  /// in-sim payload object was never mutated (corruption is served as a
+  /// deterministic overlay), so clearing the mark models rewriting good
+  /// bytes over the quarantined copy. `slot` is the EC cell index (-1 for
+  /// replicated blocks). Returns the simulated seconds of a lineage
+  /// recompute (memory-tier files), else 0; `flows` (may be null) collects
+  /// repair transfers for the scrubber's flow simulation.
+  double repair_corrupt_copy(const BlockLocation& loc, const std::string& path,
+                             StorageTier tier, int node, int slot, double at,
+                             bool by_scrubber,
+                             std::vector<net::Transfer>* flows) const;
+
+  /// CRC32C-verifies the bytes a read of (loc, node) would serve against
+  /// the recorded write-path checksum, charging the checksum CPU. Returns
+  /// true when the copy is corrupt. `slot` is the EC cell index (-1 =
+  /// whole replicated block).
+  bool verify_copy(const BlockLocation& loc, int node, int slot) const;
+
+  /// One scrubber pass at simulated time `at` (see scrub_to).
+  void run_scrub_pass(double at);
+
   /// True when the attached topology is racked and sized for this DFS —
   /// the gate for transfer recording and rack-aware behaviour.
   bool racked_topology() const;
@@ -387,13 +461,27 @@ class Dfs {
   mutable std::mutex storage_mu_;  // guards storage_events_
   std::vector<StorageReconstructionEvent> storage_events_;
 
+  // Block-integrity layer (see DfsConfig::verify_checksums). The store and
+  // stats are mutable because verification, detection and read-repair all
+  // happen on the const read path.
+  mutable ChecksumStore checksums_;
+  mutable std::mutex integrity_mu_;  // guards integrity_
+  mutable IntegrityStats integrity_;
+  double next_scrub_at_ = 0.0;  // driver-thread only (chaos advance)
+
   // Namenode hot-block cache (see DfsConfig::hot_cache_bytes).
   struct HotFile {
     std::uint64_t size = 0;
     std::vector<BlockData> blocks;  // full-block payloads, in file order
+    std::vector<BlockId> ids;       // parallel to blocks
+    /// Poisoned cached blocks -> bit-rot salt: the cached copy mirrors a
+    /// datanode replica, so corruption of that replica poisons the cached
+    /// bytes too until a repair clears it. Empty while the file is clean.
+    std::map<BlockId, std::uint64_t> corrupt;
   };
   mutable std::mutex hot_mu_;
-  std::map<std::string, HotFile> hot_candidates_;  // sorted: residency order
+  // Mutable: read-repair (on the const open path) clears cache poisoning.
+  mutable std::map<std::string, HotFile> hot_candidates_;  // sorted order
   mutable std::set<std::string> hot_resident_;
   mutable std::uint64_t hot_resident_bytes_ = 0;
   mutable std::uint64_t hot_hits_ = 0;

@@ -1,0 +1,77 @@
+#include "dfs/integrity/checksum_store.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "common/random.hpp"
+
+namespace mri::dfs {
+
+void ChecksumStore::record(BlockId block, std::vector<std::uint32_t> cell_crcs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crcs_[block] = std::move(cell_crcs);
+}
+
+void ChecksumStore::forget(BlockId block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crcs_.erase(block);
+  auto it = marks_.lower_bound({block, std::numeric_limits<int>::min()});
+  while (it != marks_.end() && it->first.first == block) it = marks_.erase(it);
+}
+
+std::optional<std::uint32_t> ChecksumStore::expected(BlockId block,
+                                                     int cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = crcs_.find(block);
+  if (it == crcs_.end()) return std::nullopt;
+  if (cell < 0 || static_cast<std::size_t>(cell) >= it->second.size()) {
+    return std::nullopt;
+  }
+  return it->second[static_cast<std::size_t>(cell)];
+}
+
+bool ChecksumStore::mark_corrupt(BlockId block, int node, std::uint64_t salt,
+                                 double at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return marks_
+      .emplace(std::make_pair(block, node), CorruptMark{salt, at})
+      .second;
+}
+
+std::optional<CorruptMark> ChecksumStore::corrupt_mark(BlockId block,
+                                                       int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = marks_.find({block, node});
+  if (it == marks_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ChecksumStore::clear_corrupt(BlockId block, int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return marks_.erase({block, node}) > 0;
+}
+
+std::vector<std::pair<BlockId, int>> ChecksumStore::corrupt_copies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<BlockId, int>> out;
+  out.reserve(marks_.size());
+  for (const auto& [key, mark] : marks_) out.push_back(key);
+  return out;
+}
+
+BlockData corrupt_copy(const BlockData& data, std::uint64_t salt) {
+  auto flipped = std::make_shared<std::vector<std::byte>>(*data);
+  if (!flipped->empty()) {
+    Xoshiro256 rng(salt);
+    for (int i = 0; i < 8; ++i) {
+      const auto pos =
+          static_cast<std::size_t>(rng.next_below(flipped->size()));
+      (*flipped)[pos] ^= std::byte{0x08};
+    }
+    // Positions can collide and cancel pairwise; force at least one flip.
+    if (*flipped == *data) (*flipped)[0] ^= std::byte{0x08};
+  }
+  return flipped;
+}
+
+}  // namespace mri::dfs

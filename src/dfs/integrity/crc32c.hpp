@@ -1,0 +1,19 @@
+// CRC32C (Castagnoli) — the block-checksum polynomial used by HDFS, ext4
+// and iSCSI. Software table-driven implementation: the simulator checksums
+// simulated payloads, so portability beats SSE4.2 throughput here; the
+// *simulated* cost of checksumming is charged separately through
+// CostModel::checksum_seconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mri::dfs {
+
+/// CRC32C of `data`, continuing from `crc` (pass the previous return value
+/// to checksum a block in chunks; 0 starts a fresh checksum). Known-answer:
+/// crc32c("123456789") == 0xE3069283.
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t crc = 0);
+
+}  // namespace mri::dfs

@@ -143,6 +143,24 @@ void NameNode::collect_files(const Inode& node, const std::string& path,
   }
 }
 
+void NameNode::snapshot_inode(const Inode& node, const std::string& path,
+                              std::vector<FileInfo>* out) {
+  if (!node.is_dir) {
+    out->push_back(FileInfo{path, node.tier, node.blocks});
+    return;
+  }
+  for (const auto& [name, child] : node.children) {
+    snapshot_inode(*child, path + "/" + name, out);
+  }
+}
+
+std::vector<NameNode::FileInfo> NameNode::snapshot_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FileInfo> out;
+  snapshot_inode(*root_, "", &out);
+  return out;
+}
+
 std::size_t NameNode::count_files(const Inode& node) {
   if (!node.is_dir) return 1;
   std::size_t n = 0;

@@ -78,6 +78,19 @@ class NameNode {
   /// Number of files in the whole namespace (used by §6.1 tests).
   std::size_t file_count() const;
 
+  /// One file's identity and block map, as captured by snapshot_files().
+  struct FileInfo {
+    std::string path;
+    StorageTier tier = StorageTier::kDisk;
+    std::vector<BlockLocation> blocks;
+  };
+
+  /// Every file in the namespace with its tier and block locations, in
+  /// deterministic sorted tree-walk order — the iteration surface for the
+  /// integrity scrubber and the chaos corrupt-block victim pick (unlike the
+  /// flattened remove() output, per-file path/block alignment is kept).
+  std::vector<FileInfo> snapshot_files() const;
+
   /// Sum of file sizes across the namespace: the logical bytes stored,
   /// independent of replication factor or parity overhead.
   std::uint64_t total_logical_bytes() const;
@@ -117,6 +130,8 @@ class NameNode {
   static void collect_files(const Inode& node, const std::string& path,
                             std::vector<BlockLocation>* blocks,
                             std::vector<std::string>* paths);
+  static void snapshot_inode(const Inode& node, const std::string& path,
+                             std::vector<FileInfo>* out);
   static std::size_t count_files(const Inode& node);
 
   mutable std::mutex mu_;

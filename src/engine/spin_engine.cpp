@@ -107,6 +107,31 @@ void SpinEngine::on_open(const std::string& path, dfs::StorageTier tier,
   cache_.touch(path, epoch);
 }
 
+double SpinEngine::on_corrupt(const std::string& path, double at) {
+  LineageRecord rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Untracked: base data on the disk tier — the DFS's replica/EC repair
+    // paths own it, not lineage.
+    if (!lineage_.tracked(path)) return 0.0;
+    rec = lineage_.get(path);
+  }
+  const double t = model_->task_seconds(rec.production_io);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++ext_.partitions_recomputed;
+    ext_.recompute_seconds += t;
+    ext_.recomputed_bytes += rec.size;
+    ext_.recomputes.push_back(RecomputeEvent{at, t, 0, path, rec.size});
+  }
+  if (metrics_ != nullptr) {
+    // The re-executed producer spends real (simulated) resources again.
+    metrics_->add_io(rec.production_io);
+    metrics_->increment("engine_partitions_recomputed");
+  }
+  return t;
+}
+
 void SpinEngine::on_remove(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -95,6 +95,14 @@ class SpinEngine final : public dfs::TierListener {
   void on_open(const std::string& path, dfs::StorageTier tier,
                std::uint64_t size) override;
   void on_remove(const std::string& path) override;
+  /// Integrity repair of a corrupted memory-tier partition: the single
+  /// in-memory copy has no replica or parity, so the producing task re-runs
+  /// from lineage. Accounting-only — the DFS serves corruption as an
+  /// overlay over the pristine payload, so clearing the mark (done by the
+  /// caller) restores the bytes; this charges the re-run's IoStats and
+  /// returns its simulated duration. No restore_file: recommitting would
+  /// re-place blocks mid-read.
+  double on_corrupt(const std::string& path, double at) override;
 
  private:
   NodeKillOutcome on_kill(int node, double at);

@@ -98,6 +98,10 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
   if (metrics != nullptr) {
     report.dfs_io = metrics->io_totals();
     report.counters = metrics->counters();
+    const auto survived = report.counters.find("dfs_read_errors_survived");
+    if (survived != report.counters.end()) {
+      report.recovery.read_errors_survived = survived->second;
+    }
   }
   if (chaos != nullptr) {
     const RecoveryStats& stats = chaos->stats();
@@ -239,6 +243,44 @@ RunReport build_run_report(const std::vector<JobResult>& jobs,
       r.bytes = e.bytes;
       r.seconds = e.seconds;
       sto.reconstructions.push_back(std::move(r));
+    }
+    // Integrity section: configuration plus the DFS's checksum / corruption
+    // / repair / scrubber totals and event lanes.
+    IntegrityReport& integ = report.integrity;
+    integ.verify_checksums = fs->config().verify_checksums;
+    integ.scrub_interval_seconds = fs->config().scrub_interval_seconds;
+    const dfs::IntegrityStats is = fs->integrity_stats();
+    integ.cells_checksummed = is.cells_checksummed;
+    integ.cells_verified = is.cells_verified;
+    integ.bytes_verified = is.bytes_verified;
+    integ.corruptions_injected = is.corruptions_injected;
+    integ.corruptions_detected = is.corruptions_detected;
+    integ.cells_repaired_copy = is.cells_repaired_copy;
+    integ.cells_repaired_ec = is.cells_repaired_ec;
+    integ.cells_repaired_lineage = is.cells_repaired_lineage;
+    integ.cells_quarantined = is.cells_quarantined;
+    integ.scrub_passes = is.scrub_passes;
+    integ.scrub_bytes_scanned = is.scrub_bytes_scanned;
+    integ.scrub_seconds = is.scrub_seconds;
+    for (const dfs::IntegrityRepairEvent& e : is.repairs) {
+      IntegrityRepairSpan span;
+      span.at = e.at;
+      span.node = e.node;
+      span.path = e.path;
+      span.cell = e.cell;
+      span.bytes = e.bytes;
+      span.kind = e.kind;
+      span.by_scrubber = e.by_scrubber;
+      integ.repairs.push_back(std::move(span));
+    }
+    for (const dfs::ScrubPassEvent& e : is.scrubs) {
+      ScrubPassSpan span;
+      span.at = e.at;
+      span.seconds = e.seconds;
+      span.bytes_scanned = e.bytes_scanned;
+      span.cells_verified = e.cells_verified;
+      span.cells_repaired = e.cells_repaired;
+      integ.scrub_spans.push_back(std::move(span));
     }
   }
   report.phases = phase_traces(jobs);

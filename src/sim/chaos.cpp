@@ -17,6 +17,7 @@ ChaosEngine::ChaosEngine(ChaosOptions options) : options_(options) {
               "degrade fraction must be in [0, 1]");
   MRI_REQUIRE(options_.degrade_factor > 0.0 && options_.degrade_factor <= 1.0,
               "degrade factor must be in (0, 1]");
+  MRI_REQUIRE(options_.bitrot_rate >= 0.0, "bitrot rate must be >= 0");
 }
 
 void ChaosEngine::add_event(ChaosEvent event) {
@@ -62,6 +63,36 @@ void ChaosEngine::sample_faults(int num_nodes) {
         events_.push_back(Scheduled{ev, false});
         break;  // a dead node samples no further faults
       }
+    }
+  }
+}
+
+void ChaosEngine::sample_bitrot(int num_nodes) {
+  MRI_REQUIRE(options_.bitrot_rate > 0.0,
+              "sample_bitrot() needs bitrot_rate > 0");
+  MRI_REQUIRE(options_.horizon_seconds > 0.0,
+              "sample_bitrot() needs horizon_seconds > 0");
+  MRI_REQUIRE(num_nodes >= 1, "sample_bitrot() needs at least one node");
+  std::lock_guard<std::mutex> lock(mu_);
+  const double mean_interval = 1.0 / options_.bitrot_rate;
+  const int first = options_.spare_master ? 1 : 0;
+  for (int node = first; node < num_nodes; ++node) {
+    // Per-node stream, mixed with a different constant than sample_faults()
+    // so bit-rot and kill/degrade schedules stay independent.
+    Xoshiro256 rng(options_.seed ^
+                   (0x94d049bb133111ebull *
+                    static_cast<std::uint64_t>(node + 1)));
+    double t = 0.0;
+    while (true) {
+      const double u = rng.next_double();
+      t += -mean_interval * std::log1p(-u);
+      if (t >= options_.horizon_seconds) break;
+      ChaosEvent ev;
+      ev.kind = ChaosEventKind::kCorruptBlock;
+      ev.at = t;
+      ev.node = node;
+      ev.salt = rng.next() | 1ull;  // nonzero: salted victim pick
+      events_.push_back(Scheduled{ev, false});
     }
   }
 }
@@ -136,6 +167,16 @@ void ChaosEngine::set_read_error_handler(ReadErrorHandler handler) {
   read_error_handler_ = std::move(handler);
 }
 
+void ChaosEngine::set_corrupt_handler(CorruptHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_handler_ = std::move(handler);
+}
+
+void ChaosEngine::set_scrub_handler(ScrubHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scrub_handler_ = std::move(handler);
+}
+
 void ChaosEngine::set_network_bandwidth(double bytes_per_second) {
   std::lock_guard<std::mutex> lock(mu_);
   network_bandwidth_ = bytes_per_second;
@@ -152,6 +193,8 @@ void ChaosEngine::advance_to(double t) {
   std::vector<Due> due;
   TimedKillHandler kill;
   ReadErrorHandler read_error;
+  CorruptHandler corrupt;
+  ScrubHandler scrub;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < events_.size(); ++i) {
@@ -174,6 +217,8 @@ void ChaosEngine::advance_to(double t) {
     }
     kill = kill_handler_;
     read_error = read_error_handler_;
+    corrupt = corrupt_handler_;
+    scrub = scrub_handler_;
   }
   std::stable_sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
     return a.event.at < b.event.at;
@@ -217,8 +262,18 @@ void ChaosEngine::advance_to(double t) {
         ++stats_.read_errors_injected;
         break;
       }
+      case ChaosEventKind::kCorruptBlock: {
+        if (corrupt) corrupt(d.event.node, d.event.at, d.event.salt);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.blocks_corrupted;
+        break;
+      }
     }
   }
+  // Scrub passes run at job/phase boundaries — exactly the advance points —
+  // after the faults due at this time have landed, so a scrubber configured
+  // here sees (and proactively repairs) everything injected up to t.
+  if (scrub) scrub(t);
 }
 
 void ChaosEngine::note_request_retry() {

@@ -13,7 +13,15 @@
 //                      (a straggler; speculation is the countermeasure);
 //   * kBlockReadError — one read from the node fails; the DFS reader fails
 //                      over to another replica (or surfaces a transient
-//                      DfsError when there is none).
+//                      DfsError when there is none);
+//   * kCorruptBlock  — a block copy on the node silently rots: reads of it
+//                      *succeed* with wrong bytes. Undetectable unless DFS
+//                      checksum verification is on, in which case the reader
+//                      treats the mismatch like a failed replica and
+//                      read-repairs the copy. Explicit events pick the
+//                      node's largest block (matrix data, not metadata);
+//                      background bit-rot (ChaosOptions::bitrot_rate) picks
+//                      by the event's seeded salt.
 //
 // The schedule is fixed up front: explicit events via add_event() and/or
 // MTBF-driven sampling from a seeded RNG via sample_faults(). Two engines
@@ -37,13 +45,23 @@
 
 namespace mri {
 
-enum class ChaosEventKind { kKillNode, kDegradeNode, kBlockReadError };
+enum class ChaosEventKind {
+  kKillNode,
+  kDegradeNode,
+  kBlockReadError,
+  kCorruptBlock
+};
 
 struct ChaosEvent {
   ChaosEventKind kind = ChaosEventKind::kKillNode;
   double at = 0.0;       // absolute simulated seconds
   int node = 0;
   double factor = 1.0;   // kDegradeNode: speed multiplier (< 1 = slower)
+  /// kCorruptBlock: seeds the deterministic bit-flip pattern AND (when
+  /// nonzero) the victim-block pick among the node's blocks; 0 means "pick
+  /// the node's largest block" (explicit --corrupt-block events, which
+  /// target matrix data rather than tiny metadata files).
+  std::uint64_t salt = 0;
 };
 
 struct ChaosOptions {
@@ -60,6 +78,10 @@ struct ChaosOptions {
   /// Node 0 hosts the jobtracker/namenode; killing it would end the run,
   /// not stretch it, so sampling spares it by default.
   bool spare_master = true;
+  /// Background silent bit-rot rate for sample_bitrot(): expected
+  /// kCorruptBlock events per node per simulated second. 0 disables
+  /// sampling (explicit --corrupt-block events only).
+  double bitrot_rate = 0.0;
 };
 
 /// What one applied node kill cost the DFS: re-replication traffic for the
@@ -98,6 +120,9 @@ struct RecoveryStats {
   int nodes_killed = 0;
   int nodes_degraded = 0;
   int read_errors_injected = 0;
+  /// kCorruptBlock events applied (injected silent corruptions; whether
+  /// they were *detected* is the integrity layer's story, not chaos's).
+  int blocks_corrupted = 0;
   std::uint64_t re_replicated_bytes = 0;
   int re_replicated_blocks = 0;
   int blocks_lost = 0;
@@ -148,6 +173,14 @@ class ChaosEngine {
   /// horizon_seconds > 0.
   void sample_faults(int num_nodes);
 
+  /// Samples background silent-corruption events for nodes [0, num_nodes)
+  /// with exponential inter-arrivals at bitrot_rate per node per second
+  /// within the horizon; deterministic in (seed, num_nodes, options) and
+  /// independent of sample_faults() (distinct per-node streams). Each event
+  /// carries a nonzero salt that seeds both the victim pick and the flip
+  /// pattern. Requires bitrot_rate > 0 and horizon_seconds > 0.
+  void sample_bitrot(int num_nodes);
+
   /// Deterministically samples a kill time in [0, horizon) for an explicit
   /// --kill-node without a time; distinct per (seed, node).
   double sample_kill_time(int node) const;
@@ -173,9 +206,21 @@ class ChaosEngine {
   using TimedKillHandler = std::function<NodeKillOutcome(int node, double at)>;
   /// Handler for kBlockReadError events (arms one failing read on a node).
   using ReadErrorHandler = std::function<void(int node)>;
+  /// Handler for kCorruptBlock events: silently corrupts one block copy on
+  /// `node` at simulated time `at` with flip-pattern seed `salt` (0 = pick
+  /// the node's largest block). Installed by Dfs::bind_chaos().
+  using CorruptHandler =
+      std::function<void(int node, double at, std::uint64_t salt)>;
+  /// Invoked at the end of every advance_to(t) with the new simulated time,
+  /// after due events are applied — the hook the DFS background scrubber
+  /// hangs off so scrub passes land at job/phase boundaries on every
+  /// driver (batch runtime and service loop alike).
+  using ScrubHandler = std::function<void(double t)>;
   void set_kill_handler(KillHandler handler);
   void set_kill_handler(TimedKillHandler handler);
   void set_read_error_handler(ReadErrorHandler handler);
+  void set_corrupt_handler(CorruptHandler handler);
+  void set_scrub_handler(ScrubHandler handler);
   /// Network bandwidth used to convert re-replicated bytes into
   /// re_replication_seconds (0 leaves the seconds at 0).
   void set_network_bandwidth(double bytes_per_second);
@@ -215,6 +260,8 @@ class ChaosEngine {
   std::vector<Scheduled> events_;  // insertion order; applied in (at, order)
   TimedKillHandler kill_handler_;
   ReadErrorHandler read_error_handler_;
+  CorruptHandler corrupt_handler_;
+  ScrubHandler scrub_handler_;
   double network_bandwidth_ = 0.0;
   RecoveryStats stats_;
   std::vector<TaskFailureRule> task_rules_;

@@ -38,6 +38,7 @@ CostModel CostModel::scaled_down(double linear_factor) const {
   m.network_bandwidth *= linear_factor;
   m.memory_bandwidth *= linear_factor;
   m.ec_decode_bandwidth *= linear_factor;
+  m.checksum_bandwidth *= linear_factor;
   m.job_launch_seconds /= s3;
   m.task_overhead_seconds /= s3;
   m.message_latency_seconds /= s3;
@@ -68,6 +69,7 @@ double CostModel::compute_seconds(const IoStats& io, double speed_factor) const 
   t += static_cast<double>(io.bytes_replicated) / network_bandwidth;
   t += static_cast<double>(io.bytes_parity) / disk_bandwidth;
   t += ec_decode_seconds(io.bytes_reconstructed);
+  t += checksum_seconds(io.bytes_checksummed);
   t += memory_tier_seconds(io);
   return t;
 }
@@ -80,6 +82,10 @@ double CostModel::memory_tier_seconds(const IoStats& io) const {
 
 double CostModel::ec_decode_seconds(std::uint64_t bytes) const {
   return static_cast<double>(bytes) / ec_decode_bandwidth;
+}
+
+double CostModel::checksum_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / checksum_bandwidth;
 }
 
 }  // namespace mri

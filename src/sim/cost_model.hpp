@@ -40,6 +40,12 @@ struct CostModel {
   /// Jerasure ballpark); degraded reads and node-loss reconstruction charge
   /// bytes_reconstructed at this rate.
   double ec_decode_bandwidth = 2.0e9;
+  /// CRC32C throughput for block-checksum computation and verification
+  /// (bytes/s). Hardware-assisted CRC32C (SSE4.2 crc32 / ARMv8 CRC
+  /// extensions) streams at several GB/s per core; write-path
+  /// checksumming, verify-on-read and the scrubber all charge
+  /// bytes_checksummed at this rate.
+  double checksum_bandwidth = 4.0e9;
   /// Constant cost of launching one MapReduce job (scheduling, JVM spin-up).
   double job_launch_seconds = 15.0;
   /// Per-task-attempt overhead (task setup, heartbeat granularity).
@@ -97,6 +103,11 @@ struct CostModel {
   /// scheduler's racked flow accounting and Dfs node-loss reconstruction
   /// all call this.
   double ec_decode_seconds(std::uint64_t bytes) const;
+
+  /// CPU seconds to CRC32C-checksum `bytes`. The SINGLE conversion point
+  /// for checksum cost — compute_seconds and the Dfs scrubber both call
+  /// this.
+  double checksum_seconds(std::uint64_t bytes) const;
 
   /// Exact rescaling for running the paper's experiments on matrices shrunk
   /// by a linear factor S (n_sim = n_paper / S, nb_sim = nb_paper / S).

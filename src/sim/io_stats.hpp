@@ -24,6 +24,9 @@
 //                      charged at the CostModel's ec_decode_bandwidth
 //   degraded_reads     number of EC stripe reads that had to decode around
 //                      at least one lost cell
+//   bytes_checksummed  bytes run through CRC32C on the DFS write path and on
+//                      verify-on-read / scrub; charged as checksum CPU at
+//                      the CostModel's checksum_bandwidth
 //   mults / adds       floating-point multiply / add operations
 #pragma once
 
@@ -44,6 +47,7 @@ struct IoStats {
   std::uint64_t bytes_parity = 0;
   std::uint64_t bytes_reconstructed = 0;
   std::uint64_t degraded_reads = 0;
+  std::uint64_t bytes_checksummed = 0;
   std::uint64_t mults = 0;
   std::uint64_t adds = 0;
 
@@ -58,6 +62,7 @@ struct IoStats {
     bytes_parity += other.bytes_parity;
     bytes_reconstructed += other.bytes_reconstructed;
     degraded_reads += other.degraded_reads;
+    bytes_checksummed += other.bytes_checksummed;
     mults += other.mults;
     adds += other.adds;
     return *this;
@@ -88,6 +93,8 @@ struct IoStats {
                 "IoStats subtraction underflows bytes_reconstructed");
     MRI_REQUIRE(degraded_reads >= other.degraded_reads,
                 "IoStats subtraction underflows degraded_reads");
+    MRI_REQUIRE(bytes_checksummed >= other.bytes_checksummed,
+                "IoStats subtraction underflows bytes_checksummed");
     MRI_REQUIRE(mults >= other.mults, "IoStats subtraction underflows mults");
     MRI_REQUIRE(adds >= other.adds, "IoStats subtraction underflows adds");
     bytes_written -= other.bytes_written;
@@ -100,6 +107,7 @@ struct IoStats {
     bytes_parity -= other.bytes_parity;
     bytes_reconstructed -= other.bytes_reconstructed;
     degraded_reads -= other.degraded_reads;
+    bytes_checksummed -= other.bytes_checksummed;
     mults -= other.mults;
     adds -= other.adds;
     return *this;

@@ -305,6 +305,7 @@ std::string run_report_json(const RunReport& report) {
   os << ",\"recovery\":{\"nodes_killed\":" << rec.nodes_killed
      << ",\"nodes_degraded\":" << rec.nodes_degraded
      << ",\"read_errors_injected\":" << rec.read_errors_injected
+     << ",\"read_errors_survived\":" << rec.read_errors_survived
      << ",\"tasks_recomputed\":" << rec.tasks_recomputed
      << ",\"attempts_killed\":" << rec.attempts_killed
      << ",\"re_replicated_bytes\":" << rec.re_replicated_bytes
@@ -403,6 +404,56 @@ std::string run_report_json(const RunReport& report) {
     }
   }
   os << "]}";
+  // Integrity keys are always present (stable schema); with verification
+  // off and no corruption every counter is zero and both lists are empty.
+  const IntegrityReport& integ = report.integrity;
+  os << ",\"integrity\":{\"verify_checksums\":"
+     << (integ.verify_checksums ? "true" : "false")
+     << ",\"scrub_interval_seconds\":";
+  append_num(os, integ.scrub_interval_seconds);
+  os << ",\"cells_checksummed\":" << integ.cells_checksummed
+     << ",\"cells_verified\":" << integ.cells_verified
+     << ",\"bytes_verified\":" << integ.bytes_verified
+     << ",\"corruptions_injected\":" << integ.corruptions_injected
+     << ",\"corruptions_detected\":" << integ.corruptions_detected
+     << ",\"cells_repaired_copy\":" << integ.cells_repaired_copy
+     << ",\"cells_repaired_ec\":" << integ.cells_repaired_ec
+     << ",\"cells_repaired_lineage\":" << integ.cells_repaired_lineage
+     << ",\"cells_quarantined\":" << integ.cells_quarantined
+     << ",\"scrub_passes\":" << integ.scrub_passes
+     << ",\"scrub_bytes_scanned\":" << integ.scrub_bytes_scanned
+     << ",\"scrub_seconds\":";
+  append_num(os, integ.scrub_seconds);
+  os << ",\"repairs\":[";
+  {
+    bool first_rep = true;
+    for (const IntegrityRepairSpan& r : integ.repairs) {
+      if (!first_rep) os << ',';
+      first_rep = false;
+      os << "{\"at\":";
+      append_num(os, r.at);
+      os << ",\"node\":" << r.node << ",\"path\":\"" << json_escape(r.path)
+         << "\",\"cell\":" << r.cell << ",\"bytes\":" << r.bytes
+         << ",\"kind\":\"" << json_escape(r.kind) << "\",\"by_scrubber\":"
+         << (r.by_scrubber ? "true" : "false") << '}';
+    }
+  }
+  os << "],\"scrubs\":[";
+  {
+    bool first_scrub = true;
+    for (const ScrubPassSpan& s : integ.scrub_spans) {
+      if (!first_scrub) os << ',';
+      first_scrub = false;
+      os << "{\"at\":";
+      append_num(os, s.at);
+      os << ",\"seconds\":";
+      append_num(os, s.seconds);
+      os << ",\"bytes_scanned\":" << s.bytes_scanned
+         << ",\"cells_verified\":" << s.cells_verified
+         << ",\"cells_repaired\":" << s.cells_repaired << '}';
+    }
+  }
+  os << "]}";
   // Kernel keys are always present (stable schema). Wall-clock kernel
   // timings (kernel_seconds / achieved_gflops) are intentionally NOT
   // emitted: they vary per host, and same-seed reports must stay
@@ -421,9 +472,10 @@ std::string run_report_json(const RunReport& report) {
     if (!first_event) os << ',';
     first_event = false;
     os << "{\"kind\":\""
-       << (e.kind == ChaosEventKind::kKillNode      ? "kill"
-           : e.kind == ChaosEventKind::kDegradeNode ? "degrade"
-                                                    : "read_error")
+       << (e.kind == ChaosEventKind::kKillNode       ? "kill"
+           : e.kind == ChaosEventKind::kDegradeNode  ? "degrade"
+           : e.kind == ChaosEventKind::kCorruptBlock ? "corrupt_block"
+                                                     : "read_error")
        << "\",\"at\":";
     append_num(os, e.at);
     os << ",\"node\":" << e.node << ",\"factor\":";
@@ -551,6 +603,7 @@ std::string chrome_trace_json(const RunReport& report) {
   constexpr int kNetworkPid = 1000004;
   constexpr int kEnginePid = 1000005;
   constexpr int kStoragePid = 1000006;
+  constexpr int kIntegrityPid = 1000007;
   std::ostringstream os;
   os.precision(12);
   os << "[";
@@ -654,6 +707,8 @@ std::string chrome_trace_json(const RunReport& report) {
       const char* what = e.kind == ChaosEventKind::kKillNode ? "kill node "
                          : e.kind == ChaosEventKind::kDegradeNode
                              ? "degrade node "
+                         : e.kind == ChaosEventKind::kCorruptBlock
+                             ? "corrupt block node "
                              : "read error node ";
       os << ",{\"ph\":\"i\",\"name\":\"" << what << e.node
          << "\",\"cat\":\"chaos\",\"pid\":" << kFaultsPid
@@ -762,6 +817,36 @@ std::string chrome_trace_json(const RunReport& report) {
       os << ",\"args\":{\"node\":" << r.node << ",\"cells\":" << r.cells
          << ",\"bytes\":" << r.bytes << "}}";
       ++lane;
+    }
+  }
+  // Integrity lane: scrubber passes as spans (tid 0) and individual repairs
+  // as instant markers (tid 1), so detection-and-repair reads next to the
+  // faults lane that injected the corruption.
+  if (!report.integrity.repairs.empty() ||
+      !report.integrity.scrub_spans.empty()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kIntegrityPid
+       << ",\"args\":{\"name\":\"integrity\"}}";
+    for (const ScrubPassSpan& s : report.integrity.scrub_spans) {
+      os << ",{\"ph\":\"X\",\"name\":\"scrub pass\",\"cat\":\"integrity\","
+            "\"pid\":" << kIntegrityPid << ",\"tid\":0,\"ts\":";
+      append_num(os, s.at * 1e6);
+      os << ",\"dur\":";
+      append_num(os, s.seconds * 1e6);
+      os << ",\"args\":{\"bytes_scanned\":" << s.bytes_scanned
+         << ",\"cells_verified\":" << s.cells_verified
+         << ",\"cells_repaired\":" << s.cells_repaired << "}}";
+    }
+    for (const IntegrityRepairSpan& r : report.integrity.repairs) {
+      os << ",{\"ph\":\"i\",\"name\":\"repair " << json_escape(r.kind) << ' '
+         << json_escape(r.path) << "\",\"cat\":\"integrity\",\"pid\":"
+         << kIntegrityPid << ",\"tid\":1,\"ts\":";
+      append_num(os, r.at * 1e6);
+      os << ",\"s\":\"t\",\"args\":{\"node\":" << r.node << ",\"path\":\""
+         << json_escape(r.path) << "\",\"cell\":" << r.cell
+         << ",\"bytes\":" << r.bytes << ",\"by_scrubber\":"
+         << (r.by_scrubber ? "true" : "false") << "}}";
     }
   }
   for (const PhaseTrace& phase : report.phases) {

@@ -190,6 +190,57 @@ struct RecoveryReport {
   /// the EC counterpart of re_replicated_blocks/bytes.
   int ec_cells_reconstructed = 0;
   std::uint64_t ec_reconstructed_bytes = 0;
+  /// Injected read errors that a replica/cell failover absorbed (the
+  /// "dfs_read_errors_survived" counter).
+  std::uint64_t read_errors_survived = 0;
+};
+
+/// One integrity repair on the run timeline: a corrupt copy re-materialized
+/// from a healthy replica ("copy"), decoded from k clean survivors ("ec"),
+/// or recomputed from lineage ("lineage") — triggered by a verifying read
+/// or by the background scrubber.
+struct IntegrityRepairSpan {
+  double at = 0.0;
+  int node = 0;
+  std::string path;
+  int cell = 0;
+  std::uint64_t bytes = 0;
+  std::string kind = "copy";
+  bool by_scrubber = false;
+};
+
+/// One background scrubber pass over the namespace.
+struct ScrubPassSpan {
+  double at = 0.0;
+  double seconds = 0.0;
+  std::uint64_t bytes_scanned = 0;
+  std::int64_t cells_verified = 0;
+  std::int64_t cells_repaired = 0;
+};
+
+/// End-to-end data-integrity accounting: write-path checksumming,
+/// verify-on-read, silent-corruption injection, read-repair and the
+/// background scrubber. Always present in the report (stable schema); on a
+/// run with verification off and no corruption every field is zero, which
+/// keeps pre-integrity reports bit-identical. Kept free of src/dfs types so
+/// report consumers need no DFS dependency.
+struct IntegrityReport {
+  bool verify_checksums = false;
+  double scrub_interval_seconds = 0.0;
+  std::int64_t cells_checksummed = 0;  // cells CRC'd on the write path
+  std::int64_t cells_verified = 0;     // cells CRC-checked on read/scrub
+  std::uint64_t bytes_verified = 0;
+  std::int64_t corruptions_injected = 0;
+  std::int64_t corruptions_detected = 0;
+  std::int64_t cells_repaired_copy = 0;
+  std::int64_t cells_repaired_ec = 0;
+  std::int64_t cells_repaired_lineage = 0;
+  std::int64_t cells_quarantined = 0;
+  std::int64_t scrub_passes = 0;
+  std::uint64_t scrub_bytes_scanned = 0;
+  double scrub_seconds = 0.0;
+  std::vector<IntegrityRepairSpan> repairs;
+  std::vector<ScrubPassSpan> scrub_spans;
 };
 
 /// One cache eviction spilled to local disk, on the run timeline (`at` is
@@ -343,6 +394,9 @@ struct RunReport {
   /// DFS storage-policy accounting (all-zero EC fields on replicated runs);
   /// rendered as the Chrome trace's "storage" lane.
   StorageReport storage;
+  /// Data-integrity accounting (all zero with verification off and no
+  /// corruption); rendered as the Chrome trace's "integrity" lane.
+  IntegrityReport integrity;
   /// Kernel-engine identity and work totals (default-constructed when the
   /// caller didn't sample the kernel counters).
   KernelReport kernel;

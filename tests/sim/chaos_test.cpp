@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <limits>
+#include <tuple>
+#include <vector>
 
 #include "common/error.hpp"
 #include "sim/failure.hpp"
@@ -139,6 +141,55 @@ TEST(ChaosEngine, ReadErrorEventsReachTheHandler) {
   engine.advance_to(10.0);
   EXPECT_EQ(armed, (std::vector<int>{3}));
   EXPECT_EQ(engine.stats().read_errors_injected, 1);
+}
+
+TEST(ChaosEngine, CorruptEventsReachTheHandlerAndScrubTicksFollow) {
+  ChaosEngine engine;
+  ChaosEvent event;
+  event.kind = ChaosEventKind::kCorruptBlock;
+  event.at = 5.0;
+  event.node = 2;
+  event.salt = 0x51;
+  engine.add_event(event);
+  std::vector<std::tuple<int, double, std::uint64_t>> corrupted;
+  std::vector<double> scrub_ticks;
+  engine.set_corrupt_handler([&](int node, double at, std::uint64_t salt) {
+    corrupted.emplace_back(node, at, salt);
+  });
+  engine.set_scrub_handler([&](double t) { scrub_ticks.push_back(t); });
+  engine.advance_to(3.0);
+  EXPECT_TRUE(corrupted.empty());
+  engine.advance_to(10.0);
+  ASSERT_EQ(corrupted.size(), 1u);
+  EXPECT_EQ(corrupted.front(), std::make_tuple(2, 5.0, std::uint64_t{0x51}));
+  EXPECT_EQ(engine.stats().blocks_corrupted, 1);
+  // The scrubber hook fires at the end of every advance, corrupt or not.
+  EXPECT_EQ(scrub_ticks, (std::vector<double>{3.0, 10.0}));
+}
+
+TEST(ChaosEngine, SampleBitrotIsDeterministicAndSalted) {
+  ChaosOptions options;
+  options.seed = 11;
+  options.horizon_seconds = 10000.0;
+  options.bitrot_rate = 1e-3;  // expect ~10 events per node
+  ChaosEngine a(options), b(options);
+  a.sample_bitrot(3);
+  b.sample_bitrot(3);
+  const std::vector<ChaosEvent> events = a.events();
+  ASSERT_FALSE(events.empty());
+  const std::vector<ChaosEvent> other = b.events();
+  ASSERT_EQ(events.size(), other.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, ChaosEventKind::kCorruptBlock);
+    EXPECT_GE(events[i].at, 0.0);
+    EXPECT_LT(events[i].at, options.horizon_seconds);
+    EXPECT_NE(events[i].salt, 0u) << "bit-rot events must carry a salt so "
+                                     "the victim pick is seeded, not biased "
+                                     "to the largest block";
+    EXPECT_EQ(events[i].at, other[i].at);
+    EXPECT_EQ(events[i].node, other[i].node);
+    EXPECT_EQ(events[i].salt, other[i].salt);
+  }
 }
 
 TEST(ChaosEngine, SampleKillTimeIsDeterministicAndInHorizon) {

@@ -170,6 +170,54 @@ TEST(RunReport, JsonContainsSchemaKeys) {
   }
 }
 
+TEST(RunReport, IntegritySectionAlwaysPresentWithRecoveryCounter) {
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  const std::string json = run_report_json(r);
+  // Always-present schema: the integrity section and the survived-read
+  // counter appear (all zero) even on runs with no chaos at all.
+  for (const char* key :
+       {"\"integrity\"", "\"verify_checksums\":false",
+        "\"cells_checksummed\":0", "\"corruptions_injected\":0",
+        "\"corruptions_detected\":0", "\"cells_repaired_copy\":0",
+        "\"scrub_passes\":0", "\"read_errors_survived\":0"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+
+  r.recovery.read_errors_survived = 3;
+  r.integrity.verify_checksums = true;
+  r.integrity.corruptions_injected = 2;
+  r.integrity.corruptions_detected = 2;
+  r.integrity.cells_repaired_ec = 2;
+  r.integrity.repairs.push_back(
+      IntegrityRepairSpan{12.5, 1, "/work/ut_0.bin", 7, 4096, "ec", true});
+  r.integrity.scrub_spans.push_back(ScrubPassSpan{30.0, 0.25, 1 << 20, 16, 2});
+  const std::string populated = run_report_json(r);
+  for (const char* key :
+       {"\"read_errors_survived\":3", "\"verify_checksums\":true",
+        "\"corruptions_injected\":2", "\"cells_repaired_ec\":2",
+        "\"kind\":\"ec\"", "\"by_scrubber\":true", "\"scrubs\"",
+        "\"cells_verified\":16"}) {
+    EXPECT_NE(populated.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(RunReport, ChromeTraceIntegrityLaneOnlyWhenActive) {
+  RunReport r = two_slot_run();
+  aggregate_run_report(&r);
+  EXPECT_EQ(chrome_trace_json(r).find("\"name\":\"integrity\""),
+            std::string::npos)
+      << "no scrubs or repairs: no integrity lane";
+
+  r.integrity.repairs.push_back(
+      IntegrityRepairSpan{16.0, 1, "/work/ut_0.bin", 0, 4096, "copy", false});
+  r.integrity.scrub_spans.push_back(ScrubPassSpan{15.5, 0.25, 1 << 20, 16, 1});
+  const std::string trace = chrome_trace_json(r);
+  EXPECT_NE(trace.find("\"name\":\"integrity\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"scrub pass\""), std::string::npos);
+  EXPECT_NE(trace.find("\"repair copy /work/ut_0.bin\""), std::string::npos);
+}
+
 TEST(RunReport, ChromeTraceHasCompleteEventsAndNodeLanes) {
   RunReport r = two_slot_run();
   aggregate_run_report(&r);
